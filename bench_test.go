@@ -1,0 +1,295 @@
+package xbarsec_test
+
+// One benchmark per table and figure of the paper, plus ablations and
+// kernel microbenchmarks. The experiment benchmarks run reduced-scale
+// sweeps (Options.Scale < 1) so `go test -bench=.` finishes in minutes;
+// the shapes they print match the paper's (see EXPERIMENTS.md). Use
+// `go run ./cmd/xbarattack -scale 1 all` for paper-sized sweeps.
+
+import (
+	"testing"
+
+	"xbarsec/internal/attack"
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/experiment"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/oracle"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/sidechannel"
+	"xbarsec/internal/surrogate"
+)
+
+// benchOpts keeps the macro-benchmarks tractable on one core.
+func benchOpts() experiment.Options {
+	return experiment.Options{Seed: 1, Scale: 0.05, Runs: 2}
+}
+
+// BenchmarkTable1 regenerates Table I (correlation between loss
+// sensitivity and power-extracted column 1-norms, 4 configurations).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunTable1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + res.Render().String())
+			b.ReportMetric(res.Rows[0].CorrOfMeanTest, "mnist-linear-corr-of-mean")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (sensitivity vs 1-norm heatmaps).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 (single-pixel attack strength
+// sweeps, 5 methods x 4 configurations).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// fig5BenchOptions shrinks the Figure 5 sweep to a bench-sized grid.
+func fig5BenchOptions() experiment.Fig5Options {
+	return experiment.Fig5Options{
+		Options:         benchOpts(),
+		Queries:         []int{10, 50, 200},
+		Lambdas:         []float64{0, 0.004},
+		SurrogateEpochs: 20,
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (surrogate black-box attacks with
+// power information: surrogate accuracy, oracle adversarial accuracy, and
+// significance-tested improvement — panels a/b/c of each row).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig5(fig5BenchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkAblationNoise regenerates ablation A1 (extraction fidelity vs
+// measurement noise and device quantization).
+func BenchmarkAblationNoise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunNoiseAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + res.Render().String())
+		}
+	}
+}
+
+// BenchmarkAblationSearch regenerates ablation A2 (query-efficient
+// max-1-norm search vs exhaustive measurement).
+func BenchmarkAblationSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunSearchAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + res.Render().String())
+		}
+	}
+}
+
+// BenchmarkAblationMultiPixel regenerates ablation A3 (multi-pixel attack
+// decay with random signs, paper §III).
+func BenchmarkAblationMultiPixel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunMultiPixelAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + res.Render().String())
+		}
+	}
+}
+
+// --- kernel microbenchmarks -------------------------------------------
+
+func benchVictim(b *testing.B) (*nn.Network, *crossbar.Network, *dataset.Dataset) {
+	b.Helper()
+	src := rng.New(1)
+	ds, err := dataset.GenerateMNISTLike(src.Split("d"), 200, dataset.DefaultMNISTLikeConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, _, err := nn.TrainNew(ds, nn.ActLinear, nn.LossMSE, nn.TrainConfig{
+		Epochs: 5, BatchSize: 32, LearningRate: 0.05, Momentum: 0.9, ZeroInit: true,
+	}, src.Split("t"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw, err := crossbar.NewNetwork(net, crossbar.DefaultDeviceConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, hw, ds
+}
+
+// BenchmarkCrossbarMVM measures one analog matrix-vector multiply on a
+// 10x784 crossbar.
+func BenchmarkCrossbarMVM(b *testing.B) {
+	_, hw, ds := benchVictim(b)
+	u := ds.X.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hw.Forward(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossbarPower measures one supply-current measurement.
+func BenchmarkCrossbarPower(b *testing.B) {
+	_, hw, ds := benchVictim(b)
+	u := ds.X.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hw.Power(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNormExtraction measures a full 784-basis-query column-1-norm
+// extraction.
+func BenchmarkNormExtraction(b *testing.B) {
+	_, hw, _ := benchVictim(b)
+	probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(hw.Crossbar()), 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := probe.ExtractColumnSignals(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFGSM measures one FGSM example generation on a 784-dim input.
+func BenchmarkFGSM(b *testing.B) {
+	net, _, ds := benchVictim(b)
+	oh := ds.OneHot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.FGSM(net, ds.X.Row(i%ds.Len()), oh.Row(i%ds.Len()), 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSurrogateTrain measures surrogate training (50 queries, power
+// loss enabled) — the inner loop of the Figure 5 sweep.
+func BenchmarkSurrogateTrain(b *testing.B) {
+	net, hw, ds := benchVictim(b)
+	_ = net
+	orc, err := oracle.New(hw, oracle.Config{Mode: oracle.RawOutput, MeasurePower: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := oracle.Collect(orc, ds, 50, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := surrogate.DefaultConfig()
+	cfg.Lambda = 0.004
+	cfg.Epochs = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := surrogate.Train(qs, cfg, rng.New(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMNISTGeneration measures synthetic digit rendering throughput.
+func BenchmarkMNISTGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.GenerateMNISTLike(rng.New(int64(i)), 100, dataset.DefaultMNISTLikeConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCIFARGeneration measures synthetic texture rendering
+// throughput.
+func BenchmarkCIFARGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.GenerateCIFARLike(rng.New(int64(i)), 50, dataset.DefaultCIFARLikeConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDepth regenerates extension A4 (power-channel signal
+// vs network depth — the paper's multi-layer future-work direction).
+func BenchmarkAblationDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunDepthAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + res.Render().String())
+		}
+	}
+}
+
+// BenchmarkAblationMasking regenerates extension A5 (dummy-row power
+// masking countermeasure).
+func BenchmarkAblationMasking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunMaskingAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + res.Render().String())
+		}
+	}
+}
+
+// BenchmarkAblationTrace regenerates extension A6 (bit-serial trace
+// extraction vs the paper's static channel).
+func BenchmarkAblationTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunTraceAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + res.Render().String())
+		}
+	}
+}

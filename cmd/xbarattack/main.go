@@ -1,0 +1,255 @@
+// Command xbarattack regenerates every table and figure of the paper
+// "Enhancing Adversarial Attacks on Single-Layer NVM Crossbar-Based Neural
+// Networks with Power Consumption Information" (Merkel, SOCC 2022) from
+// the simulation stack in this repository.
+//
+// Usage:
+//
+//	xbarattack [flags] <command>
+//
+// Commands:
+//
+//	table1     Table I correlation coefficients
+//	fig3       Figure 3 sensitivity / 1-norm heatmaps
+//	fig4       Figure 4 single-pixel attack sweeps
+//	fig5       Figure 5 surrogate black-box attack sweeps
+//	ablations  extraction-noise, search and multi-pixel ablations
+//	calibrate  victim accuracies per configuration
+//	all        everything above, in paper order
+//
+// Flags:
+//
+//	-seed   int     experiment seed (default 1)
+//	-scale  float   workload scale in (0,1]; 1 = paper-sized (default 0.25)
+//	-runs   int     override repetition count (0 = scaled default)
+//	-data   string  directory with real MNIST/CIFAR files (optional)
+//	-out    string  directory for CSV exports (optional)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"xbarsec/internal/experiment"
+	"xbarsec/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "xbarattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("xbarattack", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "experiment seed")
+	scale := fs.Float64("scale", 0.25, "workload scale in (0,1]; 1 = paper-sized sweeps")
+	runs := fs.Int("runs", 0, "override repetition count (0 = scaled default)")
+	dataDir := fs.String("data", "", "directory with real MNIST/CIFAR-10 files")
+	outDir := fs.String("out", "", "directory for CSV exports")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one command, got %d", fs.NArg())
+	}
+	opts := experiment.Options{Seed: *seed, Scale: *scale, Runs: *runs, DataDir: *dataDir}
+
+	cmd := fs.Arg(0)
+	commands := map[string]func(experiment.Options, string) error{
+		"table1":    runTable1,
+		"fig3":      runFig3,
+		"fig4":      runFig4,
+		"fig5":      runFig5,
+		"ablations": runAblations,
+		"calibrate": runCalibrate,
+	}
+	if cmd == "all" {
+		for _, name := range []string{"calibrate", "table1", "fig3", "fig4", "fig5", "ablations"} {
+			if err := commands[name](opts, *outDir); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := commands[cmd]
+	if !ok {
+		return fmt.Errorf("unknown command %q (want table1|fig3|fig4|fig5|ablations|calibrate|all)", cmd)
+	}
+	return fn(opts, *outDir)
+}
+
+func runTable1(opts experiment.Options, _ string) error {
+	res, err := experiment.RunTable1(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render().String())
+	return nil
+}
+
+func runFig3(opts experiment.Options, outDir string) error {
+	res, err := experiment.RunFig3(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	if outDir == "" {
+		return nil
+	}
+	for _, panel := range res.Panels {
+		for _, m := range []struct {
+			suffix string
+			values []float64
+		}{
+			{"sensitivity", panel.Sensitivity},
+			{"norms", panel.Norms},
+		} {
+			path := filepath.Join(outDir, "fig3_"+sanitize(panel.Config.Name())+"_"+m.suffix+".pgm")
+			if err := writePGMFile(path, m.values, panel.Width, panel.Height); err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+	return nil
+}
+
+func writePGMFile(path string, values []float64, w, h int) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WritePGM(f, values, w, h); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runFig4(opts experiment.Options, outDir string) error {
+	res, err := experiment.RunFig4(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	for name, series := range res.Series() {
+		plot := &report.LinePlot{
+			Title:  "Figure 4 [" + name + "]",
+			XLabel: "attack strength", YLabel: "test accuracy",
+			Series: series,
+		}
+		fmt.Println(plot.String())
+	}
+	if outDir == "" {
+		return nil
+	}
+	for name, series := range res.Series() {
+		path := filepath.Join(outDir, "fig4_"+sanitize(name)+".csv")
+		if err := writeCSV(path, "strength", series); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+func runFig5(opts experiment.Options, _ string) error {
+	res, err := experiment.RunFig5(experiment.Fig5Options{Options: opts})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}
+
+func runAblations(opts experiment.Options, _ string) error {
+	noise, err := experiment.RunNoiseAblation(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(noise.Render().String())
+	search, err := experiment.RunSearchAblation(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(search.Render().String())
+	multi, err := experiment.RunMultiPixelAblation(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(multi.Render().String())
+	depth, err := experiment.RunDepthAblation(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(depth.Render().String())
+	masking, err := experiment.RunMaskingAblation(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(masking.Render().String())
+	traces, err := experiment.RunTraceAblation(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(traces.Render().String())
+	return nil
+}
+
+func runCalibrate(opts experiment.Options, _ string) error {
+	accs, err := experiment.VictimAccuracies(opts)
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:  "Victim calibration (paper regime: MNIST ~0.92, CIFAR-10 ~0.30-0.40 test)",
+		Header: []string{"config", "train acc", "test acc"},
+	}
+	names := make([]string, 0, len(accs))
+	for name := range accs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tbl.AddRow(name, report.F(accs[name][0], 3), report.F(accs[name][1], 3))
+	}
+	fmt.Println(tbl.String())
+	return nil
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func writeCSV(path, xLabel string, series []report.Series) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteSeriesCSV(f, xLabel, series); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,86 @@
+// Command xbargen exports the synthetic MNIST-like and CIFAR-like corpora
+// to disk in the genuine distribution formats (MNIST IDX files, CIFAR-10
+// binary batches), so they can be inspected with standard tools or fed
+// back through `xbarattack -data <dir>` exactly like real data.
+//
+// Usage:
+//
+//	xbargen -out <dir> [-kind mnist|cifar10|both] [-train N] [-test N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "xbargen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("xbargen", flag.ContinueOnError)
+	out := fs.String("out", "", "output directory (required)")
+	kind := fs.String("kind", "both", "dataset family: mnist, cifar10 or both")
+	trainN := fs.Int("train", 2000, "training samples")
+	testN := fs.Int("test", 500, "test samples")
+	seed := fs.Int64("seed", 1, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -out directory")
+	}
+	if *trainN <= 0 || *testN <= 0 {
+		return fmt.Errorf("sample counts must be positive")
+	}
+	src := rng.New(*seed)
+	doMNIST := *kind == "mnist" || *kind == "both"
+	doCIFAR := *kind == "cifar10" || *kind == "both"
+	if !doMNIST && !doCIFAR {
+		return fmt.Errorf("unknown kind %q (want mnist, cifar10 or both)", *kind)
+	}
+	if doMNIST {
+		dir := filepath.Join(*out, "mnist")
+		cfg := dataset.DefaultMNISTLikeConfig()
+		train, err := dataset.GenerateMNISTLike(src.Split("mnist-train"), *trainN, cfg)
+		if err != nil {
+			return err
+		}
+		test, err := dataset.GenerateMNISTLike(src.Split("mnist-test"), *testN, cfg)
+		if err != nil {
+			return err
+		}
+		if err := dataset.ExportMNISTLayout(dir, train, test); err != nil {
+			return err
+		}
+		fmt.Printf("wrote MNIST-like corpus (%d train / %d test) to %s\n", train.Len(), test.Len(), dir)
+	}
+	if doCIFAR {
+		dir := filepath.Join(*out, "cifar10")
+		cfg := dataset.DefaultCIFARLikeConfig()
+		full, err := dataset.GenerateCIFARLike(src.Split("cifar"), *trainN+*testN, cfg)
+		if err != nil {
+			return err
+		}
+		train := full.Head(*trainN)
+		idx := make([]int, 0, *testN)
+		for i := *trainN; i < full.Len(); i++ {
+			idx = append(idx, i)
+		}
+		test := full.Subset(idx)
+		if err := dataset.ExportCIFARLayout(dir, train, test); err != nil {
+			return err
+		}
+		fmt.Printf("wrote CIFAR-like corpus (%d train / %d test) to %s\n", train.Len(), test.Len(), dir)
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+// Package xbarsec reproduces "Enhancing Adversarial Attacks on
+// Single-Layer NVM Crossbar-Based Neural Networks with Power Consumption
+// Information" (Cory Merkel, SOCC 2022; arXiv:2207.02764) as a
+// stdlib-only Go library.
+//
+// The implementation lives under internal/: a dense tensor kernel, a
+// numerical linear algebra package, synthetic MNIST/CIFAR-like dataset
+// generators (plus parsers for the real formats), single-layer neural
+// network training, an NVM crossbar simulator with a power model and
+// first-order non-idealities, the attacker's power probe and 1-norm
+// extraction, evasion attacks, the power-augmented surrogate trainer, and
+// one experiment runner per table/figure of the paper.
+//
+// Entry points:
+//
+//   - cmd/xbarattack — CLI that regenerates Table I and Figures 3-5
+//   - examples/      — runnable walkthroughs of the public workflow
+//   - bench_test.go  — one benchmark per table/figure plus kernel
+//     microbenchmarks
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured comparisons.
+package xbarsec

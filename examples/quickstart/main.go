@@ -1,0 +1,73 @@
+// Quickstart: program a tiny network onto a simulated NVM crossbar, run
+// an inference, and see what the power side channel leaks.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/sidechannel"
+	"xbarsec/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// A 3-class, 6-input single-layer network with hand-picked weights.
+	net, err := nn.NewNetwork(3, 6, nn.ActSoftmax, nn.LossCrossEntropy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights := [][]float64{
+		{0.9, -0.2, 0.1, 0.0, 0.3, -0.1},
+		{-0.4, 0.8, -0.3, 0.2, 0.0, 0.1},
+		{0.1, -0.1, 0.7, -0.6, 0.2, 0.4},
+	}
+	for i, row := range weights {
+		net.W.SetRow(i, row)
+	}
+
+	// Program it onto an ideal crossbar (ReRAM-like conductance window).
+	cfg := crossbar.DefaultDeviceConfig()
+	hw, err := crossbar.NewNetwork(net, cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Inference: the analog array computes f(Wu) via Ohm's and
+	// Kirchhoff's laws.
+	u := []float64{0.8, 0.1, 0.0, 0.4, 0.9, 0.2}
+	software := net.Forward(u)
+	hardware, err := hw.Forward(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("input:            ", u)
+	fmt.Printf("software output:   %.4f\n", software)
+	fmt.Printf("crossbar output:   %.4f\n", hardware)
+
+	// The side channel: total supply current reveals column 1-norms.
+	probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(hw.Crossbar()), 0, rng.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	signals, err := probe.ExtractColumnSignals(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	norms := sidechannel.CalibrateColumnNorms(signals, cfg, net.Outputs(), hw.Crossbar().Scale())
+	truth := net.W.ColAbsSums()
+	fmt.Println("\npower side channel (basis queries):")
+	fmt.Printf("  extracted column 1-norms: %.4f\n", norms)
+	fmt.Printf("  true column 1-norms:      %.4f\n", truth)
+	fmt.Printf("  most vulnerable input:    %d (queries used: %d)\n",
+		tensor.ArgMax(norms), probe.Queries())
+}

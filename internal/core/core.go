@@ -1,0 +1,298 @@
+// Package core is the high-level facade over the attack stack: it wires
+// datasets, victim training, crossbar deployment, the power probe, and
+// the attack implementations into the two end-to-end scenarios the paper
+// evaluates — the output-free power-profile attack (Case 1, §III) and the
+// power-augmented surrogate attack (Case 2, §IV). Examples and downstream
+// users should start here; the lower-level packages remain available for
+// custom pipelines.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"xbarsec/internal/attack"
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/oracle"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/sidechannel"
+	"xbarsec/internal/surrogate"
+	"xbarsec/internal/tensor"
+)
+
+// ScenarioConfig describes a deployed victim model.
+type ScenarioConfig struct {
+	// Kind selects the dataset family (dataset.MNIST or dataset.CIFAR10).
+	Kind dataset.Kind
+	// Act and Crit select the output head; zero values default to the
+	// paper's linear + MSE configuration.
+	Act  nn.Activation
+	Crit nn.Loss
+	// TrainN and TestN size the datasets (defaults 2000/500).
+	TrainN, TestN int
+	// DataDir optionally points at real MNIST/CIFAR files.
+	DataDir string
+	// Device is the crossbar technology; zero value = ideal default
+	// config.
+	Device crossbar.DeviceConfig
+	// Train overrides the victim training configuration; zero value uses
+	// a converged default.
+	Train nn.TrainConfig
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Kind == 0 {
+		c.Kind = dataset.MNIST
+	}
+	if c.Act == 0 {
+		c.Act = nn.ActLinear
+	}
+	if c.Crit == 0 {
+		c.Crit = nn.LossMSE
+	}
+	if c.Device == (crossbar.DeviceConfig{}) {
+		c.Device = crossbar.DefaultDeviceConfig()
+	}
+	if c.Train.Epochs == 0 {
+		c.Train = nn.TrainConfig{Epochs: 30, BatchSize: 32, LearningRate: 0.05, Momentum: 0.9, ZeroInit: true}
+		if c.Kind == dataset.CIFAR10 {
+			c.Train.LearningRate = 0.001
+			c.Train.Epochs = 60
+			c.Train.WeightDecay = 0.05
+		}
+	}
+	return c
+}
+
+// Scenario is a deployed victim: data, trained weights, and the crossbar
+// hosting them.
+type Scenario struct {
+	// Train and Test are the victim's datasets.
+	Train, Test *dataset.Dataset
+	// Victim is the software twin of the deployed network.
+	Victim *nn.Network
+	// Hardware is the crossbar-hosted deployment the attacker faces.
+	Hardware *crossbar.Network
+	// Seed echoes the scenario seed for derived randomness.
+	Seed int64
+}
+
+// NewScenario trains and deploys a victim according to cfg.
+func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	src := rng.New(cfg.Seed)
+	train, test, err := dataset.Load(cfg.Kind, src.Split("data"), dataset.LoadOptions{
+		DataDir: cfg.DataDir, TrainN: cfg.TrainN, TestN: cfg.TestN,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: loading data: %w", err)
+	}
+	victim, _, err := nn.TrainNew(train, cfg.Act, cfg.Crit, cfg.Train, src.Split("train"))
+	if err != nil {
+		return nil, fmt.Errorf("core: training victim: %w", err)
+	}
+	hw, err := crossbar.NewNetwork(victim, cfg.Device, src.Split("program"))
+	if err != nil {
+		return nil, fmt.Errorf("core: deploying victim: %w", err)
+	}
+	return &Scenario{Train: train, Test: test, Victim: victim, Hardware: hw, Seed: cfg.Seed}, nil
+}
+
+// CleanAccuracy returns the deployed model's test accuracy.
+func (s *Scenario) CleanAccuracy() (float64, error) {
+	correct := 0
+	for i := 0; i < s.Test.Len(); i++ {
+		label, err := s.Hardware.Predict(s.Test.X.Row(i))
+		if err != nil {
+			return 0, err
+		}
+		if label == s.Test.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(s.Test.Len()), nil
+}
+
+// PowerProfileOptions configures the Case-1 attack.
+type PowerProfileOptions struct {
+	// Method selects the pixel strategy; zero value = PixelNormPlus (the
+	// paper's most effective power-guided method).
+	Method attack.PixelMethod
+	// Strength is the attack strength ε (default 5).
+	Strength float64
+	// MeasurementNoise is the relative probe noise (default 0).
+	MeasurementNoise float64
+	// Repeats averages repeated measurements per basis query (default 1).
+	Repeats int
+}
+
+// PowerProfileResult reports a Case-1 attack end to end.
+type PowerProfileResult struct {
+	// Signals are the raw per-column power signals.
+	Signals []float64
+	// TargetPixel is the argmax-signal input index.
+	TargetPixel int
+	// QueriesUsed counts power measurements.
+	QueriesUsed int
+	// CleanAccuracy and AttackedAccuracy are oracle accuracies before and
+	// after the single-pixel perturbation.
+	CleanAccuracy, AttackedAccuracy float64
+}
+
+// RunPowerProfileAttack performs the full Case-1 pipeline: extract the
+// column 1-norm profile from supply-current measurements, pick the target
+// pixel, perturb every test image, and measure the deployed model's
+// accuracy drop.
+func RunPowerProfileAttack(s *Scenario, opts PowerProfileOptions) (*PowerProfileResult, error) {
+	if s == nil {
+		return nil, errors.New("core: nil scenario")
+	}
+	if opts.Method == 0 {
+		opts.Method = attack.PixelNormPlus
+	}
+	if opts.Strength == 0 {
+		opts.Strength = 5
+	}
+	if opts.Repeats <= 0 {
+		opts.Repeats = 1
+	}
+	src := rng.New(s.Seed).Split("power-profile")
+	probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(s.Hardware.Crossbar()), opts.MeasurementNoise, src.Split("probe"))
+	if err != nil {
+		return nil, err
+	}
+	signals, err := probe.ExtractColumnSignals(opts.Repeats)
+	if err != nil {
+		return nil, fmt.Errorf("core: extracting column signals: %w", err)
+	}
+	clean, err := s.CleanAccuracy()
+	if err != nil {
+		return nil, err
+	}
+	oh := s.Test.OneHot()
+	asrc := src.Split("attack")
+	correct := 0
+	for i := 0; i < s.Test.Len(); i++ {
+		adv, err := attack.SinglePixel(opts.Method, tensor.CloneVec(s.Test.X.Row(i)), oh.Row(i), opts.Strength, signals, s.Victim, asrc)
+		if err != nil {
+			return nil, fmt.Errorf("core: perturbing sample %d: %w", i, err)
+		}
+		label, err := s.Hardware.Predict(adv)
+		if err != nil {
+			return nil, err
+		}
+		if label == s.Test.Labels[i] {
+			correct++
+		}
+	}
+	return &PowerProfileResult{
+		Signals:          signals,
+		TargetPixel:      tensor.ArgMax(signals),
+		QueriesUsed:      probe.Queries(),
+		CleanAccuracy:    clean,
+		AttackedAccuracy: float64(correct) / float64(s.Test.Len()),
+	}, nil
+}
+
+// SurrogateAttackOptions configures the Case-2 attack.
+type SurrogateAttackOptions struct {
+	// Mode selects what queries reveal; zero value = oracle.RawOutput.
+	Mode oracle.Mode
+	// Queries is the attacker's query budget (default 200).
+	Queries int
+	// Lambda is the power loss weight λ (default 0.004).
+	Lambda float64
+	// Eps is the FGSM strength used against the oracle (default 0.1, as
+	// in the paper's Figure 5).
+	Eps float64
+	// Surrogate overrides the surrogate training configuration.
+	Surrogate surrogate.Config
+}
+
+// SurrogateAttackResult reports a Case-2 attack end to end.
+type SurrogateAttackResult struct {
+	// SurrogateAccuracy is the stolen model's test accuracy.
+	SurrogateAccuracy float64
+	// CleanAccuracy and AttackedAccuracy are oracle accuracies before and
+	// under surrogate-crafted FGSM.
+	CleanAccuracy, AttackedAccuracy float64
+	// QueriesUsed counts oracle queries.
+	QueriesUsed int
+	// Model is the trained surrogate (usable for further attacks).
+	Model *surrogate.Model
+}
+
+// RunSurrogateAttack performs the full Case-2 pipeline: query the oracle
+// (outputs + power), train a surrogate with the Eq. (9) joint loss, craft
+// FGSM adversarial examples on it, and measure their transfer to the
+// oracle.
+func RunSurrogateAttack(s *Scenario, opts SurrogateAttackOptions) (*SurrogateAttackResult, error) {
+	if s == nil {
+		return nil, errors.New("core: nil scenario")
+	}
+	if opts.Mode == 0 {
+		opts.Mode = oracle.RawOutput
+	}
+	if opts.Queries <= 0 {
+		opts.Queries = 200
+	}
+	if opts.Eps == 0 {
+		opts.Eps = 0.1
+	}
+	if opts.Surrogate.Epochs == 0 {
+		opts.Surrogate = surrogate.DefaultConfig()
+		if s.Train.Dim() > 1000 {
+			// Dense high-dimensional inputs need a smaller stable rate.
+			opts.Surrogate.LearningRate = 0.003
+			opts.Surrogate.Epochs = 120
+		}
+	}
+	opts.Surrogate.Lambda = opts.Lambda
+	if opts.Lambda == 0 {
+		opts.Surrogate.Lambda = 0.004
+	}
+
+	src := rng.New(s.Seed).Split("surrogate-attack")
+	orc, err := oracle.New(s.Hardware, oracle.Config{Mode: opts.Mode, MeasurePower: true})
+	if err != nil {
+		return nil, err
+	}
+	qs, err := oracle.Collect(orc, s.Train, opts.Queries, src.Split("collect"))
+	if err != nil {
+		return nil, fmt.Errorf("core: collecting queries: %w", err)
+	}
+	model, err := surrogate.Train(qs, opts.Surrogate, src.Split("fit"))
+	if err != nil {
+		return nil, fmt.Errorf("core: training surrogate: %w", err)
+	}
+	clean, err := s.CleanAccuracy()
+	if err != nil {
+		return nil, err
+	}
+	oh := s.Test.OneHot()
+	correct := 0
+	for i := 0; i < s.Test.Len(); i++ {
+		adv, err := attack.FGSM(model.Net, tensor.CloneVec(s.Test.X.Row(i)), oh.Row(i), opts.Eps)
+		if err != nil {
+			return nil, err
+		}
+		label, err := s.Hardware.Predict(adv)
+		if err != nil {
+			return nil, err
+		}
+		if label == s.Test.Labels[i] {
+			correct++
+		}
+	}
+	return &SurrogateAttackResult{
+		SurrogateAccuracy: model.Accuracy(s.Test.X, s.Test.Labels),
+		CleanAccuracy:     clean,
+		AttackedAccuracy:  float64(correct) / float64(s.Test.Len()),
+		QueriesUsed:       orc.Queries(),
+		Model:             model,
+	}, nil
+}

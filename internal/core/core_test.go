@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"xbarsec/internal/attack"
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/oracle"
+)
+
+func tinyScenario(t *testing.T, seed int64) *Scenario {
+	t.Helper()
+	s, err := NewScenario(ScenarioConfig{
+		Kind: dataset.MNIST, TrainN: 250, TestN: 120, Seed: seed,
+		Train: nn.TrainConfig{Epochs: 15, BatchSize: 32, LearningRate: 0.05, Momentum: 0.9, ZeroInit: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewScenarioDefaults(t *testing.T) {
+	s, err := NewScenario(ScenarioConfig{TrainN: 200, TestN: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Victim.Act != nn.ActLinear || s.Victim.Crit != nn.LossMSE {
+		t.Fatal("defaults must be the paper's linear+MSE head")
+	}
+	if s.Train.Len() != 200 || s.Test.Len() != 100 {
+		t.Fatalf("sizes %d/%d", s.Train.Len(), s.Test.Len())
+	}
+	acc, err := s.CleanAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 {
+		t.Fatalf("clean accuracy %v suspiciously low", acc)
+	}
+}
+
+func TestRunPowerProfileAttackEndToEnd(t *testing.T) {
+	s := tinyScenario(t, 2)
+	res, err := RunPowerProfileAttack(s, PowerProfileOptions{Strength: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Signals) != s.Victim.Inputs() {
+		t.Fatalf("signals %d", len(res.Signals))
+	}
+	if res.QueriesUsed != s.Victim.Inputs() {
+		t.Fatalf("queries %d, want %d", res.QueriesUsed, s.Victim.Inputs())
+	}
+	if res.TargetPixel < 0 || res.TargetPixel >= s.Victim.Inputs() {
+		t.Fatalf("target pixel %d", res.TargetPixel)
+	}
+	if res.AttackedAccuracy > res.CleanAccuracy {
+		t.Fatalf("attack increased accuracy: %v -> %v", res.CleanAccuracy, res.AttackedAccuracy)
+	}
+}
+
+func TestRunPowerProfileAttackWorstBound(t *testing.T) {
+	s := tinyScenario(t, 3)
+	plus, err := RunPowerProfileAttack(s, PowerProfileOptions{Method: attack.PixelNormPlus, Strength: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := RunPowerProfileAttack(s, PowerProfileOptions{Method: attack.PixelWorst, Strength: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.AttackedAccuracy > plus.AttackedAccuracy+0.05 {
+		t.Fatalf("white-box bound %v should not exceed power-guided %v",
+			worst.AttackedAccuracy, plus.AttackedAccuracy)
+	}
+}
+
+func TestRunSurrogateAttackEndToEnd(t *testing.T) {
+	s := tinyScenario(t, 4)
+	res, err := RunSurrogateAttack(s, SurrogateAttackOptions{
+		Mode: oracle.RawOutput, Queries: 120, Lambda: 0.004, Eps: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueriesUsed != 120 {
+		t.Fatalf("queries %d", res.QueriesUsed)
+	}
+	if res.Model == nil {
+		t.Fatal("model must be returned")
+	}
+	if res.SurrogateAccuracy < 0.3 {
+		t.Fatalf("surrogate accuracy %v too low", res.SurrogateAccuracy)
+	}
+	if res.AttackedAccuracy > res.CleanAccuracy {
+		t.Fatalf("attack increased oracle accuracy: %v -> %v", res.CleanAccuracy, res.AttackedAccuracy)
+	}
+}
+
+func TestNilScenarioRejected(t *testing.T) {
+	if _, err := RunPowerProfileAttack(nil, PowerProfileOptions{}); err == nil {
+		t.Fatal("nil scenario must error")
+	}
+	if _, err := RunSurrogateAttack(nil, SurrogateAttackOptions{}); err == nil {
+		t.Fatal("nil scenario must error")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	a := tinyScenario(t, 7)
+	b := tinyScenario(t, 7)
+	if !a.Victim.W.Equal(b.Victim.W, 0) {
+		t.Fatal("scenarios with the same seed must be identical")
+	}
+}

@@ -1,0 +1,115 @@
+package crossbar
+
+import (
+	"math"
+	"testing"
+
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+func TestPowerMaskingEqualizesColumns(t *testing.T) {
+	src := rng.New(1)
+	w := randWeights(src, 6, 10)
+	cfg := idealConfig()
+	cfg.PowerMasking = true
+	xb, err := Program(w, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := xb.ColumnConductanceSums()
+	for j := 1; j < len(sums); j++ {
+		if math.Abs(sums[j]-sums[0]) > 1e-15 {
+			t.Fatalf("column sums not equalized: %v vs %v", sums[j], sums[0])
+		}
+	}
+}
+
+func TestPowerMaskingPreservesInference(t *testing.T) {
+	src := rng.New(2)
+	w := randWeights(src, 5, 8)
+	plain, err := Program(w, idealConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := idealConfig()
+	cfg.PowerMasking = true
+	masked, err := Program(w, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := src.UniformVec(8, 0, 1)
+	a, err := plain.Output(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := masked.Output(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatal("masking must not change the functional output")
+		}
+	}
+}
+
+func TestPowerMaskingKillsTheSideChannel(t *testing.T) {
+	src := rng.New(3)
+	w := randWeights(src, 6, 12)
+	cfg := idealConfig()
+	cfg.PowerMasking = true
+	xb, err := Program(w, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Basis queries now return identical currents for every column: the
+	// attacker learns nothing about per-column 1-norms.
+	var first float64
+	for j := 0; j < 12; j++ {
+		itotal, err := xb.TotalCurrent(tensor.Basis(12, j, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j == 0 {
+			first = itotal
+			continue
+		}
+		if math.Abs(itotal-first) > 1e-15*math.Abs(first) {
+			t.Fatalf("column %d current %v differs from %v", j, itotal, first)
+		}
+	}
+}
+
+func TestMaskOverheadFraction(t *testing.T) {
+	src := rng.New(4)
+	w := randWeights(src, 6, 12)
+	plain, err := Program(w, idealConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MaskOverheadFraction() != 0 {
+		t.Fatal("unmasked overhead must be 0")
+	}
+	cfg := idealConfig()
+	cfg.PowerMasking = true
+	masked, err := Program(w, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh := masked.MaskOverheadFraction()
+	if oh <= 0 || oh > 2 {
+		t.Fatalf("implausible mask overhead %v", oh)
+	}
+	// Masked total power for the all-ones input exceeds unmasked by
+	// exactly the overhead fraction.
+	ones := make([]float64, 12)
+	for j := range ones {
+		ones[j] = 1
+	}
+	pPlain, _ := plain.Power(ones)
+	pMasked, _ := masked.Power(ones)
+	if math.Abs(pMasked/pPlain-(1+oh)) > 1e-9 {
+		t.Fatalf("power ratio %v, want %v", pMasked/pPlain, 1+oh)
+	}
+}

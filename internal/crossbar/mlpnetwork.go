@@ -1,0 +1,133 @@
+package crossbar
+
+import (
+	"fmt"
+
+	"xbarsec/internal/nn"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// MLPNetwork is a multi-layer perceptron deployed layer-per-array: each
+// weight matrix occupies its own crossbar, activations are applied
+// digitally between arrays, and the package-level supply current is the
+// sum over arrays. This is the hardware substrate for the paper's
+// future-work question (§V): what does the power channel still reveal
+// when the network is deeper than one layer? Note that hidden-layer
+// arrays see data-dependent inputs, so their currents no longer factor
+// into input-independent column norms — only the first array's
+// contribution retains the clean Eq. (5) structure.
+type MLPNetwork struct {
+	layers []*Crossbar
+	mlp    *nn.MLP
+}
+
+// NewMLPNetwork programs every layer of m onto its own crossbar with the
+// shared device configuration.
+func NewMLPNetwork(m *nn.MLP, cfg DeviceConfig, src *rng.Source) (*MLPNetwork, error) {
+	if m == nil || len(m.Layers) == 0 {
+		return nil, fmt.Errorf("crossbar: empty MLP: %w", ErrNotProgrammed)
+	}
+	layers := make([]*Crossbar, len(m.Layers))
+	for l, w := range m.Layers {
+		var layerSrc *rng.Source
+		if src != nil {
+			layerSrc = src.SplitN("layer", l)
+		}
+		xb, err := Program(w, cfg, layerSrc)
+		if err != nil {
+			return nil, fmt.Errorf("crossbar: programming layer %d: %w", l, err)
+		}
+		layers[l] = xb
+	}
+	return &MLPNetwork{layers: layers, mlp: m}, nil
+}
+
+// Layers returns the number of crossbar arrays.
+func (n *MLPNetwork) Layers() int { return len(n.layers) }
+
+// Layer returns the l-th array.
+func (n *MLPNetwork) Layer(l int) (*Crossbar, error) {
+	if l < 0 || l >= len(n.layers) {
+		return nil, fmt.Errorf("crossbar: layer %d out of %d", l, len(n.layers))
+	}
+	return n.layers[l], nil
+}
+
+// Inputs returns the input dimensionality.
+func (n *MLPNetwork) Inputs() int { return n.layers[0].Cols() }
+
+// Outputs returns the output dimensionality.
+func (n *MLPNetwork) Outputs() int { return n.layers[len(n.layers)-1].Rows() }
+
+// forwardActivations runs the analog pipeline and returns every layer's
+// input vector (activations[l] feeds array l) plus the final output.
+func (n *MLPNetwork) forwardActivations(u []float64) (inputs [][]float64, out []float64, err error) {
+	inputs = make([][]float64, len(n.layers))
+	cur := u
+	for l, xb := range n.layers {
+		inputs[l] = cur
+		s, err := xb.Output(cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("crossbar: layer %d: %w", l, err)
+		}
+		act := n.mlp.Hidden
+		if l == len(n.layers)-1 {
+			act = n.mlp.Out
+		}
+		cur = applyActivation(act, s)
+	}
+	return inputs, cur, nil
+}
+
+// Forward returns the network output for input u.
+func (n *MLPNetwork) Forward(u []float64) ([]float64, error) {
+	_, out, err := n.forwardActivations(u)
+	return out, err
+}
+
+// Predict returns the argmax class for input u.
+func (n *MLPNetwork) Predict(u []float64) (int, error) {
+	y, err := n.Forward(u)
+	if err != nil {
+		return 0, err
+	}
+	return tensor.ArgMax(y), nil
+}
+
+// LayerPowers returns each array's read power for one inference of u.
+// Hidden-layer powers depend on the data-dependent activations flowing
+// into them.
+func (n *MLPNetwork) LayerPowers(u []float64) ([]float64, error) {
+	inputs, _, err := n.forwardActivations(u)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(n.layers))
+	for l, xb := range n.layers {
+		// Activations can exceed [0,1] for linear hidden units; the power
+		// model is linear in the drive voltage either way.
+		p, err := xb.Power(inputs[l])
+		if err != nil {
+			return nil, fmt.Errorf("crossbar: layer %d power: %w", l, err)
+		}
+		out[l] = p
+	}
+	return out, nil
+}
+
+// Power returns the package-level read power: the sum over arrays. An
+// attacker with only one power rail sees this aggregate; per-layer rails
+// would expose LayerPowers directly.
+func (n *MLPNetwork) Power(u []float64) (float64, error) {
+	ps, err := n.LayerPowers(u)
+	if err != nil {
+		return 0, err
+	}
+	return tensor.Sum(ps), nil
+}
+
+// FirstLayerMeter exposes layer 0 as a sidechannel.PowerMeter-compatible
+// view: basis queries against it reveal the first layer's column norms,
+// the quantity the depth ablation (A4) correlates with input sensitivity.
+func (n *MLPNetwork) FirstLayerMeter() *Crossbar { return n.layers[0] }

@@ -1,0 +1,138 @@
+package crossbar
+
+import (
+	"math"
+	"testing"
+
+	"xbarsec/internal/nn"
+	"xbarsec/internal/rng"
+)
+
+func buildMLP(t *testing.T, seed int64, widths []int) *nn.MLP {
+	t.Helper()
+	m, err := nn.NewMLP(widths, nn.ActReLU, nn.ActSoftmax, nn.LossCrossEntropy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitXavier(rng.New(seed))
+	return m
+}
+
+func TestNewMLPNetworkValidation(t *testing.T) {
+	if _, err := NewMLPNetwork(nil, idealConfig(), nil); err == nil {
+		t.Fatal("nil MLP must error")
+	}
+	m := buildMLP(t, 1, []int{6, 8, 3})
+	cfg := idealConfig()
+	cfg.ReadNoiseStd = 0.1
+	if _, err := NewMLPNetwork(m, cfg, nil); err == nil {
+		t.Fatal("noisy config with nil src must error")
+	}
+}
+
+func TestMLPNetworkForwardMatchesSoftware(t *testing.T) {
+	m := buildMLP(t, 2, []int{7, 10, 4})
+	hw, err := NewMLPNetwork(m, idealConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Layers() != 2 || hw.Inputs() != 7 || hw.Outputs() != 4 {
+		t.Fatalf("shape: %d layers %d->%d", hw.Layers(), hw.Inputs(), hw.Outputs())
+	}
+	src := rng.New(3)
+	for trial := 0; trial < 10; trial++ {
+		u := src.UniformVec(7, 0, 1)
+		want := m.Forward(u)
+		got, err := hw.Forward(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d output %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+		pw, err := hw.Predict(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pw != m.Predict(u) {
+			t.Fatalf("trial %d: prediction mismatch", trial)
+		}
+	}
+}
+
+func TestMLPNetworkLayerPowers(t *testing.T) {
+	m := buildMLP(t, 4, []int{6, 9, 3})
+	hw, err := NewMLPNetwork(m, idealConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := rng.New(5).UniformVec(6, 0.2, 1)
+	per, err := hw.LayerPowers(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 2 {
+		t.Fatalf("per-layer powers %d", len(per))
+	}
+	total, err := hw.Power(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(per[0]+per[1]-total) > 1e-15 {
+		t.Fatalf("power sum %v != total %v", per[0]+per[1], total)
+	}
+	if per[0] <= 0 {
+		t.Fatal("first layer power must be positive for a nonzero input")
+	}
+}
+
+// The first array's basis-query structure is preserved in depth: driving
+// input j reveals layer 0's column conductance sum, independent of deeper
+// layers.
+func TestMLPNetworkFirstLayerLeakIntact(t *testing.T) {
+	m := buildMLP(t, 6, []int{8, 12, 5})
+	hw, err := NewMLPNetwork(m, idealConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := hw.FirstLayerMeter()
+	sums := first.ColumnConductanceSums()
+	for j := 0; j < 8; j++ {
+		basis := make([]float64, 8)
+		basis[j] = 1
+		itotal, err := first.TotalCurrent(basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(itotal/first.Config().Vdd-sums[j]) > 1e-12 {
+			t.Fatalf("column %d: first-layer leak broken", j)
+		}
+	}
+	// And its calibrated norms equal the software layer's 1-norms.
+	norms := m.Layers[0].ColAbsSums()
+	for j := range norms {
+		got := sums[j] / first.Scale()
+		if math.Abs(got-norms[j]) > 1e-9 {
+			t.Fatalf("column %d: %v, want %v", j, got, norms[j])
+		}
+	}
+}
+
+func TestMLPNetworkLayerAccessor(t *testing.T) {
+	m := buildMLP(t, 7, []int{5, 6, 2})
+	hw, err := NewMLPNetwork(m, idealConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.Layer(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.Layer(2); err == nil {
+		t.Fatal("out-of-range layer must error")
+	}
+	if _, err := hw.Layer(-1); err == nil {
+		t.Fatal("negative layer must error")
+	}
+}

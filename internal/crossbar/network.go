@@ -1,0 +1,114 @@
+package crossbar
+
+import (
+	"fmt"
+	"math"
+
+	"xbarsec/internal/nn"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// Network is a single-layer neural network executed on a crossbar: the
+// hardware realization of an nn.Network. It is what the paper's "oracle"
+// runs on — attacks query it for outputs and power, never for weights.
+type Network struct {
+	xbar *Crossbar
+	act  nn.Activation
+}
+
+// NewNetwork programs net's weights onto a crossbar with the given device
+// configuration.
+func NewNetwork(net *nn.Network, cfg DeviceConfig, src *rng.Source) (*Network, error) {
+	xb, err := Program(net.W, cfg, src)
+	if err != nil {
+		return nil, fmt.Errorf("crossbar: programming network: %w", err)
+	}
+	return &Network{xbar: xb, act: net.Act}, nil
+}
+
+// Crossbar returns the underlying array.
+func (n *Network) Crossbar() *Crossbar { return n.xbar }
+
+// Activation returns the output activation applied after the array.
+func (n *Network) Activation() nn.Activation { return n.act }
+
+// Inputs returns the input dimensionality.
+func (n *Network) Inputs() int { return n.xbar.Cols() }
+
+// Outputs returns the output dimensionality.
+func (n *Network) Outputs() int { return n.xbar.Rows() }
+
+// Forward returns ŷ = f(s) where s is the crossbar's normalized output.
+func (n *Network) Forward(u []float64) ([]float64, error) {
+	s, err := n.xbar.Output(u)
+	if err != nil {
+		return nil, err
+	}
+	return applyActivation(n.act, s), nil
+}
+
+// applyActivation mirrors nn's activation semantics on a slice.
+func applyActivation(act nn.Activation, s []float64) []float64 {
+	// Delegate through a throwaway nn.Network-free path: the activation
+	// math is tiny, so reimplementing keeps the packages decoupled.
+	switch act {
+	case nn.ActLinear:
+		return s
+	case nn.ActSoftmax:
+		return softmax(s)
+	case nn.ActSigmoid:
+		for i, v := range s {
+			s[i] = sigmoid(v)
+		}
+		return s
+	case nn.ActReLU:
+		for i, v := range s {
+			if v < 0 {
+				s[i] = 0
+			}
+		}
+		return s
+	default:
+		panic(fmt.Sprintf("crossbar: unknown activation %v", act))
+	}
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+func softmax(s []float64) []float64 {
+	maxv := s[0]
+	for _, v := range s[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range s {
+		e := math.Exp(v - maxv)
+		s[i] = e
+		sum += e
+	}
+	for i := range s {
+		s[i] /= sum
+	}
+	return s
+}
+
+// Predict returns the argmax class label for input u.
+func (n *Network) Predict(u []float64) (int, error) {
+	y, err := n.Forward(u)
+	if err != nil {
+		return 0, err
+	}
+	return tensor.ArgMax(y), nil
+}
+
+// Power returns the read power consumed while processing u.
+func (n *Network) Power(u []float64) (float64, error) { return n.xbar.Power(u) }

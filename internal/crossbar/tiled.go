@@ -1,0 +1,213 @@
+package crossbar
+
+import (
+	"fmt"
+
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// Real accelerators bound crossbar arrays to fixed physical sizes (128 x
+// 128 is typical) and tile larger weight matrices across a grid of
+// arrays: output rows are split across tile rows, input columns across
+// tile columns, and partial currents are accumulated digitally. Tiling
+// matters for the side channel: if each tile's supply current is
+// measurable separately (per-tile power rails), the attacker learns the
+// column 1-norms of every *block* of W rather than only their totals — a
+// strictly finer-grained leak than the monolithic array the paper
+// analyzes.
+
+// TileConfig bounds the physical array size.
+type TileConfig struct {
+	// MaxRows and MaxCols are the largest physical array dimensions.
+	MaxRows, MaxCols int
+}
+
+// DefaultTileConfig returns the common 128x128 tile bound.
+func DefaultTileConfig() TileConfig { return TileConfig{MaxRows: 128, MaxCols: 128} }
+
+// Validate checks the tile bounds.
+func (c TileConfig) Validate() error {
+	if c.MaxRows <= 0 || c.MaxCols <= 0 {
+		return fmt.Errorf("crossbar: invalid tile bounds %dx%d", c.MaxRows, c.MaxCols)
+	}
+	return nil
+}
+
+// TiledArray is a weight matrix mapped across a grid of physical
+// crossbars.
+type TiledArray struct {
+	tiles    [][]*Crossbar // [rowBlock][colBlock]
+	rowStart []int         // output row offset per row block (plus final end)
+	colStart []int         // input column offset per col block (plus final end)
+	rows     int
+	cols     int
+}
+
+// ProgramTiled maps w onto a grid of crossbars no larger than the tile
+// bounds. Every tile shares the device configuration; src seeds per-tile
+// programming randomness.
+func ProgramTiled(w *tensor.Matrix, device DeviceConfig, tile TileConfig, src *rng.Source) (*TiledArray, error) {
+	if err := tile.Validate(); err != nil {
+		return nil, err
+	}
+	if w == nil || w.Size() == 0 {
+		return nil, fmt.Errorf("crossbar: empty weight matrix: %w", ErrNotProgrammed)
+	}
+	rowBlocks := (w.Rows() + tile.MaxRows - 1) / tile.MaxRows
+	colBlocks := (w.Cols() + tile.MaxCols - 1) / tile.MaxCols
+	ta := &TiledArray{
+		tiles:    make([][]*Crossbar, rowBlocks),
+		rowStart: make([]int, rowBlocks+1),
+		colStart: make([]int, colBlocks+1),
+		rows:     w.Rows(),
+		cols:     w.Cols(),
+	}
+	for rb := 0; rb <= rowBlocks; rb++ {
+		off := rb * tile.MaxRows
+		if off > w.Rows() {
+			off = w.Rows()
+		}
+		ta.rowStart[rb] = off
+	}
+	for cb := 0; cb <= colBlocks; cb++ {
+		off := cb * tile.MaxCols
+		if off > w.Cols() {
+			off = w.Cols()
+		}
+		ta.colStart[cb] = off
+	}
+	for rb := 0; rb < rowBlocks; rb++ {
+		ta.tiles[rb] = make([]*Crossbar, colBlocks)
+		for cb := 0; cb < colBlocks; cb++ {
+			r0, r1 := ta.rowStart[rb], ta.rowStart[rb+1]
+			c0, c1 := ta.colStart[cb], ta.colStart[cb+1]
+			block := tensor.New(r1-r0, c1-c0)
+			for i := r0; i < r1; i++ {
+				copy(block.Row(i-r0), w.Row(i)[c0:c1])
+			}
+			var tileSrc *rng.Source
+			if src != nil {
+				tileSrc = src.SplitN(fmt.Sprintf("tile-%d", rb), cb)
+			}
+			xb, err := Program(block, device, tileSrc)
+			if err != nil {
+				return nil, fmt.Errorf("crossbar: tile (%d,%d): %w", rb, cb, err)
+			}
+			ta.tiles[rb][cb] = xb
+		}
+	}
+	return ta, nil
+}
+
+// Rows returns the logical output dimensionality.
+func (t *TiledArray) Rows() int { return t.rows }
+
+// Cols returns the logical input dimensionality.
+func (t *TiledArray) Cols() int { return t.cols }
+
+// RowBlocks returns the number of tile rows.
+func (t *TiledArray) RowBlocks() int { return len(t.tiles) }
+
+// ColBlocks returns the number of tile columns.
+func (t *TiledArray) ColBlocks() int { return len(t.colStart) - 1 }
+
+// Tile returns the physical array at grid position (rb, cb).
+func (t *TiledArray) Tile(rb, cb int) (*Crossbar, error) {
+	if rb < 0 || rb >= t.RowBlocks() || cb < 0 || cb >= t.ColBlocks() {
+		return nil, fmt.Errorf("crossbar: tile (%d,%d) out of %dx%d grid", rb, cb, t.RowBlocks(), t.ColBlocks())
+	}
+	return t.tiles[rb][cb], nil
+}
+
+// Output computes the logical s ≈ Wu by accumulating partial tile
+// outputs, mirroring the digital accumulation of real tiled accelerators.
+// Note that each tile normalizes by its own programming scale, so in
+// non-ideal modes tile-boundary effects differ from a monolithic array —
+// exactly the behaviour tiling introduces in hardware.
+func (t *TiledArray) Output(u []float64) ([]float64, error) {
+	if len(u) != t.cols {
+		return nil, fmt.Errorf("crossbar: input length %d, want %d", len(u), t.cols)
+	}
+	out := make([]float64, t.rows)
+	for rb := range t.tiles {
+		for cb, xb := range t.tiles[rb] {
+			part, err := xb.Output(u[t.colStart[cb]:t.colStart[cb+1]])
+			if err != nil {
+				return nil, fmt.Errorf("crossbar: tile (%d,%d): %w", rb, cb, err)
+			}
+			for i, v := range part {
+				out[t.rowStart[rb]+i] += v
+			}
+		}
+	}
+	return out, nil
+}
+
+// TotalCurrent returns the summed supply current over all tiles — what a
+// single package-level power rail exposes.
+func (t *TiledArray) TotalCurrent(u []float64) (float64, error) {
+	if len(u) != t.cols {
+		return 0, fmt.Errorf("crossbar: input length %d, want %d", len(u), t.cols)
+	}
+	var total float64
+	for rb := range t.tiles {
+		for cb, xb := range t.tiles[rb] {
+			i, err := xb.TotalCurrent(u[t.colStart[cb]:t.colStart[cb+1]])
+			if err != nil {
+				return 0, fmt.Errorf("crossbar: tile (%d,%d): %w", rb, cb, err)
+			}
+			total += i
+		}
+	}
+	return total, nil
+}
+
+// Power returns Vdd · total current, matching Crossbar.Power.
+func (t *TiledArray) Power(u []float64) (float64, error) {
+	i, err := t.TotalCurrent(u)
+	if err != nil {
+		return 0, err
+	}
+	// All tiles share one device config, so one Vdd.
+	return i * t.tiles[0][0].Config().Vdd, nil
+}
+
+// TilePowers returns the per-tile power map for input u — the
+// finer-grained side channel exposed by per-tile power rails. The result
+// is indexed [rowBlock][colBlock].
+func (t *TiledArray) TilePowers(u []float64) ([][]float64, error) {
+	if len(u) != t.cols {
+		return nil, fmt.Errorf("crossbar: input length %d, want %d", len(u), t.cols)
+	}
+	out := make([][]float64, t.RowBlocks())
+	for rb := range t.tiles {
+		out[rb] = make([]float64, t.ColBlocks())
+		for cb, xb := range t.tiles[rb] {
+			p, err := xb.Power(u[t.colStart[cb]:t.colStart[cb+1]])
+			if err != nil {
+				return nil, fmt.Errorf("crossbar: tile (%d,%d): %w", rb, cb, err)
+			}
+			out[rb][cb] = p
+		}
+	}
+	return out, nil
+}
+
+// BlockColumnNorms returns, for each row block rb, the per-column
+// conductance sums of that block's tiles assembled into a length-Cols
+// vector — the quantity per-tile basis queries reveal. Row block b
+// exposes Σ_{i in block b} |w_ij| for every j: a strictly finer leak
+// than the monolithic array's total column norms.
+func (t *TiledArray) BlockColumnNorms() [][]float64 {
+	out := make([][]float64, t.RowBlocks())
+	for rb := range t.tiles {
+		norms := make([]float64, t.cols)
+		for cb, xb := range t.tiles[rb] {
+			sums := xb.ColumnConductanceSums()
+			copy(norms[t.colStart[cb]:t.colStart[cb+1]], sums)
+		}
+		out[rb] = norms
+	}
+	return out
+}

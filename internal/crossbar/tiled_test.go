@@ -1,0 +1,197 @@
+package crossbar
+
+import (
+	"math"
+	"testing"
+
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+func TestProgramTiledValidation(t *testing.T) {
+	if _, err := ProgramTiled(nil, idealConfig(), DefaultTileConfig(), nil); err == nil {
+		t.Fatal("nil weights must error")
+	}
+	w := tensor.Identity(4)
+	if _, err := ProgramTiled(w, idealConfig(), TileConfig{MaxRows: 0, MaxCols: 4}, nil); err == nil {
+		t.Fatal("zero tile bound must error")
+	}
+}
+
+func TestTiledGridGeometry(t *testing.T) {
+	src := rng.New(1)
+	w := randWeights(src, 10, 23)
+	ta, err := ProgramTiled(w, idealConfig(), TileConfig{MaxRows: 4, MaxCols: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.RowBlocks() != 3 || ta.ColBlocks() != 3 {
+		t.Fatalf("grid %dx%d, want 3x3", ta.RowBlocks(), ta.ColBlocks())
+	}
+	if ta.Rows() != 10 || ta.Cols() != 23 {
+		t.Fatalf("logical shape %dx%d", ta.Rows(), ta.Cols())
+	}
+	// Edge tiles are smaller.
+	last, err := ta.Tile(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Rows() != 2 || last.Cols() != 7 {
+		t.Fatalf("edge tile %dx%d, want 2x7", last.Rows(), last.Cols())
+	}
+	if _, err := ta.Tile(3, 0); err == nil {
+		t.Fatal("out-of-grid tile must error")
+	}
+}
+
+func TestTiledOutputMatchesMonolithic(t *testing.T) {
+	src := rng.New(2)
+	w := randWeights(src, 12, 30)
+	mono, err := Program(w, idealConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, err := ProgramTiled(w, idealConfig(), TileConfig{MaxRows: 5, MaxCols: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := src.UniformVec(30, 0, 1)
+	want, err := mono.Output(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tiled.Output(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("row %d: tiled %v vs mono %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTiledPowerPositiveAndConsistent(t *testing.T) {
+	src := rng.New(3)
+	w := randWeights(src, 8, 20)
+	tiled, err := ProgramTiled(w, idealConfig(), TileConfig{MaxRows: 4, MaxCols: 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := src.UniformVec(20, 0.1, 1)
+	total, err := tiled.Power(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTile, err := tiled.TilePowers(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, row := range perTile {
+		for _, p := range row {
+			if p < 0 {
+				t.Fatalf("negative tile power %v", p)
+			}
+			sum += p
+		}
+	}
+	if math.Abs(sum-total) > 1e-12*total {
+		t.Fatalf("tile powers sum to %v, total %v", sum, total)
+	}
+}
+
+// Per-tile rails leak per-block column norms: for each row block the
+// basis-query currents reveal Σ_{i in block} |w_ij|, a finer-grained
+// signal than the monolithic array's totals.
+func TestTiledBlockColumnNormsRefineMonolithicLeak(t *testing.T) {
+	src := rng.New(4)
+	w := randWeights(src, 9, 15)
+	cfg := idealConfig()
+	tiled, err := ProgramTiled(w, cfg, TileConfig{MaxRows: 3, MaxCols: 15}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := tiled.BlockColumnNorms()
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	for rb, norms := range blocks {
+		for j := 0; j < 15; j++ {
+			var want float64
+			for i := rb * 3; i < (rb+1)*3; i++ {
+				want += math.Abs(w.At(i, j))
+			}
+			tile, err := tiled.Tile(rb, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := norms[j] / tile.Scale()
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("block %d column %d: %v, want %v", rb, j, got, want)
+			}
+		}
+	}
+}
+
+func TestTiledInputLengthErrors(t *testing.T) {
+	src := rng.New(5)
+	w := randWeights(src, 4, 8)
+	tiled, err := ProgramTiled(w, idealConfig(), TileConfig{MaxRows: 2, MaxCols: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tiled.Output([]float64{1}); err == nil {
+		t.Fatal("short input must error")
+	}
+	if _, err := tiled.TotalCurrent(make([]float64, 9)); err == nil {
+		t.Fatal("long input must error")
+	}
+	if _, err := tiled.TilePowers([]float64{1}); err == nil {
+		t.Fatal("short input must error")
+	}
+}
+
+func TestTiledDeterministicProgrammingNoise(t *testing.T) {
+	w := randWeights(rng.New(6), 6, 10)
+	cfg := idealConfig()
+	cfg.ProgramNoiseStd = 0.05
+	a, err := ProgramTiled(w, cfg, TileConfig{MaxRows: 3, MaxCols: 5}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProgramTiled(w, cfg, TileConfig{MaxRows: 3, MaxCols: 5}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := rng.New(8).UniformVec(10, 0, 1)
+	pa, _ := a.Power(u)
+	pb, _ := b.Power(u)
+	if pa != pb {
+		t.Fatal("tiled programming must be deterministic per seed")
+	}
+}
+
+// A single tile large enough for the whole matrix must behave exactly
+// like the monolithic array, including power.
+func TestTiledDegeneratesToMonolithic(t *testing.T) {
+	src := rng.New(9)
+	w := randWeights(src, 5, 9)
+	mono, err := Program(w, idealConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, err := ProgramTiled(w, idealConfig(), DefaultTileConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiled.RowBlocks() != 1 || tiled.ColBlocks() != 1 {
+		t.Fatal("expected a single tile")
+	}
+	u := src.UniformVec(9, 0, 1)
+	pm, _ := mono.Power(u)
+	pt, _ := tiled.Power(u)
+	if math.Abs(pm-pt) > 1e-15 {
+		t.Fatalf("power mismatch %v vs %v", pm, pt)
+	}
+}

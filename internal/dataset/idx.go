@@ -1,0 +1,211 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xbarsec/internal/tensor"
+)
+
+// Parsers for the real distribution formats so genuine MNIST / CIFAR-10
+// files are used whenever they are present on disk (see Load).
+
+const (
+	idxMagicImages = 0x00000803 // unsigned byte, 3 dimensions
+	idxMagicLabels = 0x00000801 // unsigned byte, 1 dimension
+)
+
+// ReadIDXImages parses an IDX3 image file (the MNIST image format) into a
+// row-per-image matrix with pixels scaled to [0, 1].
+func ReadIDXImages(r io.Reader) (*tensor.Matrix, int, int, error) {
+	var header [16]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("dataset: idx image header: %w", err)
+	}
+	magic := binary.BigEndian.Uint32(header[0:4])
+	if magic != idxMagicImages {
+		return nil, 0, 0, fmt.Errorf("dataset: idx image magic 0x%08x, want 0x%08x", magic, idxMagicImages)
+	}
+	count := int(binary.BigEndian.Uint32(header[4:8]))
+	rows := int(binary.BigEndian.Uint32(header[8:12]))
+	cols := int(binary.BigEndian.Uint32(header[12:16]))
+	if count < 0 || rows <= 0 || cols <= 0 || rows*cols > 1<<20 {
+		return nil, 0, 0, fmt.Errorf("dataset: implausible idx geometry %dx%dx%d", count, rows, cols)
+	}
+	dim := rows * cols
+	m := tensor.New(count, dim)
+	buf := make([]byte, dim)
+	for i := 0; i < count; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, 0, 0, fmt.Errorf("dataset: idx image %d: %w", i, err)
+		}
+		row := m.Row(i)
+		for j, b := range buf {
+			row[j] = float64(b) / 255
+		}
+	}
+	return m, rows, cols, nil
+}
+
+// ReadIDXLabels parses an IDX1 label file (the MNIST label format).
+func ReadIDXLabels(r io.Reader) ([]int, error) {
+	var header [8]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("dataset: idx label header: %w", err)
+	}
+	magic := binary.BigEndian.Uint32(header[0:4])
+	if magic != idxMagicLabels {
+		return nil, fmt.Errorf("dataset: idx label magic 0x%08x, want 0x%08x", magic, idxMagicLabels)
+	}
+	count := int(binary.BigEndian.Uint32(header[4:8]))
+	buf := make([]byte, count)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("dataset: idx labels: %w", err)
+	}
+	labels := make([]int, count)
+	for i, b := range buf {
+		labels[i] = int(b)
+	}
+	return labels, nil
+}
+
+// openMaybeGzip opens path, transparently decompressing .gz files. The
+// returned closer must be closed by the caller.
+func openMaybeGzip(path string) (io.Reader, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(bufio.NewReader(f))
+		if err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("dataset: gzip %s: %w", path, err)
+		}
+		return gz, func() error {
+			gzErr := gz.Close()
+			if err := f.Close(); err != nil {
+				return err
+			}
+			return gzErr
+		}, nil
+	}
+	return bufio.NewReader(f), f.Close, nil
+}
+
+// LoadMNISTFiles reads an (images, labels) IDX pair, possibly gzipped,
+// into a Dataset.
+func LoadMNISTFiles(imagePath, labelPath string) (*Dataset, error) {
+	ir, iclose, err := openMaybeGzip(imagePath)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = iclose() }()
+	x, rows, cols, err := ReadIDXImages(ir)
+	if err != nil {
+		return nil, err
+	}
+	lr, lclose, err := openMaybeGzip(labelPath)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = lclose() }()
+	labels, err := ReadIDXLabels(lr)
+	if err != nil {
+		return nil, err
+	}
+	if len(labels) != x.Rows() {
+		return nil, fmt.Errorf("dataset: %d images but %d labels", x.Rows(), len(labels))
+	}
+	d := &Dataset{
+		X: x, Labels: labels, NumClasses: 10,
+		Width: cols, Height: rows, Channels: 1, Name: "mnist",
+	}
+	return d, d.Validate()
+}
+
+// cifarRecordSize is 1 label byte + 32*32*3 pixel bytes.
+const cifarRecordSize = 1 + 3*32*32
+
+// ReadCIFARBatch parses a CIFAR-10 binary batch file into images scaled to
+// [0, 1] (channel-major layout, matching the on-disk format).
+func ReadCIFARBatch(r io.Reader) (*tensor.Matrix, []int, error) {
+	var rows [][]float64
+	var labels []int
+	buf := make([]byte, cifarRecordSize)
+	for {
+		_, err := io.ReadFull(r, buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: cifar record %d: %w", len(labels), err)
+		}
+		label := int(buf[0])
+		if label > 9 {
+			return nil, nil, fmt.Errorf("dataset: cifar label %d out of range in record %d", label, len(labels))
+		}
+		px := make([]float64, cifarRecordSize-1)
+		for j, b := range buf[1:] {
+			px[j] = float64(b) / 255
+		}
+		rows = append(rows, px)
+		labels = append(labels, label)
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("dataset: empty cifar batch: %w", ErrEmpty)
+	}
+	x, err := tensor.NewFromRows(rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, labels, nil
+}
+
+// LoadCIFARFiles reads one or more CIFAR-10 binary batch files into a
+// single Dataset.
+func LoadCIFARFiles(paths ...string) (*Dataset, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("dataset: no cifar batch paths: %w", ErrEmpty)
+	}
+	var all *tensor.Matrix
+	var labels []int
+	for _, p := range paths {
+		r, closeFn, err := openMaybeGzip(p)
+		if err != nil {
+			return nil, err
+		}
+		x, l, err := ReadCIFARBatch(r)
+		cerr := closeFn()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", filepath.Base(p), err)
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		if all == nil {
+			all = x
+		} else {
+			merged := tensor.New(all.Rows()+x.Rows(), all.Cols())
+			for i := 0; i < all.Rows(); i++ {
+				merged.SetRow(i, all.Row(i))
+			}
+			for i := 0; i < x.Rows(); i++ {
+				merged.SetRow(all.Rows()+i, x.Row(i))
+			}
+			all = merged
+		}
+		labels = append(labels, l...)
+	}
+	d := &Dataset{
+		X: all, Labels: labels, NumClasses: 10,
+		Width: 32, Height: 32, Channels: 3, Name: "cifar10",
+	}
+	return d, d.Validate()
+}

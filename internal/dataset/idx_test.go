@@ -1,0 +1,221 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xbarsec/internal/rng"
+)
+
+// buildIDXImages serializes images in the MNIST IDX3 format.
+func buildIDXImages(images [][]byte, rows, cols int) []byte {
+	var buf bytes.Buffer
+	_ = binary.Write(&buf, binary.BigEndian, uint32(idxMagicImages))
+	_ = binary.Write(&buf, binary.BigEndian, uint32(len(images)))
+	_ = binary.Write(&buf, binary.BigEndian, uint32(rows))
+	_ = binary.Write(&buf, binary.BigEndian, uint32(cols))
+	for _, img := range images {
+		buf.Write(img)
+	}
+	return buf.Bytes()
+}
+
+func buildIDXLabels(labels []byte) []byte {
+	var buf bytes.Buffer
+	_ = binary.Write(&buf, binary.BigEndian, uint32(idxMagicLabels))
+	_ = binary.Write(&buf, binary.BigEndian, uint32(len(labels)))
+	buf.Write(labels)
+	return buf.Bytes()
+}
+
+func TestReadIDXImagesRoundTrip(t *testing.T) {
+	img1 := []byte{0, 128, 255, 64}
+	img2 := []byte{10, 20, 30, 40}
+	raw := buildIDXImages([][]byte{img1, img2}, 2, 2)
+	m, rows, cols, err := ReadIDXImages(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 2 || cols != 2 || m.Rows() != 2 {
+		t.Fatalf("geometry %dx%d n=%d", rows, cols, m.Rows())
+	}
+	if m.At(0, 2) != 1.0 {
+		t.Fatalf("255 should scale to 1, got %v", m.At(0, 2))
+	}
+	if m.At(1, 0) != 10.0/255 {
+		t.Fatalf("pixel scaling wrong: %v", m.At(1, 0))
+	}
+}
+
+func TestReadIDXImagesBadMagic(t *testing.T) {
+	raw := buildIDXImages([][]byte{{1}}, 1, 1)
+	raw[3] = 0x99
+	if _, _, _, err := ReadIDXImages(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad magic must error")
+	}
+}
+
+func TestReadIDXImagesTruncated(t *testing.T) {
+	raw := buildIDXImages([][]byte{{1, 2, 3, 4}}, 2, 2)
+	if _, _, _, err := ReadIDXImages(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("truncated file must error")
+	}
+}
+
+func TestReadIDXLabelsRoundTrip(t *testing.T) {
+	raw := buildIDXLabels([]byte{3, 1, 4, 1, 5})
+	labels, err := ReadIDXLabels(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 1, 4, 1, 5}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v", labels)
+		}
+	}
+}
+
+func TestReadIDXLabelsBadMagic(t *testing.T) {
+	raw := buildIDXLabels([]byte{1})
+	raw[3] = 0x42
+	if _, err := ReadIDXLabels(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad magic must error")
+	}
+}
+
+func writeFile(t *testing.T, dir, name string, data []byte, gz bool) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if gz {
+		var buf bytes.Buffer
+		w := gzip.NewWriter(&buf)
+		if _, err := w.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data = buf.Bytes()
+	}
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadMNISTFilesIncludingGzip(t *testing.T) {
+	dir := t.TempDir()
+	images := buildIDXImages([][]byte{{0, 255, 0, 255}, {255, 0, 255, 0}}, 2, 2)
+	labels := buildIDXLabels([]byte{7, 3})
+	ip := writeFile(t, dir, "imgs.gz", images, true)
+	lp := writeFile(t, dir, "labels", labels, false)
+	d, err := LoadMNISTFiles(ip, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Labels[0] != 7 || d.Labels[1] != 3 {
+		t.Fatalf("loaded %+v", d.Labels)
+	}
+}
+
+func TestLoadMNISTFilesCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ip := writeFile(t, dir, "imgs", buildIDXImages([][]byte{{1, 2, 3, 4}}, 2, 2), false)
+	lp := writeFile(t, dir, "labels", buildIDXLabels([]byte{1, 2}), false)
+	if _, err := LoadMNISTFiles(ip, lp); err == nil {
+		t.Fatal("count mismatch must error")
+	}
+}
+
+func buildCIFARBatch(records []struct {
+	label byte
+	fill  byte
+}) []byte {
+	var buf bytes.Buffer
+	for _, r := range records {
+		buf.WriteByte(r.label)
+		px := bytes.Repeat([]byte{r.fill}, cifarRecordSize-1)
+		buf.Write(px)
+	}
+	return buf.Bytes()
+}
+
+func TestReadCIFARBatch(t *testing.T) {
+	raw := buildCIFARBatch([]struct {
+		label byte
+		fill  byte
+	}{{3, 128}, {9, 255}})
+	x, labels, err := ReadCIFARBatch(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows() != 2 || labels[0] != 3 || labels[1] != 9 {
+		t.Fatalf("rows=%d labels=%v", x.Rows(), labels)
+	}
+	if x.At(1, 0) != 1.0 {
+		t.Fatalf("pixel scale: %v", x.At(1, 0))
+	}
+}
+
+func TestReadCIFARBatchBadLabel(t *testing.T) {
+	raw := buildCIFARBatch([]struct {
+		label byte
+		fill  byte
+	}{{10, 0}})
+	if _, _, err := ReadCIFARBatch(bytes.NewReader(raw)); err == nil {
+		t.Fatal("label > 9 must error")
+	}
+}
+
+func TestReadCIFARBatchEmpty(t *testing.T) {
+	if _, _, err := ReadCIFARBatch(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty batch must error")
+	}
+}
+
+func TestLoadCIFARFilesMerge(t *testing.T) {
+	dir := t.TempDir()
+	b1 := writeFile(t, dir, "b1.bin", buildCIFARBatch([]struct {
+		label byte
+		fill  byte
+	}{{0, 1}, {1, 2}}), false)
+	b2 := writeFile(t, dir, "b2.bin", buildCIFARBatch([]struct {
+		label byte
+		fill  byte
+	}{{2, 3}}), false)
+	d, err := LoadCIFARFiles(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.Labels[2] != 2 {
+		t.Fatalf("merged %+v", d.Labels)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadPrefersRealMNISTFiles(t *testing.T) {
+	dir := t.TempDir()
+	images := buildIDXImages([][]byte{bytes.Repeat([]byte{9}, 784)}, 28, 28)
+	labels := buildIDXLabels([]byte{5})
+	writeFile(t, dir, "train-images-idx3-ubyte", images, false)
+	writeFile(t, dir, "train-labels-idx1-ubyte", labels, false)
+	writeFile(t, dir, "t10k-images-idx3-ubyte", images, false)
+	writeFile(t, dir, "t10k-labels-idx1-ubyte", labels, false)
+	tr, te, err := Load(MNIST, rng.New(1), LoadOptions{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "mnist" || te.Name != "mnist" {
+		t.Fatalf("expected real files to be used, got %q/%q", tr.Name, te.Name)
+	}
+	if tr.Len() != 1 || tr.Labels[0] != 5 {
+		t.Fatalf("unexpected content: %+v", tr.Labels)
+	}
+}

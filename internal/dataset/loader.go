@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xbarsec/internal/rng"
+)
+
+// Kind selects which dataset family an experiment runs on.
+type Kind int
+
+const (
+	// MNIST selects the 28x28 grayscale digit family.
+	MNIST Kind = iota + 1
+	// CIFAR10 selects the 32x32x3 texture family.
+	CIFAR10
+)
+
+// String returns the lower-case family name.
+func (k Kind) String() string {
+	switch k {
+	case MNIST:
+		return "mnist"
+	case CIFAR10:
+		return "cifar10"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// LoadOptions controls Load.
+type LoadOptions struct {
+	// DataDir is searched for real distribution files. Leave empty to skip
+	// the search and always synthesize.
+	DataDir string
+	// TrainN and TestN are the synthetic sample counts used when real
+	// files are absent.
+	TrainN, TestN int
+}
+
+// Load returns train and test sets for the requested family. When the real
+// distribution files exist under opts.DataDir they are parsed; otherwise
+// the synthetic generator produces datasets with the same geometry and the
+// statistics documented in DESIGN.md §2.
+func Load(kind Kind, src *rng.Source, opts LoadOptions) (train, test *Dataset, err error) {
+	if opts.TrainN <= 0 {
+		opts.TrainN = 2000
+	}
+	if opts.TestN <= 0 {
+		opts.TestN = 500
+	}
+	switch kind {
+	case MNIST:
+		if opts.DataDir != "" {
+			if tr, te, err := tryLoadMNIST(opts.DataDir); err == nil {
+				return tr, te, nil
+			}
+		}
+		cfg := DefaultMNISTLikeConfig()
+		train, err = GenerateMNISTLike(src.Split("train"), opts.TrainN, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		test, err = GenerateMNISTLike(src.Split("test"), opts.TestN, cfg)
+		return train, test, err
+	case CIFAR10:
+		if opts.DataDir != "" {
+			if tr, te, err := tryLoadCIFAR(opts.DataDir); err == nil {
+				return tr, te, nil
+			}
+		}
+		cfg := DefaultCIFARLikeConfig()
+		// The class textures must be shared between train and test, so use
+		// a common texture stream but disjoint sample streams.
+		train, err = GenerateCIFARLike(src.Split("cifar"), opts.TrainN+opts.TestN, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		full := train
+		train = full.Head(opts.TrainN)
+		tail := make([]int, 0, opts.TestN)
+		for i := opts.TrainN; i < full.Len() && len(tail) < opts.TestN; i++ {
+			tail = append(tail, i)
+		}
+		test = full.Subset(tail)
+		return train, test, nil
+	default:
+		return nil, nil, fmt.Errorf("dataset: unknown kind %v", kind)
+	}
+}
+
+func firstExisting(dir string, names ...string) (string, bool) {
+	for _, n := range names {
+		p := filepath.Join(dir, n)
+		if _, err := os.Stat(p); err == nil {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+func tryLoadMNIST(dir string) (train, test *Dataset, err error) {
+	tri, ok1 := firstExisting(dir, "train-images-idx3-ubyte", "train-images-idx3-ubyte.gz")
+	trl, ok2 := firstExisting(dir, "train-labels-idx1-ubyte", "train-labels-idx1-ubyte.gz")
+	tei, ok3 := firstExisting(dir, "t10k-images-idx3-ubyte", "t10k-images-idx3-ubyte.gz")
+	tel, ok4 := firstExisting(dir, "t10k-labels-idx1-ubyte", "t10k-labels-idx1-ubyte.gz")
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return nil, nil, os.ErrNotExist
+	}
+	if train, err = LoadMNISTFiles(tri, trl); err != nil {
+		return nil, nil, err
+	}
+	if test, err = LoadMNISTFiles(tei, tel); err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+func tryLoadCIFAR(dir string) (train, test *Dataset, err error) {
+	var batches []string
+	for i := 1; i <= 5; i++ {
+		p, ok := firstExisting(dir, fmt.Sprintf("data_batch_%d.bin", i))
+		if !ok {
+			return nil, nil, os.ErrNotExist
+		}
+		batches = append(batches, p)
+	}
+	tb, ok := firstExisting(dir, "test_batch.bin")
+	if !ok {
+		return nil, nil, os.ErrNotExist
+	}
+	if train, err = LoadCIFARFiles(batches...); err != nil {
+		return nil, nil, err
+	}
+	if test, err = LoadCIFARFiles(tb); err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}

@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Writers for the real distribution formats. They are the inverse of the
+// parsers in idx.go and exist so synthetic datasets can be exported to
+// disk in MNIST-IDX / CIFAR-binary form (cmd/xbargen) and later loaded
+// through the exact same path as genuine files — a full-fidelity test of
+// the I/O substrate and a way to share generated corpora with other
+// tools.
+
+// WriteIDXImages serializes d's images in the MNIST IDX3 format (pixels
+// scaled back to 0..255). Only single-channel datasets are supported.
+func WriteIDXImages(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if d.Channels != 1 {
+		return fmt.Errorf("dataset: IDX images require 1 channel, got %d", d.Channels)
+	}
+	var header [16]byte
+	binary.BigEndian.PutUint32(header[0:4], idxMagicImages)
+	binary.BigEndian.PutUint32(header[4:8], uint32(d.Len()))
+	binary.BigEndian.PutUint32(header[8:12], uint32(d.Height))
+	binary.BigEndian.PutUint32(header[12:16], uint32(d.Width))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("dataset: idx header: %w", err)
+	}
+	buf := make([]byte, d.Dim())
+	for i := 0; i < d.Len(); i++ {
+		row := d.X.Row(i)
+		for j, v := range row {
+			buf[j] = quantizeByte(v)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("dataset: idx image %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteIDXLabels serializes d's labels in the MNIST IDX1 format.
+func WriteIDXLabels(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if d.NumClasses > 256 {
+		return fmt.Errorf("dataset: IDX labels support at most 256 classes, got %d", d.NumClasses)
+	}
+	var header [8]byte
+	binary.BigEndian.PutUint32(header[0:4], idxMagicLabels)
+	binary.BigEndian.PutUint32(header[4:8], uint32(d.Len()))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("dataset: idx label header: %w", err)
+	}
+	buf := make([]byte, d.Len())
+	for i, l := range d.Labels {
+		buf[i] = byte(l)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("dataset: idx labels: %w", err)
+	}
+	return nil
+}
+
+// WriteCIFARBatch serializes d in the CIFAR-10 binary batch format. The
+// dataset must be 32x32x3 with at most 10 classes.
+func WriteCIFARBatch(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if d.Width != 32 || d.Height != 32 || d.Channels != 3 {
+		return fmt.Errorf("dataset: CIFAR batches require 32x32x3 geometry, got %dx%dx%d", d.Width, d.Height, d.Channels)
+	}
+	if d.NumClasses > 10 {
+		return fmt.Errorf("dataset: CIFAR batches support at most 10 classes, got %d", d.NumClasses)
+	}
+	buf := make([]byte, cifarRecordSize)
+	for i := 0; i < d.Len(); i++ {
+		buf[0] = byte(d.Labels[i])
+		row := d.X.Row(i)
+		for j, v := range row {
+			buf[1+j] = quantizeByte(v)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("dataset: cifar record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func quantizeByte(v float64) byte {
+	b := math.Round(v * 255)
+	if b < 0 {
+		b = 0
+	} else if b > 255 {
+		b = 255
+	}
+	return byte(b)
+}
+
+// ExportMNISTLayout writes train/test datasets under dir using the
+// standard MNIST file names, so Load(MNIST, ..., LoadOptions{DataDir:
+// dir}) finds them.
+func ExportMNISTLayout(dir string, train, test *Dataset) error {
+	files := []struct {
+		name  string
+		ds    *Dataset
+		write func(io.Writer, *Dataset) error
+	}{
+		{"train-images-idx3-ubyte", train, WriteIDXImages},
+		{"train-labels-idx1-ubyte", train, WriteIDXLabels},
+		{"t10k-images-idx3-ubyte", test, WriteIDXImages},
+		{"t10k-labels-idx1-ubyte", test, WriteIDXLabels},
+	}
+	for _, f := range files {
+		if err := writeFileAtomic(filepath.Join(dir, f.name), f.ds, f.write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExportCIFARLayout writes train/test datasets under dir using the
+// standard CIFAR-10 binary batch names (the training set is split evenly
+// across the five data batches).
+func ExportCIFARLayout(dir string, train, test *Dataset) error {
+	per := (train.Len() + 4) / 5
+	for b := 0; b < 5; b++ {
+		lo := b * per
+		hi := lo + per
+		if hi > train.Len() {
+			hi = train.Len()
+		}
+		idx := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		part := train.Subset(idx)
+		name := fmt.Sprintf("data_batch_%d.bin", b+1)
+		if err := writeFileAtomic(filepath.Join(dir, name), part, WriteCIFARBatch); err != nil {
+			return err
+		}
+	}
+	return writeFileAtomic(filepath.Join(dir, "test_batch.bin"), test, WriteCIFARBatch)
+}
+
+func writeFileAtomic(path string, d *Dataset, write func(io.Writer, *Dataset) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(tmp)
+	if err := write(bw, d); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

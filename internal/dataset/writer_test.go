@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"xbarsec/internal/rng"
+)
+
+func TestIDXRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	d, err := GenerateMNISTLike(src, 30, MNISTLikeConfig{Size: 12, StrokeWidth: 0.06, Jitter: 0.4, PixelNoise: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var images, labels bytes.Buffer
+	if err := WriteIDXImages(&images, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXLabels(&labels, d); err != nil {
+		t.Fatal(err)
+	}
+	x, rows, cols, err := ReadIDXImages(bytes.NewReader(images.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 12 || cols != 12 || x.Rows() != 30 {
+		t.Fatalf("geometry %dx%d n=%d", rows, cols, x.Rows())
+	}
+	got, err := ReadIDXLabels(bytes.NewReader(labels.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != d.Labels[i] {
+			t.Fatalf("label %d changed in round trip", i)
+		}
+	}
+	// Pixels survive up to the 8-bit quantization step.
+	for i := 0; i < d.Len(); i++ {
+		for j, v := range d.X.Row(i) {
+			if math.Abs(x.At(i, j)-v) > 1.0/255+1e-9 {
+				t.Fatalf("pixel (%d,%d): %v vs %v", i, j, x.At(i, j), v)
+			}
+		}
+	}
+}
+
+func TestCIFARRoundTrip(t *testing.T) {
+	src := rng.New(2)
+	d, err := GenerateCIFARLike(src, 20, DefaultCIFARLikeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCIFARBatch(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	x, labels, err := ReadCIFARBatch(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows() != 20 {
+		t.Fatalf("rows = %d", x.Rows())
+	}
+	for i := range labels {
+		if labels[i] != d.Labels[i] {
+			t.Fatalf("label %d changed", i)
+		}
+	}
+	for i := 0; i < d.Len(); i++ {
+		for j, v := range d.X.Row(i) {
+			if math.Abs(x.At(i, j)-v) > 1.0/255+1e-9 {
+				t.Fatalf("pixel (%d,%d) drifted", i, j)
+			}
+		}
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	src := rng.New(3)
+	cifar, err := GenerateCIFARLike(src, 10, DefaultCIFARLikeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXImages(&buf, cifar); err == nil {
+		t.Fatal("3-channel dataset must be rejected by the IDX writer")
+	}
+	mnist, err := GenerateMNISTLike(src, 10, MNISTLikeConfig{Size: 8, StrokeWidth: 0.06, Jitter: 0, PixelNoise: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCIFARBatch(&buf, mnist); err == nil {
+		t.Fatal("non-32x32x3 dataset must be rejected by the CIFAR writer")
+	}
+}
+
+func TestExportMNISTLayoutLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := rng.New(4)
+	cfg := DefaultMNISTLikeConfig()
+	train, err := GenerateMNISTLike(src.Split("tr"), 40, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := GenerateMNISTLike(src.Split("te"), 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportMNISTLayout(dir, train, test); err != nil {
+		t.Fatal(err)
+	}
+	// Load must pick up the exported files as "real" MNIST.
+	ltr, lte, err := Load(MNIST, rng.New(5), LoadOptions{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ltr.Name != "mnist" || ltr.Len() != 40 || lte.Len() != 20 {
+		t.Fatalf("loaded %s %d/%d", ltr.Name, ltr.Len(), lte.Len())
+	}
+	for i := range ltr.Labels {
+		if ltr.Labels[i] != train.Labels[i] {
+			t.Fatal("training labels changed through export/load")
+		}
+	}
+}
+
+func TestExportCIFARLayoutLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := rng.New(6)
+	cfg := DefaultCIFARLikeConfig()
+	full, err := GenerateCIFARLike(src, 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := full.Head(50)
+	idx := make([]int, 10)
+	for i := range idx {
+		idx[i] = 50 + i
+	}
+	test := full.Subset(idx)
+	if err := ExportCIFARLayout(dir, train, test); err != nil {
+		t.Fatal(err)
+	}
+	ltr, lte, err := Load(CIFAR10, rng.New(7), LoadOptions{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ltr.Name != "cifar10" || ltr.Len() != 50 || lte.Len() != 10 {
+		t.Fatalf("loaded %s %d/%d", ltr.Name, ltr.Len(), lte.Len())
+	}
+}

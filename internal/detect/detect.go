@@ -1,0 +1,167 @@
+// Package detect implements a current-signature adversarial-input
+// detector in the spirit of DetectX (Moitra & Panda, TCAS-I 2021), which
+// the paper cites as the defensive counterpart of its attack: the same
+// supply current that leaks the weight's column norms also carries a
+// signature of the *input*, and adversarial perturbations — which add
+// pixel mass indiscriminately — shift that signature away from the clean
+// per-class distribution. The detector fits per-class power statistics on
+// clean data and flags inferences whose measured power is a statistical
+// outlier for the predicted class.
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/stats"
+)
+
+// Detector holds per-class clean power statistics.
+type Detector struct {
+	mean      []float64
+	std       []float64
+	threshold float64
+	classes   int
+}
+
+// Config controls detector fitting.
+type Config struct {
+	// Threshold is the |z|-score above which an inference is flagged
+	// (default 3).
+	Threshold float64
+}
+
+// Fit builds a detector from the deployed network and a clean calibration
+// set: for every calibration sample it records (predicted class, power)
+// and estimates the per-class power mean and standard deviation.
+func Fit(hw *crossbar.Network, calib *dataset.Dataset, cfg Config) (*Detector, error) {
+	if hw == nil {
+		return nil, errors.New("detect: nil hardware network")
+	}
+	if calib == nil || calib.Len() == 0 {
+		return nil, fmt.Errorf("detect: empty calibration set: %w", dataset.ErrEmpty)
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Threshold < 0 {
+		return nil, fmt.Errorf("detect: negative threshold %v", cfg.Threshold)
+	}
+	classes := hw.Outputs()
+	powers := make([][]float64, classes)
+	for i := 0; i < calib.Len(); i++ {
+		u := calib.X.Row(i)
+		label, err := hw.Predict(u)
+		if err != nil {
+			return nil, err
+		}
+		p, err := hw.Power(u)
+		if err != nil {
+			return nil, err
+		}
+		powers[label] = append(powers[label], p)
+	}
+	d := &Detector{
+		mean:      make([]float64, classes),
+		std:       make([]float64, classes),
+		threshold: cfg.Threshold,
+		classes:   classes,
+	}
+	// Pool all classes for a fallback when a class has too few samples.
+	var all []float64
+	for _, ps := range powers {
+		all = append(all, ps...)
+	}
+	if len(all) < 2 {
+		return nil, fmt.Errorf("detect: calibration produced %d power samples: %w", len(all), dataset.ErrEmpty)
+	}
+	pooledMean := stats.Mean(all)
+	pooledStd := stats.StdDev(all)
+	if pooledStd == 0 {
+		return nil, errors.New("detect: calibration powers are constant")
+	}
+	for c := 0; c < classes; c++ {
+		if len(powers[c]) >= 5 {
+			d.mean[c] = stats.Mean(powers[c])
+			d.std[c] = stats.StdDev(powers[c])
+			if d.std[c] == 0 {
+				d.std[c] = pooledStd
+			}
+		} else {
+			d.mean[c] = pooledMean
+			d.std[c] = pooledStd
+		}
+	}
+	return d, nil
+}
+
+// Score returns the |z|-score of a measured power under the predicted
+// class's clean distribution.
+func (d *Detector) Score(power float64, predictedClass int) (float64, error) {
+	if predictedClass < 0 || predictedClass >= d.classes {
+		return 0, fmt.Errorf("detect: class %d out of range", predictedClass)
+	}
+	return math.Abs(power-d.mean[predictedClass]) / d.std[predictedClass], nil
+}
+
+// Flag reports whether an inference with the given measured power and
+// predicted class should be treated as adversarial.
+func (d *Detector) Flag(power float64, predictedClass int) (bool, error) {
+	z, err := d.Score(power, predictedClass)
+	if err != nil {
+		return false, err
+	}
+	return z > d.threshold, nil
+}
+
+// EvalResult summarizes detector performance.
+type EvalResult struct {
+	// FalsePositiveRate is the fraction of clean inputs flagged.
+	FalsePositiveRate float64
+	// DetectionRate is the fraction of adversarial inputs flagged.
+	DetectionRate float64
+}
+
+// Evaluate measures the false-positive rate on clean and the detection
+// rate on perturbed inputs. perturb maps (index, clean input copy) to the
+// adversarial input.
+func Evaluate(d *Detector, hw *crossbar.Network, ds *dataset.Dataset, perturb func(i int, u []float64) []float64) (EvalResult, error) {
+	if ds.Len() == 0 {
+		return EvalResult{}, dataset.ErrEmpty
+	}
+	var fp, tp int
+	for i := 0; i < ds.Len(); i++ {
+		clean := ds.X.Row(i)
+		if flagged, err := flagInput(d, hw, clean); err != nil {
+			return EvalResult{}, err
+		} else if flagged {
+			fp++
+		}
+		adv := perturb(i, append([]float64(nil), clean...))
+		if flagged, err := flagInput(d, hw, adv); err != nil {
+			return EvalResult{}, err
+		} else if flagged {
+			tp++
+		}
+	}
+	n := float64(ds.Len())
+	return EvalResult{
+		FalsePositiveRate: float64(fp) / n,
+		DetectionRate:     float64(tp) / n,
+	}, nil
+}
+
+func flagInput(d *Detector, hw *crossbar.Network, u []float64) (bool, error) {
+	label, err := hw.Predict(u)
+	if err != nil {
+		return false, err
+	}
+	p, err := hw.Power(u)
+	if err != nil {
+		return false, err
+	}
+	return d.Flag(p, label)
+}

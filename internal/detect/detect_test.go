@@ -1,0 +1,149 @@
+package detect
+
+import (
+	"testing"
+
+	"xbarsec/internal/attack"
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+func testbed(t *testing.T, seed int64) (*crossbar.Network, *nn.Network, *dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	src := rng.New(seed)
+	cfg := dataset.MNISTLikeConfig{Size: 12, StrokeWidth: 0.06, Jitter: 0.4, PixelNoise: 0.03}
+	calib, err := dataset.GenerateMNISTLike(src.Split("calib"), 300, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := dataset.GenerateMNISTLike(src.Split("test"), 120, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, _, err := nn.TrainNew(calib, nn.ActLinear, nn.LossMSE, nn.TrainConfig{
+		Epochs: 20, BatchSize: 32, LearningRate: 0.05, Momentum: 0.9, ZeroInit: true,
+	}, src.Split("train"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := crossbar.NewNetwork(victim, crossbar.DefaultDeviceConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw, victim, calib, test
+}
+
+func TestFitValidation(t *testing.T) {
+	hw, _, calib, _ := testbed(t, 1)
+	if _, err := Fit(nil, calib, Config{}); err == nil {
+		t.Fatal("nil hardware must error")
+	}
+	if _, err := Fit(hw, nil, Config{}); err == nil {
+		t.Fatal("nil calibration must error")
+	}
+	if _, err := Fit(hw, calib, Config{Threshold: -1}); err == nil {
+		t.Fatal("negative threshold must error")
+	}
+	if _, err := Fit(hw, calib, Config{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreAndFlagBounds(t *testing.T) {
+	hw, _, calib, _ := testbed(t, 2)
+	d, err := Fit(hw, calib, Config{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Score(1, -1); err == nil {
+		t.Fatal("negative class must error")
+	}
+	if _, err := d.Flag(1, 99); err == nil {
+		t.Fatal("class out of range must error")
+	}
+}
+
+func TestCleanInputsMostlyPass(t *testing.T) {
+	hw, _, calib, test := testbed(t, 3)
+	d, err := Fit(hw, calib, Config{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(d, hw, test, func(_ int, u []float64) []float64 { return u })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalsePositiveRate > 0.15 {
+		t.Fatalf("clean false positive rate %v too high", res.FalsePositiveRate)
+	}
+	// Identity perturbation ⇒ detection rate equals the FPR.
+	if res.DetectionRate != res.FalsePositiveRate {
+		t.Fatalf("identity perturbation: %v != %v", res.DetectionRate, res.FalsePositiveRate)
+	}
+}
+
+func TestDetectsStrongFGSM(t *testing.T) {
+	hw, victim, calib, test := testbed(t, 4)
+	d, err := Fit(hw, calib, Config{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh := test.OneHot()
+	res, err := Evaluate(d, hw, test, func(i int, u []float64) []float64 {
+		adv, err := attack.FGSM(victim, u, oh.Row(i), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return adv
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectionRate < 0.5 {
+		t.Fatalf("strong FGSM detection rate %v too low (fpr %v)", res.DetectionRate, res.FalsePositiveRate)
+	}
+	if res.DetectionRate <= res.FalsePositiveRate {
+		t.Fatalf("detector must beat its false positive rate: %v vs %v", res.DetectionRate, res.FalsePositiveRate)
+	}
+}
+
+func TestWeakPerturbationsHarderToDetect(t *testing.T) {
+	hw, victim, calib, test := testbed(t, 5)
+	d, err := Fit(hw, calib, Config{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh := test.OneHot()
+	rate := func(eps float64) float64 {
+		res, err := Evaluate(d, hw, test, func(i int, u []float64) []float64 {
+			adv, err := attack.FGSM(victim, u, oh.Row(i), eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return adv
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.DetectionRate
+	}
+	weak, strong := rate(0.02), rate(0.5)
+	if weak > strong {
+		t.Fatalf("weaker attacks should be harder to detect: %v vs %v", weak, strong)
+	}
+}
+
+func TestEvaluateEmptyDataset(t *testing.T) {
+	hw, _, calib, _ := testbed(t, 6)
+	d, err := Fit(hw, calib, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &dataset.Dataset{X: tensor.New(0, calib.Dim()), NumClasses: 10, Width: calib.Width, Height: calib.Height, Channels: 1}
+	if _, err := Evaluate(d, hw, empty, func(_ int, u []float64) []float64 { return u }); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunNoiseAblation(t *testing.T) {
+	res, err := RunNoiseAblation(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 9 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// The noiseless analog point must recover the exact ranking.
+	p0 := res.Points[0]
+	if p0.MeasurementNoise != 0 || p0.Levels != 0 {
+		t.Fatal("first grid point should be the ideal configuration")
+	}
+	if math.Abs(p0.RankCorrelation-1) > 1e-9 || !p0.ArgmaxHit {
+		t.Fatalf("ideal extraction must be exact: rho=%v hit=%v", p0.RankCorrelation, p0.ArgmaxHit)
+	}
+	// Noise degrades rank correlation monotonically-ish: the 0.2-noise
+	// single-shot point must be worse than the noiseless one.
+	var noisy NoiseAblationPoint
+	for _, p := range res.Points {
+		if p.MeasurementNoise == 0.2 && p.Repeats == 1 {
+			noisy = p
+		}
+	}
+	if noisy.RankCorrelation >= 1 {
+		t.Fatal("strong noise should degrade the ranking")
+	}
+	// Averaging must improve the noisy extraction.
+	var avg NoiseAblationPoint
+	for _, p := range res.Points {
+		if p.MeasurementNoise == 0.2 && p.Repeats == 16 {
+			avg = p
+		}
+	}
+	if avg.RankCorrelation < noisy.RankCorrelation {
+		t.Fatalf("averaging should help: %v < %v", avg.RankCorrelation, noisy.RankCorrelation)
+	}
+	if out := res.Render().String(); !strings.Contains(out, "Ablation A1") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunSearchAblation(t *testing.T) {
+	res, err := RunSearchAblation(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.HillClimbQueries <= 0 || row.ExhaustiveQueries <= 0 {
+			t.Fatal("query counts must be positive")
+		}
+		if row.SignalRatio < 0 || row.SignalRatio > 1.0001 {
+			t.Fatalf("signal ratio %v out of range", row.SignalRatio)
+		}
+		// Hill climbing must be cheaper than exhaustive search.
+		if row.HillClimbQueries >= row.ExhaustiveQueries {
+			t.Fatalf("%s: hill climb used %d queries vs %d exhaustive",
+				row.Config.Name(), row.HillClimbQueries, row.ExhaustiveQueries)
+		}
+	}
+	if out := res.Render().String(); !strings.Contains(out, "Ablation A2") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunMultiPixelAblation(t *testing.T) {
+	res, err := RunMultiPixelAblation(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for i, p := range res.Points {
+		if p.Accuracy < 0 || p.Accuracy > 1 || p.WorstAccuracy < 0 || p.WorstAccuracy > 1 {
+			t.Fatalf("point %d out of range: %+v", i, p)
+		}
+		// The gradient-signed variant dominates random signs.
+		if p.WorstAccuracy > p.Accuracy+0.05 {
+			t.Fatalf("pixels=%d: worst-case %v should be at most random-sign %v",
+				p.Pixels, p.WorstAccuracy, p.Accuracy)
+		}
+	}
+	if out := res.Render().String(); !strings.Contains(out, "Ablation A3") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestExpectedRandomSignDecay(t *testing.T) {
+	if expectedRandomSignDecay(1) != 0.5 || expectedRandomSignDecay(3) != 0.125 {
+		t.Fatal("decay formula")
+	}
+}

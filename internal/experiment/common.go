@@ -1,0 +1,169 @@
+// Package experiment contains one runner per table and figure of the
+// paper's evaluation, plus the ablations listed in DESIGN.md. Every runner
+// is deterministic given Options.Seed and scales its workload with
+// Options.Scale so the full sweeps (scale 1) and fast CI/bench sweeps
+// (scale << 1) share one code path.
+package experiment
+
+import (
+	"fmt"
+
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/sidechannel"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed drives every random choice in the experiment.
+	Seed int64
+	// Scale in (0, 1] shrinks dataset sizes and sweep densities; 1.0
+	// reproduces paper-sized sweeps on the synthetic datasets.
+	Scale float64
+	// DataDir, when set, is searched for real MNIST/CIFAR files.
+	DataDir string
+	// Runs overrides the number of independent repetitions (0 = scaled
+	// default: 5 for Table I, 10 for Figure 5, as in the paper).
+	Runs int
+}
+
+// withDefaults normalizes an Options value.
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	return o
+}
+
+func (o Options) scaled(full int, minimum int) int {
+	v := int(float64(full) * o.Scale)
+	if v < minimum {
+		v = minimum
+	}
+	return v
+}
+
+// ModelConfig is one of the paper's four dataset/head configurations.
+type ModelConfig struct {
+	// Kind selects the dataset family.
+	Kind dataset.Kind
+	// Act and Crit select the output head (linear+MSE or softmax+CE).
+	Act  nn.Activation
+	Crit nn.Loss
+}
+
+// Name returns a compact identifier like "mnist/linear".
+func (c ModelConfig) Name() string {
+	return fmt.Sprintf("%s/%s", c.Kind, c.Act)
+}
+
+// FourConfigs lists the paper's four configurations in the order of
+// Table I and Figures 3-4.
+func FourConfigs() []ModelConfig {
+	return []ModelConfig{
+		{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE},
+		{Kind: dataset.MNIST, Act: nn.ActSoftmax, Crit: nn.LossCrossEntropy},
+		{Kind: dataset.CIFAR10, Act: nn.ActLinear, Crit: nn.LossMSE},
+		{Kind: dataset.CIFAR10, Act: nn.ActSoftmax, Crit: nn.LossCrossEntropy},
+	}
+}
+
+// victim bundles everything an experiment needs about one trained model
+// hosted on an ideal crossbar.
+type victim struct {
+	cfg     ModelConfig
+	train   *dataset.Dataset
+	test    *dataset.Dataset
+	net     *nn.Network
+	hw      *crossbar.Network
+	signals []float64 // raw power-channel column signals (basis queries)
+}
+
+// loadData returns train/test sets for a config, sized by Scale.
+func loadData(cfg ModelConfig, opts Options, src *rng.Source) (train, test *dataset.Dataset, err error) {
+	trainFull, testFull := 2000, 500
+	if cfg.Kind == dataset.CIFAR10 {
+		trainFull, testFull = 1500, 400
+	}
+	return dataset.Load(cfg.Kind, src, dataset.LoadOptions{
+		DataDir: opts.DataDir,
+		TrainN:  opts.scaled(trainFull, 200),
+		TestN:   opts.scaled(testFull, 100),
+	})
+}
+
+// trainCfgFor returns the training hyperparameters for a config.
+func trainCfgFor(cfg ModelConfig) nn.TrainConfig {
+	// ZeroInit: the single-layer problem is convex, so zero init plus
+	// enough epochs emulates the paper's converged Keras training without
+	// leaving init noise in the weight matrix's null-space component.
+	tc := nn.TrainConfig{Epochs: 40, BatchSize: 32, LearningRate: 0.05, Momentum: 0.9, ZeroInit: true}
+	if cfg.Act == nn.ActSoftmax {
+		tc.LearningRate = 0.1
+	}
+	if cfg.Kind == dataset.CIFAR10 {
+		// Mild L2 keeps the heavily-overparameterized CIFAR victims from
+		// interpolating small training sets, which would zero the
+		// training-split gradients Table I correlates; the rates land the
+		// victims in the paper's ~30-40% CIFAR accuracy regime.
+		if cfg.Act == nn.ActSoftmax {
+			tc.LearningRate = 0.08
+			tc.WeightDecay = 0.005
+		} else {
+			// MSE gradients scale with ‖u‖² ≈ 900 on dense 3072-dim CIFAR
+			// inputs; the small rate keeps SGD stable.
+			tc.Epochs = 60
+			tc.LearningRate = 0.001
+			tc.WeightDecay = 0.05
+		}
+	}
+	return tc
+}
+
+// buildVictim trains the model for cfg, programs it onto an ideal
+// crossbar, and extracts the power-channel column signals with basis
+// queries, reproducing the attacker's Section III measurement procedure.
+func buildVictim(cfg ModelConfig, opts Options, src *rng.Source) (*victim, error) {
+	train, test, err := loadData(cfg, opts, src.Split("data"))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: loading %s: %w", cfg.Name(), err)
+	}
+	net, _, err := nn.TrainNew(train, cfg.Act, cfg.Crit, trainCfgFor(cfg), src.Split("train"))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: training %s: %w", cfg.Name(), err)
+	}
+	dcfg := crossbar.DefaultDeviceConfig()
+	hw, err := crossbar.NewNetwork(net, dcfg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: programming %s: %w", cfg.Name(), err)
+	}
+	probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(hw.Crossbar()), 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	signals, err := probe.ExtractColumnSignals(1)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: power extraction for %s: %w", cfg.Name(), err)
+	}
+	return &victim{cfg: cfg, train: train, test: test, net: net, hw: hw, signals: signals}, nil
+}
+
+// VictimAccuracies trains each of the four configurations once and
+// returns {train, test} accuracy per config name — a calibration helper
+// used by the CLI to verify the synthetic datasets land in the paper's
+// accuracy regime (~90% MNIST, ~30-40% CIFAR for single-layer nets).
+func VictimAccuracies(opts Options) (map[string][2]float64, error) {
+	opts = opts.withDefaults()
+	root := rng.New(opts.Seed).Split("calibration")
+	out := make(map[string][2]float64, 4)
+	for _, cfg := range FourConfigs() {
+		v, err := buildVictim(cfg, opts, root.Split(cfg.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out[cfg.Name()] = [2]float64{v.net.Accuracy(v.train), v.net.Accuracy(v.test)}
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"xbarsec/internal/attack"
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/report"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/sidechannel"
+	"xbarsec/internal/stats"
+	"xbarsec/internal/tensor"
+)
+
+// Extension experiments beyond the paper's evaluation, along its stated
+// future-work axes: multi-layer networks (A4) and countermeasures (A5).
+
+// DepthAblationRow compares how well first-layer column 1-norms (what the
+// power channel reveals for a layer-per-array mapping) track the input
+// sensitivity as network depth grows.
+type DepthAblationRow struct {
+	// Hidden lists hidden-layer widths (empty = the paper's single-layer
+	// case).
+	Hidden []int
+	// TestAccuracy is the trained network's test accuracy.
+	TestAccuracy float64
+	// CorrOfMean is the Pearson correlation between mean |∂L/∂u| and the
+	// first layer's column 1-norms.
+	CorrOfMean float64
+}
+
+// DepthAblationResult is extension experiment A4.
+type DepthAblationResult struct {
+	Rows []DepthAblationRow
+}
+
+// RunDepthAblation measures the power channel's Case-1 signal on deeper
+// networks (paper §V future work): for multi-layer networks the first
+// array's column norms are still observable, but hidden layers decouple
+// them from the end-to-end input sensitivity.
+func RunDepthAblation(opts Options) (*DepthAblationResult, error) {
+	opts = opts.withDefaults()
+	root := rng.New(opts.Seed).Split("ablation-depth")
+	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActSoftmax, Crit: nn.LossCrossEntropy}
+	train, test, err := loadData(cfg, opts, root.Split("data"))
+	if err != nil {
+		return nil, err
+	}
+	res := &DepthAblationResult{}
+	for _, hidden := range [][]int{{}, {64}, {64, 32}} {
+		src := root.SplitN("depth", len(hidden))
+		var (
+			acc      float64
+			sens     []float64
+			colNorms []float64
+		)
+		if len(hidden) == 0 {
+			net, _, err := nn.TrainNew(train, cfg.Act, cfg.Crit, trainCfgFor(cfg), src.Split("train"))
+			if err != nil {
+				return nil, err
+			}
+			acc = net.Accuracy(test)
+			sens = net.MeanAbsInputGradient(test)
+			colNorms = net.W.ColAbsSums()
+		} else {
+			widths := append([]int{train.Dim()}, hidden...)
+			widths = append(widths, train.NumClasses)
+			mlp, err := nn.NewMLP(widths, nn.ActReLU, cfg.Act, cfg.Crit)
+			if err != nil {
+				return nil, err
+			}
+			mlp.InitXavier(src.Split("init"))
+			if _, err := nn.TrainMLP(mlp, train, nn.TrainConfig{
+				Epochs: 25, BatchSize: 32, LearningRate: 0.1, Momentum: 0.9,
+			}, src.Split("sgd")); err != nil {
+				return nil, err
+			}
+			acc = mlp.Accuracy(test)
+			oh := test.OneHot()
+			sens = make([]float64, train.Dim())
+			for i := 0; i < test.Len(); i++ {
+				g := mlp.InputGradient(test.X.Row(i), oh.Row(i))
+				for j, v := range g {
+					sens[j] += math.Abs(v)
+				}
+			}
+			// Deploy the MLP layer-per-array and extract the first
+			// layer's column signals from its power rail, exactly as the
+			// attacker would.
+			hw, err := crossbar.NewMLPNetwork(mlp, crossbar.DefaultDeviceConfig(), nil)
+			if err != nil {
+				return nil, err
+			}
+			probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(hw.FirstLayerMeter()), 0, nil)
+			if err != nil {
+				return nil, err
+			}
+			colNorms, err = probe.ExtractColumnSignals(1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		corr, err := stats.Pearson(sens, colNorms)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: depth ablation %v: %w", hidden, err)
+		}
+		res.Rows = append(res.Rows, DepthAblationRow{Hidden: hidden, TestAccuracy: acc, CorrOfMean: corr})
+	}
+	return res, nil
+}
+
+// Render formats A4 as a table.
+func (r *DepthAblationResult) Render() *report.Table {
+	t := &report.Table{
+		Title:  "Extension A4: power-channel signal vs network depth (MNIST, softmax head)",
+		Header: []string{"hidden layers", "test acc", "corr(mean |dL/du|, L1-norms of layer 0)"},
+	}
+	for _, row := range r.Rows {
+		name := "none (paper)"
+		if len(row.Hidden) > 0 {
+			name = fmt.Sprintf("%v", row.Hidden)
+		}
+		t.AddRow(name, report.F(row.TestAccuracy, 3), report.F(row.CorrOfMean, 3))
+	}
+	return t
+}
+
+// MaskingAblationResult is extension experiment A5: the dummy-row power
+// masking countermeasure.
+type MaskingAblationResult struct {
+	// RankCorrPlain and RankCorrMasked are the Spearman correlations
+	// between extracted signals and true column 1-norms.
+	RankCorrPlain, RankCorrMasked float64
+	// AttackAccPlain and AttackAccMasked are oracle accuracies under the
+	// power-guided "+" single-pixel attack at the given strength.
+	AttackAccPlain, AttackAccMasked float64
+	// CleanAcc is the unattacked accuracy (identical for both arrays).
+	CleanAcc float64
+	// Eps is the attack strength used.
+	Eps float64
+	// Overhead is the masking power overhead fraction.
+	Overhead float64
+}
+
+// RunMaskingAblation evaluates the power-masking defense end to end.
+func RunMaskingAblation(opts Options) (*MaskingAblationResult, error) {
+	opts = opts.withDefaults()
+	root := rng.New(opts.Seed).Split("ablation-masking")
+	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
+	v, err := buildVictim(cfg, opts, root.Split("victim"))
+	if err != nil {
+		return nil, err
+	}
+	trueNorms := v.net.W.ColAbsSums()
+
+	dcfg := crossbar.DefaultDeviceConfig()
+	dcfg.PowerMasking = true
+	maskedHW, err := crossbar.NewNetwork(v.net, dcfg, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	extract := func(hw *crossbar.Network) ([]float64, float64, error) {
+		probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(hw.Crossbar()), 0, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		signals, err := probe.ExtractColumnSignals(1)
+		if err != nil {
+			return nil, 0, err
+		}
+		rho, err := stats.Spearman(signals, trueNorms)
+		if err != nil {
+			// A fully-masked array yields constant signals; the rank
+			// correlation is undefined, which for the attacker means no
+			// information: report 0.
+			return signals, 0, nil
+		}
+		return signals, rho, nil
+	}
+	plainSignals, rhoPlain, err := extract(v.hw)
+	if err != nil {
+		return nil, err
+	}
+	maskedSignals, rhoMasked, err := extract(maskedHW)
+	if err != nil {
+		return nil, err
+	}
+
+	const eps = 6.0
+	attackAcc := func(hw *crossbar.Network, signals []float64, label string) (float64, error) {
+		src := root.Split(label)
+		oh := v.test.OneHot()
+		correct := 0
+		for i := 0; i < v.test.Len(); i++ {
+			adv, err := attack.SinglePixel(attack.PixelNormPlus, tensor.CloneVec(v.test.X.Row(i)), oh.Row(i), eps, signals, nil, src)
+			if err != nil {
+				return 0, err
+			}
+			label, err := hw.Predict(adv)
+			if err != nil {
+				return 0, err
+			}
+			if label == v.test.Labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(v.test.Len()), nil
+	}
+	accPlain, err := attackAcc(v.hw, plainSignals, "plain")
+	if err != nil {
+		return nil, err
+	}
+	accMasked, err := attackAcc(maskedHW, maskedSignals, "masked")
+	if err != nil {
+		return nil, err
+	}
+	cleanAcc := v.net.Accuracy(v.test)
+	return &MaskingAblationResult{
+		RankCorrPlain:   rhoPlain,
+		RankCorrMasked:  rhoMasked,
+		AttackAccPlain:  accPlain,
+		AttackAccMasked: accMasked,
+		CleanAcc:        cleanAcc,
+		Eps:             eps,
+		Overhead:        maskedHW.Crossbar().MaskOverheadFraction(),
+	}, nil
+}
+
+// Render formats A5 as a table.
+func (r *MaskingAblationResult) Render() *report.Table {
+	t := &report.Table{
+		Title:  fmt.Sprintf("Extension A5: dummy-row power masking defense (clean acc %.3f, attack eps %.1f)", r.CleanAcc, r.Eps),
+		Header: []string{"array", "side-channel rank corr", "acc under power-guided attack", "power overhead"},
+	}
+	t.AddRow("plain", report.F(r.RankCorrPlain, 3), report.F(r.AttackAccPlain, 3), "0%")
+	t.AddRow("masked", report.F(r.RankCorrMasked, 3), report.F(r.AttackAccMasked, 3),
+		fmt.Sprintf("%.0f%%", 100*r.Overhead))
+	return t
+}

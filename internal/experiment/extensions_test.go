@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDepthAblation(t *testing.T) {
+	res, err := RunDepthAblation(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if len(res.Rows[0].Hidden) != 0 {
+		t.Fatal("first row must be the single-layer baseline")
+	}
+	for _, row := range res.Rows {
+		if row.TestAccuracy < 0.2 {
+			t.Fatalf("hidden=%v: accuracy %v implausibly low", row.Hidden, row.TestAccuracy)
+		}
+		if row.CorrOfMean < -1.001 || row.CorrOfMean > 1.001 {
+			t.Fatalf("correlation %v out of range", row.CorrOfMean)
+		}
+	}
+	// The single-layer case must show a strong Case-1 signal.
+	if res.Rows[0].CorrOfMean < 0.5 {
+		t.Fatalf("single-layer correlation %v should be strong", res.Rows[0].CorrOfMean)
+	}
+	if out := res.Render().String(); !strings.Contains(out, "Extension A4") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunMaskingAblation(t *testing.T) {
+	res, err := RunMaskingAblation(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plain array leaks a perfect ranking; the masked one leaks
+	// nothing.
+	if res.RankCorrPlain < 0.999 {
+		t.Fatalf("plain rank corr %v, want ~1", res.RankCorrPlain)
+	}
+	if res.RankCorrMasked > 0.2 || res.RankCorrMasked < -0.2 {
+		t.Fatalf("masked rank corr %v, want ~0", res.RankCorrMasked)
+	}
+	// Masking must not change clean accuracy, and it costs power.
+	if res.Overhead <= 0 {
+		t.Fatalf("mask overhead %v must be positive", res.Overhead)
+	}
+	// The power-guided attack must be at least as effective against the
+	// plain array as against the masked one (which degrades to a random
+	// pixel choice).
+	if res.AttackAccPlain > res.AttackAccMasked+0.1 {
+		t.Fatalf("masking should blunt the attack: plain %v vs masked %v",
+			res.AttackAccPlain, res.AttackAccMasked)
+	}
+	if out := res.Render().String(); !strings.Contains(out, "Extension A5") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunTraceAblation(t *testing.T) {
+	res, err := RunTraceAblation(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	basis, traced := res.Rows[0], res.Rows[2]
+	if basis.Inferences != res.Inputs {
+		t.Fatalf("basis cost %d, want %d", basis.Inferences, res.Inputs)
+	}
+	// All strategies recover a near-perfect ranking on the ideal array.
+	for _, row := range res.Rows {
+		if row.RankCorr < 0.99 {
+			t.Fatalf("%s: rank corr %v too low", row.Strategy, row.RankCorr)
+		}
+	}
+	// The temporal channel is dramatically cheaper.
+	if traced.Inferences*4 > basis.Inferences {
+		t.Fatalf("bit-serial traces should cost <= N/4 inferences: %d vs %d",
+			traced.Inferences, basis.Inferences)
+	}
+	if out := res.Render().String(); !strings.Contains(out, "Extension A6") {
+		t.Fatal("render incomplete")
+	}
+}

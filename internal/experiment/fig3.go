@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/report"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/stats"
+)
+
+// Fig3Panel is one (sensitivity map, 1-norm map) pair of Figure 3. For
+// CIFAR-10 the maps cover only the first color channel, as in the paper.
+type Fig3Panel struct {
+	Config ModelConfig
+	// Sensitivity is the per-pixel mean |∂L/∂u_j| over the test set.
+	Sensitivity []float64
+	// Norms is the per-pixel power-channel 1-norm signal.
+	Norms []float64
+	// Width and Height give the map geometry for rendering.
+	Width, Height int
+	// Corr is the Pearson correlation between the two maps.
+	Corr float64
+}
+
+// Fig3Result reproduces Figure 3's four panel pairs.
+type Fig3Result struct {
+	Panels []Fig3Panel
+}
+
+// RunFig3 regenerates Figure 3: per configuration, the mean sensitivity
+// map next to the power-extracted column-1-norm map.
+func RunFig3(opts Options) (*Fig3Result, error) {
+	opts = opts.withDefaults()
+	root := rng.New(opts.Seed).Split("fig3")
+	res := &Fig3Result{}
+	for _, cfg := range FourConfigs() {
+		v, err := buildVictim(cfg, opts, root.Split(cfg.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sens := v.net.MeanAbsInputGradient(v.test)
+		norms := v.signals
+		w, h := v.test.Width, v.test.Height
+		plane := w * h
+		// Paper plots only the first color channel for CIFAR-10.
+		sensMap := dataset.FirstChannel(sens, w, h)
+		normMap := dataset.FirstChannel(norms, w, h)
+		corr, err := stats.Pearson(sensMap[:plane], normMap[:plane])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig3 %s: %w", cfg.Name(), err)
+		}
+		res.Panels = append(res.Panels, Fig3Panel{
+			Config: cfg, Sensitivity: sensMap, Norms: normMap,
+			Width: w, Height: h, Corr: corr,
+		})
+	}
+	return res, nil
+}
+
+// Render produces side-by-side ASCII heatmaps per panel plus the
+// correlation summary table.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	tbl := &report.Table{
+		Title:  "Figure 3: mean |sensitivity| vs power-extracted column 1-norms (first channel)",
+		Header: []string{"Config", "Pearson r"},
+	}
+	for _, p := range r.Panels {
+		tbl.AddRow(p.Config.Name(), report.F(p.Corr, 3))
+	}
+	b.WriteString(tbl.String())
+	for _, p := range r.Panels {
+		fmt.Fprintf(&b, "\n[%s] mean |dL/du| map:\n%s", p.Config.Name(), report.Heatmap(p.Sensitivity, p.Width, p.Height))
+		fmt.Fprintf(&b, "[%s] 1-norm map:\n%s", p.Config.Name(), report.Heatmap(p.Norms, p.Width, p.Height))
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"xbarsec/internal/attack"
+	"xbarsec/internal/report"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// Fig4Curve is one attack-method line of a Figure 4 panel.
+type Fig4Curve struct {
+	Method     attack.PixelMethod
+	Strengths  []float64
+	Accuracies []float64
+}
+
+// Fig4Panel holds all five method curves for one configuration.
+type Fig4Panel struct {
+	Config ModelConfig
+	Curves []Fig4Curve
+	// CleanAccuracy is the unperturbed test accuracy for reference.
+	CleanAccuracy float64
+}
+
+// Fig4Result reproduces Figure 4's four panels.
+type Fig4Result struct {
+	Panels []Fig4Panel
+}
+
+// fig4Strengths returns the attack-strength sweep (the paper uses 0..10).
+func fig4Strengths(opts Options) []float64 {
+	step := 1.0
+	if opts.Scale < 0.5 {
+		step = 2.0
+	}
+	var out []float64
+	for e := 0.0; e <= 10.0+1e-9; e += step {
+		out = append(out, e)
+	}
+	return out
+}
+
+// RunFig4 regenerates Figure 4: single-pixel attacks guided by power
+// information, for five methods per configuration, evaluated against the
+// crossbar-hosted oracle.
+func RunFig4(opts Options) (*Fig4Result, error) {
+	opts = opts.withDefaults()
+	root := rng.New(opts.Seed).Split("fig4")
+	strengths := fig4Strengths(opts)
+	res := &Fig4Result{}
+	for _, cfg := range FourConfigs() {
+		src := root.Split(cfg.Name())
+		v, err := buildVictim(cfg, opts, src)
+		if err != nil {
+			return nil, err
+		}
+		panel := Fig4Panel{Config: cfg}
+		clean, err := evaluateSinglePixel(v, attack.PixelRandom, 0, src.Split("clean"))
+		if err != nil {
+			return nil, err
+		}
+		panel.CleanAccuracy = clean
+		for _, method := range attack.AllPixelMethods() {
+			curve := Fig4Curve{Method: method, Strengths: strengths}
+			for _, eps := range strengths {
+				acc, err := evaluateSinglePixel(v, method, eps, src.SplitN(method.String(), int(eps*10)))
+				if err != nil {
+					return nil, fmt.Errorf("experiment: fig4 %s %s eps=%v: %w", cfg.Name(), method, eps, err)
+				}
+				curve.Accuracies = append(curve.Accuracies, acc)
+			}
+			panel.Curves = append(panel.Curves, curve)
+		}
+		res.Panels = append(res.Panels, panel)
+	}
+	return res, nil
+}
+
+// evaluateSinglePixel perturbs every test image with the method and
+// measures the crossbar oracle's accuracy, exactly the protocol behind
+// each Figure 4 point.
+func evaluateSinglePixel(v *victim, method attack.PixelMethod, eps float64, src *rng.Source) (float64, error) {
+	ds := v.test
+	oh := ds.OneHot()
+	correct := 0
+	for i := 0; i < ds.Len(); i++ {
+		u := tensor.CloneVec(ds.X.Row(i))
+		adv, err := attack.SinglePixel(method, u, oh.Row(i), eps, v.signals, v.net, src)
+		if err != nil {
+			return 0, err
+		}
+		label, err := v.hw.Predict(adv)
+		if err != nil {
+			return 0, err
+		}
+		if label == ds.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+// Render prints one accuracy-vs-strength table per panel.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	for _, panel := range r.Panels {
+		tbl := &report.Table{
+			Title:  fmt.Sprintf("Figure 4 [%s]: test accuracy vs attack strength (clean=%.3f)", panel.Config.Name(), panel.CleanAccuracy),
+			Header: []string{"strength"},
+		}
+		for _, c := range panel.Curves {
+			tbl.Header = append(tbl.Header, c.Method.String())
+		}
+		if len(panel.Curves) > 0 {
+			for k := range panel.Curves[0].Strengths {
+				row := []string{report.F(panel.Curves[0].Strengths[k], 1)}
+				for _, c := range panel.Curves {
+					row = append(row, report.F(c.Accuracies[k], 3))
+				}
+				tbl.AddRow(row...)
+			}
+		}
+		b.WriteString(tbl.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series exports the panel curves as plottable series keyed by config.
+func (r *Fig4Result) Series() map[string][]report.Series {
+	out := make(map[string][]report.Series, len(r.Panels))
+	for _, panel := range r.Panels {
+		var ss []report.Series
+		for _, c := range panel.Curves {
+			ss = append(ss, report.Series{Name: c.Method.String(), X: c.Strengths, Y: c.Accuracies})
+		}
+		out[panel.Config.Name()] = ss
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xbarsec/internal/attack"
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/oracle"
+	"xbarsec/internal/report"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/stats"
+	"xbarsec/internal/surrogate"
+	"xbarsec/internal/tensor"
+)
+
+// fig5AttackEps is the FGSM strength the paper uses for Figure 5.
+const fig5AttackEps = 0.1
+
+// Fig5Options extends Options with the sweep grids of Figure 5; zero
+// values select the paper's grids (thinned at small Scale).
+type Fig5Options struct {
+	Options
+	// Queries overrides the query-budget grid.
+	Queries []int
+	// Lambdas overrides the power-loss-weight grid.
+	Lambdas []float64
+	// SurrogateEpochs overrides surrogate training length.
+	SurrogateEpochs int
+}
+
+// Fig5Row holds one row of Figure 5 (a dataset x disclosure-mode pair):
+// per (λ, query budget) the surrogate's test accuracy and the oracle's
+// adversarial accuracy under surrogate-crafted FGSM, across runs.
+type Fig5Row struct {
+	Kind    dataset.Kind
+	Mode    oracle.Mode
+	Queries []int
+	Lambdas []float64
+	// SurrogateAcc[l][q] collects per-run surrogate test accuracies.
+	SurrogateAcc [][][]float64
+	// OracleAdvAcc[l][q] collects per-run oracle adversarial accuracies.
+	OracleAdvAcc [][][]float64
+	// CleanAccuracy is the oracle's unattacked test accuracy.
+	CleanAccuracy float64
+}
+
+// Fig5Result reproduces Figure 5's four rows.
+type Fig5Result struct {
+	Rows []Fig5Row
+	Runs int
+}
+
+func fig5Grids(opts Fig5Options, trainN int) (queries []int, lambdas []float64) {
+	queries = opts.Queries
+	if len(queries) == 0 {
+		if opts.Scale < 0.5 {
+			queries = []int{10, 50, 200, trainN}
+		} else {
+			queries = []int{2, 10, 50, 100, 500, 1000, trainN}
+		}
+	}
+	seen := map[int]bool{}
+	var qs []int
+	for _, q := range queries {
+		if q > trainN {
+			q = trainN
+		}
+		if q > 0 && !seen[q] {
+			seen[q] = true
+			qs = append(qs, q)
+		}
+	}
+	sort.Ints(qs)
+	lambdas = opts.Lambdas
+	if len(lambdas) == 0 {
+		if opts.Scale < 0.5 {
+			lambdas = []float64{0, 0.004, 0.01}
+		} else {
+			lambdas = []float64{0, 0.002, 0.004, 0.006, 0.008, 0.01}
+		}
+	}
+	return qs, lambdas
+}
+
+// RunFig5 regenerates Figure 5: surrogate-based black-box attacks with
+// and without power information, for MNIST/CIFAR x label-only/raw-output.
+func RunFig5(opts Fig5Options) (*Fig5Result, error) {
+	opts.Options = opts.Options.withDefaults()
+	runs := opts.Runs
+	if runs <= 0 {
+		runs = opts.scaled(10, 3)
+	}
+	root := rng.New(opts.Seed).Split("fig5")
+	res := &Fig5Result{Runs: runs}
+	rows := []struct {
+		kind dataset.Kind
+		mode oracle.Mode
+	}{
+		{dataset.MNIST, oracle.LabelOnly},
+		{dataset.MNIST, oracle.RawOutput},
+		{dataset.CIFAR10, oracle.LabelOnly},
+		{dataset.CIFAR10, oracle.RawOutput},
+	}
+	for _, rc := range rows {
+		row, err := runFig5Row(rc.kind, rc.mode, opts, runs, root.Split(fmt.Sprintf("%s-%s", rc.kind, rc.mode)))
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func runFig5Row(kind dataset.Kind, mode oracle.Mode, opts Fig5Options, runs int, src *rng.Source) (*Fig5Row, error) {
+	// Case 2 uses linear victims only (paper §IV).
+	cfg := ModelConfig{Kind: kind, Act: nn.ActLinear, Crit: nn.LossMSE}
+	v, err := buildVictim(cfg, opts.Options, src.Split("victim"))
+	if err != nil {
+		return nil, err
+	}
+	orc, err := oracle.New(v.hw, oracle.Config{Mode: mode, MeasurePower: true})
+	if err != nil {
+		return nil, err
+	}
+	clean, err := orc.AccuracyOn(v.test)
+	if err != nil {
+		return nil, err
+	}
+	queries, lambdas := fig5Grids(opts, v.train.Len())
+	row := &Fig5Row{
+		Kind: kind, Mode: mode, Queries: queries, Lambdas: lambdas,
+		CleanAccuracy: clean,
+		SurrogateAcc:  allocCells(len(lambdas), len(queries)),
+		OracleAdvAcc:  allocCells(len(lambdas), len(queries)),
+	}
+	sCfg := surrogate.DefaultConfig()
+	if kind == dataset.CIFAR10 {
+		// MSE gradients scale with ‖u‖²; dense 3072-dim CIFAR inputs need
+		// a far smaller rate than sparse MNIST digits for stable SGD, and
+		// more epochs so the λ=0 baseline is as converged as the power-
+		// regularized runs (otherwise Δ conflates the power prior with
+		// simple training acceleration).
+		sCfg.LearningRate = 0.003
+		sCfg.Epochs = 120
+	}
+	if opts.SurrogateEpochs > 0 {
+		sCfg.Epochs = opts.SurrogateEpochs
+	} else if opts.Scale < 0.5 {
+		sCfg.Epochs /= 2
+	}
+	for run := 0; run < runs; run++ {
+		runSrc := src.SplitN("run", run)
+		for qi, q := range queries {
+			qs, err := oracle.Collect(orc, v.train, q, runSrc.SplitN("collect", qi))
+			if err != nil {
+				return nil, err
+			}
+			for li, lambda := range lambdas {
+				cfg := sCfg
+				cfg.Lambda = lambda
+				model, err := surrogate.Train(qs, cfg, runSrc.SplitN(fmt.Sprintf("train-%d", qi), li))
+				if err != nil {
+					return nil, fmt.Errorf("experiment: fig5 %s/%s run=%d q=%d λ=%v: %w", kind, mode, run, q, lambda, err)
+				}
+				sAcc := model.Accuracy(v.test.X, v.test.Labels)
+				aAcc, err := oracleFGSMAccuracy(v, model)
+				if err != nil {
+					return nil, err
+				}
+				row.SurrogateAcc[li][qi] = append(row.SurrogateAcc[li][qi], sAcc)
+				row.OracleAdvAcc[li][qi] = append(row.OracleAdvAcc[li][qi], aAcc)
+			}
+		}
+	}
+	return row, nil
+}
+
+func allocCells(l, q int) [][][]float64 {
+	out := make([][][]float64, l)
+	for i := range out {
+		out[i] = make([][]float64, q)
+	}
+	return out
+}
+
+// oracleFGSMAccuracy crafts FGSM(ε=0.1) examples on the surrogate for
+// every test input and measures the oracle's accuracy on them.
+func oracleFGSMAccuracy(v *victim, model *surrogate.Model) (float64, error) {
+	ds := v.test
+	oh := ds.OneHot()
+	correct := 0
+	for i := 0; i < ds.Len(); i++ {
+		adv, err := attack.FGSM(model.Net, tensor.CloneVec(ds.X.Row(i)), oh.Row(i), fig5AttackEps)
+		if err != nil {
+			return 0, err
+		}
+		label, err := v.hw.Predict(adv)
+		if err != nil {
+			return 0, err
+		}
+		if label == ds.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+// Improvement returns, for lambda index li > 0 and query index qi, the
+// mean attack improvement Δ = mean(advAcc(λ=0)) − mean(advAcc(λ)) and the
+// Welch t-test p-value across runs (positive Δ = power info strengthens
+// the attack), matching Figure 5's right-hand panels.
+func (r *Fig5Row) Improvement(li, qi int) (delta, pValue float64, err error) {
+	if li <= 0 || li >= len(r.Lambdas) || qi < 0 || qi >= len(r.Queries) {
+		return 0, 0, fmt.Errorf("experiment: improvement index (%d,%d) out of range", li, qi)
+	}
+	base := r.OracleAdvAcc[0][qi]
+	with := r.OracleAdvAcc[li][qi]
+	delta = stats.Mean(base) - stats.Mean(with)
+	res, err := stats.WelchTTest(base, with)
+	if err != nil {
+		// Insufficient runs for a p-value: report no significance.
+		return delta, 1, nil
+	}
+	return delta, res.P, nil
+}
+
+// BootstrapImprovement is the nonparametric companion to Improvement: a
+// percentile-bootstrap confidence interval on Δ = mean(advAcc(λ=0)) −
+// mean(advAcc(λ)), for run counts too small to trust the t-test's
+// normality assumption.
+func (r *Fig5Row) BootstrapImprovement(li, qi int, level float64, src *rng.Source) (stats.Interval, error) {
+	if li <= 0 || li >= len(r.Lambdas) || qi < 0 || qi >= len(r.Queries) {
+		return stats.Interval{}, fmt.Errorf("experiment: improvement index (%d,%d) out of range", li, qi)
+	}
+	return stats.BootstrapDiffCI(r.OracleAdvAcc[0][qi], r.OracleAdvAcc[li][qi], level, 1000, src)
+}
+
+// Render prints, per row, the three Figure 5 panels as tables: surrogate
+// accuracy, oracle adversarial accuracy, and the power-information
+// improvement with significance asterisks (p < 0.05).
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "=== Figure 5 row: %s, %s (clean oracle accuracy %.3f, %d runs) ===\n",
+			row.Kind, row.Mode, row.CleanAccuracy, r.Runs)
+		sur := &report.Table{Title: "Surrogate test accuracy", Header: []string{"queries"}}
+		adv := &report.Table{Title: "Oracle accuracy under surrogate FGSM (eps=0.1)", Header: []string{"queries"}}
+		for _, l := range row.Lambdas {
+			sur.Header = append(sur.Header, fmt.Sprintf("λ=%g", l))
+			adv.Header = append(adv.Header, fmt.Sprintf("λ=%g", l))
+		}
+		for qi, q := range row.Queries {
+			srow := []string{fmt.Sprintf("%d", q)}
+			arow := []string{fmt.Sprintf("%d", q)}
+			for li := range row.Lambdas {
+				srow = append(srow, report.F(stats.Mean(row.SurrogateAcc[li][qi]), 3))
+				arow = append(arow, report.F(stats.Mean(row.OracleAdvAcc[li][qi]), 3))
+			}
+			sur.AddRow(srow...)
+			adv.AddRow(arow...)
+		}
+		b.WriteString(sur.String())
+		b.WriteString(adv.String())
+		diff := &report.Table{Title: "Attack improvement with power info (Δ adv-accuracy, * = p<0.05)", Header: []string{"queries"}}
+		for _, l := range row.Lambdas[1:] {
+			diff.Header = append(diff.Header, fmt.Sprintf("λ=%g", l))
+		}
+		for qi, q := range row.Queries {
+			drow := []string{fmt.Sprintf("%d", q)}
+			for li := 1; li < len(row.Lambdas); li++ {
+				d, p, err := row.Improvement(li, qi)
+				if err != nil {
+					drow = append(drow, "err")
+					continue
+				}
+				drow = append(drow, report.F(d, 3)+report.SignificanceMark(p, 0.05))
+			}
+			diff.AddRow(drow...)
+		}
+		b.WriteString(diff.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Compile-time guards: the experiment relies on these types satisfying
+// the attack interfaces.
+var (
+	_ attack.GradientSource = (*nn.Network)(nil)
+	_                       = crossbar.DefaultDeviceConfig
+)

@@ -1,0 +1,12 @@
+package experiment
+
+import (
+	"testing"
+
+	"xbarsec/internal/rng"
+)
+
+func testSrc(t *testing.T, seed int64) *rng.Source {
+	t.Helper()
+	return rng.New(seed)
+}

@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"xbarsec/internal/report"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/stats"
+)
+
+// Table1Row holds the four correlation coefficients of one Table I line:
+// the per-sample ("mean correlation") and per-dataset ("correlation of
+// mean") Pearson correlations between |∂L/∂u_j| and the power-channel
+// column 1-norm signals, on the train and test splits, averaged over
+// Options.Runs independent training runs.
+type Table1Row struct {
+	Config          ModelConfig
+	MeanCorrTrain   float64
+	MeanCorrTest    float64
+	CorrOfMeanTrain float64
+	CorrOfMeanTest  float64
+}
+
+// Table1Result is the full reproduction of Table I.
+type Table1Result struct {
+	Rows []Table1Row
+	Runs int
+}
+
+// RunTable1 regenerates Table I: for each of the four configurations it
+// trains Runs independent networks, extracts column 1-norm signals from
+// crossbar power, and correlates them with the loss sensitivity.
+func RunTable1(opts Options) (*Table1Result, error) {
+	opts = opts.withDefaults()
+	runs := opts.Runs
+	if runs <= 0 {
+		runs = opts.scaled(5, 2)
+	}
+	root := rng.New(opts.Seed).Split("table1")
+	res := &Table1Result{Runs: runs}
+	for _, cfg := range FourConfigs() {
+		var row Table1Row
+		row.Config = cfg
+		for run := 0; run < runs; run++ {
+			src := root.SplitN(cfg.Name(), run)
+			v, err := buildVictim(cfg, opts, src)
+			if err != nil {
+				return nil, err
+			}
+			mcTrain, cmTrain, err := sensitivityCorrelations(v, true)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s run %d train: %w", cfg.Name(), run, err)
+			}
+			mcTest, cmTest, err := sensitivityCorrelations(v, false)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s run %d test: %w", cfg.Name(), run, err)
+			}
+			row.MeanCorrTrain += mcTrain
+			row.MeanCorrTest += mcTest
+			row.CorrOfMeanTrain += cmTrain
+			row.CorrOfMeanTest += cmTest
+		}
+		inv := 1 / float64(runs)
+		row.MeanCorrTrain *= inv
+		row.MeanCorrTest *= inv
+		row.CorrOfMeanTrain *= inv
+		row.CorrOfMeanTest *= inv
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// sensitivityCorrelations computes, for one victim and one split, the
+// mean per-sample correlation and the correlation of the mean sensitivity
+// against the power-channel signals.
+func sensitivityCorrelations(v *victim, train bool) (meanCorr, corrOfMean float64, err error) {
+	ds := v.test
+	if train {
+		ds = v.train
+	}
+	oh := ds.OneHot()
+	meanAbs := make([]float64, v.net.Inputs())
+	var corrSum float64
+	var corrCount int
+	for i := 0; i < ds.Len(); i++ {
+		g := v.net.InputGradient(ds.X.Row(i), oh.Row(i))
+		for j := range g {
+			g[j] = math.Abs(g[j])
+			meanAbs[j] += g[j]
+		}
+		r, err := stats.Pearson(g, v.signals)
+		if err != nil {
+			// A degenerate sample (constant gradient) carries no
+			// correlation information; skip it.
+			continue
+		}
+		corrSum += r
+		corrCount++
+	}
+	if corrCount == 0 {
+		return 0, 0, fmt.Errorf("experiment: no valid per-sample correlations")
+	}
+	inv := 1 / float64(ds.Len())
+	for j := range meanAbs {
+		meanAbs[j] *= inv
+	}
+	cm, err := stats.Pearson(meanAbs, v.signals)
+	if err != nil {
+		return 0, 0, err
+	}
+	return corrSum / float64(corrCount), cm, nil
+}
+
+// Render formats the result in the layout of the paper's Table I.
+func (r *Table1Result) Render() *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Table I: correlation between |dL/du| and column 1-norms (avg over %d runs)", r.Runs),
+		Header: []string{
+			"Dataset", "Activation",
+			"MeanCorr(Train)", "MeanCorr(Test)",
+			"CorrOfMean(Train)", "CorrOfMean(Test)",
+		},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			row.Config.Kind.String(), row.Config.Act.String(),
+			report.F(row.MeanCorrTrain, 2), report.F(row.MeanCorrTest, 2),
+			report.F(row.CorrOfMeanTrain, 2), report.F(row.CorrOfMeanTest, 2),
+		)
+	}
+	return t
+}

@@ -1,0 +1,235 @@
+// Package linalg supplies the dense numerical linear algebra the paper's
+// Case-2 analysis needs: Householder QR, least-squares solves and the
+// Moore-Penrose pseudoinverse. Section IV of the paper observes that with
+// Q >= N independent queries and access to raw linear outputs the weight
+// matrix is exactly recoverable as W = U† Ŷ; the algebraic extraction
+// baseline in internal/surrogate is built on these routines.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"xbarsec/internal/tensor"
+)
+
+// ErrSingular indicates the system is (numerically) rank deficient where a
+// full-rank factorization was required.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// QR holds a Householder QR factorization A = Q·R with A m x n, m >= n,
+// Q m x n with orthonormal columns (thin form) and R n x n upper
+// triangular.
+type QR struct {
+	q *tensor.Matrix
+	r *tensor.Matrix
+}
+
+// NewQR computes the thin QR factorization of a. It returns an error if a
+// has more columns than rows.
+func NewQR(a *tensor.Matrix) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", m, n)
+	}
+	// Work on a copy; accumulate Householder vectors in-place.
+	r := a.Clone()
+	vs := make([][]float64, 0, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			v := r.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		alpha := -norm
+		if r.At(k, k) < 0 {
+			alpha = norm
+		}
+		v := make([]float64, m-k)
+		v[0] = r.At(k, k) - alpha
+		for i := k + 1; i < m; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		vnorm := tensor.Norm2(v)
+		if vnorm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		for i := range v {
+			v[i] /= vnorm
+		}
+		vs = append(vs, v)
+		// Apply H = I - 2vvᵀ to the trailing submatrix of R.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				r.Add(i, j, -dot*v[i-k])
+			}
+		}
+	}
+	// Form thin Q by applying the Householder reflections to the first n
+	// columns of the identity, in reverse order.
+	q := tensor.New(m, n)
+	for j := 0; j < n; j++ {
+		col := make([]float64, m)
+		col[j] = 1
+		for k := len(vs) - 1; k >= 0; k-- {
+			v := vs[k]
+			if v == nil {
+				continue
+			}
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * col[i]
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				col[i] -= dot * v[i-k]
+			}
+		}
+		for i := 0; i < m; i++ {
+			q.Set(i, j, col[i])
+		}
+	}
+	rr := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rr.Set(i, j, r.At(i, j))
+		}
+	}
+	return &QR{q: q, r: rr}, nil
+}
+
+// Q returns the thin orthonormal factor (a copy).
+func (f *QR) Q() *tensor.Matrix { return f.q.Clone() }
+
+// R returns the upper-triangular factor (a copy).
+func (f *QR) R() *tensor.Matrix { return f.r.Clone() }
+
+// Solve returns x minimizing ||Ax - b||₂ using the factorization.
+// It returns ErrSingular if R has a (numerically) zero diagonal entry.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	m, n := f.q.Rows(), f.q.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: Solve rhs length %d, want %d", len(b), m)
+	}
+	// x = R⁻¹ Qᵀ b.
+	qtb := f.q.VecMat(b)
+	return backSubstitute(f.r, qtb, n)
+}
+
+func backSubstitute(r *tensor.Matrix, y []float64, n int) ([]float64, error) {
+	x := make([]float64, n)
+	scale := r.MaxAbs()
+	tol := 1e-12 * math.Max(scale, 1)
+	for i := n - 1; i >= 0; i-- {
+		d := r.At(i, i)
+		if math.Abs(d) <= tol {
+			return nil, fmt.Errorf("linalg: zero pivot at %d: %w", i, ErrSingular)
+		}
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LeastSquares returns x minimizing ||Ax - b||₂ for a with full column
+// rank.
+func LeastSquares(a *tensor.Matrix, b []float64) ([]float64, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// SolveMatrix solves AX = B in the least-squares sense column by column,
+// returning the n x k matrix X for A m x n and B m x k.
+func SolveMatrix(a, b *tensor.Matrix) (*tensor.Matrix, error) {
+	if a.Rows() != b.Rows() {
+		return nil, fmt.Errorf("linalg: SolveMatrix row mismatch %d vs %d", a.Rows(), b.Rows())
+	}
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	x := tensor.New(a.Cols(), b.Cols())
+	for j := 0; j < b.Cols(); j++ {
+		xj, err := f.Solve(b.Col(j))
+		if err != nil {
+			return nil, fmt.Errorf("linalg: column %d: %w", j, err)
+		}
+		for i, v := range xj {
+			x.Set(i, j, v)
+		}
+	}
+	return x, nil
+}
+
+// PseudoInverse returns the Moore-Penrose pseudoinverse of a full-column-
+// rank matrix a (m x n, m >= n): A† = (AᵀA)⁻¹Aᵀ computed stably through
+// QR as R⁻¹Qᵀ. For m < n the pseudoinverse of the transpose is used,
+// (A†)ᵀ = (Aᵀ)†.
+func PseudoInverse(a *tensor.Matrix) (*tensor.Matrix, error) {
+	if a.Rows() < a.Cols() {
+		pt, err := PseudoInverse(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return pt.T(), nil
+	}
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Cols()
+	inv := tensor.New(n, a.Rows())
+	qt := f.q.T()
+	for j := 0; j < a.Rows(); j++ {
+		x, err := backSubstitute(f.r, qt.Col(j), n)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range x {
+			inv.Set(i, j, v)
+		}
+	}
+	return inv, nil
+}
+
+// RidgeRegression returns x minimizing ||Ax-b||² + lambda||x||², solved
+// through the augmented least-squares system. lambda must be >= 0.
+func RidgeRegression(a *tensor.Matrix, b []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge penalty %v", lambda)
+	}
+	if lambda == 0 {
+		return LeastSquares(a, b)
+	}
+	m, n := a.Rows(), a.Cols()
+	aug := tensor.New(m+n, n)
+	for i := 0; i < m; i++ {
+		aug.SetRow(i, a.Row(i))
+	}
+	s := math.Sqrt(lambda)
+	for i := 0; i < n; i++ {
+		aug.Set(m+i, i, s)
+	}
+	rhs := make([]float64, m+n)
+	copy(rhs, b)
+	return LeastSquares(aug, rhs)
+}

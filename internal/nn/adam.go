@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// AdamConfig controls the Adam trainer, the adaptive-moment alternative
+// to the momentum-SGD trainer in train.go. The paper's single-layer
+// models train fine with SGD; Adam is provided for the MLP extension and
+// for ill-conditioned inputs (dense CIFAR vectors) where per-parameter
+// step adaptation removes the manual learning-rate tuning that SGD needs.
+type AdamConfig struct {
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// BatchSize is the mini-batch size; <= 0 defaults to 32.
+	BatchSize int
+	// LearningRate is the Adam step size (default 1e-3 when 0).
+	LearningRate float64
+	// Beta1 and Beta2 are the moment decay rates (defaults 0.9, 0.999).
+	Beta1, Beta2 float64
+	// Epsilon stabilizes the denominator (default 1e-8).
+	Epsilon float64
+	// ZeroInit starts W at zero (see TrainConfig.ZeroInit).
+	ZeroInit bool
+}
+
+func (c AdamConfig) withDefaults() (AdamConfig, error) {
+	if c.Epochs <= 0 {
+		return c, fmt.Errorf("nn: adam epochs %d must be positive", c.Epochs)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 1e-3
+	}
+	if c.LearningRate < 0 {
+		return c, fmt.Errorf("nn: adam learning rate %v must be positive", c.LearningRate)
+	}
+	if c.Beta1 == 0 {
+		c.Beta1 = 0.9
+	}
+	if c.Beta2 == 0 {
+		c.Beta2 = 0.999
+	}
+	if c.Beta1 < 0 || c.Beta1 >= 1 || c.Beta2 < 0 || c.Beta2 >= 1 {
+		return c, fmt.Errorf("nn: adam betas (%v, %v) out of [0,1)", c.Beta1, c.Beta2)
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-8
+	}
+	if c.Epsilon < 0 {
+		return c, fmt.Errorf("nn: adam epsilon %v must be positive", c.Epsilon)
+	}
+	return c, nil
+}
+
+// TrainAdam fits the network to ds with mini-batch Adam. Semantics match
+// Train: deterministic given (init, dataset, seed).
+func TrainAdam(n *Network, ds *dataset.Dataset, cfg AdamConfig, src *rng.Source) (*TrainResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if ds.Len() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	if ds.Dim() != n.Inputs() {
+		return nil, fmt.Errorf("nn: dataset dim %d != network inputs %d", ds.Dim(), n.Inputs())
+	}
+	if ds.NumClasses != n.Outputs() {
+		return nil, fmt.Errorf("nn: dataset classes %d != network outputs %d", ds.NumClasses, n.Outputs())
+	}
+	targets := ds.OneHot()
+	m1 := tensor.New(n.Outputs(), n.Inputs()) // first moment
+	m2 := tensor.New(n.Outputs(), n.Inputs()) // second moment
+	grad := tensor.New(n.Outputs(), n.Inputs())
+	res := &TrainResult{EpochLosses: make([]float64, 0, cfg.Epochs)}
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := src.Perm(ds.Len())
+		var epochLoss float64
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			grad.Fill(0)
+			for _, idx := range perm[start:end] {
+				u := ds.X.Row(idx)
+				t := targets.Row(idx)
+				delta, y := n.outputDelta(u, t)
+				epochLoss += lossValue(n.Crit, y, t)
+				for i, d := range delta {
+					if d == 0 {
+						continue
+					}
+					row := grad.Row(i)
+					for j, uj := range u {
+						row[j] += d * uj
+					}
+				}
+			}
+			grad.Scale(1 / float64(end-start))
+			step++
+			bc1 := 1 - math.Pow(cfg.Beta1, float64(step))
+			bc2 := 1 - math.Pow(cfg.Beta2, float64(step))
+			gd, m1d, m2d, wd := grad.Data(), m1.Data(), m2.Data(), n.W.Data()
+			for k, g := range gd {
+				m1d[k] = cfg.Beta1*m1d[k] + (1-cfg.Beta1)*g
+				m2d[k] = cfg.Beta2*m2d[k] + (1-cfg.Beta2)*g*g
+				mhat := m1d[k] / bc1
+				vhat := m2d[k] / bc2
+				wd[k] -= cfg.LearningRate * mhat / (math.Sqrt(vhat) + cfg.Epsilon)
+			}
+		}
+		res.EpochLosses = append(res.EpochLosses, epochLoss/float64(ds.Len()))
+	}
+	return res, nil
+}
+
+// TrainNewAdam builds, initializes and Adam-trains a network for ds.
+func TrainNewAdam(ds *dataset.Dataset, act Activation, crit Loss, cfg AdamConfig, src *rng.Source) (*Network, *TrainResult, error) {
+	n, err := NewNetwork(ds.NumClasses, ds.Dim(), act, crit)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cfg.ZeroInit {
+		n.InitXavier(src.Split("init"))
+	}
+	res, err := TrainAdam(n, ds, cfg, src.Split("adam"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, res, nil
+}

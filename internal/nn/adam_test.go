@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"testing"
+
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/rng"
+)
+
+func TestAdamConfigDefaults(t *testing.T) {
+	cfg, err := AdamConfig{Epochs: 1}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.LearningRate != 1e-3 || cfg.Beta1 != 0.9 || cfg.Beta2 != 0.999 || cfg.Epsilon != 1e-8 || cfg.BatchSize != 32 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestAdamConfigValidation(t *testing.T) {
+	bad := []AdamConfig{
+		{Epochs: 0},
+		{Epochs: 1, LearningRate: -1},
+		{Epochs: 1, Beta1: 1},
+		{Epochs: 1, Beta2: -0.1},
+		{Epochs: 1, Epsilon: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := cfg.withDefaults(); err == nil {
+			t.Fatalf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestAdamLearnsDigits(t *testing.T) {
+	src := rng.New(31)
+	ds, err := dataset.GenerateMNISTLike(src.Split("d"), 250, dataset.MNISTLikeConfig{
+		Size: 12, StrokeWidth: 0.06, Jitter: 0.4, PixelNoise: 0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, res, err := TrainNewAdam(ds, ActSoftmax, LossCrossEntropy, AdamConfig{
+		Epochs: 15, BatchSize: 32, LearningRate: 5e-3, ZeroInit: true,
+	}, src.Split("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpochLosses[len(res.EpochLosses)-1] >= res.EpochLosses[0] {
+		t.Fatal("Adam did not reduce loss")
+	}
+	if acc := net.Accuracy(ds); acc < 0.85 {
+		t.Fatalf("Adam train accuracy %v too low", acc)
+	}
+}
+
+// Adam's selling point here: the same default learning rate works on both
+// sparse MNIST vectors and dense CIFAR vectors, where SGD needs manual
+// rate scaling (see experiment.trainCfgFor).
+func TestAdamHandlesDenseInputsAtDefaultRate(t *testing.T) {
+	src := rng.New(32)
+	ds, err := dataset.GenerateCIFARLike(src.Split("d"), 200, dataset.DefaultCIFARLikeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, res, err := TrainNewAdam(ds, ActLinear, LossMSE, AdamConfig{
+		Epochs: 10, BatchSize: 32, ZeroInit: true,
+	}, src.Split("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.EpochLosses[len(res.EpochLosses)-1]
+	if last >= res.EpochLosses[0] {
+		t.Fatalf("Adam diverged on dense inputs: %v -> %v", res.EpochLosses[0], last)
+	}
+	if acc := net.Accuracy(ds); acc < 0.3 {
+		t.Fatalf("Adam train accuracy %v too low on dense inputs", acc)
+	}
+}
+
+func TestAdamValidationMismatches(t *testing.T) {
+	src := rng.New(33)
+	ds, _ := dataset.GenerateMNISTLike(src, 20, dataset.MNISTLikeConfig{Size: 8, StrokeWidth: 0.06, Jitter: 0, PixelNoise: 0})
+	wrong, _ := NewNetwork(10, 5, ActLinear, LossMSE)
+	if _, err := TrainAdam(wrong, ds, AdamConfig{Epochs: 1}, src); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+	wrongC, _ := NewNetwork(3, ds.Dim(), ActLinear, LossMSE)
+	if _, err := TrainAdam(wrongC, ds, AdamConfig{Epochs: 1}, src); err == nil {
+		t.Fatal("class mismatch must error")
+	}
+}
+
+func TestAdamDeterminism(t *testing.T) {
+	src1, src2 := rng.New(34), rng.New(34)
+	ds1, _ := dataset.GenerateMNISTLike(src1.Split("d"), 50, dataset.MNISTLikeConfig{Size: 8, StrokeWidth: 0.06, Jitter: 0.3, PixelNoise: 0.02})
+	ds2, _ := dataset.GenerateMNISTLike(src2.Split("d"), 50, dataset.MNISTLikeConfig{Size: 8, StrokeWidth: 0.06, Jitter: 0.3, PixelNoise: 0.02})
+	cfg := AdamConfig{Epochs: 4, BatchSize: 16, ZeroInit: true}
+	a, _, err := TrainNewAdam(ds1, ActLinear, LossMSE, cfg, src1.Split("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := TrainNewAdam(ds2, ActLinear, LossMSE, cfg, src2.Split("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.W.Equal(b.W, 0) {
+		t.Fatal("Adam must be deterministic per seed")
+	}
+}

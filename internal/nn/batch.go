@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"fmt"
+
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/tensor"
+)
+
+// Batched inference paths. The attack sweeps evaluate thousands of
+// perturbed inputs per point; doing it as one matrix product instead of a
+// MatVec per sample keeps the Figure 4/5 harnesses fast.
+
+// ForwardBatch returns f(X Wᵀ): one output row per input row of x.
+func (n *Network) ForwardBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if x.Cols() != n.Inputs() {
+		return nil, fmt.Errorf("nn: batch width %d, want %d", x.Cols(), n.Inputs())
+	}
+	s := x.MatMul(n.W.T())
+	for i := 0; i < s.Rows(); i++ {
+		applyActivation(n.Act, s.Row(i))
+	}
+	return s, nil
+}
+
+// PredictBatch returns the argmax class per input row of x.
+func (n *Network) PredictBatch(x *tensor.Matrix) ([]int, error) {
+	y, err := n.ForwardBatch(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, y.Rows())
+	for i := range out {
+		out[i] = tensor.ArgMax(y.Row(i))
+	}
+	return out, nil
+}
+
+// AccuracyBatch computes top-1 accuracy over ds through the batched path.
+// It returns the same value as Accuracy.
+func (n *Network) AccuracyBatch(ds *dataset.Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, dataset.ErrEmpty
+	}
+	preds, err := n.PredictBatch(ds.X)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == ds.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+// InputGradientBatch returns one ∂L/∂u row per (input, target) row pair.
+func (n *Network) InputGradientBatch(x, targets *tensor.Matrix) (*tensor.Matrix, error) {
+	if x.Cols() != n.Inputs() {
+		return nil, fmt.Errorf("nn: batch width %d, want %d", x.Cols(), n.Inputs())
+	}
+	if targets.Rows() != x.Rows() || targets.Cols() != n.Outputs() {
+		return nil, fmt.Errorf("nn: target shape %dx%d, want %dx%d", targets.Rows(), targets.Cols(), x.Rows(), n.Outputs())
+	}
+	out := tensor.New(x.Rows(), n.Inputs())
+	for i := 0; i < x.Rows(); i++ {
+		out.SetRow(i, n.InputGradient(x.Row(i), targets.Row(i)))
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// MLP is a small multi-layer perceptron: the paper's conclusion names
+// multi-layer networks as the key future-work direction for power-channel
+// attacks, and this type powers the corresponding extension experiment
+// (ablation A4). Hidden layers use a fixed element-wise activation;
+// the output head follows the same activation/loss pairing rules as
+// Network. On crossbar hardware each layer occupies its own array, so the
+// power side channel observes the sum of per-layer currents; see
+// experiment.RunDepthAblation.
+type MLP struct {
+	// Layers holds the weight matrices, layer l mapping activations of
+	// width Layers[l].Cols() to Layers[l].Rows().
+	Layers []*tensor.Matrix
+	// Hidden is the hidden-layer activation (ActSigmoid or ActReLU).
+	Hidden Activation
+	// Out and Crit describe the output head.
+	Out  Activation
+	Crit Loss
+}
+
+// NewMLP builds a zero-initialized MLP with the given layer widths, e.g.
+// widths = [784, 100, 10] for one hidden layer of 100 units.
+func NewMLP(widths []int, hidden, out Activation, crit Loss) (*MLP, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs at least 2 widths, got %d", len(widths))
+	}
+	for i, w := range widths {
+		if w <= 0 {
+			return nil, fmt.Errorf("nn: MLP width %d at position %d", w, i)
+		}
+	}
+	if hidden != ActSigmoid && hidden != ActReLU {
+		return nil, fmt.Errorf("nn: hidden activation %v: %w", hidden, ErrBadConfig)
+	}
+	// Reuse the head validation from NewNetwork.
+	if _, err := NewNetwork(widths[len(widths)-1], widths[len(widths)-2], out, crit); err != nil {
+		return nil, err
+	}
+	layers := make([]*tensor.Matrix, len(widths)-1)
+	for l := range layers {
+		layers[l] = tensor.New(widths[l+1], widths[l])
+	}
+	return &MLP{Layers: layers, Hidden: hidden, Out: out, Crit: crit}, nil
+}
+
+// InitXavier fills every layer with Glorot-uniform values.
+func (m *MLP) InitXavier(src *rng.Source) {
+	for l, w := range m.Layers {
+		limit := xavierLimit(w.Rows(), w.Cols())
+		layerSrc := src.SplitN("layer", l)
+		d := w.Data()
+		for i := range d {
+			d[i] = layerSrc.Uniform(-limit, limit)
+		}
+	}
+}
+
+func xavierLimit(rows, cols int) float64 {
+	return math.Sqrt(6 / float64(rows+cols))
+}
+
+// Inputs returns the input dimensionality.
+func (m *MLP) Inputs() int { return m.Layers[0].Cols() }
+
+// Outputs returns the output dimensionality.
+func (m *MLP) Outputs() int { return m.Layers[len(m.Layers)-1].Rows() }
+
+// forwardPass returns the pre-activations and activations of every layer.
+// acts[0] is the input; acts[l+1] = f_l(Layers[l]·acts[l]).
+func (m *MLP) forwardPass(u []float64) (pre [][]float64, acts [][]float64) {
+	acts = make([][]float64, len(m.Layers)+1)
+	pre = make([][]float64, len(m.Layers))
+	acts[0] = u
+	for l, w := range m.Layers {
+		s := w.MatVec(acts[l])
+		pre[l] = s
+		act := m.Hidden
+		if l == len(m.Layers)-1 {
+			act = m.Out
+		}
+		acts[l+1] = applyActivation(act, tensor.CloneVec(s))
+	}
+	return pre, acts
+}
+
+// Forward returns the network output for input u.
+func (m *MLP) Forward(u []float64) []float64 {
+	_, acts := m.forwardPass(u)
+	return acts[len(acts)-1]
+}
+
+// Predict returns the argmax class for input u.
+func (m *MLP) Predict(u []float64) int { return tensor.ArgMax(m.Forward(u)) }
+
+// LossValue returns the loss for input u and target t.
+func (m *MLP) LossValue(u, target []float64) float64 {
+	return lossValue(m.Crit, m.Forward(u), target)
+}
+
+// backprop returns the per-layer weight gradients and the loss gradient
+// with respect to the input.
+func (m *MLP) backprop(u, target []float64) (grads []*tensor.Matrix, inputGrad []float64) {
+	pre, acts := m.forwardPass(u)
+	last := len(m.Layers) - 1
+	// Output delta, as in Network.outputDelta.
+	y := acts[last+1]
+	var delta []float64
+	switch {
+	case m.Out == ActSoftmax && m.Crit == LossCrossEntropy:
+		delta = tensor.SubVec(y, target)
+	case m.Out == ActLinear && m.Crit == LossMSE:
+		delta = tensor.ScaleVec(2/float64(len(y)), tensor.SubVec(y, target))
+	case m.Out == ActSigmoid && m.Crit == LossMSE:
+		delta = make([]float64, len(y))
+		for i := range y {
+			delta[i] = 2 / float64(len(y)) * (y[i] - target[i]) * y[i] * (1 - y[i])
+		}
+	case m.Out == ActReLU && m.Crit == LossMSE:
+		delta = make([]float64, len(y))
+		for i := range y {
+			if pre[last][i] > 0 {
+				delta[i] = 2 / float64(len(y)) * (y[i] - target[i])
+			}
+		}
+	default:
+		panic(fmt.Sprintf("nn: unsupported MLP head %v/%v", m.Out, m.Crit))
+	}
+	grads = make([]*tensor.Matrix, len(m.Layers))
+	for l := last; l >= 0; l-- {
+		g := tensor.New(m.Layers[l].Rows(), m.Layers[l].Cols())
+		in := acts[l]
+		for i, d := range delta {
+			if d == 0 {
+				continue
+			}
+			row := g.Row(i)
+			for j, aj := range in {
+				row[j] = d * aj
+			}
+		}
+		grads[l] = g
+		// Propagate delta to the previous layer.
+		back := m.Layers[l].VecMat(delta)
+		if l > 0 {
+			switch m.Hidden {
+			case ActSigmoid:
+				for j := range back {
+					a := acts[l][j]
+					back[j] *= a * (1 - a)
+				}
+			case ActReLU:
+				for j := range back {
+					if pre[l-1][j] <= 0 {
+						back[j] = 0
+					}
+				}
+			}
+		}
+		delta = back
+	}
+	return grads, delta
+}
+
+// InputGradient returns ∂L/∂u, making MLP usable as an attack gradient
+// source.
+func (m *MLP) InputGradient(u, target []float64) []float64 {
+	_, g := m.backprop(u, target)
+	return g
+}
+
+// Accuracy returns top-1 accuracy on ds.
+func (m *MLP) Accuracy(ds *dataset.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < ds.Len(); i++ {
+		if m.Predict(ds.X.Row(i)) == ds.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// TrainMLP fits the MLP with mini-batch SGD; the configuration semantics
+// match Train.
+func TrainMLP(m *MLP, ds *dataset.Dataset, cfg TrainConfig, src *rng.Source) (*TrainResult, error) {
+	if ds.Len() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	if ds.Dim() != m.Inputs() {
+		return nil, fmt.Errorf("nn: dataset dim %d != MLP inputs %d", ds.Dim(), m.Inputs())
+	}
+	if ds.NumClasses != m.Outputs() {
+		return nil, fmt.Errorf("nn: dataset classes %d != MLP outputs %d", ds.NumClasses, m.Outputs())
+	}
+	if cfg.Epochs <= 0 || cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("nn: invalid MLP training config %+v", cfg)
+	}
+	if cfg.Momentum < 0 || cfg.Momentum >= 1 {
+		return nil, fmt.Errorf("nn: momentum %v out of [0,1)", cfg.Momentum)
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 32
+	}
+	targets := ds.OneHot()
+	velocity := make([]*tensor.Matrix, len(m.Layers))
+	sums := make([]*tensor.Matrix, len(m.Layers))
+	for l, w := range m.Layers {
+		velocity[l] = tensor.New(w.Rows(), w.Cols())
+		sums[l] = tensor.New(w.Rows(), w.Cols())
+	}
+	res := &TrainResult{EpochLosses: make([]float64, 0, cfg.Epochs)}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := src.Perm(ds.Len())
+		var epochLoss float64
+		for start := 0; start < len(perm); start += batch {
+			end := start + batch
+			if end > len(perm) {
+				end = len(perm)
+			}
+			for _, s := range sums {
+				s.Fill(0)
+			}
+			for _, idx := range perm[start:end] {
+				u := ds.X.Row(idx)
+				t := targets.Row(idx)
+				grads, _ := m.backprop(u, t)
+				epochLoss += m.LossValue(u, t)
+				for l, g := range grads {
+					sums[l].AddMatrix(g)
+				}
+			}
+			scale := 1 / float64(end-start)
+			for l := range m.Layers {
+				velocity[l].Scale(cfg.Momentum)
+				velocity[l].AddScaled(-cfg.LearningRate*scale, sums[l])
+				if cfg.WeightDecay > 0 {
+					velocity[l].AddScaled(-cfg.LearningRate*cfg.WeightDecay, m.Layers[l])
+				}
+				m.Layers[l].AddMatrix(velocity[l])
+			}
+		}
+		res.EpochLosses = append(res.EpochLosses, epochLoss/float64(ds.Len()))
+	}
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+func TestNewMLPValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		widths  []int
+		hidden  Activation
+		out     Activation
+		crit    Loss
+		wantErr bool
+	}{
+		{"one hidden relu", []int{8, 16, 4}, ActReLU, ActSoftmax, LossCrossEntropy, false},
+		{"two hidden sigmoid", []int{8, 16, 8, 4}, ActSigmoid, ActLinear, LossMSE, false},
+		{"too few widths", []int{8}, ActReLU, ActLinear, LossMSE, true},
+		{"zero width", []int{8, 0, 4}, ActReLU, ActLinear, LossMSE, true},
+		{"bad hidden", []int{8, 16, 4}, ActSoftmax, ActLinear, LossMSE, true},
+		{"bad head", []int{8, 16, 4}, ActReLU, ActSoftmax, LossMSE, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewMLP(tt.widths, tt.hidden, tt.out, tt.crit)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMLPShapes(t *testing.T) {
+	m, err := NewMLP([]int{12, 20, 5}, ActReLU, ActSoftmax, LossCrossEntropy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Inputs() != 12 || m.Outputs() != 5 {
+		t.Fatalf("shapes %d/%d", m.Inputs(), m.Outputs())
+	}
+	m.InitXavier(rng.New(1))
+	y := m.Forward(make([]float64, 12))
+	if len(y) != 5 {
+		t.Fatalf("output len %d", len(y))
+	}
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax output sums to %v", sum)
+	}
+}
+
+func TestMLPInputGradientMatchesNumerical(t *testing.T) {
+	for _, hidden := range []Activation{ActSigmoid, ActReLU} {
+		t.Run(hidden.String(), func(t *testing.T) {
+			src := rng.New(3)
+			m, err := NewMLP([]int{6, 10, 4}, hidden, ActSoftmax, LossCrossEntropy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.InitXavier(src)
+			u := src.UniformVec(6, 0.1, 0.9)
+			target := []float64{0, 0, 1, 0}
+			got := m.InputGradient(u, target)
+			const h = 1e-6
+			for j := range u {
+				up, um := tensor.CloneVec(u), tensor.CloneVec(u)
+				up[j] += h
+				um[j] -= h
+				want := (m.LossValue(up, target) - m.LossValue(um, target)) / (2 * h)
+				if math.Abs(got[j]-want) > 1e-4 {
+					t.Fatalf("grad[%d] = %v, numerical %v", j, got[j], want)
+				}
+			}
+		})
+	}
+}
+
+func TestMLPWeightGradientMatchesNumerical(t *testing.T) {
+	src := rng.New(5)
+	m, err := NewMLP([]int{5, 7, 3}, ActSigmoid, ActLinear, LossMSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitXavier(src)
+	u := src.UniformVec(5, 0.1, 0.9)
+	target := []float64{1, 0, 0}
+	grads, _ := m.backprop(u, target)
+	const h = 1e-6
+	for l, g := range grads {
+		w := m.Layers[l]
+		for i := 0; i < w.Rows(); i++ {
+			for j := 0; j < w.Cols(); j++ {
+				orig := w.At(i, j)
+				w.Set(i, j, orig+h)
+				lp := m.LossValue(u, target)
+				w.Set(i, j, orig-h)
+				lm := m.LossValue(u, target)
+				w.Set(i, j, orig)
+				want := (lp - lm) / (2 * h)
+				if math.Abs(g.At(i, j)-want) > 1e-4 {
+					t.Fatalf("layer %d grad(%d,%d) = %v, numerical %v", l, i, j, g.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestMLPTrainingLearnsNonlinearTask(t *testing.T) {
+	src := rng.New(9)
+	ds, err := dataset.GenerateMNISTLike(src.Split("d"), 300, dataset.MNISTLikeConfig{
+		Size: 10, StrokeWidth: 0.06, Jitter: 0.4, PixelNoise: 0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMLP([]int{ds.Dim(), 32, ds.NumClasses}, ActReLU, ActSoftmax, LossCrossEntropy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitXavier(src.Split("init"))
+	res, err := TrainMLP(m, ds, TrainConfig{Epochs: 25, BatchSize: 16, LearningRate: 0.1, Momentum: 0.9}, src.Split("sgd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpochLosses[len(res.EpochLosses)-1] >= res.EpochLosses[0] {
+		t.Fatal("MLP training did not reduce loss")
+	}
+	if acc := m.Accuracy(ds); acc < 0.85 {
+		t.Fatalf("MLP train accuracy %v too low", acc)
+	}
+}
+
+func TestTrainMLPValidation(t *testing.T) {
+	src := rng.New(2)
+	ds, _ := dataset.GenerateMNISTLike(src, 20, dataset.MNISTLikeConfig{Size: 8, StrokeWidth: 0.06, Jitter: 0, PixelNoise: 0})
+	m, _ := NewMLP([]int{ds.Dim(), 8, 10}, ActReLU, ActSoftmax, LossCrossEntropy)
+	if _, err := TrainMLP(m, ds, TrainConfig{Epochs: 0, LearningRate: 0.1}, src); err == nil {
+		t.Fatal("zero epochs must error")
+	}
+	wrong, _ := NewMLP([]int{5, 8, 10}, ActReLU, ActSoftmax, LossCrossEntropy)
+	if _, err := TrainMLP(wrong, ds, TrainConfig{Epochs: 1, LearningRate: 0.1}, src); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+	wrongC, _ := NewMLP([]int{ds.Dim(), 8, 3}, ActReLU, ActSoftmax, LossCrossEntropy)
+	if _, err := TrainMLP(wrongC, ds, TrainConfig{Epochs: 1, LearningRate: 0.1}, src); err == nil {
+		t.Fatal("class mismatch must error")
+	}
+	empty := &dataset.Dataset{X: tensor.New(0, ds.Dim()), NumClasses: 10, Width: ds.Width, Height: ds.Height, Channels: 1}
+	if _, err := TrainMLP(m, empty, TrainConfig{Epochs: 1, LearningRate: 0.1}, src); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}
+
+func TestMLPImplementsGradientSourceShape(t *testing.T) {
+	m, _ := NewMLP([]int{4, 6, 2}, ActReLU, ActLinear, LossMSE)
+	m.InitXavier(rng.New(1))
+	g := m.InputGradient([]float64{0.1, 0.2, 0.3, 0.4}, []float64{1, 0})
+	if len(g) != 4 {
+		t.Fatalf("input gradient length %d", len(g))
+	}
+}

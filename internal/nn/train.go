@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"fmt"
+
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// TrainConfig controls the mini-batch SGD trainer.
+type TrainConfig struct {
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// BatchSize is the mini-batch size; values <= 0 default to 32.
+	BatchSize int
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Momentum is the classical momentum coefficient in [0, 1).
+	Momentum float64
+	// WeightDecay is the L2 penalty coefficient (0 disables).
+	WeightDecay float64
+	// ZeroInit starts W at zero instead of Xavier. For single-layer
+	// (convex) problems this removes init noise from the trained weights
+	// — there is no symmetry to break — giving cleaner column-norm
+	// structure; it emulates fully-converged training.
+	ZeroInit bool
+}
+
+// DefaultTrainConfig returns the settings used by the experiments, sized
+// for the single-layer networks of the paper.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, BatchSize: 32, LearningRate: 0.05, Momentum: 0.9}
+}
+
+// TrainResult reports the trajectory of a training run.
+type TrainResult struct {
+	// EpochLosses holds the mean training loss after each epoch.
+	EpochLosses []float64
+}
+
+// Train fits the network to ds with one-hot targets using mini-batch SGD.
+// The shuffle order is drawn from src, so training is fully deterministic
+// given (network init, dataset, seed).
+func Train(n *Network, ds *dataset.Dataset, cfg TrainConfig, src *rng.Source) (*TrainResult, error) {
+	if ds.Len() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	if ds.Dim() != n.Inputs() {
+		return nil, fmt.Errorf("nn: dataset dim %d != network inputs %d", ds.Dim(), n.Inputs())
+	}
+	if ds.NumClasses != n.Outputs() {
+		return nil, fmt.Errorf("nn: dataset classes %d != network outputs %d", ds.NumClasses, n.Outputs())
+	}
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("nn: epochs %d must be positive", cfg.Epochs)
+	}
+	if cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("nn: learning rate %v must be positive", cfg.LearningRate)
+	}
+	if cfg.Momentum < 0 || cfg.Momentum >= 1 {
+		return nil, fmt.Errorf("nn: momentum %v out of [0,1)", cfg.Momentum)
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 32
+	}
+	targets := ds.OneHot()
+	velocity := tensor.New(n.Outputs(), n.Inputs())
+	grad := tensor.New(n.Outputs(), n.Inputs())
+	res := &TrainResult{EpochLosses: make([]float64, 0, cfg.Epochs)}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := src.Perm(ds.Len())
+		var epochLoss float64
+		for start := 0; start < len(perm); start += batch {
+			end := start + batch
+			if end > len(perm) {
+				end = len(perm)
+			}
+			grad.Fill(0)
+			for _, idx := range perm[start:end] {
+				u := ds.X.Row(idx)
+				t := targets.Row(idx)
+				delta, y := n.outputDelta(u, t)
+				epochLoss += lossValue(n.Crit, y, t)
+				for i, d := range delta {
+					if d == 0 {
+						continue
+					}
+					row := grad.Row(i)
+					for j, uj := range u {
+						row[j] += d * uj
+					}
+				}
+			}
+			scale := 1 / float64(end-start)
+			// v ← µv − η(∇ + wd·W); W ← W + v
+			velocity.Scale(cfg.Momentum)
+			velocity.AddScaled(-cfg.LearningRate*scale, grad)
+			if cfg.WeightDecay > 0 {
+				velocity.AddScaled(-cfg.LearningRate*cfg.WeightDecay, n.W)
+			}
+			n.W.AddMatrix(velocity)
+		}
+		res.EpochLosses = append(res.EpochLosses, epochLoss/float64(ds.Len()))
+	}
+	return res, nil
+}
+
+// TrainNew builds, initializes and trains a network for ds in one call.
+func TrainNew(ds *dataset.Dataset, act Activation, crit Loss, cfg TrainConfig, src *rng.Source) (*Network, *TrainResult, error) {
+	n, err := NewNetwork(ds.NumClasses, ds.Dim(), act, crit)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cfg.ZeroInit {
+		n.InitXavier(src.Split("init"))
+	}
+	res, err := Train(n, ds, cfg, src.Split("sgd"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, res, nil
+}

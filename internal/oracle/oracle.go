@@ -1,0 +1,270 @@
+// Package oracle implements the black-box query interface of the paper's
+// Section IV: the attacked model (the "oracle") runs on a crossbar, and an
+// attacker submits inputs and observes some combination of the predicted
+// label, the raw output vector, and the power consumption — never the
+// weights. Query accounting lives here so experiments can report attack
+// cost in oracle queries exactly as the paper's Figure 5 does.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// Mode selects how much of the oracle's output a query reveals.
+type Mode int
+
+const (
+	// LabelOnly reveals just the argmax class (paper Fig. 5 rows 1 and 3).
+	LabelOnly Mode = iota + 1
+	// RawOutput reveals the full output vector (rows 2 and 4).
+	RawOutput
+)
+
+// String returns the mode name used in reports.
+func (m Mode) String() string {
+	switch m {
+	case LabelOnly:
+		return "label-only"
+	case RawOutput:
+		return "raw-output"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Response is what one query reveals to the attacker.
+type Response struct {
+	// Label is the oracle's predicted class.
+	Label int
+	// Raw is the full output vector; nil in LabelOnly mode.
+	Raw []float64
+	// Power is the measured crossbar power for this query in the paper's
+	// normalized convention (Section II-B normalizes all voltages,
+	// currents and conductances): physical watts divided by Vdd²·scale,
+	// i.e. Σ_j u_j Σ_i |w_ij| for an ideal array. 0 when the oracle was
+	// constructed without power measurement.
+	Power float64
+}
+
+// ErrBudgetExhausted indicates the oracle's query budget has been spent;
+// further queries are refused until ResetQueries.
+var ErrBudgetExhausted = errors.New("oracle: query budget exhausted")
+
+// Oracle wraps a crossbar-hosted network behind a query-counting
+// interface.
+type Oracle struct {
+	hw           *crossbar.Network
+	mode         Mode
+	measurePower bool
+	powerNoise   float64
+	noiseSrc     *rng.Source
+	queries      int
+	budget       int
+}
+
+// Config controls what an Oracle exposes.
+type Config struct {
+	// Mode selects label-only or raw-output responses.
+	Mode Mode
+	// MeasurePower attaches a power meter to every query.
+	MeasurePower bool
+	// PowerNoiseStd is the relative instrument noise on power readings;
+	// requires Src when positive.
+	PowerNoiseStd float64
+	// Src supplies measurement noise randomness.
+	Src *rng.Source
+	// Budget caps the number of attacker queries; 0 means unlimited.
+	// Exceeding it makes Query return ErrBudgetExhausted — useful for
+	// enforcing the query-efficiency comparisons of Figure 5.
+	Budget int
+}
+
+// New wraps hw as a query-counting oracle.
+func New(hw *crossbar.Network, cfg Config) (*Oracle, error) {
+	if hw == nil {
+		return nil, errors.New("oracle: nil hardware network")
+	}
+	switch cfg.Mode {
+	case LabelOnly, RawOutput:
+	default:
+		return nil, fmt.Errorf("oracle: unknown mode %v", cfg.Mode)
+	}
+	if cfg.PowerNoiseStd < 0 {
+		return nil, fmt.Errorf("oracle: negative power noise %v", cfg.PowerNoiseStd)
+	}
+	if cfg.PowerNoiseStd > 0 && cfg.Src == nil {
+		return nil, errors.New("oracle: power noise requires a random source")
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("oracle: negative query budget %d", cfg.Budget)
+	}
+	return &Oracle{
+		hw: hw, mode: cfg.Mode, measurePower: cfg.MeasurePower,
+		powerNoise: cfg.PowerNoiseStd, noiseSrc: cfg.Src, budget: cfg.Budget,
+	}, nil
+}
+
+// Mode returns the configured disclosure mode.
+func (o *Oracle) Mode() Mode { return o.mode }
+
+// Inputs returns the input dimensionality.
+func (o *Oracle) Inputs() int { return o.hw.Inputs() }
+
+// Outputs returns the number of classes.
+func (o *Oracle) Outputs() int { return o.hw.Outputs() }
+
+// Queries returns the number of attacker queries so far.
+func (o *Oracle) Queries() int { return o.queries }
+
+// ResetQueries zeroes the attacker query counter.
+func (o *Oracle) ResetQueries() { o.queries = 0 }
+
+// Budget returns the configured query cap (0 = unlimited).
+func (o *Oracle) Budget() int { return o.budget }
+
+// Remaining returns how many queries are left, or -1 when unlimited.
+func (o *Oracle) Remaining() int {
+	if o.budget == 0 {
+		return -1
+	}
+	r := o.budget - o.queries
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Query runs one attacker query against the oracle.
+func (o *Oracle) Query(u []float64) (Response, error) {
+	if o.budget > 0 && o.queries >= o.budget {
+		return Response{}, ErrBudgetExhausted
+	}
+	y, err := o.hw.Forward(u)
+	if err != nil {
+		return Response{}, err
+	}
+	o.queries++
+	resp := Response{Label: tensor.ArgMax(y)}
+	if o.mode == RawOutput {
+		resp.Raw = y
+	}
+	if o.measurePower {
+		p, err := o.hw.Power(u)
+		if err != nil {
+			return Response{}, err
+		}
+		if o.powerNoise > 0 {
+			p *= 1 + o.noiseSrc.Normal(0, o.powerNoise)
+		}
+		// Normalize to weight units (paper §II-B convention).
+		xb := o.hw.Crossbar()
+		vdd := xb.Config().Vdd
+		resp.Power = p / (vdd * vdd * xb.Scale())
+	}
+	return resp, nil
+}
+
+// QuerySet holds the attacker's accumulated query data, ready for
+// surrogate training: one row of U per query, matching rows of Y (targets)
+// and entries of P (power).
+type QuerySet struct {
+	// U is the Q x N matrix of query inputs.
+	U *tensor.Matrix
+	// Y is the Q x M matrix of targets: raw outputs in RawOutput mode,
+	// one-hot oracle labels in LabelOnly mode.
+	Y *tensor.Matrix
+	// P holds the power measurement per query (nil when power was not
+	// measured).
+	P []float64
+	// Labels holds the oracle's predicted label per query.
+	Labels []int
+}
+
+// Len returns the number of collected queries.
+func (q *QuerySet) Len() int { return q.U.Rows() }
+
+// Collect submits the first q rows of ds (after a shuffle drawn from src)
+// to the oracle and assembles the attacker's training set. This mirrors
+// the paper's protocol: queries are drawn from the training distribution,
+// and responses plus power readings become the surrogate's dataset.
+func Collect(o *Oracle, ds *dataset.Dataset, q int, src *rng.Source) (*QuerySet, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("oracle: query budget %d must be positive", q)
+	}
+	if q > ds.Len() {
+		q = ds.Len()
+	}
+	sub := ds.SampleN(src, q)
+	u := tensor.New(q, o.Inputs())
+	y := tensor.New(q, o.Outputs())
+	labels := make([]int, q)
+	var p []float64
+	if o.measurePower {
+		p = make([]float64, q)
+	}
+	for i := 0; i < q; i++ {
+		row := sub.X.Row(i)
+		resp, err := o.Query(row)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: query %d: %w", i, err)
+		}
+		u.SetRow(i, row)
+		labels[i] = resp.Label
+		if o.mode == RawOutput {
+			y.SetRow(i, resp.Raw)
+		} else {
+			y.Set(i, resp.Label, 1)
+		}
+		if o.measurePower {
+			p[i] = resp.Power
+		}
+	}
+	return &QuerySet{U: u, Y: y, P: p, Labels: labels}, nil
+}
+
+// AccuracyOn evaluates the oracle network's clean accuracy on ds. This is
+// the experimenter's (not the attacker's) measurement and does not count
+// queries.
+func (o *Oracle) AccuracyOn(ds *dataset.Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, dataset.ErrEmpty
+	}
+	correct := 0
+	for i := 0; i < ds.Len(); i++ {
+		label, err := o.hw.Predict(ds.X.Row(i))
+		if err != nil {
+			return 0, err
+		}
+		if label == ds.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+// AccuracyOnPerturbed evaluates oracle accuracy when each test input is
+// perturbed by perturb before classification (the adversarial test
+// accuracy of Figures 4 and 5).
+func (o *Oracle) AccuracyOnPerturbed(ds *dataset.Dataset, perturb func(i int, u []float64) []float64) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, dataset.ErrEmpty
+	}
+	correct := 0
+	for i := 0; i < ds.Len(); i++ {
+		u := perturb(i, tensor.CloneVec(ds.X.Row(i)))
+		label, err := o.hw.Predict(u)
+		if err != nil {
+			return 0, err
+		}
+		if label == ds.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}

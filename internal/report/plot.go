@@ -1,0 +1,135 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// LinePlot renders one or more series sharing an x-axis as an ASCII chart
+// so the CLI can show Figure 4/5-style curves directly in a terminal.
+type LinePlot struct {
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Width and Height are the plotting area size in characters
+	// (defaults 60x16).
+	Width, Height int
+	// Series holds the curves; all must share X values.
+	Series []Series
+}
+
+// seriesGlyphs distinguish up to six curves.
+const seriesGlyphs = "*o+x#@"
+
+// String renders the chart.
+func (p *LinePlot) String() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	if len(p.Series) == 0 || len(p.Series[0].X) == 0 {
+		return p.Title + "\n(no data)\n"
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if s.Y[i] < ymin {
+				ymin = s.Y[i]
+			}
+			if s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.Series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(w-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(h-1))
+			row := h - 1 - cy
+			grid[row][cx] = glyph
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8.3f ┤", ymax)
+	b.Write(grid[0])
+	b.WriteByte('\n')
+	for r := 1; r < h-1; r++ {
+		b.WriteString("         │")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8.3f ┤", ymin)
+	b.Write(grid[h-1])
+	b.WriteByte('\n')
+	b.WriteString("         └")
+	b.WriteString(strings.Repeat("─", w))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "          %-*g%*g\n", w/2, xmin, w-w/2, xmax)
+	legend := make([]string, 0, len(p.Series))
+	for si, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesGlyphs[si%len(seriesGlyphs)], s.Name))
+	}
+	if p.YLabel != "" || p.XLabel != "" {
+		fmt.Fprintf(&b, "          y: %s, x: %s\n", p.YLabel, p.XLabel)
+	}
+	b.WriteString("          " + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}
+
+// WritePGM writes values (row-major, width x height, normalized to the
+// data range) as a binary 8-bit PGM image — a dependency-free way to
+// export the Figure 3 heatmaps as real image files.
+func WritePGM(w io.Writer, values []float64, width, height int) error {
+	if width <= 0 || height <= 0 || len(values) < width*height {
+		return fmt.Errorf("report: invalid PGM geometry %dx%d for %d values", width, height, len(values))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values[:width*height] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	buf := make([]byte, width*height)
+	for i, v := range values[:width*height] {
+		if span > 0 {
+			buf[i] = byte(math.Round((v - lo) / span * 255))
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLinePlotRendersAllSeries(t *testing.T) {
+	p := &LinePlot{
+		Title:  "demo",
+		XLabel: "strength",
+		YLabel: "accuracy",
+		Width:  30, Height: 8,
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 0.5, 1}},
+			{Name: "down", X: []float64{0, 1, 2}, Y: []float64{1, 0.5, 0}},
+		},
+	}
+	out := p.String()
+	for _, want := range []string{"demo", "*=up", "o=down", "accuracy", "strength"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Extremes: the rising series must put a '*' in the top row area and
+	// one at the bottom-left.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "*") && !strings.Contains(top, "o") {
+		t.Fatalf("no glyph in top row: %q", top)
+	}
+}
+
+func TestLinePlotDegenerate(t *testing.T) {
+	p := &LinePlot{Title: "empty"}
+	if !strings.Contains(p.String(), "no data") {
+		t.Fatal("empty plot should say so")
+	}
+	flat := &LinePlot{Series: []Series{{Name: "c", X: []float64{1, 2}, Y: []float64{3, 3}}}}
+	if flat.String() == "" {
+		t.Fatal("constant series must still render")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	var buf bytes.Buffer
+	err := WritePGM(&buf, []float64{0, 0.5, 1, 0.25}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n2 2\n255\n")) {
+		t.Fatalf("bad header: %q", out[:12])
+	}
+	px := out[len(out)-4:]
+	if px[0] != 0 || px[2] != 255 {
+		t.Fatalf("normalization wrong: %v", px)
+	}
+}
+
+func TestWritePGMValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, []float64{1}, 2, 2); err == nil {
+		t.Fatal("short data must error")
+	}
+	if err := WritePGM(&buf, nil, 0, 2); err == nil {
+		t.Fatal("zero width must error")
+	}
+}

@@ -1,0 +1,165 @@
+// Package report renders experiment results as aligned ASCII tables, CSV
+// series and ASCII heatmaps, so every figure and table of the paper can be
+// regenerated as text from the CLI and the benchmarks.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered with aligned columns.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with space-padded alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	var total int
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with the given number of decimals.
+func F(v float64, decimals int) string {
+	if math.IsNaN(v) {
+		return "nan"
+	}
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// Series is a named sequence of (x, y) points, one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// WriteSeriesCSV writes one or more series sharing an x-axis as CSV:
+// a header "x,name1,name2,..." followed by one row per x value. All series
+// must have the same X values.
+func WriteSeriesCSV(w io.Writer, xLabel string, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	n := len(series[0].X)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, xLabel)
+	for _, s := range series {
+		if len(s.X) != n || len(s.Y) != n {
+			return fmt.Errorf("report: series %q has mismatched lengths", s.Name)
+		}
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		cells := make([]string, 0, len(series)+1)
+		cells = append(cells, strconv.FormatFloat(series[0].X[i], 'g', -1, 64))
+		for _, s := range series {
+			cells = append(cells, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// heatShades orders glyphs from low to high intensity.
+const heatShades = " .:-=+*#%@"
+
+// Heatmap renders values (row-major, width x height) as an ASCII image
+// normalized to the data range. It is used to eyeball the Figure 3
+// sensitivity/1-norm maps in a terminal.
+func Heatmap(values []float64, width, height int) string {
+	if width <= 0 || height <= 0 || len(values) < width*height {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values[:width*height] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			v := values[y*width+x]
+			idx := 0
+			if span > 0 {
+				idx = int((v - lo) / span * float64(len(heatShades)-1))
+				if idx < 0 {
+					idx = 0
+				} else if idx >= len(heatShades) {
+					idx = len(heatShades) - 1
+				}
+			}
+			b.WriteByte(heatShades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SignificanceMark returns "*" when p < alpha, the paper's Figure 5
+// annotation, and "" otherwise.
+func SignificanceMark(p, alpha float64) string {
+	if p < alpha {
+		return "*"
+	}
+	return ""
+}

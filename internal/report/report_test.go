@@ -1,0 +1,99 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{Title: "demo", Header: []string{"name", "value"}}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("b", "22.5")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name ") {
+		t.Fatalf("header %q", lines[1])
+	}
+	// Columns align: "alpha" is the widest cell in column 0.
+	if !strings.HasPrefix(lines[3], "alpha  ") || !strings.HasPrefix(lines[4], "b      ") {
+		t.Fatalf("misaligned rows: %q / %q", lines[3], lines[4])
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatalf("F = %q", F(1.23456, 2))
+	}
+	if F(math.NaN(), 2) != "nan" {
+		t.Fatal("NaN must print as nan")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteSeriesCSV(&b, "q", []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{0.5, 0.6}},
+		{Name: "b", X: []float64{1, 2}, Y: []float64{0.7, 0.8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "q,a,b\n1,0.5,0.7\n2,0.6,0.8\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteSeriesCSVErrors(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, "x", nil); err == nil {
+		t.Fatal("empty series must error")
+	}
+	err := WriteSeriesCSV(&b, "x", []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{0.5}},
+	})
+	if err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap([]float64{0, 0.5, 1, 0.25}, 2, 2)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 2 {
+		t.Fatalf("heatmap shape: %q", out)
+	}
+	// Min maps to the lightest shade, max to the darkest.
+	if lines[0][0] != ' ' {
+		t.Fatalf("min shade %q", lines[0][0])
+	}
+	if lines[1][0] != '@' {
+		t.Fatalf("max shade %q", lines[1][0])
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	if Heatmap(nil, 2, 2) != "" {
+		t.Fatal("short input must return empty")
+	}
+	out := Heatmap([]float64{3, 3, 3, 3}, 2, 2)
+	if !strings.Contains(out, "  ") {
+		t.Fatal("constant map should render lightest shade")
+	}
+}
+
+func TestSignificanceMark(t *testing.T) {
+	if SignificanceMark(0.01, 0.05) != "*" {
+		t.Fatal("significant must mark")
+	}
+	if SignificanceMark(0.2, 0.05) != "" {
+		t.Fatal("insignificant must not mark")
+	}
+}

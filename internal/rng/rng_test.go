@@ -1,0 +1,169 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must yield identical streams")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := true
+	for i := 0; i < 16; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical prefix")
+	}
+}
+
+func TestSplitIndependentOfParentConsumption(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	// Consume from a before splitting; b splits immediately.
+	for i := 0; i < 50; i++ {
+		a.Float64()
+	}
+	ca := a.Split("component")
+	cb := b.Split("component")
+	for i := 0; i < 50; i++ {
+		if ca.Float64() != cb.Float64() {
+			t.Fatal("Split must not depend on parent stream position")
+		}
+	}
+}
+
+func TestSplitLabelsDiffer(t *testing.T) {
+	s := New(7)
+	a, b := s.Split("alpha"), s.Split("beta")
+	if a.Float64() == b.Float64() && a.Float64() == b.Float64() {
+		t.Fatal("different labels should give different streams")
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	s := New(7)
+	seen := map[float64]bool{}
+	for i := 0; i < 20; i++ {
+		v := s.SplitN("run", i).Float64()
+		if seen[v] {
+			t.Fatalf("SplitN collision at %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(11)
+	const n = 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(3, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-3) > 0.1 {
+		t.Fatalf("mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.3 {
+		t.Fatalf("variance = %v, want ~4", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		n := 1 + s.Intn(50)
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	s := New(5)
+	got := s.SampleWithoutReplacement(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid sample %v", got)
+		}
+		seen[v] = true
+	}
+	if got := s.SampleWithoutReplacement(3, 99); len(got) != 3 {
+		t.Fatalf("k>n should return n items, got %d", len(got))
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	s := New(9)
+	u := s.UniformVec(100, 0, 1)
+	if len(u) != 100 {
+		t.Fatalf("UniformVec len %d", len(u))
+	}
+	for _, v := range u {
+		if v < 0 || v >= 1 {
+			t.Fatalf("UniformVec out of range: %v", v)
+		}
+	}
+	g := s.NormalVec(10, 0, 1)
+	if len(g) != 10 {
+		t.Fatalf("NormalVec len %d", len(g))
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if New(123).Seed() != 123 {
+		t.Fatal("Seed() must round-trip")
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	s := New(1)
+	trues := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if s.Bool() {
+			trues++
+		}
+	}
+	if trues < n/2-300 || trues > n/2+300 {
+		t.Fatalf("Bool imbalance: %d/%d", trues, n)
+	}
+}

@@ -1,0 +1,423 @@
+package sidechannel
+
+import (
+	"math"
+	"testing"
+
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/stats"
+	"xbarsec/internal/tensor"
+)
+
+func buildCrossbar(t *testing.T, seed int64, m, n int, cfg crossbar.DeviceConfig) (*crossbar.Crossbar, *tensor.Matrix) {
+	t.Helper()
+	src := rng.New(seed)
+	w := tensor.New(m, n)
+	d := w.Data()
+	for i := range d {
+		d[i] = src.Normal(0, 1)
+	}
+	xb, err := crossbar.Program(w, cfg, src.Split("xbar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xb, w
+}
+
+func idealCfg() crossbar.DeviceConfig {
+	cfg := crossbar.DefaultDeviceConfig()
+	cfg.GOff = 0
+	return cfg
+}
+
+func TestNewProbeValidation(t *testing.T) {
+	xb, _ := buildCrossbar(t, 1, 3, 4, idealCfg())
+	if _, err := NewProbe(nil, 0, nil); err == nil {
+		t.Fatal("nil meter must error")
+	}
+	if _, err := NewProbe(MeterFromCrossbar(xb), -1, nil); err == nil {
+		t.Fatal("negative noise must error")
+	}
+	if _, err := NewProbe(MeterFromCrossbar(xb), 0.1, nil); err == nil {
+		t.Fatal("noise without src must error")
+	}
+}
+
+func TestExtractColumnSignalsExactRecovery(t *testing.T) {
+	cfg := idealCfg()
+	xb, w := buildCrossbar(t, 2, 5, 9, cfg)
+	probe, err := NewProbe(MeterFromCrossbar(xb), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signals, err := probe.ExtractColumnSignals(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Queries() != 9 {
+		t.Fatalf("queries = %d, want 9", probe.Queries())
+	}
+	norms := CalibrateColumnNorms(signals, cfg, 5, xb.Scale())
+	want := w.ColAbsSums()
+	for j := range want {
+		if math.Abs(norms[j]-want[j]) > 1e-9 {
+			t.Fatalf("column %d: %v, want %v", j, norms[j], want[j])
+		}
+	}
+}
+
+func TestExtractWithGOffOffsetPreservesRanking(t *testing.T) {
+	cfg := crossbar.DefaultDeviceConfig() // nonzero GOff
+	xb, w := buildCrossbar(t, 3, 6, 12, cfg)
+	probe, err := NewProbe(MeterFromCrossbar(xb), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signals, err := probe.ExtractColumnSignals(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw signals (uncalibrated) must rank columns identically to the
+	// true 1-norms: a rank correlation of exactly 1.
+	rho, err := stats.Spearman(signals, w.ColAbsSums())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("ranking not preserved: rho = %v", rho)
+	}
+	// And calibration recovers absolute values.
+	norms := CalibrateColumnNorms(signals, cfg, 6, xb.Scale())
+	want := w.ColAbsSums()
+	for j := range want {
+		if math.Abs(norms[j]-want[j]) > 1e-6 {
+			t.Fatalf("column %d: %v, want %v", j, norms[j], want[j])
+		}
+	}
+}
+
+func TestMeasurementNoiseAveragingConverges(t *testing.T) {
+	cfg := idealCfg()
+	xb, _ := buildCrossbar(t, 4, 4, 6, cfg)
+	src := rng.New(10)
+	noisy, err := NewProbe(MeterFromCrossbar(xb), 0.2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := NewProbe(MeterFromCrossbar(xb), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := src.UniformVec(6, 0.2, 1)
+	truth, err := clean.Measure(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := noisy.Measure(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := noisy.MeasureAveraged(u, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg-truth) >= math.Abs(one-truth) {
+		t.Skipf("averaging did not improve on this draw (one=%v avg=%v truth=%v)", one, avg, truth)
+	}
+	if math.Abs(avg-truth)/truth > 0.05 {
+		t.Fatalf("400-sample average off by %v%%", 100*math.Abs(avg-truth)/truth)
+	}
+}
+
+func TestMeasureAveragedValidation(t *testing.T) {
+	xb, _ := buildCrossbar(t, 5, 3, 3, idealCfg())
+	probe, _ := NewProbe(MeterFromCrossbar(xb), 0, nil)
+	if _, err := probe.MeasureAveraged([]float64{1, 0, 0}, 0); err == nil {
+		t.Fatal("zero repeat count must error")
+	}
+	if _, err := probe.Measure([]float64{1}); err == nil {
+		t.Fatal("wrong input length must propagate error")
+	}
+}
+
+func TestQueryCounting(t *testing.T) {
+	xb, _ := buildCrossbar(t, 6, 3, 5, idealCfg())
+	probe, _ := NewProbe(MeterFromCrossbar(xb), 0, nil)
+	u := []float64{1, 0, 0, 0, 0}
+	for i := 0; i < 3; i++ {
+		if _, err := probe.Measure(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := probe.MeasureAveraged(u, 4); err != nil {
+		t.Fatal(err)
+	}
+	if probe.Queries() != 7 {
+		t.Fatalf("queries = %d, want 7", probe.Queries())
+	}
+	probe.ResetQueries()
+	if probe.Queries() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// smoothMeter is a synthetic power landscape over a WxH image, unimodal so
+// hill climbing must find the global max.
+type smoothMeter struct {
+	w, h   int
+	peakX  int
+	peakY  int
+	spread float64
+}
+
+func (m smoothMeter) Inputs() int { return m.w * m.h }
+func (m smoothMeter) Power(u []float64) (float64, error) {
+	// Interpret u as a basis vector; find its index.
+	idx := tensor.ArgMax(u)
+	x, y := idx%m.w, idx/m.w
+	dx, dy := float64(x-m.peakX), float64(y-m.peakY)
+	return math.Exp(-(dx*dx + dy*dy) / (2 * m.spread * m.spread)), nil
+}
+
+func TestHillClimbFindsPeakOnSmoothMap(t *testing.T) {
+	meter := smoothMeter{w: 20, h: 20, peakX: 13, peakY: 6, spread: 6}
+	probe, err := NewProbe(meter, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := HillClimbMaxSearch(probe, HillClimbConfig{Width: 20, Height: 20, Restarts: 3, MaxSteps: 100}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := 6*20 + 13
+	if res.Index != wantIdx {
+		t.Fatalf("hill climb found %d, want %d", res.Index, wantIdx)
+	}
+	if res.Queries >= 400 {
+		t.Fatalf("hill climb used %d queries, should beat exhaustive 400", res.Queries)
+	}
+}
+
+func TestHillClimbValidation(t *testing.T) {
+	meter := smoothMeter{w: 4, h: 4, peakX: 0, peakY: 0, spread: 2}
+	probe, _ := NewProbe(meter, 0, nil)
+	if _, err := HillClimbMaxSearch(probe, HillClimbConfig{Width: 0, Height: 4}, rng.New(1)); err == nil {
+		t.Fatal("zero width must error")
+	}
+	if _, err := HillClimbMaxSearch(probe, HillClimbConfig{Width: 5, Height: 5}, rng.New(1)); err == nil {
+		t.Fatal("incompatible geometry must error")
+	}
+	if _, err := HillClimbMaxSearch(probe, HillClimbConfig{Width: 4, Height: 4}, nil); err == nil {
+		t.Fatal("nil src must error")
+	}
+}
+
+func TestExhaustiveSearchMatchesArgmaxOnCrossbar(t *testing.T) {
+	cfg := idealCfg()
+	xb, w := buildCrossbar(t, 7, 6, 16, cfg)
+	probe, _ := NewProbe(MeterFromCrossbar(xb), 0, nil)
+	res, err := ExhaustiveMaxSearch(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.ArgMax(w.ColAbsSums())
+	if res.Index != want {
+		t.Fatalf("exhaustive found %d, want %d", res.Index, want)
+	}
+	if res.Queries != 16 {
+		t.Fatalf("queries = %d, want 16", res.Queries)
+	}
+}
+
+func TestHillClimbOnCrossbarBeatsQueryBudget(t *testing.T) {
+	// Build a crossbar whose column 1-norms form a smooth 2D bump, as the
+	// paper observes for MNIST.
+	const w, h = 12, 12
+	src := rng.New(8)
+	wm := tensor.New(4, w*h)
+	for j := 0; j < w*h; j++ {
+		x, y := j%w, j/w
+		dx, dy := float64(x-6), float64(y-6)
+		mass := math.Exp(-(dx*dx + dy*dy) / 18)
+		for i := 0; i < 4; i++ {
+			sign := 1.0
+			if src.Bool() {
+				sign = -1
+			}
+			wm.Set(i, j, sign*mass/4)
+		}
+	}
+	xb, err := crossbar.Program(wm, idealCfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := NewProbe(MeterFromCrossbar(xb), 0, nil)
+	res, err := HillClimbMaxSearch(probe, HillClimbConfig{Width: w, Height: h, Restarts: 4, MaxSteps: 60}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	norms := wm.ColAbsSums()
+	best := norms[tensor.ArgMax(norms)]
+	if res.Signal < 0.9*best*xb.Scale()*idealCfg().Vdd*idealCfg().Vdd {
+		t.Fatalf("hill climb found a poor peak: %v of best-signal", res.Signal)
+	}
+	if res.Queries >= w*h {
+		t.Fatalf("hill climb used %d queries, exhaustive needs %d", res.Queries, w*h)
+	}
+}
+
+func TestEstimateColumnSignalsLSMatchesBasisQueries(t *testing.T) {
+	cfg := idealCfg()
+	xb, w := buildCrossbar(t, 31, 5, 10, cfg)
+	probe, err := NewProbe(MeterFromCrossbar(xb), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis, err := probe.ExtractColumnSignals(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random natural-looking inputs, Q = 2N measurements.
+	src := rng.New(5)
+	inputs := tensor.New(20, 10)
+	for i := 0; i < inputs.Rows(); i++ {
+		inputs.SetRow(i, src.UniformVec(10, 0, 1))
+	}
+	ls, err := probe.EstimateColumnSignalsLS(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range basis {
+		if math.Abs(ls[j]-basis[j]) > 1e-9 {
+			t.Fatalf("column %d: LS %v vs basis %v", j, ls[j], basis[j])
+		}
+	}
+	// Sanity: both rank columns like the true 1-norms.
+	rho, err := stats.Spearman(ls, w.ColAbsSums())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("LS extraction ranking broken: rho=%v", rho)
+	}
+}
+
+func TestEstimateColumnSignalsLSNoiseRobustness(t *testing.T) {
+	cfg := idealCfg()
+	xb, w := buildCrossbar(t, 32, 5, 8, cfg)
+	src := rng.New(9)
+	probe, err := NewProbe(MeterFromCrossbar(xb), 0.05, src.Split("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overdetermined system (Q = 12N) averages the noise down.
+	inputs := tensor.New(96, 8)
+	for i := 0; i < inputs.Rows(); i++ {
+		inputs.SetRow(i, src.UniformVec(8, 0, 1))
+	}
+	ls, err := probe.EstimateColumnSignalsLS(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := stats.Spearman(ls, w.ColAbsSums())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.8 {
+		t.Fatalf("noisy LS extraction rank corr %v too low", rho)
+	}
+}
+
+func TestEstimateColumnSignalsLSValidation(t *testing.T) {
+	xb, _ := buildCrossbar(t, 33, 3, 6, idealCfg())
+	probe, _ := NewProbe(MeterFromCrossbar(xb), 0, nil)
+	if _, err := probe.EstimateColumnSignalsLS(nil); err == nil {
+		t.Fatal("nil inputs must error")
+	}
+	if _, err := probe.EstimateColumnSignalsLS(tensor.New(3, 6)); err == nil {
+		t.Fatal("underdetermined system must error")
+	}
+	if _, err := probe.EstimateColumnSignalsLS(tensor.New(8, 5)); err == nil {
+		t.Fatal("wrong width must error")
+	}
+}
+
+func TestAnnealFindsPeakOnSmoothMap(t *testing.T) {
+	meter := smoothMeter{w: 20, h: 20, peakX: 4, peakY: 15, spread: 6}
+	probe, err := NewProbe(meter, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnnealMaxSearch(probe, AnnealConfig{Width: 20, Height: 20, Steps: 200}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Annealing should land at (or adjacent to) the true peak and beat
+	// the exhaustive budget.
+	px, py := res.Index%20, res.Index/20
+	if abs(px-4)+abs(py-15) > 2 {
+		t.Fatalf("anneal found (%d,%d), peak at (4,15)", px, py)
+	}
+	if res.Queries >= 400 {
+		t.Fatalf("anneal used %d queries, exhaustive needs 400", res.Queries)
+	}
+}
+
+func TestAnnealValidation(t *testing.T) {
+	meter := smoothMeter{w: 4, h: 4, spread: 2}
+	probe, _ := NewProbe(meter, 0, nil)
+	if _, err := AnnealMaxSearch(probe, AnnealConfig{Width: 0, Height: 4}, rng.New(1)); err == nil {
+		t.Fatal("zero width must error")
+	}
+	if _, err := AnnealMaxSearch(probe, AnnealConfig{Width: 3, Height: 3}, rng.New(1)); err == nil {
+		t.Fatal("incompatible geometry must error")
+	}
+	if _, err := AnnealMaxSearch(probe, AnnealConfig{Width: 4, Height: 4}, nil); err == nil {
+		t.Fatal("nil src must error")
+	}
+}
+
+// bimodalMeter has a small local bump and a larger global peak, so greedy
+// climbing from the wrong basin stalls while annealing can escape.
+type bimodalMeter struct{ w, h int }
+
+func (m bimodalMeter) Inputs() int { return m.w * m.h }
+func (m bimodalMeter) Power(u []float64) (float64, error) {
+	idx := tensor.ArgMax(u)
+	x, y := float64(idx%m.w), float64(idx/m.w)
+	small := 0.6 * math.Exp(-((x-3)*(x-3)+(y-3)*(y-3))/4)
+	big := 1.0 * math.Exp(-((x-16)*(x-16)+(y-16)*(y-16))/4)
+	return small + big + 1e-6, nil
+}
+
+func TestAnnealEscapesLocalMaximum(t *testing.T) {
+	meter := bimodalMeter{w: 20, h: 20}
+	probe, err := NewProbe(meter, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average over a few seeds: annealing should usually reach the global
+	// peak's value.
+	hits := 0
+	const trials = 5
+	for s := int64(0); s < trials; s++ {
+		res, err := AnnealMaxSearch(probe, AnnealConfig{Width: 20, Height: 20, Steps: 300}, rng.New(100+s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Signal > 0.8 {
+			hits++
+		}
+	}
+	if hits < 3 {
+		t.Fatalf("annealing found the global peak in only %d/%d trials", hits, trials)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

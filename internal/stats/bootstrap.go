@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"xbarsec/internal/rng"
+)
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies in the closed interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// BootstrapCI estimates a percentile-bootstrap confidence interval for an
+// arbitrary statistic of xs. level is the coverage (e.g. 0.95); resamples
+// controls the bootstrap replicate count. The experiment harness uses
+// this to put intervals on the small-run Figure 5 means, where the t-test
+// normality assumption is shakiest.
+func BootstrapCI(xs []float64, statistic func([]float64) float64, level float64, resamples int, src *rng.Source) (Interval, error) {
+	if len(xs) < 2 {
+		return Interval{}, ErrInsufficientData
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence level %v out of (0,1)", level)
+	}
+	if resamples < 10 {
+		return Interval{}, fmt.Errorf("stats: resample count %d too small", resamples)
+	}
+	if statistic == nil {
+		return Interval{}, fmt.Errorf("stats: nil statistic")
+	}
+	if src == nil {
+		return Interval{}, fmt.Errorf("stats: nil random source")
+	}
+	reps := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := range reps {
+		for i := range buf {
+			buf[i] = xs[src.Intn(len(xs))]
+		}
+		reps[r] = statistic(buf)
+	}
+	sort.Float64s(reps)
+	alpha := (1 - level) / 2
+	lo := int(alpha * float64(resamples))
+	hi := int((1 - alpha) * float64(resamples))
+	if hi >= resamples {
+		hi = resamples - 1
+	}
+	return Interval{Lo: reps[lo], Hi: reps[hi]}, nil
+}
+
+// BootstrapMeanCI is BootstrapCI specialized to the sample mean.
+func BootstrapMeanCI(xs []float64, level float64, resamples int, src *rng.Source) (Interval, error) {
+	return BootstrapCI(xs, Mean, level, resamples, src)
+}
+
+// BootstrapDiffCI bootstraps the difference of means mean(a) - mean(b)
+// with independent resampling of each sample — the nonparametric
+// companion to WelchTTest for the Figure 5 improvement panels.
+func BootstrapDiffCI(a, b []float64, level float64, resamples int, src *rng.Source) (Interval, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return Interval{}, ErrInsufficientData
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence level %v out of (0,1)", level)
+	}
+	if resamples < 10 {
+		return Interval{}, fmt.Errorf("stats: resample count %d too small", resamples)
+	}
+	if src == nil {
+		return Interval{}, fmt.Errorf("stats: nil random source")
+	}
+	reps := make([]float64, resamples)
+	bufA := make([]float64, len(a))
+	bufB := make([]float64, len(b))
+	for r := range reps {
+		for i := range bufA {
+			bufA[i] = a[src.Intn(len(a))]
+		}
+		for i := range bufB {
+			bufB[i] = b[src.Intn(len(b))]
+		}
+		reps[r] = Mean(bufA) - Mean(bufB)
+	}
+	sort.Float64s(reps)
+	alpha := (1 - level) / 2
+	lo := int(alpha * float64(resamples))
+	hi := int((1 - alpha) * float64(resamples))
+	if hi >= resamples {
+		hi = resamples - 1
+	}
+	return Interval{Lo: reps[lo], Hi: reps[hi]}, nil
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+
+	"xbarsec/internal/rng"
+)
+
+func TestBootstrapMeanCICoversTruth(t *testing.T) {
+	src := rng.New(1)
+	// Sample from N(5, 1); the CI should cover 5 and be reasonably tight.
+	xs := src.NormalVec(200, 5, 1)
+	iv, err := BootstrapMeanCI(xs, 0.95, 500, src.Split("boot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(Mean(xs)) {
+		t.Fatalf("CI %+v must contain the point estimate %v", iv, Mean(xs))
+	}
+	if !iv.Contains(5) {
+		t.Fatalf("CI %+v should cover the true mean 5 for this seed", iv)
+	}
+	width := iv.Hi - iv.Lo
+	if width <= 0 || width > 1 {
+		t.Fatalf("implausible CI width %v", width)
+	}
+}
+
+func TestBootstrapCIMonotoneInLevel(t *testing.T) {
+	src := rng.New(2)
+	xs := src.NormalVec(100, 0, 1)
+	narrow, err := BootstrapMeanCI(xs, 0.5, 400, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := BootstrapMeanCI(xs, 0.99, 400, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Hi-wide.Lo <= narrow.Hi-narrow.Lo {
+		t.Fatalf("99%% CI (%v) should be wider than 50%% CI (%v)", wide, narrow)
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	src := rng.New(4)
+	xs := []float64{1, 2, 3, 4}
+	if _, err := BootstrapMeanCI([]float64{1}, 0.95, 100, src); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("want ErrInsufficientData")
+	}
+	if _, err := BootstrapMeanCI(xs, 1.5, 100, src); err == nil {
+		t.Fatal("bad level must error")
+	}
+	if _, err := BootstrapMeanCI(xs, 0.95, 2, src); err == nil {
+		t.Fatal("tiny resample count must error")
+	}
+	if _, err := BootstrapMeanCI(xs, 0.95, 100, nil); err == nil {
+		t.Fatal("nil src must error")
+	}
+	if _, err := BootstrapCI(xs, nil, 0.95, 100, src); err == nil {
+		t.Fatal("nil statistic must error")
+	}
+}
+
+func TestBootstrapDiffCI(t *testing.T) {
+	src := rng.New(5)
+	a := src.NormalVec(80, 1, 0.5)
+	b := src.NormalVec(80, 0, 0.5)
+	iv, err := BootstrapDiffCI(a, b, 0.95, 500, src.Split("boot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A clear 1-unit separation: CI should exclude 0 and cover ~1.
+	if iv.Contains(0) {
+		t.Fatalf("CI %+v should exclude 0 for well-separated samples", iv)
+	}
+	if !iv.Contains(Mean(a) - Mean(b)) {
+		t.Fatalf("CI %+v must contain the point estimate", iv)
+	}
+	if _, err := BootstrapDiffCI([]float64{1}, b, 0.95, 100, src); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("want ErrInsufficientData")
+	}
+	if _, err := BootstrapDiffCI(a, b, 0, 100, src); err == nil {
+		t.Fatal("bad level must error")
+	}
+	if _, err := BootstrapDiffCI(a, b, 0.95, 1, src); err == nil {
+		t.Fatal("tiny resamples must error")
+	}
+	if _, err := BootstrapDiffCI(a, b, 0.95, 100, nil); err == nil {
+		t.Fatal("nil src must error")
+	}
+}

@@ -1,0 +1,208 @@
+// Package stats implements the statistical machinery the paper's evaluation
+// relies on: sample moments, Pearson and Spearman correlation (Table I),
+// and Student's t-tests with exact p-values (Figure 5 significance
+// asterisks). The t distribution CDF is computed through the regularized
+// incomplete beta function, so no external dependency is required.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData indicates a statistic was requested on a sample that
+// is too small to define it.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance.
+// It returns 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It returns an error if the lengths differ, fewer than 2 points are given,
+// or either sample is constant (correlation undefined).
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: pearson length mismatch %d vs %d", len(x), len(y))
+	}
+	n := len(x)
+	if n < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: pearson undefined for constant sample: %w", ErrInsufficientData)
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the Spearman rank correlation coefficient, i.e. the
+// Pearson correlation of the rank-transformed samples (average ranks for
+// ties).
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: spearman length mismatch %d vs %d", len(x), len(y))
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// Ranks returns the 1-based ranks of xs, assigning tied values the average
+// of the ranks they span.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// TTestResult holds the outcome of a two-sample t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // degrees of freedom (possibly fractional for Welch)
+	P  float64 // two-sided p-value
+}
+
+// Significant reports whether the two-sided p-value is below alpha.
+func (r TTestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// WelchTTest performs a two-sample t-test without assuming equal variances
+// (Welch's test), returning the two-sided p-value. This matches the
+// "Student's t-test" used for the asterisks in Figure 5 of the paper.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	na, nb := float64(len(a)), float64(len(b))
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	sea, seb := va/na, vb/nb
+	se := sea + seb
+	if se == 0 {
+		if ma == mb {
+			return TTestResult{T: 0, DF: na + nb - 2, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(ma - mb)), DF: na + nb - 2, P: 0}, nil
+	}
+	tstat := (ma - mb) / math.Sqrt(se)
+	// Welch–Satterthwaite degrees of freedom.
+	df := se * se / (sea*sea/(na-1) + seb*seb/(nb-1))
+	p := 2 * StudentTSurvival(math.Abs(tstat), df)
+	return TTestResult{T: tstat, DF: df, P: p}, nil
+}
+
+// PooledTTest performs the classic equal-variance two-sample Student
+// t-test.
+func PooledTTest(a, b []float64) (TTestResult, error) {
+	na, nb := float64(len(a)), float64(len(b))
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	df := na + nb - 2
+	sp2 := ((na-1)*Variance(a) + (nb-1)*Variance(b)) / df
+	if sp2 == 0 {
+		if Mean(a) == Mean(b) {
+			return TTestResult{T: 0, DF: df, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(Mean(a) - Mean(b))), DF: df, P: 0}, nil
+	}
+	tstat := (Mean(a) - Mean(b)) / math.Sqrt(sp2*(1/na+1/nb))
+	p := 2 * StudentTSurvival(math.Abs(tstat), df)
+	return TTestResult{T: tstat, DF: df, P: p}, nil
+}
+
+// PairedTTest performs a paired two-sample t-test on equal-length samples.
+func PairedTTest(a, b []float64) (TTestResult, error) {
+	if len(a) != len(b) {
+		return TTestResult{}, fmt.Errorf("stats: paired t-test length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	d := make([]float64, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	n := float64(len(d))
+	sd := StdDev(d)
+	df := n - 1
+	if sd == 0 {
+		if Mean(d) == 0 {
+			return TTestResult{T: 0, DF: df, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(Mean(d))), DF: df, P: 0}, nil
+	}
+	tstat := Mean(d) / (sd / math.Sqrt(n))
+	p := 2 * StudentTSurvival(math.Abs(tstat), df)
+	return TTestResult{T: tstat, DF: df, P: p}, nil
+}
+
+// StudentTSurvival returns P(T > t) for a Student t distribution with df
+// degrees of freedom, for t >= 0.
+func StudentTSurvival(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	if t < 0 {
+		return 1 - StudentTSurvival(-t, df)
+	}
+	x := df / (df + t*t)
+	return 0.5 * RegIncBeta(df/2, 0.5, x)
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

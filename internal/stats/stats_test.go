@@ -1,0 +1,281 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, label string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (tol %v)", label, got, want, tol)
+	}
+}
+
+func TestMeanVarianceStd(t *testing.T) {
+	tests := []struct {
+		name               string
+		xs                 []float64
+		mean, variance, sd float64
+	}{
+		{"empty", nil, 0, 0, 0},
+		{"single", []float64{4}, 4, 0, 0},
+		{"symmetric", []float64{-1, 1}, 0, 2, math.Sqrt2},
+		{"known", []float64{2, 4, 4, 4, 5, 5, 7, 9}, 5, 32.0 / 7, math.Sqrt(32.0 / 7)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			approx(t, Mean(tt.xs), tt.mean, 1e-12, "Mean")
+			approx(t, Variance(tt.xs), tt.variance, 1e-12, "Variance")
+			approx(t, StdDev(tt.xs), tt.sd, 1e-12, "StdDev")
+		})
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r, 1, 1e-12, "Pearson")
+
+	yneg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(x, yneg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r, -1, 1e-12, "Pearson negative")
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	// Hand-derived: sxy=16, sxx=17.5, syy=70/3 → r = 16/sqrt(17.5*70/3).
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{2, 1, 4, 3, 7, 5}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r, 16/math.Sqrt(17.5*70.0/3.0), 1e-12, "Pearson")
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("want ErrInsufficientData, got %v", err)
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("constant sample: want ErrInsufficientData, got %v", err)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 40})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly increasing transform has Spearman rho exactly 1.
+	x := []float64{1, 5, 2, 9, 3}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v)
+	}
+	rho, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, rho, 1, 1e-12, "Spearman")
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Fatal("bounds must be exact")
+	}
+	if RegIncBeta(2, 3, -1) != 0 || RegIncBeta(2, 3, 2) != 1 {
+		t.Fatal("out-of-range x must clamp")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		approx(t, RegIncBeta(1, 1, x), x, 1e-12, "I_x(1,1)")
+	}
+	// I_x(2,2) = 3x² - 2x³ (Beta(2,2) CDF).
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		approx(t, RegIncBeta(2, 2, x), 3*x*x-2*x*x*x, 1e-10, "I_x(2,2)")
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	approx(t, RegIncBeta(3.5, 1.25, 0.3), 1-RegIncBeta(1.25, 3.5, 0.7), 1e-12, "symmetry")
+}
+
+func TestStudentTSurvivalKnownValues(t *testing.T) {
+	// With df=1 the t distribution is Cauchy: P(T>t) = 1/2 - atan(t)/pi.
+	for _, tv := range []float64{0, 0.5, 1, 2, 10} {
+		want := 0.5 - math.Atan(tv)/math.Pi
+		approx(t, StudentTSurvival(tv, 1), want, 1e-10, "Cauchy survival")
+	}
+	// Large df approaches the normal distribution.
+	approx(t, StudentTSurvival(1.959964, 1e7), 0.025, 1e-4, "normal limit")
+	// Symmetry for negative t.
+	approx(t, StudentTSurvival(-1.5, 5), 1-StudentTSurvival(1.5, 5), 1e-12, "negative t")
+	if StudentTSurvival(math.Inf(1), 3) != 0 {
+		t.Fatal("survival at +inf must be 0")
+	}
+}
+
+func TestWelchTTestKnown(t *testing.T) {
+	// Hand-derived: means 3 and 5, both variances 2.5, n=5 each →
+	// t = -2/sqrt(0.5+0.5) = -2, Welch df = 1/(2·0.25/4) = 8.
+	// Two-sided p for |t|=2, df=8 is 0.0805 (standard t table).
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{3, 4, 5, 6, 7}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.T, -2, 1e-12, "Welch t")
+	approx(t, res.DF, 8, 1e-12, "Welch df")
+	approx(t, res.P, 0.0805, 5e-4, "Welch p")
+}
+
+func TestPooledTTestKnown(t *testing.T) {
+	// Equal-size equal-variance case agrees with Welch.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 3, 4, 5, 6}
+	pooled, err := PooledTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	welch, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, pooled.T, welch.T, 1e-12, "t equality")
+	approx(t, pooled.P, welch.P, 1e-9, "p equality")
+}
+
+func TestPairedTTest(t *testing.T) {
+	a := []float64{10, 12, 9, 11, 13}
+	b := []float64{9, 11, 8, 10, 12}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All differences are exactly 1 with zero variance → p = 0.
+	if !math.IsInf(res.T, 1) || res.P != 0 {
+		t.Fatalf("constant positive differences should be infinitely significant: %+v", res)
+	}
+
+	b2 := []float64{10, 13, 8, 12, 12}
+	res2, err := PairedTTest(a, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.P <= 0 || res2.P > 1 {
+		t.Fatalf("p out of range: %v", res2.P)
+	}
+}
+
+func TestTTestDegenerateCases(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("want ErrInsufficientData, got %v", err)
+	}
+	res, err := WelchTTest([]float64{2, 2, 2}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Fatalf("identical constant samples: p = %v, want 1", res.P)
+	}
+	res, err = WelchTTest([]float64{1, 1, 1}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Fatalf("distinct constant samples: p = %v, want 0", res.P)
+	}
+	if _, err := PairedTTest([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("paired length mismatch must error")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	approx(t, NormalCDF(0), 0.5, 1e-12, "Phi(0)")
+	approx(t, NormalCDF(1.959964), 0.975, 1e-5, "Phi(1.96)")
+	approx(t, NormalCDF(-1.959964), 0.025, 1e-5, "Phi(-1.96)")
+}
+
+// Property: Pearson is within [-1, 1] and invariant to affine transforms
+// with positive scale.
+func TestPearsonProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		rho, err := Pearson(x, y)
+		if err != nil {
+			return true // degenerate draw, skip
+		}
+		if rho < -1-1e-12 || rho > 1+1e-12 {
+			return false
+		}
+		// Affine invariance: y' = 3y + 7.
+		y2 := make([]float64, n)
+		for i := range y {
+			y2[i] = 3*y[i] + 7
+		}
+		rho2, err := Pearson(x, y2)
+		if err != nil {
+			return false
+		}
+		return math.Abs(rho-rho2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: t-test p-values live in [0, 1] and the test is symmetric in
+// its arguments up to the sign of t.
+func TestWelchSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64() + 0.3
+		}
+		ab, err1 := WelchTTest(a, b)
+		ba, err2 := WelchTTest(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if ab.P < 0 || ab.P > 1 {
+			return false
+		}
+		return math.Abs(ab.T+ba.T) < 1e-9 && math.Abs(ab.P-ba.P) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package surrogate implements the paper's Section IV black-box attack:
+// a surrogate single-layer network is trained on oracle query data with
+// the joint loss of Eq. (9),
+//
+//	L = L_out + λ·L_power,
+//
+// where L_out is the MSE between surrogate and oracle outputs (or one-hot
+// oracle labels in label-only mode) and L_power is the MSE between the
+// oracle's measured power and the surrogate's differentiable power
+// prediction p̂(u) = Σ_j u_j Σ_i |ŵ_ij|. Under the paper's normalized-
+// crossbar convention (§II-B) the measured power equals exactly this
+// feature evaluated on the oracle's weights, so no calibration parameter
+// is needed and the column-1-norm structure of Eq. (5)/(6) transfers
+// directly into the surrogate's weight magnitudes.
+//
+// The package also provides the algebraic extraction baseline the paper
+// notes in Section IV: with Q >= N raw-output queries, W = (U†Ŷ)ᵀ exactly
+// and power information is useless.
+package surrogate
+
+import (
+	"errors"
+	"fmt"
+
+	"xbarsec/internal/linalg"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/oracle"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// Config controls surrogate training.
+type Config struct {
+	// Lambda is the power loss weight λ of Eq. (9); 0 disables the power
+	// term (the paper sweeps {0, 0.002, ..., 0.01}).
+	Lambda float64
+	// Epochs is the number of passes over the query set.
+	Epochs int
+	// BatchSize is the mini-batch size; <= 0 defaults to 32.
+	BatchSize int
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Momentum is the classical momentum coefficient in [0, 1).
+	Momentum float64
+}
+
+// DefaultConfig returns the training settings used by the experiments.
+func DefaultConfig() Config {
+	return Config{Lambda: 0, Epochs: 40, BatchSize: 32, LearningRate: 0.05, Momentum: 0.9}
+}
+
+// Model is a trained surrogate. Net is a linear+MSE network (the paper
+// uses only linear surrogates).
+type Model struct {
+	// Net is the surrogate network; it implements attack.GradientSource.
+	Net *nn.Network
+}
+
+// PredictPower returns the surrogate's power prediction in normalized
+// (weight-unit) form, p̂(u) = Σ_j u_j Σ_i |ŵ_ij| — the differentiable
+// model of Eq. (5)/(6) under the paper's normalized-crossbar convention.
+func (m *Model) PredictPower(u []float64) float64 {
+	return tensor.Dot(u, m.Net.W.ColAbsSums())
+}
+
+// Train fits a surrogate to the query set. The power term is active only
+// when cfg.Lambda > 0 and qs.P is present.
+func Train(qs *oracle.QuerySet, cfg Config, src *rng.Source) (*Model, error) {
+	if qs == nil || qs.Len() == 0 {
+		return nil, errors.New("surrogate: empty query set")
+	}
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("surrogate: epochs %d must be positive", cfg.Epochs)
+	}
+	if cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("surrogate: learning rate %v must be positive", cfg.LearningRate)
+	}
+	if cfg.Momentum < 0 || cfg.Momentum >= 1 {
+		return nil, fmt.Errorf("surrogate: momentum %v out of [0,1)", cfg.Momentum)
+	}
+	if cfg.Lambda < 0 {
+		return nil, fmt.Errorf("surrogate: negative power weight %v", cfg.Lambda)
+	}
+	usePower := cfg.Lambda > 0 && qs.P != nil
+	if cfg.Lambda > 0 && qs.P == nil {
+		return nil, errors.New("surrogate: lambda > 0 but query set has no power data")
+	}
+
+	q, n, m := qs.Len(), qs.U.Cols(), qs.Y.Cols()
+	net, err := nn.NewNetwork(m, n, nn.ActLinear, nn.LossMSE)
+	if err != nil {
+		return nil, err
+	}
+	net.InitXavier(src.Split("init"))
+
+	// The power targets are expected in the paper's normalized
+	// (weight-unit) convention — oracle.Collect delivers them that way —
+	// so the surrogate's feature Σ_j u_j ‖Ŵ_:,j‖₁ is directly comparable
+	// and Eq. (9) needs no calibration parameter.
+
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 32
+	}
+	sgd := src.Split("sgd")
+	velocity := tensor.New(m, n)
+	grad := tensor.New(m, n)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := sgd.Perm(q)
+		for start := 0; start < q; start += batch {
+			end := start + batch
+			if end > q {
+				end = q
+			}
+			grad.Fill(0)
+			var colNorms []float64
+			if usePower {
+				colNorms = net.W.ColAbsSums()
+			}
+			for _, idx := range perm[start:end] {
+				u := qs.U.Row(idx)
+				y := qs.Y.Row(idx)
+				// Output MSE term: δ = 2(Wu - y)/M.
+				s := net.W.MatVec(u)
+				for i := range s {
+					d := 2 * (s[i] - y[i]) / float64(m)
+					if d == 0 {
+						continue
+					}
+					row := grad.Row(i)
+					for j, uj := range u {
+						row[j] += d * uj
+					}
+				}
+				if usePower {
+					// Power term: e = p̂(u) - p, p̂(u) = Σ_j u_j ‖W_:,j‖₁;
+					// ∂p̂/∂w_ij = u_j·sign(w_ij).
+					e := tensor.Dot(u, colNorms) - qs.P[idx]
+					coeff := cfg.Lambda * 2 * e
+					for i := 0; i < m; i++ {
+						wrow := net.W.Row(i)
+						grow := grad.Row(i)
+						for j, uj := range u {
+							if uj == 0 {
+								continue
+							}
+							switch {
+							case wrow[j] > 0:
+								grow[j] += coeff * uj
+							case wrow[j] < 0:
+								grow[j] -= coeff * uj
+							}
+						}
+					}
+				}
+			}
+			scale := 1 / float64(end-start)
+			velocity.Scale(cfg.Momentum)
+			velocity.AddScaled(-cfg.LearningRate*scale, grad)
+			net.W.AddMatrix(velocity)
+		}
+	}
+	return &Model{Net: net}, nil
+}
+
+// AlgebraicExtract recovers the oracle's weights from raw-output queries
+// by least squares: W = (U†Ŷ)ᵀ. With Q >= N independent queries on a
+// noiseless linear oracle the recovery is exact (paper §IV); with fewer
+// queries it returns the minimum-norm solution.
+func AlgebraicExtract(qs *oracle.QuerySet) (*nn.Network, error) {
+	if qs == nil || qs.Len() == 0 {
+		return nil, errors.New("surrogate: empty query set")
+	}
+	uinv, err := linalg.PseudoInverse(qs.U)
+	if err != nil {
+		return nil, fmt.Errorf("surrogate: pseudoinverse: %w", err)
+	}
+	west := uinv.MatMul(qs.Y).T()
+	net, err := nn.NewNetwork(west.Rows(), west.Cols(), nn.ActLinear, nn.LossMSE)
+	if err != nil {
+		return nil, err
+	}
+	net.W = west
+	return net, nil
+}
+
+// Accuracy evaluates the surrogate's top-1 accuracy against true labels.
+func (m *Model) Accuracy(x *tensor.Matrix, labels []int) float64 {
+	if x.Rows() == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < x.Rows(); i++ {
+		if m.Net.Predict(x.Row(i)) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(x.Rows())
+}

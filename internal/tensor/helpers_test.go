@@ -1,0 +1,41 @@
+package tensor
+
+import "math/rand"
+
+// testRand is a tiny deterministic generator for property tests, wrapping
+// math/rand so helper signatures stay compact.
+type testRand struct{ r *rand.Rand }
+
+func newTestRand(seed int64) *testRand {
+	return &testRand{r: rand.New(rand.NewSource(seed))}
+}
+
+func (t *testRand) intn(n int) int     { return t.r.Intn(n) }
+func (t *testRand) float64() float64   { return t.r.Float64()*2 - 1 }
+func (t *testRand) normal() float64    { return t.r.NormFloat64() }
+func (t *testRand) perm(n int) []int   { return t.r.Perm(n) }
+func (t *testRand) shuffleSeed() int64 { return t.r.Int63() }
+func (t *testRand) uniform(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = t.r.Float64()
+	}
+	return out
+}
+
+func randomMatrix(r *testRand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	d := m.Data()
+	for i := range d {
+		d[i] = r.float64()
+	}
+	return m
+}
+
+func randomVec(r *testRand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.float64()
+	}
+	return out
+}
