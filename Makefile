@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test vet fmt fmt-check bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Fails (with the offending file list) when any file is unformatted.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Short benchmark sweep: the kernel microbenchmarks (µs-scale, so 200
+# iterations stay fast). The experiment macro-benchmarks (Table1, Fig4,
+# their *Workers parallel variants, ...) take seconds per iteration —
+# run those explicitly, e.g.:
+#   go test -run XXX -bench 'Table1' -benchtime 3x .
+bench:
+	$(GO) test -run XXX -bench 'CrossbarMVM|CrossbarPower|NormExtraction|FGSM' -benchtime 200x .
+
+ci: build vet fmt-check test

@@ -7,6 +7,7 @@ package xbarsec_test
 // `go run ./cmd/xbarattack -scale 1 all` for paper-sized sweeps.
 
 import (
+	"fmt"
 	"testing"
 
 	"xbarsec/internal/attack"
@@ -20,9 +21,20 @@ import (
 	"xbarsec/internal/surrogate"
 )
 
-// benchOpts keeps the macro-benchmarks tractable on one core.
+// benchOpts keeps the macro-benchmarks tractable and pins Workers to 1 so
+// the per-figure benchmarks measure the serial baseline; the *Workers
+// benchmarks below measure the parallel engine against it. Results are
+// bit-identical across worker counts at a fixed seed, so the comparison
+// is pure wall-clock.
 func benchOpts() experiment.Options {
-	return experiment.Options{Seed: 1, Scale: 0.05, Runs: 2}
+	return experiment.Options{Seed: 1, Scale: 0.05, Runs: 2, Workers: 1}
+}
+
+// withBenchWorkers returns benchOpts at a given worker count.
+func withBenchWorkers(w int) experiment.Options {
+	o := benchOpts()
+	o.Workers = w
+	return o
 }
 
 // BenchmarkTable1 regenerates Table I (correlation between loss
@@ -134,6 +146,36 @@ func BenchmarkAblationMultiPixel(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1Workers measures the parallel experiment engine against
+// the serial BenchmarkTable1 baseline at several worker counts. On a
+// multi-core machine the (config x run) grid of 8 victims scales with
+// workers; on one core it degrades gracefully to serial speed.
+func BenchmarkTable1Workers(b *testing.B) {
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.RunTable1(withBenchWorkers(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4Workers measures the parallel single-pixel sweep (configs
+// x per-sample attack evaluations) against the serial BenchmarkFig4.
+func BenchmarkFig4Workers(b *testing.B) {
+	for _, w := range []int{4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.RunFig4(withBenchWorkers(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- kernel microbenchmarks -------------------------------------------
 
 func benchVictim(b *testing.B) (*nn.Network, *crossbar.Network, *dataset.Dataset) {
@@ -176,6 +218,43 @@ func BenchmarkCrossbarPower(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := hw.Power(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBatch returns a batch of 64 test inputs for the batched kernels.
+func benchBatch(b *testing.B, ds *dataset.Dataset) [][]float64 {
+	b.Helper()
+	us := make([][]float64, 64)
+	for i := range us {
+		us[i] = ds.X.Row(i % ds.Len())
+	}
+	return us
+}
+
+// BenchmarkCrossbarMVMBatch measures 64 analog MVMs through one batched
+// ForwardBatch call; compare ns/op against 64x BenchmarkCrossbarMVM to
+// see the amortization of the effective-conductance pass.
+func BenchmarkCrossbarMVMBatch(b *testing.B) {
+	_, hw, ds := benchVictim(b)
+	us := benchBatch(b, ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hw.ForwardBatch(us); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossbarPowerBatch measures 64 supply-current measurements in
+// one batched pass.
+func BenchmarkCrossbarPowerBatch(b *testing.B) {
+	_, hw, ds := benchVictim(b)
+	us := benchBatch(b, ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hw.PowerBatch(us); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,11 +19,16 @@
 //
 // Flags:
 //
-//	-seed   int     experiment seed (default 1)
-//	-scale  float   workload scale in (0,1]; 1 = paper-sized (default 0.25)
-//	-runs   int     override repetition count (0 = scaled default)
-//	-data   string  directory with real MNIST/CIFAR files (optional)
-//	-out    string  directory for CSV exports (optional)
+//	-seed     int     experiment seed (default 1)
+//	-scale    float   workload scale in (0,1]; 1 = paper-sized (default 0.25)
+//	-runs     int     override repetition count (0 = scaled default)
+//	-workers  int     workers per fan-out level (0 = all CPUs, 1 =
+//	                  fully serial; default 0). Runners nest fan-outs
+//	                  (e.g. configs x samples), so total goroutines can
+//	                  reach workers^2. Results are bit-identical for
+//	                  every worker count at a fixed seed.
+//	-data     string  directory with real MNIST/CIFAR files (optional)
+//	-out      string  directory for CSV exports (optional)
 package main
 
 import (
@@ -49,6 +54,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "experiment seed")
 	scale := fs.Float64("scale", 0.25, "workload scale in (0,1]; 1 = paper-sized sweeps")
 	runs := fs.Int("runs", 0, "override repetition count (0 = scaled default)")
+	workers := fs.Int("workers", 0, "workers per fan-out level (0 = all CPUs, 1 = fully serial); nested sweeps may run up to workers^2 goroutines; results are seed-deterministic at any count")
 	dataDir := fs.String("data", "", "directory with real MNIST/CIFAR-10 files")
 	outDir := fs.String("out", "", "directory for CSV exports")
 	if err := fs.Parse(args); err != nil {
@@ -58,7 +64,7 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one command, got %d", fs.NArg())
 	}
-	opts := experiment.Options{Seed: *seed, Scale: *scale, Runs: *runs, DataDir: *dataDir}
+	opts := experiment.Options{Seed: *seed, Scale: *scale, Runs: *runs, Workers: *workers, DataDir: *dataDir}
 
 	cmd := fs.Arg(0)
 	commands := map[string]func(experiment.Options, string) error{
@@ -141,20 +147,29 @@ func runFig4(opts experiment.Options, outDir string) error {
 		return err
 	}
 	fmt.Println(res.Render())
-	for name, series := range res.Series() {
+	// Iterate panels in sorted-name order: ranging over the series map
+	// directly would print in Go's randomized map order, breaking the
+	// run-to-run reproducibility the engine guarantees.
+	series := res.Series()
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		plot := &report.LinePlot{
 			Title:  "Figure 4 [" + name + "]",
 			XLabel: "attack strength", YLabel: "test accuracy",
-			Series: series,
+			Series: series[name],
 		}
 		fmt.Println(plot.String())
 	}
 	if outDir == "" {
 		return nil
 	}
-	for name, series := range res.Series() {
+	for _, name := range names {
 		path := filepath.Join(outDir, "fig4_"+sanitize(name)+".csv")
-		if err := writeCSV(path, "strength", series); err != nil {
+		if err := writeCSV(path, "strength", series[name]); err != nil {
 			return err
 		}
 		fmt.Println("wrote", path)

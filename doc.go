@@ -14,10 +14,20 @@
 // Entry points:
 //
 //   - cmd/xbarattack — CLI that regenerates Table I and Figures 3-5
+//     (the -workers flag bounds concurrency; 0 = all CPUs, 1 = serial)
 //   - examples/      — runnable walkthroughs of the public workflow
 //   - bench_test.go  — one benchmark per table/figure plus kernel
-//     microbenchmarks
+//     microbenchmarks, serial and parallel
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured comparisons.
+// The evaluation engine is batched and concurrent, and both axes are
+// deterministic: batched crossbar calls (internal/crossbar's
+// OutputBatch, TotalCurrentBatch, PowerBatch, ForwardBatch,
+// PredictBatch) are bit-identical to sequential scalar calls, and the
+// experiment runners fan work across internal/pool workers with every
+// work item's randomness derived from Options.Seed via
+// rng.Source.Split/SplitN keyed by the item's identity — so for a fixed
+// seed the output is bit-identical at every worker count.
+//
+// See DESIGN.md for the system inventory and concurrency model, README.md
+// for usage, and EXPERIMENTS.md for paper-vs-measured comparisons.
 package xbarsec

@@ -1,0 +1,3 @@
+module xbarsec
+
+go 1.24

@@ -1,0 +1,375 @@
+package crossbar
+
+import (
+	"testing"
+
+	"xbarsec/internal/nn"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// batchTestWeights returns a small weight matrix with mixed signs, zeros
+// and magnitude spread, plus a batch of inputs that includes exact zeros
+// (exercising the sparse-input skip) and an all-zero vector.
+func batchTestWeights(t *testing.T, rows, cols int) (*tensor.Matrix, [][]float64) {
+	t.Helper()
+	src := rng.New(11)
+	w := tensor.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			switch src.Intn(4) {
+			case 0:
+				// leave zero
+			default:
+				w.Set(i, j, src.Uniform(-2, 2))
+			}
+		}
+	}
+	const batch = 7
+	us := make([][]float64, batch)
+	for b := 0; b < batch-1; b++ {
+		u := make([]float64, cols)
+		for j := range u {
+			if src.Intn(3) > 0 {
+				u[j] = src.Float64()
+			}
+		}
+		us[b] = u
+	}
+	us[batch-1] = make([]float64, cols) // all-zero input
+	return w, us
+}
+
+// nonIdealNoNoiseConfig enables every deterministic non-ideality:
+// quantization, programming noise, stuck faults, IR drop and power
+// masking — everything except per-read noise.
+func nonIdealNoNoiseConfig() DeviceConfig {
+	cfg := DefaultDeviceConfig()
+	cfg.Levels = 16
+	cfg.ProgramNoiseStd = 0.05
+	cfg.StuckFraction = 0.02
+	cfg.IRDropAlpha = 0.1
+	cfg.PowerMasking = true
+	return cfg
+}
+
+func readNoiseConfig() DeviceConfig {
+	cfg := nonIdealNoNoiseConfig()
+	cfg.ReadNoiseStd = 0.03
+	return cfg
+}
+
+// checkCrossbarBatchMatches runs every batched Crossbar entry point
+// against fresh identically-programmed sequential twins and requires
+// bit-identical results. program must return a new, identically
+// programmed crossbar on every call.
+func checkCrossbarBatchMatches(t *testing.T, program func() *Crossbar, us [][]float64) {
+	t.Helper()
+	seq, bat := program(), program()
+	want := make([][]float64, len(us))
+	for b, u := range us {
+		out, err := seq.Output(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[b] = out
+	}
+	got, err := bat.OutputBatch(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range us {
+		for i := range want[b] {
+			if got[b][i] != want[b][i] {
+				t.Fatalf("OutputBatch[%d][%d] = %v, sequential %v", b, i, got[b][i], want[b][i])
+			}
+		}
+	}
+
+	seq, bat = program(), program()
+	wantI := make([]float64, len(us))
+	for b, u := range us {
+		iv, err := seq.TotalCurrent(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantI[b] = iv
+	}
+	gotI, err := bat.TotalCurrentBatch(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range us {
+		if gotI[b] != wantI[b] {
+			t.Fatalf("TotalCurrentBatch[%d] = %v, sequential %v", b, gotI[b], wantI[b])
+		}
+	}
+
+	seq, bat = program(), program()
+	wantP := make([]float64, len(us))
+	for b, u := range us {
+		p, err := seq.Power(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantP[b] = p
+	}
+	gotP, err := bat.PowerBatch(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range us {
+		if gotP[b] != wantP[b] {
+			t.Fatalf("PowerBatch[%d] = %v, sequential %v", b, gotP[b], wantP[b])
+		}
+	}
+}
+
+func TestCrossbarBatchMatchesSequentialIdeal(t *testing.T) {
+	w, us := batchTestWeights(t, 6, 20)
+	checkCrossbarBatchMatches(t, func() *Crossbar {
+		xb, err := Program(w, DefaultDeviceConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return xb
+	}, us)
+}
+
+func TestCrossbarBatchMatchesSequentialNonIdeal(t *testing.T) {
+	w, us := batchTestWeights(t, 6, 20)
+	checkCrossbarBatchMatches(t, func() *Crossbar {
+		xb, err := Program(w, nonIdealNoNoiseConfig(), rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return xb
+	}, us)
+}
+
+func TestCrossbarBatchMatchesSequentialReadNoise(t *testing.T) {
+	// With read noise the array is stateful: the batched path must
+	// consume the per-read noise stream in exactly the order sequential
+	// calls would, so identically-seeded twins must agree bitwise.
+	w, us := batchTestWeights(t, 6, 20)
+	checkCrossbarBatchMatches(t, func() *Crossbar {
+		xb, err := Program(w, readNoiseConfig(), rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return xb
+	}, us)
+}
+
+func TestCrossbarBatchValidatesUpFront(t *testing.T) {
+	w, us := batchTestWeights(t, 4, 10)
+	xb, err := Program(w, DefaultDeviceConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]float64{us[0], make([]float64, 3)}
+	if _, err := xb.OutputBatch(bad); err == nil {
+		t.Fatal("short input must be rejected")
+	}
+	if _, err := xb.TotalCurrentBatch(bad); err == nil {
+		t.Fatal("short input must be rejected")
+	}
+	empty, err := xb.OutputBatch(nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v %v", empty, err)
+	}
+}
+
+func checkTiledBatchMatches(t *testing.T, program func() *TiledArray, us [][]float64) {
+	t.Helper()
+	seq, bat := program(), program()
+	gotAll, err := bat.OutputBatch(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, u := range us {
+		want, err := seq.Output(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if gotAll[b][i] != want[i] {
+				t.Fatalf("tiled OutputBatch[%d][%d] = %v, sequential %v", b, i, gotAll[b][i], want[i])
+			}
+		}
+	}
+	seq, bat = program(), program()
+	gotI, err := bat.TotalCurrentBatch(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, u := range us {
+		want, err := seq.TotalCurrent(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotI[b] != want {
+			t.Fatalf("tiled TotalCurrentBatch[%d] = %v, sequential %v", b, gotI[b], want)
+		}
+	}
+	seq, bat = program(), program()
+	gotP, err := bat.PowerBatch(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, u := range us {
+		want, err := seq.Power(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotP[b] != want {
+			t.Fatalf("tiled PowerBatch[%d] = %v, sequential %v", b, gotP[b], want)
+		}
+	}
+}
+
+func TestTiledBatchMatchesSequential(t *testing.T) {
+	w, us := batchTestWeights(t, 10, 25)
+	tile := TileConfig{MaxRows: 4, MaxCols: 8}
+	t.Run("ideal", func(t *testing.T) {
+		checkTiledBatchMatches(t, func() *TiledArray {
+			ta, err := ProgramTiled(w, DefaultDeviceConfig(), tile, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ta
+		}, us)
+	})
+	t.Run("read-noise", func(t *testing.T) {
+		checkTiledBatchMatches(t, func() *TiledArray {
+			ta, err := ProgramTiled(w, readNoiseConfig(), tile, rng.New(9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ta
+		}, us)
+	})
+}
+
+func TestNetworkBatchMatchesSequential(t *testing.T) {
+	w, us := batchTestWeights(t, 8, 20)
+	net, err := nn.NewNetwork(8, 20, nn.ActSoftmax, nn.LossCrossEntropy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.W = w
+	hw, err := NewNetwork(net, DefaultDeviceConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys, err := hw.ForwardBatch(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := hw.PredictBatch(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers, err := hw.PowerBatch(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, u := range us {
+		y, err := hw.Forward(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range y {
+			if ys[b][i] != y[i] {
+				t.Fatalf("ForwardBatch[%d][%d] = %v, sequential %v", b, i, ys[b][i], y[i])
+			}
+		}
+		label, err := hw.Predict(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if labels[b] != label {
+			t.Fatalf("PredictBatch[%d] = %d, sequential %d", b, labels[b], label)
+		}
+		p, err := hw.Power(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if powers[b] != p {
+			t.Fatalf("PowerBatch[%d] = %v, sequential %v", b, powers[b], p)
+		}
+	}
+}
+
+func TestMLPBatchMatchesSequential(t *testing.T) {
+	src := rng.New(3)
+	mlp, err := nn.NewMLP([]int{20, 12, 5}, nn.ActReLU, nn.ActSoftmax, nn.LossCrossEntropy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlp.InitXavier(src.Split("init"))
+	_, us := batchTestWeights(t, 5, 20)
+	program := func(cfg DeviceConfig, seed int64) *MLPNetwork {
+		var psrc *rng.Source
+		if seed != 0 {
+			psrc = rng.New(seed)
+		}
+		hw, err := NewMLPNetwork(mlp, cfg, psrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hw
+	}
+	check := func(t *testing.T, fresh func() *MLPNetwork) {
+		seq, bat := fresh(), fresh()
+		ys, err := bat.ForwardBatch(us)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b, u := range us {
+			y, err := seq.Forward(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range y {
+				if ys[b][i] != y[i] {
+					t.Fatalf("MLP ForwardBatch[%d][%d] = %v, sequential %v", b, i, ys[b][i], y[i])
+				}
+			}
+		}
+		seq, bat = fresh(), fresh()
+		ps, err := bat.PowerBatch(us)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b, u := range us {
+			p, err := seq.Power(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ps[b] != p {
+				t.Fatalf("MLP PowerBatch[%d] = %v, sequential %v", b, ps[b], p)
+			}
+		}
+		seq, bat = fresh(), fresh()
+		labels, err := bat.PredictBatch(us)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b, u := range us {
+			label, err := seq.Predict(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if labels[b] != label {
+				t.Fatalf("MLP PredictBatch[%d] = %d, sequential %d", b, labels[b], label)
+			}
+		}
+	}
+	t.Run("ideal", func(t *testing.T) {
+		check(t, func() *MLPNetwork { return program(DefaultDeviceConfig(), 0) })
+	})
+	t.Run("read-noise", func(t *testing.T) {
+		check(t, func() *MLPNetwork { return program(readNoiseConfig(), 21) })
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"xbarsec/internal/rng"
 	"xbarsec/internal/tensor"
@@ -99,6 +100,15 @@ type Crossbar struct {
 	// mask holds the per-column dummy conductance (split equally between
 	// a + and a − device) when PowerMasking is enabled; nil otherwise.
 	mask []float64
+	// eff caches the IR-drop-adjusted effective conductances for
+	// noise-free arrays so batched calls (batch.go) amortize the
+	// per-device attenuation arithmetic over many inputs. Built lazily
+	// under effOnce; never populated when reads != nil, because per-read
+	// noise makes effective conductances change on every read.
+	effOnce sync.Once
+	effDiff *tensor.Matrix // readConductance(G+) - readConductance(G-)
+	effSum  *tensor.Matrix // readConductance(G+) + readConductance(G-)
+	effMask []float64      // effective masking dummy row (nil without masking)
 }
 
 // Program maps the weight matrix w onto a crossbar under the minimum-power
@@ -253,20 +263,34 @@ func (x *Crossbar) readConductance(g float64, i, j int) float64 {
 
 // OutputCurrents drives the column lines with voltages u·Vdd (u in [0,1])
 // and returns the M differential output currents i_s = (G+ - G-)·v_u,
-// Eq. (3) of the paper.
+// Eq. (3) of the paper. Noise-free arrays read the cached effective
+// conductances (see batch.go) — same floating-point operation order, so
+// results are unchanged; only the per-call IR-drop arithmetic is hoisted.
 func (x *Crossbar) OutputCurrents(u []float64) ([]float64, error) {
 	if len(u) != x.cols {
 		return nil, fmt.Errorf("crossbar: input length %d, want %d", len(u), x.cols)
 	}
 	out := make([]float64, x.rows)
+	if x.reads == nil {
+		x.effective()
+		for i := 0; i < x.rows; i++ {
+			dRow := x.effDiff.Row(i)
+			var s float64
+			for j, uj := range u {
+				if uj == 0 {
+					continue
+				}
+				s += dRow[j] * uj * x.cfg.Vdd
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
 	for i := 0; i < x.rows; i++ {
 		gpRow := x.gplus.Row(i)
 		gmRow := x.gminus.Row(i)
 		var s float64
 		for j, uj := range u {
-			if uj == 0 && x.reads == nil {
-				continue
-			}
 			gp := x.readConductance(gpRow[j], i, j)
 			gm := x.readConductance(gmRow[j], i, j)
 			s += (gp - gm) * uj * x.cfg.Vdd
@@ -299,13 +323,33 @@ func (x *Crossbar) TotalCurrent(u []float64) (float64, error) {
 		return 0, fmt.Errorf("crossbar: input length %d, want %d", len(u), x.cols)
 	}
 	var total float64
+	if x.reads == nil {
+		// Cached effective conductances, same operation order as below —
+		// bit-identical, without the per-call IR-drop pass.
+		x.effective()
+		for i := 0; i < x.rows; i++ {
+			sRow := x.effSum.Row(i)
+			for j, uj := range u {
+				if uj == 0 {
+					continue
+				}
+				total += sRow[j] * uj * x.cfg.Vdd
+			}
+		}
+		if x.effMask != nil {
+			for j, uj := range u {
+				if uj == 0 {
+					continue
+				}
+				total += x.effMask[j] * uj * x.cfg.Vdd
+			}
+		}
+		return total, nil
+	}
 	for i := 0; i < x.rows; i++ {
 		gpRow := x.gplus.Row(i)
 		gmRow := x.gminus.Row(i)
 		for j, uj := range u {
-			if uj == 0 && x.reads == nil {
-				continue
-			}
 			gp := x.readConductance(gpRow[j], i, j)
 			gm := x.readConductance(gmRow[j], i, j)
 			total += (gp + gm) * uj * x.cfg.Vdd
@@ -313,9 +357,6 @@ func (x *Crossbar) TotalCurrent(u []float64) (float64, error) {
 	}
 	if x.mask != nil {
 		for j, uj := range u {
-			if uj == 0 && x.reads == nil {
-				continue
-			}
 			// The dummy row sits physically after the functional rows.
 			total += x.readConductance(x.mask[j], x.rows, j) * uj * x.cfg.Vdd
 		}

@@ -8,6 +8,7 @@ import (
 	"xbarsec/internal/crossbar"
 	"xbarsec/internal/dataset"
 	"xbarsec/internal/nn"
+	"xbarsec/internal/pool"
 	"xbarsec/internal/report"
 	"xbarsec/internal/rng"
 	"xbarsec/internal/sidechannel"
@@ -53,7 +54,6 @@ func RunNoiseAblation(opts Options) (*NoiseAblationResult, error) {
 		return nil, err
 	}
 	trueNorms := v.net.W.ColAbsSums()
-	res := &NoiseAblationResult{}
 	grid := []struct {
 		noise   float64
 		levels  int
@@ -69,35 +69,43 @@ func RunNoiseAblation(opts Options) (*NoiseAblationResult, error) {
 		{0, 4, 1},
 		{0.05, 8, 4},
 	}
-	for i, g := range grid {
+	// Every grid point programs and probes its own crossbar from its own
+	// seed split, so the sweep fans out across workers.
+	points := make([]NoiseAblationPoint, len(grid))
+	err = pool.DoErr(opts.Workers, len(grid), func(i int) error {
+		g := grid[i]
 		dcfg := crossbar.DefaultDeviceConfig()
 		dcfg.Levels = g.levels
 		src := root.SplitN("point", i)
 		xb, err := crossbar.Program(v.net.W, dcfg, src.Split("xbar"))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(xb), g.noise, src.Split("probe"))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		signals, err := probe.ExtractColumnSignals(g.repeats)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rho, err := stats.Spearman(signals, trueNorms)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: noise ablation point %d: %w", i, err)
+			return fmt.Errorf("experiment: noise ablation point %d: %w", i, err)
 		}
-		res.Points = append(res.Points, NoiseAblationPoint{
+		points[i] = NoiseAblationPoint{
 			MeasurementNoise: g.noise,
 			Levels:           g.levels,
 			Repeats:          g.repeats,
 			RankCorrelation:  rho,
 			ArgmaxHit:        tensor.ArgMax(signals) == tensor.ArgMax(trueNorms),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &NoiseAblationResult{Points: points}, nil
 }
 
 // Render formats the A1 ablation as a table.
@@ -141,40 +149,46 @@ type SearchAblationResult struct {
 func RunSearchAblation(opts Options) (*SearchAblationResult, error) {
 	opts = opts.withDefaults()
 	root := rng.New(opts.Seed).Split("ablation-search")
-	res := &SearchAblationResult{}
-	for _, cfg := range []ModelConfig{
+	configs := []ModelConfig{
 		{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE},
 		{Kind: dataset.CIFAR10, Act: nn.ActLinear, Crit: nn.LossMSE},
-	} {
+	}
+	rows := make([]SearchAblationRow, len(configs))
+	err := pool.DoErr(opts.Workers, len(configs), func(ci int) error {
+		cfg := configs[ci]
 		src := root.Split(cfg.Name())
 		v, err := buildVictim(cfg, opts, src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(v.hw.Crossbar()), 0, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hc, err := sidechannel.HillClimbMaxSearch(probe, sidechannel.HillClimbConfig{
 			Width: v.test.Width, Height: v.test.Height,
 			Restarts: 6, MaxSteps: v.test.Width * v.test.Height,
 		}, src.Split("climb"))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		best := v.signals[tensor.ArgMax(v.signals)]
 		ratio := 0.0
 		if best > 0 {
 			ratio = hc.Signal / best
 		}
-		res.Rows = append(res.Rows, SearchAblationRow{
+		rows[ci] = SearchAblationRow{
 			Config:            cfg,
 			ExhaustiveQueries: len(v.signals),
 			HillClimbQueries:  hc.Queries,
 			SignalRatio:       ratio,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &SearchAblationResult{Rows: rows}, nil
 }
 
 // Render formats the A2 ablation as a table.
@@ -218,45 +232,63 @@ func RunMultiPixelAblation(opts Options) (*MultiPixelResult, error) {
 		return nil, err
 	}
 	const eps = 4.0
-	res := &MultiPixelResult{Config: cfg, Eps: eps}
 	oh := v.test.OneHot()
-	for _, k := range []int{1, 2, 4, 8, 16} {
+	ks := []int{1, 2, 4, 8, 16}
+	points := make([]MultiPixelPoint, len(ks))
+	err = pool.DoErr(opts.Workers, len(ks), func(ki int) error {
+		k := ks[ki]
 		src := root.SplitN("eval", k)
-		var correctRand, correctWorst int
-		for i := 0; i < v.test.Len(); i++ {
+		n := v.test.Len()
+		// Craft both variants per sample concurrently (random signs come
+		// from per-sample seed splits), then measure each set against the
+		// oracle in one batched pass.
+		advRand := make([][]float64, n)
+		advWorst := make([][]float64, n)
+		err := pool.DoErr(opts.Workers, n, func(i int) error {
 			u := v.test.X.Row(i)
 			target := oh.Row(i)
-			advR, err := attack.MultiPixel(k, u, target, eps, v.signals, nil, false, src)
+			advR, err := attack.MultiPixel(k, u, target, eps, v.signals, nil, false, src.SplitN("sample", i))
 			if err != nil {
-				return nil, err
-			}
-			labelR, err := v.hw.Predict(advR)
-			if err != nil {
-				return nil, err
-			}
-			if labelR == v.test.Labels[i] {
-				correctRand++
+				return err
 			}
 			advW, err := attack.MultiPixel(k, u, target, eps, nil, v.net, true, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			labelW, err := v.hw.Predict(advW)
-			if err != nil {
-				return nil, err
+			advRand[i], advWorst[i] = advR, advW
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		labelsR, err := v.hw.PredictBatch(advRand)
+		if err != nil {
+			return err
+		}
+		labelsW, err := v.hw.PredictBatch(advWorst)
+		if err != nil {
+			return err
+		}
+		var correctRand, correctWorst int
+		for i := 0; i < n; i++ {
+			if labelsR[i] == v.test.Labels[i] {
+				correctRand++
 			}
-			if labelW == v.test.Labels[i] {
+			if labelsW[i] == v.test.Labels[i] {
 				correctWorst++
 			}
 		}
-		n := float64(v.test.Len())
-		res.Points = append(res.Points, MultiPixelPoint{
+		points[ki] = MultiPixelPoint{
 			Pixels:        k,
-			Accuracy:      float64(correctRand) / n,
-			WorstAccuracy: float64(correctWorst) / n,
-		})
+			Accuracy:      float64(correctRand) / float64(n),
+			WorstAccuracy: float64(correctWorst) / float64(n),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &MultiPixelResult{Config: cfg, Eps: eps, Points: points}, nil
 }
 
 // Render formats the A3 ablation as a table.

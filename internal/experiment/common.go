@@ -11,6 +11,7 @@ import (
 	"xbarsec/internal/crossbar"
 	"xbarsec/internal/dataset"
 	"xbarsec/internal/nn"
+	"xbarsec/internal/pool"
 	"xbarsec/internal/rng"
 	"xbarsec/internal/sidechannel"
 )
@@ -27,6 +28,18 @@ type Options struct {
 	// Runs overrides the number of independent repetitions (0 = scaled
 	// default: 5 for Table I, 10 for Figure 5, as in the paper).
 	Runs int
+	// Workers bounds the concurrent goroutines per fan-out level (0 =
+	// all CPUs, 1 = strictly serial). Runners nest fan-outs — e.g.
+	// Fig. 4 fans configurations and, within each, per-sample attack
+	// evaluations — so total concurrency can exceed Workers (see
+	// pool.Do); Workers == 1 disables every level and is exactly the
+	// serial path. Any value produces bit-identical results: every
+	// work item derives
+	// its randomness from Seed via rng.Source.Split/SplitN keyed by the
+	// item's identity — never from a stream shared across items — and
+	// results are assembled in item order, so nothing depends on
+	// goroutine scheduling.
+	Workers int
 }
 
 // withDefaults normalizes an Options value.
@@ -157,13 +170,23 @@ func buildVictim(cfg ModelConfig, opts Options, src *rng.Source) (*victim, error
 func VictimAccuracies(opts Options) (map[string][2]float64, error) {
 	opts = opts.withDefaults()
 	root := rng.New(opts.Seed).Split("calibration")
-	out := make(map[string][2]float64, 4)
-	for _, cfg := range FourConfigs() {
+	configs := FourConfigs()
+	accs := make([][2]float64, len(configs))
+	err := pool.DoErr(opts.Workers, len(configs), func(ci int) error {
+		cfg := configs[ci]
 		v, err := buildVictim(cfg, opts, root.Split(cfg.Name()))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[cfg.Name()] = [2]float64{v.net.Accuracy(v.train), v.net.Accuracy(v.test)}
+		accs[ci] = [2]float64{v.net.Accuracy(v.train), v.net.Accuracy(v.test)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][2]float64, len(configs))
+	for ci, cfg := range configs {
+		out[cfg.Name()] = accs[ci]
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"xbarsec/internal/crossbar"
 	"xbarsec/internal/dataset"
 	"xbarsec/internal/nn"
+	"xbarsec/internal/pool"
 	"xbarsec/internal/report"
 	"xbarsec/internal/rng"
 	"xbarsec/internal/sidechannel"
@@ -49,8 +50,12 @@ func RunDepthAblation(opts Options) (*DepthAblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &DepthAblationResult{}
-	for _, hidden := range [][]int{{}, {64}, {64, 32}} {
+	depths := [][]int{{}, {64}, {64, 32}}
+	rows := make([]DepthAblationRow, len(depths))
+	// The train/test datasets are shared read-only; each depth trains its
+	// own model from its own seed split, so the sweep fans out.
+	poolErr := pool.DoErr(opts.Workers, len(depths), func(di int) error {
+		hidden := depths[di]
 		src := root.SplitN("depth", len(hidden))
 		var (
 			acc      float64
@@ -60,7 +65,7 @@ func RunDepthAblation(opts Options) (*DepthAblationResult, error) {
 		if len(hidden) == 0 {
 			net, _, err := nn.TrainNew(train, cfg.Act, cfg.Crit, trainCfgFor(cfg), src.Split("train"))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			acc = net.Accuracy(test)
 			sens = net.MeanAbsInputGradient(test)
@@ -70,13 +75,13 @@ func RunDepthAblation(opts Options) (*DepthAblationResult, error) {
 			widths = append(widths, train.NumClasses)
 			mlp, err := nn.NewMLP(widths, nn.ActReLU, cfg.Act, cfg.Crit)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			mlp.InitXavier(src.Split("init"))
 			if _, err := nn.TrainMLP(mlp, train, nn.TrainConfig{
 				Epochs: 25, BatchSize: 32, LearningRate: 0.1, Momentum: 0.9,
 			}, src.Split("sgd")); err != nil {
-				return nil, err
+				return err
 			}
 			acc = mlp.Accuracy(test)
 			oh := test.OneHot()
@@ -92,24 +97,28 @@ func RunDepthAblation(opts Options) (*DepthAblationResult, error) {
 			// attacker would.
 			hw, err := crossbar.NewMLPNetwork(mlp, crossbar.DefaultDeviceConfig(), nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(hw.FirstLayerMeter()), 0, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			colNorms, err = probe.ExtractColumnSignals(1)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 		corr, err := stats.Pearson(sens, colNorms)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: depth ablation %v: %w", hidden, err)
+			return fmt.Errorf("experiment: depth ablation %v: %w", hidden, err)
 		}
-		res.Rows = append(res.Rows, DepthAblationRow{Hidden: hidden, TestAccuracy: acc, CorrOfMean: corr})
+		rows[di] = DepthAblationRow{Hidden: hidden, TestAccuracy: acc, CorrOfMean: corr}
+		return nil
+	})
+	if poolErr != nil {
+		return nil, poolErr
 	}
-	return res, nil
+	return &DepthAblationResult{Rows: rows}, nil
 }
 
 // Render formats A4 as a table.
@@ -194,21 +203,30 @@ func RunMaskingAblation(opts Options) (*MaskingAblationResult, error) {
 	attackAcc := func(hw *crossbar.Network, signals []float64, label string) (float64, error) {
 		src := root.Split(label)
 		oh := v.test.OneHot()
+		n := v.test.Len()
+		advs := make([][]float64, n)
+		err := pool.DoErr(opts.Workers, n, func(i int) error {
+			adv, err := attack.SinglePixel(attack.PixelNormPlus, tensor.CloneVec(v.test.X.Row(i)), oh.Row(i), eps, signals, nil, src.SplitN("sample", i))
+			if err != nil {
+				return err
+			}
+			advs[i] = adv
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		labels, err := hw.PredictBatch(advs)
+		if err != nil {
+			return 0, err
+		}
 		correct := 0
-		for i := 0; i < v.test.Len(); i++ {
-			adv, err := attack.SinglePixel(attack.PixelNormPlus, tensor.CloneVec(v.test.X.Row(i)), oh.Row(i), eps, signals, nil, src)
-			if err != nil {
-				return 0, err
-			}
-			label, err := hw.Predict(adv)
-			if err != nil {
-				return 0, err
-			}
-			if label == v.test.Labels[i] {
+		for i, l := range labels {
+			if l == v.test.Labels[i] {
 				correct++
 			}
 		}
-		return float64(correct) / float64(v.test.Len()), nil
+		return float64(correct) / float64(n), nil
 	}
 	accPlain, err := attackAcc(v.hw, plainSignals, "plain")
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"xbarsec/internal/dataset"
+	"xbarsec/internal/pool"
 	"xbarsec/internal/report"
 	"xbarsec/internal/rng"
 	"xbarsec/internal/stats"
@@ -34,11 +35,13 @@ type Fig3Result struct {
 func RunFig3(opts Options) (*Fig3Result, error) {
 	opts = opts.withDefaults()
 	root := rng.New(opts.Seed).Split("fig3")
-	res := &Fig3Result{}
-	for _, cfg := range FourConfigs() {
+	configs := FourConfigs()
+	panels := make([]Fig3Panel, len(configs))
+	err := pool.DoErr(opts.Workers, len(configs), func(ci int) error {
+		cfg := configs[ci]
 		v, err := buildVictim(cfg, opts, root.Split(cfg.Name()))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sens := v.net.MeanAbsInputGradient(v.test)
 		norms := v.signals
@@ -49,14 +52,18 @@ func RunFig3(opts Options) (*Fig3Result, error) {
 		normMap := dataset.FirstChannel(norms, w, h)
 		corr, err := stats.Pearson(sensMap[:plane], normMap[:plane])
 		if err != nil {
-			return nil, fmt.Errorf("experiment: fig3 %s: %w", cfg.Name(), err)
+			return fmt.Errorf("experiment: fig3 %s: %w", cfg.Name(), err)
 		}
-		res.Panels = append(res.Panels, Fig3Panel{
+		panels[ci] = Fig3Panel{
 			Config: cfg, Sensitivity: sensMap, Norms: normMap,
 			Width: w, Height: h, Corr: corr,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig3Result{Panels: panels}, nil
 }
 
 // Render produces side-by-side ASCII heatmaps per panel plus the

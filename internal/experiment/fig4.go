@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"xbarsec/internal/attack"
+	"xbarsec/internal/pool"
 	"xbarsec/internal/report"
 	"xbarsec/internal/rng"
 	"xbarsec/internal/tensor"
@@ -50,52 +51,69 @@ func RunFig4(opts Options) (*Fig4Result, error) {
 	opts = opts.withDefaults()
 	root := rng.New(opts.Seed).Split("fig4")
 	strengths := fig4Strengths(opts)
-	res := &Fig4Result{}
-	for _, cfg := range FourConfigs() {
+	configs := FourConfigs()
+	panels := make([]Fig4Panel, len(configs))
+	err := pool.DoErr(opts.Workers, len(configs), func(ci int) error {
+		cfg := configs[ci]
 		src := root.Split(cfg.Name())
 		v, err := buildVictim(cfg, opts, src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		panel := Fig4Panel{Config: cfg}
-		clean, err := evaluateSinglePixel(v, attack.PixelRandom, 0, src.Split("clean"))
+		clean, err := evaluateSinglePixel(v, attack.PixelRandom, 0, src.Split("clean"), opts.Workers)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		panel.CleanAccuracy = clean
 		for _, method := range attack.AllPixelMethods() {
 			curve := Fig4Curve{Method: method, Strengths: strengths}
 			for _, eps := range strengths {
-				acc, err := evaluateSinglePixel(v, method, eps, src.SplitN(method.String(), int(eps*10)))
+				acc, err := evaluateSinglePixel(v, method, eps, src.SplitN(method.String(), int(eps*10)), opts.Workers)
 				if err != nil {
-					return nil, fmt.Errorf("experiment: fig4 %s %s eps=%v: %w", cfg.Name(), method, eps, err)
+					return fmt.Errorf("experiment: fig4 %s %s eps=%v: %w", cfg.Name(), method, eps, err)
 				}
 				curve.Accuracies = append(curve.Accuracies, acc)
 			}
 			panel.Curves = append(panel.Curves, curve)
 		}
-		res.Panels = append(res.Panels, panel)
+		panels[ci] = panel
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig4Result{Panels: panels}, nil
 }
 
 // evaluateSinglePixel perturbs every test image with the method and
 // measures the crossbar oracle's accuracy, exactly the protocol behind
-// each Figure 4 point.
-func evaluateSinglePixel(v *victim, method attack.PixelMethod, eps float64, src *rng.Source) (float64, error) {
+// each Figure 4 point. Adversarial examples are crafted concurrently —
+// each sample from its own split of src, so the perturbations are
+// worker-count independent — and evaluated through the oracle's batched
+// predictor in one programming pass.
+func evaluateSinglePixel(v *victim, method attack.PixelMethod, eps float64, src *rng.Source, workers int) (float64, error) {
 	ds := v.test
 	oh := ds.OneHot()
-	correct := 0
-	for i := 0; i < ds.Len(); i++ {
+	advs := make([][]float64, ds.Len())
+	err := pool.DoErr(workers, ds.Len(), func(i int) error {
 		u := tensor.CloneVec(ds.X.Row(i))
-		adv, err := attack.SinglePixel(method, u, oh.Row(i), eps, v.signals, v.net, src)
+		adv, err := attack.SinglePixel(method, u, oh.Row(i), eps, v.signals, v.net, src.SplitN("sample", i))
 		if err != nil {
-			return 0, err
+			return err
 		}
-		label, err := v.hw.Predict(adv)
-		if err != nil {
-			return 0, err
-		}
+		advs[i] = adv
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	labels, err := v.hw.PredictBatch(advs)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, label := range labels {
 		if label == ds.Labels[i] {
 			correct++
 		}

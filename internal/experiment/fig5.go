@@ -10,6 +10,7 @@ import (
 	"xbarsec/internal/dataset"
 	"xbarsec/internal/nn"
 	"xbarsec/internal/oracle"
+	"xbarsec/internal/pool"
 	"xbarsec/internal/report"
 	"xbarsec/internal/rng"
 	"xbarsec/internal/stats"
@@ -105,11 +106,20 @@ func RunFig5(opts Fig5Options) (*Fig5Result, error) {
 		{dataset.CIFAR10, oracle.LabelOnly},
 		{dataset.CIFAR10, oracle.RawOutput},
 	}
-	for _, rc := range rows {
+	rowResults := make([]*Fig5Row, len(rows))
+	err := pool.DoErr(opts.Workers, len(rows), func(ri int) error {
+		rc := rows[ri]
 		row, err := runFig5Row(rc.kind, rc.mode, opts, runs, root.Split(fmt.Sprintf("%s-%s", rc.kind, rc.mode)))
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rowResults[ri] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rowResults {
 		res.Rows = append(res.Rows, *row)
 	}
 	return res, nil
@@ -152,27 +162,56 @@ func runFig5Row(kind dataset.Kind, mode oracle.Mode, opts Fig5Options, runs int,
 	} else if opts.Scale < 0.5 {
 		sCfg.Epochs /= 2
 	}
-	for run := 0; run < runs; run++ {
+	// Repetitions are independent given per-run seed splits, so they fan
+	// out across workers. Each run gets its own Oracle: the query counter
+	// is the oracle's only mutable state, and the underlying ideal
+	// crossbar is read-only, so per-run oracles return exactly what one
+	// shared oracle would.
+	type cell struct{ sAcc, aAcc float64 }
+	runCells := make([][][]cell, runs)
+	err = pool.DoErr(opts.Workers, runs, func(run int) error {
 		runSrc := src.SplitN("run", run)
+		runOrc, err := oracle.New(v.hw, oracle.Config{Mode: mode, MeasurePower: true})
+		if err != nil {
+			return err
+		}
+		cells := make([][]cell, len(lambdas))
+		for li := range cells {
+			cells[li] = make([]cell, len(queries))
+		}
 		for qi, q := range queries {
-			qs, err := oracle.Collect(orc, v.train, q, runSrc.SplitN("collect", qi))
+			qs, err := oracle.Collect(runOrc, v.train, q, runSrc.SplitN("collect", qi))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for li, lambda := range lambdas {
 				cfg := sCfg
 				cfg.Lambda = lambda
 				model, err := surrogate.Train(qs, cfg, runSrc.SplitN(fmt.Sprintf("train-%d", qi), li))
 				if err != nil {
-					return nil, fmt.Errorf("experiment: fig5 %s/%s run=%d q=%d λ=%v: %w", kind, mode, run, q, lambda, err)
+					return fmt.Errorf("experiment: fig5 %s/%s run=%d q=%d λ=%v: %w", kind, mode, run, q, lambda, err)
 				}
 				sAcc := model.Accuracy(v.test.X, v.test.Labels)
-				aAcc, err := oracleFGSMAccuracy(v, model)
+				aAcc, err := oracleFGSMAccuracy(v, model, opts.Workers)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				row.SurrogateAcc[li][qi] = append(row.SurrogateAcc[li][qi], sAcc)
-				row.OracleAdvAcc[li][qi] = append(row.OracleAdvAcc[li][qi], aAcc)
+				cells[li][qi] = cell{sAcc: sAcc, aAcc: aAcc}
+			}
+		}
+		runCells[run] = cells
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Append per-run results in run order, as the serial sweep would.
+	for run := 0; run < runs; run++ {
+		for li := range lambdas {
+			for qi := range queries {
+				c := runCells[run][li][qi]
+				row.SurrogateAcc[li][qi] = append(row.SurrogateAcc[li][qi], c.sAcc)
+				row.OracleAdvAcc[li][qi] = append(row.OracleAdvAcc[li][qi], c.aAcc)
 			}
 		}
 	}
@@ -188,20 +227,29 @@ func allocCells(l, q int) [][][]float64 {
 }
 
 // oracleFGSMAccuracy crafts FGSM(ε=0.1) examples on the surrogate for
-// every test input and measures the oracle's accuracy on them.
-func oracleFGSMAccuracy(v *victim, model *surrogate.Model) (float64, error) {
+// every test input — concurrently; FGSM is deterministic — and measures
+// the oracle's accuracy on them through the batched predictor.
+func oracleFGSMAccuracy(v *victim, model *surrogate.Model, workers int) (float64, error) {
 	ds := v.test
 	oh := ds.OneHot()
-	correct := 0
-	for i := 0; i < ds.Len(); i++ {
+	advs := make([][]float64, ds.Len())
+	err := pool.DoErr(workers, ds.Len(), func(i int) error {
 		adv, err := attack.FGSM(model.Net, tensor.CloneVec(ds.X.Row(i)), oh.Row(i), fig5AttackEps)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		label, err := v.hw.Predict(adv)
-		if err != nil {
-			return 0, err
-		}
+		advs[i] = adv
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	labels, err := v.hw.PredictBatch(advs)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, label := range labels {
 		if label == ds.Labels[i] {
 			correct++
 		}

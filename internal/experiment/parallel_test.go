@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"xbarsec/internal/attack"
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/nn"
+)
+
+// The parallel engine's contract: for a fixed Options.Seed, every runner
+// returns bit-identical results at every worker count, because work items
+// derive randomness from their identity (via rng.Source.Split/SplitN) and
+// results are assembled in item order. These tests pin that contract at
+// several worker counts, including counts far above this machine's CPU
+// count and the strictly-serial Workers == 1 path.
+
+func withWorkers(o Options, w int) Options {
+	o.Workers = w
+	return o
+}
+
+func TestEvaluateSinglePixelWorkerInvariance(t *testing.T) {
+	opts := tinyOpts().withDefaults()
+	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
+	v, err := buildVictim(cfg, opts, testSrc(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []attack.PixelMethod{attack.PixelRandom, attack.PixelNormRandom, attack.PixelWorst} {
+		var want float64
+		for wi, workers := range []int{1, 2, 5} {
+			got, err := evaluateSinglePixel(v, method, 4.0, testSrc(t, 3), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wi == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("%s: workers=%d accuracy %v, serial %v", method, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestRunNoiseAblationWorkerInvariance(t *testing.T) {
+	serial, err := RunNoiseAblation(withWorkers(tinyOpts(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 13} {
+		parallel, err := RunNoiseAblation(withWorkers(tinyOpts(), workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("workers=%d result diverged from serial:\nserial:   %+v\nparallel: %+v", workers, serial, parallel)
+		}
+	}
+}
+
+func TestRunMultiPixelAblationWorkerInvariance(t *testing.T) {
+	serial, err := RunMultiPixelAblation(withWorkers(tinyOpts(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunMultiPixelAblation(withWorkers(tinyOpts(), 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel result diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+func TestRunTable1WorkerInvariance(t *testing.T) {
+	opts := Options{Seed: 5, Scale: 0.01, Runs: 1}
+	serial, err := RunTable1(withWorkers(opts, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunTable1(withWorkers(opts, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel result diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

@@ -37,7 +37,9 @@ type TraceAblationResult struct {
 // RunTraceAblation quantifies how much cheaper the temporal (bit-serial
 // trace) channel makes 1-norm extraction compared with the paper's static
 // model: N basis queries vs Q >= N natural-input measurements vs
-// ceil(N/Bits) traced inferences.
+// ceil(N/Bits) traced inferences. The three strategies share one probe
+// whose query counter is reset between them, so this runner is
+// inherently sequential and ignores Options.Workers.
 func RunTraceAblation(opts Options) (*TraceAblationResult, error) {
 	opts = opts.withDefaults()
 	root := rng.New(opts.Seed).Split("ablation-trace")
