@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_JSON ?= BENCH_2.json
 
-.PHONY: build test vet fmt fmt-check bench ci
+.PHONY: build test vet fmt fmt-check bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -27,5 +28,17 @@ fmt-check:
 #   go test -run XXX -bench 'Table1' -benchtime 3x .
 bench:
 	$(GO) test -run XXX -bench 'CrossbarMVM|CrossbarPower|NormExtraction|FGSM' -benchtime 200x .
+
+# Runs the kernel microbenchmarks (many iterations) and the two macro
+# benchmarks the perf trajectory tracks (few iterations — they take
+# seconds each), and records ns/op into $(BENCH_JSON). Commit the result
+# so every PR leaves a BENCH_<n>.json data point. The test runs write to
+# intermediate files so a failing benchmark fails the target instead of
+# being swallowed by the conversion pipe.
+bench-json:
+	$(GO) test -run XXX -bench 'GemmTA$$|GemmTB$$|TrainEpoch|CrossbarMVM|CrossbarPower|NormExtraction|FGSM$$' -benchtime 200x . > /tmp/xbarsec-bench-micro.txt
+	$(GO) test -run XXX -bench 'SurrogateTrain|Table1$$' -benchtime 3x . > /tmp/xbarsec-bench-macro.txt
+	cat /tmp/xbarsec-bench-micro.txt /tmp/xbarsec-bench-macro.txt | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	@cat $(BENCH_JSON)
 
 ci: build vet fmt-check test

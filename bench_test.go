@@ -19,6 +19,7 @@ import (
 	"xbarsec/internal/rng"
 	"xbarsec/internal/sidechannel"
 	"xbarsec/internal/surrogate"
+	"xbarsec/internal/tensor"
 )
 
 // benchOpts keeps the macro-benchmarks tractable and pins Workers to 1 so
@@ -307,6 +308,61 @@ func BenchmarkSurrogateTrain(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := surrogate.Train(qs, cfg, rng.New(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGemmTB measures the batched forward kernel at the training
+// shape (32-sample mini-batch x 3072 inputs by 10 outputs).
+func BenchmarkGemmTB(b *testing.B) {
+	src := rng.New(1)
+	u := tensor.New(32, 3072)
+	w := tensor.New(10, 3072)
+	s := tensor.New(32, 10)
+	for _, m := range []*tensor.Matrix{u, w} {
+		d := m.Data()
+		for i := range d {
+			d[i] = src.Uniform(-1, 1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.GemmTB(s, u, w)
+	}
+}
+
+// BenchmarkGemmTA measures the batch-gradient contraction kernel at the
+// training shape (32 deltas x 10 outputs against 32 x 3072 inputs).
+func BenchmarkGemmTA(b *testing.B) {
+	src := rng.New(2)
+	d := tensor.New(32, 10)
+	u := tensor.New(32, 3072)
+	g := tensor.New(10, 3072)
+	for _, m := range []*tensor.Matrix{d, u} {
+		dd := m.Data()
+		for i := range dd {
+			dd[i] = src.Uniform(-1, 1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.GemmTA(g, d, u)
+	}
+}
+
+// BenchmarkTrainEpoch measures one epoch of batched single-layer SGD on
+// 200 MNIST-like samples — the inner loop of every victim build.
+func BenchmarkTrainEpoch(b *testing.B) {
+	src := rng.New(3)
+	ds, err := dataset.GenerateMNISTLike(src.Split("d"), 200, dataset.DefaultMNISTLikeConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := nn.TrainConfig{Epochs: 1, BatchSize: 32, LearningRate: 0.05, Momentum: 0.9, ZeroInit: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := nn.TrainNew(ds, nn.ActSoftmax, nn.LossCrossEntropy, cfg, src.Split("t")); err != nil {
 			b.Fatal(err)
 		}
 	}

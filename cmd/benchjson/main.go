@@ -1,0 +1,79 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// BENCH_*.json format the repo uses to record its performance trajectory:
+// one entry per benchmark with its iteration count and ns/op. Lines that
+// are not benchmark results are skipped, so several -bench runs can be
+// concatenated:
+//
+//	{ go test -run XXX -bench 'Gemm' -benchtime 200x .; \
+//	  go test -run XXX -bench 'Table1$' -benchtime 3x .; } \
+//	  | go run ./cmd/benchjson > BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name    string  `json:"name"`
+	Iters   int64   `json:"iterations"`
+	NsPerOp float64 `json:"ns_per_op"`
+	MsPerOp float64 `json:"ms_per_op"`
+}
+
+// Report is the BENCH_*.json schema.
+type Report struct {
+	Schema     string  `json:"schema"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	rep := Report{Schema: "xbarsec-bench/v1"}
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shape: BenchmarkName[-P] N X ns/op [more metrics...]
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+		name = strings.TrimPrefix(name, "Benchmark")
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			ns, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				break
+			}
+			iters, _ := strconv.ParseInt(fields[1], 10, 64)
+			rep.Benchmarks = append(rep.Benchmarks, Entry{
+				Name: name, Iters: iters, NsPerOp: ns, MsPerOp: ns / 1e6,
+			})
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}

@@ -109,6 +109,52 @@ type Crossbar struct {
 	effDiff *tensor.Matrix // readConductance(G+) - readConductance(G-)
 	effSum  *tensor.Matrix // readConductance(G+) + readConductance(G-)
 	effMask []float64      // effective masking dummy row (nil without masking)
+	// ir caches the deterministic half of the noisy read path: the
+	// IR-drop-attenuated programmed conductances. Per-read noise then
+	// multiplies these cached products — the same association order as
+	// attenuating and perturbing each device inline — so noisy reads are
+	// bit-identical to the uncached path while the per-read positional
+	// arithmetic is hoisted. noiseBuf holds one row of per-device noise
+	// draws (2 per device: G+ then G-), filled in the stream order the
+	// scalar per-device draws consumed.
+	irOnce   sync.Once
+	irPlus   *tensor.Matrix
+	irMinus  *tensor.Matrix
+	irMask   []float64
+	noiseBuf []float64
+}
+
+// irAdjusted materializes (and caches) the IR-drop-attenuated programmed
+// conductances used by the noisy read path. With IRDropAlpha == 0 the
+// matrices alias the programmed conductances directly.
+func (x *Crossbar) irAdjusted() {
+	x.irOnce.Do(func() {
+		x.noiseBuf = make([]float64, 2*x.cols)
+		if x.cfg.IRDropAlpha == 0 {
+			x.irPlus, x.irMinus, x.irMask = x.gplus, x.gminus, x.mask
+			return
+		}
+		x.irPlus = x.gplus.Clone()
+		x.irMinus = x.gminus.Clone()
+		total := float64(x.rows + x.cols)
+		for i := 0; i < x.rows; i++ {
+			pRow := x.irPlus.Row(i)
+			mRow := x.irMinus.Row(i)
+			for j := range pRow {
+				// Same expression as readConductance (division kept — a
+				// reciprocal multiply would not be bit-identical).
+				f := 1 - x.cfg.IRDropAlpha*float64(i+j)/total
+				pRow[j] *= f
+				mRow[j] *= f
+			}
+		}
+		if x.mask != nil {
+			x.irMask = make([]float64, x.cols)
+			for j, g := range x.mask {
+				x.irMask[j] = g * (1 - x.cfg.IRDropAlpha*float64(x.rows+j)/total)
+			}
+		}
+	})
 }
 
 // Program maps the weight matrix w onto a crossbar under the minimum-power
@@ -286,13 +332,24 @@ func (x *Crossbar) OutputCurrents(u []float64) ([]float64, error) {
 		}
 		return out, nil
 	}
+	// Noisy path: one vectorized noise fill per row (2 draws per device,
+	// G+ then G-, in the exact stream order of the per-device scalar
+	// draws), applied to the cached IR-adjusted conductances.
+	x.irAdjusted()
 	for i := 0; i < x.rows; i++ {
-		gpRow := x.gplus.Row(i)
-		gmRow := x.gminus.Row(i)
+		x.reads.FillNormal(x.noiseBuf, 0, x.cfg.ReadNoiseStd)
+		pRow := x.irPlus.Row(i)
+		mRow := x.irMinus.Row(i)
 		var s float64
 		for j, uj := range u {
-			gp := x.readConductance(gpRow[j], i, j)
-			gm := x.readConductance(gmRow[j], i, j)
+			gp := pRow[j] * (1 + x.noiseBuf[2*j])
+			if gp < 0 {
+				gp = 0
+			}
+			gm := mRow[j] * (1 + x.noiseBuf[2*j+1])
+			if gm < 0 {
+				gm = 0
+			}
 			s += (gp - gm) * uj * x.cfg.Vdd
 		}
 		out[i] = s
@@ -327,6 +384,32 @@ func (x *Crossbar) TotalCurrent(u []float64) (float64, error) {
 		// Cached effective conductances, same operation order as below —
 		// bit-identical, without the per-call IR-drop pass.
 		x.effective()
+		// Basis-query fast path: the side-channel probe drives one input
+		// at a time (Section III's measurement procedure), and with a
+		// single nonzero u_j the general sweep degenerates to one column
+		// walk — same terms, same row order, so bit-identical — without
+		// scanning all M·N devices against the zero-skip branch.
+		nz, nzCount := 0, 0
+		for j, uj := range u {
+			if uj != 0 {
+				nz = j
+				if nzCount++; nzCount > 1 {
+					break
+				}
+			}
+		}
+		if nzCount <= 1 {
+			if nzCount == 1 {
+				uj := u[nz]
+				for i := 0; i < x.rows; i++ {
+					total += x.effSum.Row(i)[nz] * uj * x.cfg.Vdd
+				}
+				if x.effMask != nil {
+					total += x.effMask[nz] * uj * x.cfg.Vdd
+				}
+			}
+			return total, nil
+		}
 		for i := 0; i < x.rows; i++ {
 			sRow := x.effSum.Row(i)
 			for j, uj := range u {
@@ -346,19 +429,35 @@ func (x *Crossbar) TotalCurrent(u []float64) (float64, error) {
 		}
 		return total, nil
 	}
+	// Noisy path: vectorized per-row noise fills over the cached
+	// IR-adjusted conductances, stream-order-identical to per-device
+	// scalar draws.
+	x.irAdjusted()
 	for i := 0; i < x.rows; i++ {
-		gpRow := x.gplus.Row(i)
-		gmRow := x.gminus.Row(i)
+		x.reads.FillNormal(x.noiseBuf, 0, x.cfg.ReadNoiseStd)
+		pRow := x.irPlus.Row(i)
+		mRow := x.irMinus.Row(i)
 		for j, uj := range u {
-			gp := x.readConductance(gpRow[j], i, j)
-			gm := x.readConductance(gmRow[j], i, j)
+			gp := pRow[j] * (1 + x.noiseBuf[2*j])
+			if gp < 0 {
+				gp = 0
+			}
+			gm := mRow[j] * (1 + x.noiseBuf[2*j+1])
+			if gm < 0 {
+				gm = 0
+			}
 			total += (gp + gm) * uj * x.cfg.Vdd
 		}
 	}
 	if x.mask != nil {
+		// The dummy row sits physically after the functional rows.
+		x.reads.FillNormal(x.noiseBuf[:x.cols], 0, x.cfg.ReadNoiseStd)
 		for j, uj := range u {
-			// The dummy row sits physically after the functional rows.
-			total += x.readConductance(x.mask[j], x.rows, j) * uj * x.cfg.Vdd
+			g := x.irMask[j] * (1 + x.noiseBuf[j])
+			if g < 0 {
+				g = 0
+			}
+			total += g * uj * x.cfg.Vdd
 		}
 	}
 	return total, nil

@@ -130,9 +130,28 @@ func buildClassTextures(src *rng.Source, numClasses int, cfg CIFARLikeConfig) []
 	return textures
 }
 
+// envelopeGrid evaluates signalEnvelope once per pixel. The envelope field
+// is shared by every class (buildClassTextures draws it from the shared
+// stream), so one grid serves the whole dataset — the per-pixel Exp+Sin it
+// hoists out of renderClassSignal used to be recomputed per sample per
+// channel. Values are bit-identical: signalEnvelope is a pure function of
+// the pixel coordinates and the shared field parameters.
+func envelopeGrid(tex classTexture, cfg CIFARLikeConfig) []float64 {
+	env := make([]float64, cfg.Size*cfg.Size)
+	for py := 0; py < cfg.Size; py++ {
+		fy := (float64(py) + 0.5) / float64(cfg.Size)
+		for px := 0; px < cfg.Size; px++ {
+			fx := (float64(px) + 0.5) / float64(cfg.Size)
+			env[py*cfg.Size+px] = signalEnvelope(fx, fy, tex.ex, tex.ey, tex.ephase)
+		}
+	}
+	return env
+}
+
 // renderClassSignal writes tint + envelope·texture into row for one
 // channel, with per-sample phase offsets applied to the class components.
-func renderClassSignal(row []float64, tex classTexture, ch int, cfg CIFARLikeConfig, jitter []float64) {
+// env is the precomputed envelopeGrid.
+func renderClassSignal(row []float64, tex classTexture, ch int, cfg CIFARLikeConfig, jitter, env []float64) {
 	np := cfg.Size * cfg.Size
 	base := ch * np
 	comps := tex.comps[ch]
@@ -144,8 +163,7 @@ func renderClassSignal(row []float64, tex classTexture, ch int, cfg CIFARLikeCon
 			for k, c := range comps {
 				sig += c.amp * math.Sin(2*math.Pi*(c.fx*fx+c.fy*fy)+c.phase+jitter[k])
 			}
-			env := signalEnvelope(fx, fy, tex.ex, tex.ey, tex.ephase)
-			row[base+py*cfg.Size+px] = tex.tints[ch] + env*sig
+			row[base+py*cfg.Size+px] = tex.tints[ch] + env[py*cfg.Size+px]*sig
 		}
 	}
 }
@@ -161,8 +179,17 @@ func GenerateCIFARLike(src *rng.Source, n int, cfg CIFARLikeConfig) (*Dataset, e
 	}
 	const numClasses = 10
 	textures := buildClassTextures(src.Split("cifar-textures"), numClasses, cfg)
+	// The envelope field is class-invariant (drawn from the shared
+	// stream), so any texture's parameters produce the same grid.
+	env := envelopeGrid(textures[0], cfg)
 	np := cfg.Size * cfg.Size
 	dim := np * cfg.Channels
+	// Reusable per-sample clutter fields, one Size x Size plane per
+	// clutter component (see the hoisting comment in the sample loop).
+	clutterFields := make([][]float64, cfg.ClutterComponents)
+	for k := range clutterFields {
+		clutterFields[k] = make([]float64, np)
+	}
 	x := tensor.New(n, dim)
 	labels := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -179,7 +206,7 @@ func GenerateCIFARLike(src *rng.Source, n int, cfg CIFARLikeConfig) (*Dataset, e
 			}
 		}
 		for ch := 0; ch < cfg.Channels; ch++ {
-			renderClassSignal(row, textures[label], ch, cfg, jitter)
+			renderClassSignal(row, textures[label], ch, cfg, jitter, env)
 		}
 		// Per-sample clutter: random oriented sinusoids shared across
 		// channels with channel-specific amplitude.
@@ -200,26 +227,39 @@ func GenerateCIFARLike(src *rng.Source, n int, cfg CIFARLikeConfig) (*Dataset, e
 				phase: sample.Uniform(0, 2*math.Pi), amps: amps,
 			}
 		}
-		for ch := 0; ch < cfg.Channels; ch++ {
-			base := ch * np
+		// The clutter sinusoid value at a pixel is channel-invariant (only
+		// its amplitude varies per channel), so evaluate each component's
+		// field once per sample instead of once per channel. The sine
+		// arguments consume no randomness, so hoisting them leaves every
+		// stream draw (phase jitter above, pixel noise below) in place;
+		// values and accumulation order per pixel are unchanged.
+		for k := range comps {
+			field := clutterFields[k]
+			c := comps[k]
 			for py := 0; py < cfg.Size; py++ {
 				fy := (float64(py) + 0.5) / float64(cfg.Size)
 				for px := 0; px < cfg.Size; px++ {
 					fx := (float64(px) + 0.5) / float64(cfg.Size)
-					v := row[base+py*cfg.Size+px]
-					for _, k := range comps {
-						v += k.amps[ch] * math.Sin(2*math.Pi*(k.fx*fx+k.fy*fy)+k.phase)
-					}
-					if cfg.PixelNoise > 0 {
-						v += sample.Normal(0, cfg.PixelNoise)
-					}
-					if v < 0 {
-						v = 0
-					} else if v > 1 {
-						v = 1
-					}
-					row[base+py*cfg.Size+px] = v
+					field[py*cfg.Size+px] = math.Sin(2*math.Pi*(c.fx*fx+c.fy*fy) + c.phase)
 				}
+			}
+		}
+		for ch := 0; ch < cfg.Channels; ch++ {
+			base := ch * np
+			for p := 0; p < np; p++ {
+				v := row[base+p]
+				for k := range comps {
+					v += comps[k].amps[ch] * clutterFields[k][p]
+				}
+				if cfg.PixelNoise > 0 {
+					v += sample.Normal(0, cfg.PixelNoise)
+				}
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+				row[base+p] = v
 			}
 		}
 	}

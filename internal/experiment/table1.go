@@ -97,11 +97,18 @@ func sensitivityCorrelations(v *victim, train bool) (meanCorr, corrOfMean float6
 		ds = v.train
 	}
 	oh := ds.OneHot()
+	// One batched-GEMM gradient pass over the whole split; per-sample
+	// values and the accumulation order below are bit-identical to calling
+	// InputGradient per sample.
+	grads, err := v.net.InputGradientBatch(ds.X, oh)
+	if err != nil {
+		return 0, 0, err
+	}
 	meanAbs := make([]float64, v.net.Inputs())
 	var corrSum float64
 	var corrCount int
 	for i := 0; i < ds.Len(); i++ {
-		g := v.net.InputGradient(ds.X.Row(i), oh.Row(i))
+		g := grads.Row(i)
 		for j := range g {
 			g[j] = math.Abs(g[j])
 			meanAbs[j] += g[j]

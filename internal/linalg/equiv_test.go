@@ -1,0 +1,175 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xbarsec/internal/tensor"
+)
+
+// referenceQR is the element-wise (At/Add/Set) Householder QR exactly as
+// shipped before the row-slice rewrite (linalg.go @ PR 1). The rewrite
+// must reproduce Q and R bit for bit — it only removes bounds-checked
+// element access and batches the per-column reflections into row sweeps
+// with the same per-element accumulation order.
+func referenceQR(a *tensor.Matrix) (q, rr *tensor.Matrix) {
+	m, n := a.Rows(), a.Cols()
+	r := a.Clone()
+	vs := make([][]float64, 0, n)
+	for k := 0; k < n; k++ {
+		var norm float64
+		for i := k; i < m; i++ {
+			v := r.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		alpha := -norm
+		if r.At(k, k) < 0 {
+			alpha = norm
+		}
+		v := make([]float64, m-k)
+		v[0] = r.At(k, k) - alpha
+		for i := k + 1; i < m; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		vnorm := tensor.Norm2(v)
+		if vnorm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		for i := range v {
+			v[i] /= vnorm
+		}
+		vs = append(vs, v)
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				r.Add(i, j, -dot*v[i-k])
+			}
+		}
+	}
+	q = tensor.New(m, n)
+	for j := 0; j < n; j++ {
+		col := make([]float64, m)
+		col[j] = 1
+		for k := len(vs) - 1; k >= 0; k-- {
+			v := vs[k]
+			if v == nil {
+				continue
+			}
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * col[i]
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				col[i] -= dot * v[i-k]
+			}
+		}
+		for i := 0; i < m; i++ {
+			q.Set(i, j, col[i])
+		}
+	}
+	rr = tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rr.Set(i, j, r.At(i, j))
+		}
+	}
+	return q, rr
+}
+
+func requireBitsEqual(t *testing.T, name string, got, want *tensor.Matrix) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	g, w := got.Data(), want.Data()
+	for i := range g {
+		if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+			t.Fatalf("%s: element %d: %v vs %v", name, i, g[i], w[i])
+		}
+	}
+}
+
+// TestQRMatchesElementwiseReference pins the row-slice QR to the old
+// element-wise formulation, bit for bit, across shapes including rank
+// deficiency (zero column) and tall-thin systems.
+func TestQRMatchesElementwiseReference(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	shapes := [][2]int{{4, 4}, {12, 5}, {60, 17}, {9, 1}}
+	for _, sh := range shapes {
+		m, n := sh[0], sh[1]
+		a := tensor.New(m, n)
+		d := a.Data()
+		for i := range d {
+			d[i] = r.NormFloat64()
+		}
+		if n > 2 {
+			// Zero a column to hit the norm == 0 reflection skip.
+			for i := 0; i < m; i++ {
+				a.Set(i, 2, 0)
+			}
+		}
+		wantQ, wantR := referenceQR(a)
+		f, err := NewQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitsEqual(t, "Q", f.Q(), wantQ)
+		requireBitsEqual(t, "R", f.R(), wantR)
+	}
+}
+
+// TestPseudoInverseMatchesTransposedColumns pins the row-reading
+// PseudoInverse to the old formulation that materialized Qᵀ and copied
+// each of its columns: column j of Qᵀ IS row j of Q, so results must be
+// bit-identical while the O(m·n) per-column copies disappear.
+func TestPseudoInverseMatchesTransposedColumns(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, sh := range [][2]int{{20, 6}, {6, 20}, {8, 8}} {
+		a := tensor.New(sh[0], sh[1])
+		d := a.Data()
+		for i := range d {
+			d[i] = r.NormFloat64()
+		}
+		inv, err := PseudoInverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Old formulation, on top of the (bit-identical) factorization.
+		base := a
+		if a.Rows() < a.Cols() {
+			base = a.T()
+		}
+		f, err := NewQR(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := base.Cols()
+		want := tensor.New(n, base.Rows())
+		qt := f.q.T()
+		for j := 0; j < base.Rows(); j++ {
+			x := make([]float64, n)
+			if err := backSubstituteInto(x, f.r, qt.Col(j)); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range x {
+				want.Set(i, j, v)
+			}
+		}
+		if a.Rows() < a.Cols() {
+			want = want.T()
+		}
+		requireBitsEqual(t, "pseudoinverse", inv, want)
+	}
+}

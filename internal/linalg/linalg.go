@@ -4,6 +4,14 @@
 // Q >= N independent queries and access to raw linear outputs the weight
 // matrix is exactly recoverable as W = U† Ŷ; the algebraic extraction
 // baseline in internal/surrogate is built on these routines.
+//
+// The factorization kernels sweep matrices row-major through raw row
+// slices with a single column-sized workspace — no element-wise At/Set
+// bounds checks in inner loops — while keeping the floating-point
+// accumulation order of the straightforward column-at-a-time formulation
+// (reflections contract over the row index in increasing order for every
+// column simultaneously), so Q, R and every downstream solve are
+// bit-identical to it.
 package linalg
 
 import (
@@ -36,11 +44,12 @@ func NewQR(a *tensor.Matrix) (*QR, error) {
 	// Work on a copy; accumulate Householder vectors in-place.
 	r := a.Clone()
 	vs := make([][]float64, 0, n)
+	w := make([]float64, n) // per-reflection column workspace
 	for k := 0; k < n; k++ {
 		// Build the Householder vector for column k below the diagonal.
 		var norm float64
 		for i := k; i < m; i++ {
-			v := r.At(i, k)
+			v := r.Row(i)[k]
 			norm += v * v
 		}
 		norm = math.Sqrt(norm)
@@ -49,13 +58,13 @@ func NewQR(a *tensor.Matrix) (*QR, error) {
 			continue
 		}
 		alpha := -norm
-		if r.At(k, k) < 0 {
+		if r.Row(k)[k] < 0 {
 			alpha = norm
 		}
 		v := make([]float64, m-k)
-		v[0] = r.At(k, k) - alpha
+		v[0] = r.Row(k)[k] - alpha
 		for i := k + 1; i < m; i++ {
-			v[i-k] = r.At(i, k)
+			v[i-k] = r.Row(i)[k]
 		}
 		vnorm := tensor.Norm2(v)
 		if vnorm == 0 {
@@ -66,47 +75,67 @@ func NewQR(a *tensor.Matrix) (*QR, error) {
 			v[i] /= vnorm
 		}
 		vs = append(vs, v)
-		// Apply H = I - 2vvᵀ to the trailing submatrix of R.
-		for j := k; j < n; j++ {
-			var dot float64
-			for i := k; i < m; i++ {
-				dot += v[i-k] * r.At(i, j)
+		// Apply H = I - 2vvᵀ to the trailing submatrix of R: first
+		// w = 2·vᵀR (all trailing columns in one row-major sweep,
+		// contracting over rows in increasing order), then R -= v·wᵀ.
+		wk := w[k:]
+		for j := range wk {
+			wk[j] = 0
+		}
+		for i := k; i < m; i++ {
+			vi := v[i-k]
+			row := r.Row(i)[k:]
+			for j, rv := range row {
+				wk[j] += vi * rv
 			}
-			dot *= 2
-			for i := k; i < m; i++ {
-				r.Add(i, j, -dot*v[i-k])
+		}
+		for j := range wk {
+			wk[j] *= 2
+		}
+		for i := k; i < m; i++ {
+			vi := v[i-k]
+			row := r.Row(i)[k:]
+			for j := range row {
+				row[j] -= vi * wk[j]
 			}
 		}
 	}
 	// Form thin Q by applying the Householder reflections to the first n
-	// columns of the identity, in reverse order.
+	// columns of the identity, in reverse order — all columns advance
+	// together through row-major sweeps.
 	q := tensor.New(m, n)
 	for j := 0; j < n; j++ {
-		col := make([]float64, m)
-		col[j] = 1
-		for k := len(vs) - 1; k >= 0; k-- {
-			v := vs[k]
-			if v == nil {
-				continue
-			}
-			var dot float64
-			for i := k; i < m; i++ {
-				dot += v[i-k] * col[i]
-			}
-			dot *= 2
-			for i := k; i < m; i++ {
-				col[i] -= dot * v[i-k]
+		q.Row(j)[j] = 1
+	}
+	for k := len(vs) - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		for j := range w {
+			w[j] = 0
+		}
+		for i := k; i < m; i++ {
+			vi := v[i-k]
+			row := q.Row(i)
+			for j, qv := range row {
+				w[j] += vi * qv
 			}
 		}
-		for i := 0; i < m; i++ {
-			q.Set(i, j, col[i])
+		for j := range w {
+			w[j] *= 2
+		}
+		for i := k; i < m; i++ {
+			vi := v[i-k]
+			row := q.Row(i)
+			for j := range row {
+				row[j] -= vi * w[j]
+			}
 		}
 	}
 	rr := tensor.New(n, n)
 	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			rr.Set(i, j, r.At(i, j))
-		}
+		copy(rr.Row(i)[i:], r.Row(i)[i:n])
 	}
 	return &QR{q: q, r: rr}, nil
 }
@@ -125,26 +154,35 @@ func (f *QR) Solve(b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("linalg: Solve rhs length %d, want %d", len(b), m)
 	}
 	// x = R⁻¹ Qᵀ b.
-	qtb := f.q.VecMat(b)
-	return backSubstitute(f.r, qtb, n)
+	qtb := make([]float64, n)
+	tensor.VecMatInto(qtb, b, f.q)
+	x := make([]float64, n)
+	if err := backSubstituteInto(x, f.r, qtb); err != nil {
+		return nil, err
+	}
+	return x, nil
 }
 
-func backSubstitute(r *tensor.Matrix, y []float64, n int) ([]float64, error) {
-	x := make([]float64, n)
+// backSubstituteInto solves the upper-triangular system R·x = y into the
+// caller-provided dst (len n); y is read up to n and not modified. dst
+// and y may not alias.
+func backSubstituteInto(dst []float64, r *tensor.Matrix, y []float64) error {
+	n := len(dst)
 	scale := r.MaxAbs()
 	tol := 1e-12 * math.Max(scale, 1)
 	for i := n - 1; i >= 0; i-- {
-		d := r.At(i, i)
+		row := r.Row(i)
+		d := row[i]
 		if math.Abs(d) <= tol {
-			return nil, fmt.Errorf("linalg: zero pivot at %d: %w", i, ErrSingular)
+			return fmt.Errorf("linalg: zero pivot at %d: %w", i, ErrSingular)
 		}
 		s := y[i]
 		for j := i + 1; j < n; j++ {
-			s -= r.At(i, j) * x[j]
+			s -= row[j] * dst[j]
 		}
-		x[i] = s / d
+		dst[i] = s / d
 	}
-	return x, nil
+	return nil
 }
 
 // LeastSquares returns x minimizing ||Ax - b||₂ for a with full column
@@ -158,7 +196,8 @@ func LeastSquares(a *tensor.Matrix, b []float64) ([]float64, error) {
 }
 
 // SolveMatrix solves AX = B in the least-squares sense column by column,
-// returning the n x k matrix X for A m x n and B m x k.
+// returning the n x k matrix X for A m x n and B m x k. B is transposed
+// once up front so each right-hand side is a contiguous row.
 func SolveMatrix(a, b *tensor.Matrix) (*tensor.Matrix, error) {
 	if a.Rows() != b.Rows() {
 		return nil, fmt.Errorf("linalg: SolveMatrix row mismatch %d vs %d", a.Rows(), b.Rows())
@@ -167,14 +206,15 @@ func SolveMatrix(a, b *tensor.Matrix) (*tensor.Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
+	bt := b.T()
 	x := tensor.New(a.Cols(), b.Cols())
 	for j := 0; j < b.Cols(); j++ {
-		xj, err := f.Solve(b.Col(j))
+		xj, err := f.Solve(bt.Row(j))
 		if err != nil {
 			return nil, fmt.Errorf("linalg: column %d: %w", j, err)
 		}
 		for i, v := range xj {
-			x.Set(i, j, v)
+			x.Row(i)[j] = v
 		}
 	}
 	return x, nil
@@ -183,7 +223,9 @@ func SolveMatrix(a, b *tensor.Matrix) (*tensor.Matrix, error) {
 // PseudoInverse returns the Moore-Penrose pseudoinverse of a full-column-
 // rank matrix a (m x n, m >= n): A† = (AᵀA)⁻¹Aᵀ computed stably through
 // QR as R⁻¹Qᵀ. For m < n the pseudoinverse of the transpose is used,
-// (A†)ᵀ = (Aᵀ)†.
+// (A†)ᵀ = (Aᵀ)†. Column j of A† is R⁻¹·(row j of Q) — the rows of Q are
+// read directly, with one reused solve buffer, instead of materializing
+// Qᵀ and copying each of its columns.
 func PseudoInverse(a *tensor.Matrix) (*tensor.Matrix, error) {
 	if a.Rows() < a.Cols() {
 		pt, err := PseudoInverse(a.T())
@@ -198,14 +240,13 @@ func PseudoInverse(a *tensor.Matrix) (*tensor.Matrix, error) {
 	}
 	n := a.Cols()
 	inv := tensor.New(n, a.Rows())
-	qt := f.q.T()
+	x := make([]float64, n)
 	for j := 0; j < a.Rows(); j++ {
-		x, err := backSubstitute(f.r, qt.Col(j), n)
-		if err != nil {
+		if err := backSubstituteInto(x, f.r, f.q.Row(j)); err != nil {
 			return nil, err
 		}
 		for i, v := range x {
-			inv.Set(i, j, v)
+			inv.Row(i)[j] = v
 		}
 	}
 	return inv, nil

@@ -80,6 +80,7 @@ func TrainAdam(n *Network, ds *dataset.Dataset, cfg AdamConfig, src *rng.Source)
 	m1 := tensor.New(n.Outputs(), n.Inputs()) // first moment
 	m2 := tensor.New(n.Outputs(), n.Inputs()) // second moment
 	grad := tensor.New(n.Outputs(), n.Inputs())
+	ws := newBatchWorkspace(cfg.BatchSize, ds.Len(), n.Inputs(), n.Outputs())
 	res := &TrainResult{EpochLosses: make([]float64, 0, cfg.Epochs)}
 	step := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
@@ -90,22 +91,8 @@ func TrainAdam(n *Network, ds *dataset.Dataset, cfg AdamConfig, src *rng.Source)
 			if end > len(perm) {
 				end = len(perm)
 			}
-			grad.Fill(0)
-			for _, idx := range perm[start:end] {
-				u := ds.X.Row(idx)
-				t := targets.Row(idx)
-				delta, y := n.outputDelta(u, t)
-				epochLoss += lossValue(n.Crit, y, t)
-				for i, d := range delta {
-					if d == 0 {
-						continue
-					}
-					row := grad.Row(i)
-					for j, uj := range u {
-						row[j] += d * uj
-					}
-				}
-			}
+			idxs := perm[start:end]
+			n.batchStep(ds.X, targets, idxs, ws.views(len(idxs)), grad, &epochLoss)
 			grad.Scale(1 / float64(end-start))
 			step++
 			bc1 := 1 - math.Pow(cfg.Beta1, float64(step))

@@ -11,12 +11,15 @@ import (
 // perturbed inputs per point; doing it as one matrix product instead of a
 // MatVec per sample keeps the Figure 4/5 harnesses fast.
 
-// ForwardBatch returns f(X Wᵀ): one output row per input row of x.
+// ForwardBatch returns f(X Wᵀ): one output row per input row of x. The
+// product runs through GemmTB — no transposed copy of W is materialized —
+// and is bit-identical to per-sample Forward calls.
 func (n *Network) ForwardBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
 	if x.Cols() != n.Inputs() {
 		return nil, fmt.Errorf("nn: batch width %d, want %d", x.Cols(), n.Inputs())
 	}
-	s := x.MatMul(n.W.T())
+	s := tensor.New(x.Rows(), n.Outputs())
+	tensor.GemmTB(s, x, n.W)
 	for i := 0; i < s.Rows(); i++ {
 		applyActivation(n.Act, s.Row(i))
 	}
@@ -55,7 +58,14 @@ func (n *Network) AccuracyBatch(ds *dataset.Dataset) (float64, error) {
 	return float64(correct) / float64(ds.Len()), nil
 }
 
-// InputGradientBatch returns one ∂L/∂u row per (input, target) row pair.
+// gradChunk bounds the pre-activation/delta workspace of the batched
+// gradient paths: gradients stream through chunks of this many samples so
+// arbitrarily large evaluation sets need only O(chunk · outputs) scratch.
+const gradChunk = 256
+
+// InputGradientBatch returns one ∂L/∂u row per (input, target) row pair —
+// the attack gradient path (Eq. 7) as two matrix-matrix products per
+// chunk, bit-identical to per-sample InputGradient calls.
 func (n *Network) InputGradientBatch(x, targets *tensor.Matrix) (*tensor.Matrix, error) {
 	if x.Cols() != n.Inputs() {
 		return nil, fmt.Errorf("nn: batch width %d, want %d", x.Cols(), n.Inputs())
@@ -64,8 +74,25 @@ func (n *Network) InputGradientBatch(x, targets *tensor.Matrix) (*tensor.Matrix,
 		return nil, fmt.Errorf("nn: target shape %dx%d, want %dx%d", targets.Rows(), targets.Cols(), x.Rows(), n.Outputs())
 	}
 	out := tensor.New(x.Rows(), n.Inputs())
-	for i := 0; i < x.Rows(); i++ {
-		out.SetRow(i, n.InputGradient(x.Row(i), targets.Row(i)))
+	rows := x.Rows()
+	chunk := gradChunk
+	if chunk > rows {
+		chunk = rows
+	}
+	s := tensor.New(chunk, n.Outputs())
+	d := tensor.New(chunk, n.Outputs())
+	for c0 := 0; c0 < rows; c0 += chunk {
+		c1 := c0 + chunk
+		if c1 > rows {
+			c1 = rows
+		}
+		sv, dv := s.RowSpan(0, c1-c0), d.RowSpan(0, c1-c0)
+		tensor.GemmTB(sv, x.RowSpan(c0, c1), n.W)
+		for bi := 0; bi < c1-c0; bi++ {
+			outputDeltaInto(n.Act, n.Crit, sv.Row(bi), targets.Row(c0+bi), dv.Row(bi))
+		}
+		// ∂L/∂u = δ W, one row per sample (Eq. 7).
+		tensor.Gemm(out.RowSpan(c0, c1), dv, n.W)
 	}
 	return out, nil
 }

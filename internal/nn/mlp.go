@@ -192,8 +192,133 @@ func (m *MLP) Accuracy(ds *dataset.Dataset) float64 {
 	return float64(correct) / float64(ds.Len())
 }
 
+// mlpViews is one set of mini-batch workspaces for an MLP: gathered
+// targets, per-layer activation matrices (acts[0] holds the gathered
+// inputs), per-layer pre-activations, and per-layer deltas.
+type mlpViews struct {
+	rows   int
+	t      *tensor.Matrix
+	acts   []*tensor.Matrix // len(Layers)+1
+	pre    []*tensor.Matrix // len(Layers)
+	deltas []*tensor.Matrix // len(Layers)
+}
+
+// mlpWorkspace owns the reusable buffers for batched MLP training; as in
+// batchWorkspace, the remainder views alias the full-batch buffers.
+type mlpWorkspace struct {
+	full mlpViews
+	rem  mlpViews
+}
+
+func newMLPWorkspace(m *MLP, batch, total int) *mlpWorkspace {
+	if batch > total {
+		batch = total
+	}
+	build := func(rows int, from *mlpViews) mlpViews {
+		v := mlpViews{
+			rows:   rows,
+			acts:   make([]*tensor.Matrix, len(m.Layers)+1),
+			pre:    make([]*tensor.Matrix, len(m.Layers)),
+			deltas: make([]*tensor.Matrix, len(m.Layers)),
+		}
+		if from == nil {
+			v.t = tensor.New(rows, m.Outputs())
+			v.acts[0] = tensor.New(rows, m.Inputs())
+			for l, w := range m.Layers {
+				v.acts[l+1] = tensor.New(rows, w.Rows())
+				v.pre[l] = tensor.New(rows, w.Rows())
+				v.deltas[l] = tensor.New(rows, w.Rows())
+			}
+			return v
+		}
+		v.t = from.t.RowSpan(0, rows)
+		v.acts[0] = from.acts[0].RowSpan(0, rows)
+		for l := range m.Layers {
+			v.acts[l+1] = from.acts[l+1].RowSpan(0, rows)
+			v.pre[l] = from.pre[l].RowSpan(0, rows)
+			v.deltas[l] = from.deltas[l].RowSpan(0, rows)
+		}
+		return v
+	}
+	ws := &mlpWorkspace{full: build(batch, nil)}
+	if rem := total % batch; rem != 0 {
+		ws.rem = build(rem, &ws.full)
+	}
+	return ws
+}
+
+func (w *mlpWorkspace) views(rows int) *mlpViews {
+	if rows == w.full.rows {
+		return &w.full
+	}
+	if rows == w.rem.rows {
+		return &w.rem
+	}
+	panic(fmt.Sprintf("nn: no MLP workspace for batch of %d rows", rows))
+}
+
+// batchStep runs one batched forward/backprop step over x[idxs], writing
+// each layer's summed weight gradient into sums[l] (overwritten) and
+// adding each sample's loss to *epochLoss in index order (directly, to
+// preserve the flat per-sample summation chain). Each layer forwards and
+// back-propagates the whole mini-batch as one matrix-matrix product;
+// gradient sums contract over the batch in sample-index order, so results
+// are bit-identical to the per-sample loop — and the loss falls out of
+// the forward activations, removing the per-sample second forward pass
+// the old loop paid for calling LossValue.
+func (m *MLP) batchStep(x, targets *tensor.Matrix, idxs []int, v *mlpViews, sums []*tensor.Matrix, epochLoss *float64) {
+	for bi, idx := range idxs {
+		v.acts[0].CopyRow(bi, x, idx)
+		v.t.CopyRow(bi, targets, idx)
+	}
+	last := len(m.Layers) - 1
+	for l, w := range m.Layers {
+		tensor.GemmTB(v.pre[l], v.acts[l], w)
+		act := m.Hidden
+		if l == last {
+			act = m.Out
+		}
+		for bi := range idxs {
+			dst := v.acts[l+1].Row(bi)
+			copy(dst, v.pre[l].Row(bi))
+			applyActivation(act, dst)
+		}
+	}
+	for bi := range idxs {
+		*epochLoss += outputDeltaFromY(m.Out, m.Crit, v.acts[last+1].Row(bi), v.t.Row(bi), v.deltas[last].Row(bi))
+	}
+	for l := last; l >= 0; l-- {
+		tensor.GemmTA(sums[l], v.deltas[l], v.acts[l])
+		if l == 0 {
+			continue
+		}
+		// Propagate the batch of deltas to the previous layer and apply
+		// the hidden activation derivative row by row.
+		tensor.Gemm(v.deltas[l-1], v.deltas[l], m.Layers[l])
+		for bi := range idxs {
+			back := v.deltas[l-1].Row(bi)
+			switch m.Hidden {
+			case ActSigmoid:
+				a := v.acts[l].Row(bi)
+				for j := range back {
+					back[j] *= a[j] * (1 - a[j])
+				}
+			case ActReLU:
+				p := v.pre[l-1].Row(bi)
+				for j := range back {
+					if p[j] <= 0 {
+						back[j] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
 // TrainMLP fits the MLP with mini-batch SGD; the configuration semantics
-// match Train.
+// match Train. Mini-batches run layer-batched through the GEMM kernels
+// with reused workspaces, bit-identical to the per-sample reference loop
+// (pinned by TestTrainMLPMatchesPerSampleReference).
 func TrainMLP(m *MLP, ds *dataset.Dataset, cfg TrainConfig, src *rng.Source) (*TrainResult, error) {
 	if ds.Len() == 0 {
 		return nil, dataset.ErrEmpty
@@ -221,6 +346,7 @@ func TrainMLP(m *MLP, ds *dataset.Dataset, cfg TrainConfig, src *rng.Source) (*T
 		velocity[l] = tensor.New(w.Rows(), w.Cols())
 		sums[l] = tensor.New(w.Rows(), w.Cols())
 	}
+	ws := newMLPWorkspace(m, batch, ds.Len())
 	res := &TrainResult{EpochLosses: make([]float64, 0, cfg.Epochs)}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := src.Perm(ds.Len())
@@ -230,26 +356,12 @@ func TrainMLP(m *MLP, ds *dataset.Dataset, cfg TrainConfig, src *rng.Source) (*T
 			if end > len(perm) {
 				end = len(perm)
 			}
-			for _, s := range sums {
-				s.Fill(0)
-			}
-			for _, idx := range perm[start:end] {
-				u := ds.X.Row(idx)
-				t := targets.Row(idx)
-				grads, _ := m.backprop(u, t)
-				epochLoss += m.LossValue(u, t)
-				for l, g := range grads {
-					sums[l].AddMatrix(g)
-				}
-			}
+			idxs := perm[start:end]
+			m.batchStep(ds.X, targets, idxs, ws.views(len(idxs)), sums, &epochLoss)
 			scale := 1 / float64(end-start)
 			for l := range m.Layers {
-				velocity[l].Scale(cfg.Momentum)
-				velocity[l].AddScaled(-cfg.LearningRate*scale, sums[l])
-				if cfg.WeightDecay > 0 {
-					velocity[l].AddScaled(-cfg.LearningRate*cfg.WeightDecay, m.Layers[l])
-				}
-				m.Layers[l].AddMatrix(velocity[l])
+				tensor.SGDMomentumStep(m.Layers[l], velocity[l], sums[l], cfg.Momentum,
+					-cfg.LearningRate*scale, cfg.WeightDecay > 0, -cfg.LearningRate*cfg.WeightDecay)
 			}
 		}
 		res.EpochLosses = append(res.EpochLosses, epochLoss/float64(ds.Len()))

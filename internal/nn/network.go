@@ -132,7 +132,11 @@ func (n *Network) Clone() *Network {
 }
 
 // PreActivation returns s = Wu.
-func (n *Network) PreActivation(u []float64) []float64 { return n.W.MatVec(u) }
+func (n *Network) PreActivation(u []float64) []float64 {
+	s := make([]float64, n.W.Rows())
+	tensor.MatVecInto(s, n.W, u)
+	return s
+}
 
 // Forward returns ŷ = f(Wu).
 func (n *Network) Forward(u []float64) []float64 {
@@ -217,55 +221,74 @@ func lossValue(crit Loss, y, target []float64) float64 {
 }
 
 // outputDelta returns δ = ∂L/∂s for the network's activation/loss pair.
+// It shares the single activation/loss switch in outputDeltaFromY with
+// the batched trainers, so new pairings need exactly one change.
 func (n *Network) outputDelta(u, target []float64) (delta, y []float64) {
-	s := n.PreActivation(u)
+	y = applyActivation(n.Act, n.PreActivation(u))
+	delta = make([]float64, len(y))
+	outputDeltaFromY(n.Act, n.Crit, y, target, delta)
+	return delta, y
+}
+
+// outputDeltaFromY writes δ = ∂L/∂s into delta given the already-activated
+// output y, and returns the sample loss. The arithmetic expressions and
+// evaluation order match outputDelta + lossValue exactly, so results are
+// bit-identical to the per-sample path. For ActReLU the pre-activation
+// sign test s > 0 is equivalent to y > 0 (ReLU zeroes exactly the
+// non-positive pre-activations), so y alone suffices.
+func outputDeltaFromY(act Activation, crit Loss, y, target, delta []float64) float64 {
 	switch {
-	case n.Act == ActSoftmax && n.Crit == LossCrossEntropy:
-		y = softmaxInPlace(tensor.CloneVec(s))
-		delta = tensor.SubVec(y, target)
-	case n.Act == ActLinear && n.Crit == LossMSE:
-		y = tensor.CloneVec(s)
-		delta = tensor.ScaleVec(2/float64(len(y)), tensor.SubVec(y, target))
-	case n.Act == ActSigmoid && n.Crit == LossMSE:
-		y = applyActivation(ActSigmoid, tensor.CloneVec(s))
-		delta = make([]float64, len(y))
-		for i := range y {
-			delta[i] = 2 / float64(len(y)) * (y[i] - target[i]) * y[i] * (1 - y[i])
+	case act == ActSoftmax && crit == LossCrossEntropy:
+		for i, v := range y {
+			delta[i] = v - target[i]
 		}
-	case n.Act == ActReLU && n.Crit == LossMSE:
-		y = applyActivation(ActReLU, tensor.CloneVec(s))
-		delta = make([]float64, len(y))
-		for i := range y {
-			if s[i] > 0 {
-				delta[i] = 2 / float64(len(y)) * (y[i] - target[i])
+	case act == ActLinear && crit == LossMSE:
+		alpha := 2 / float64(len(y))
+		for i, v := range y {
+			delta[i] = alpha * (v - target[i])
+		}
+	case act == ActSigmoid && crit == LossMSE:
+		alpha := 2 / float64(len(y))
+		for i, v := range y {
+			delta[i] = alpha * (v - target[i]) * v * (1 - v)
+		}
+	case act == ActReLU && crit == LossMSE:
+		alpha := 2 / float64(len(y))
+		for i, v := range y {
+			if v > 0 {
+				delta[i] = alpha * (v - target[i])
+			} else {
+				delta[i] = 0
 			}
 		}
 	default:
-		panic(fmt.Sprintf("nn: unsupported pair %v/%v", n.Act, n.Crit))
+		panic(fmt.Sprintf("nn: unsupported pair %v/%v", act, crit))
 	}
-	return delta, y
+	return lossValue(crit, y, target)
+}
+
+// outputDeltaInto transforms the pre-activation s into the output y in
+// place, writes δ = ∂L/∂s into delta, and returns the sample loss —
+// the workspace form of outputDelta used by the batched trainers.
+func outputDeltaInto(act Activation, crit Loss, s, target, delta []float64) float64 {
+	applyActivation(act, s)
+	return outputDeltaFromY(act, crit, s, target, delta)
 }
 
 // InputGradient returns ∂L/∂u = Wᵀ δ — Eq. (7) of the paper. This is the
 // sensitivity the power side channel tries to approximate.
 func (n *Network) InputGradient(u, target []float64) []float64 {
 	delta, _ := n.outputDelta(u, target)
-	return n.W.VecMat(delta)
+	out := make([]float64, n.Inputs())
+	tensor.VecMatInto(out, delta, n.W)
+	return out
 }
 
 // WeightGradient returns ∂L/∂W = δ uᵀ as an outputs x inputs matrix.
 func (n *Network) WeightGradient(u, target []float64) *tensor.Matrix {
 	delta, _ := n.outputDelta(u, target)
 	g := tensor.New(n.Outputs(), n.Inputs())
-	for i, d := range delta {
-		if d == 0 {
-			continue
-		}
-		row := g.Row(i)
-		for j, uj := range u {
-			row[j] = d * uj
-		}
-	}
+	tensor.AddOuterInto(g, delta, u)
 	return g
 }
 
@@ -298,16 +321,20 @@ func (n *Network) MeanLoss(ds *dataset.Dataset) float64 {
 }
 
 // MeanAbsInputGradient returns the per-input mean of |∂L/∂u_j| over ds —
-// the left-hand panels of the paper's Figure 3.
+// the left-hand panels of the paper's Figure 3. Gradients run through the
+// batched path; the per-sample accumulation order (and hence every bit of
+// the result) matches the per-sample loop it replaces.
 func (n *Network) MeanAbsInputGradient(ds *dataset.Dataset) []float64 {
 	out := make([]float64, n.Inputs())
 	if ds.Len() == 0 {
 		return out
 	}
-	oh := ds.OneHot()
-	for i := 0; i < ds.Len(); i++ {
-		g := n.InputGradient(ds.X.Row(i), oh.Row(i))
-		for j, v := range g {
+	g, err := n.InputGradientBatch(ds.X, ds.OneHot())
+	if err != nil {
+		panic(err) // shapes came from ds itself; mirror per-sample panics
+	}
+	for i := 0; i < g.Rows(); i++ {
+		for j, v := range g.Row(i) {
 			out[j] += math.Abs(v)
 		}
 	}

@@ -39,9 +39,88 @@ type TrainResult struct {
 	EpochLosses []float64
 }
 
+// batchViews is one set of mini-batch workspaces: gathered inputs u,
+// gathered targets t, pre-activations (turned into outputs in place) s,
+// and output deltas d, all with `rows` rows.
+type batchViews struct {
+	rows       int
+	u, t, s, d *tensor.Matrix
+}
+
+// batchWorkspace owns the reusable buffers for batched forward/backprop.
+// An epoch sees at most two mini-batch sizes — the full batch and the
+// final remainder — so both view sets are materialized up front (the
+// remainder views alias the full buffers) and the steady-state training
+// step allocates nothing.
+type batchWorkspace struct {
+	full batchViews
+	rem  batchViews
+}
+
+// newBatchWorkspace sizes workspaces for mini-batches of `batch` rows out
+// of `total` samples, with nin inputs and nout outputs.
+func newBatchWorkspace(batch, total, nin, nout int) *batchWorkspace {
+	if batch > total {
+		batch = total
+	}
+	full := batchViews{
+		rows: batch,
+		u:    tensor.New(batch, nin),
+		t:    tensor.New(batch, nout),
+		s:    tensor.New(batch, nout),
+		d:    tensor.New(batch, nout),
+	}
+	ws := &batchWorkspace{full: full}
+	if rem := total % batch; rem != 0 {
+		ws.rem = batchViews{
+			rows: rem,
+			u:    full.u.RowSpan(0, rem),
+			t:    full.t.RowSpan(0, rem),
+			s:    full.s.RowSpan(0, rem),
+			d:    full.d.RowSpan(0, rem),
+		}
+	}
+	return ws
+}
+
+// views returns the workspace views for a mini-batch of `rows` rows.
+func (w *batchWorkspace) views(rows int) *batchViews {
+	if rows == w.full.rows {
+		return &w.full
+	}
+	if rows == w.rem.rows {
+		return &w.rem
+	}
+	panic(fmt.Sprintf("nn: no workspace for batch of %d rows", rows))
+}
+
+// batchStep runs one batched forward/backprop step over the samples
+// x[idxs], writing the summed weight gradient into grad (overwritten) and
+// adding each sample's loss to *epochLoss in index order. The mini-batch
+// is forwarded as one matrix-matrix product and the gradient sum is
+// contracted over the batch in sample-index order (see the tensor kernel
+// determinism contract); per-sample losses join the epoch accumulator
+// directly, never a per-batch subtotal, preserving the flat summation
+// chain — so the result is bit-identical to running the per-sample loop
+// over idxs in order.
+func (n *Network) batchStep(x, targets *tensor.Matrix, idxs []int, v *batchViews, grad *tensor.Matrix, epochLoss *float64) {
+	for bi, idx := range idxs {
+		v.u.CopyRow(bi, x, idx)
+		v.t.CopyRow(bi, targets, idx)
+	}
+	tensor.GemmTB(v.s, v.u, n.W)
+	for bi := range idxs {
+		*epochLoss += outputDeltaInto(n.Act, n.Crit, v.s.Row(bi), v.t.Row(bi), v.d.Row(bi))
+	}
+	tensor.GemmTA(grad, v.d, v.u)
+}
+
 // Train fits the network to ds with one-hot targets using mini-batch SGD.
 // The shuffle order is drawn from src, so training is fully deterministic
-// given (network init, dataset, seed).
+// given (network init, dataset, seed). Mini-batches run through the
+// batched GEMM kernels with reused workspaces — bit-identical to the
+// per-sample reference loop (pinned by TestTrainMatchesPerSampleReference)
+// and allocation-free per step.
 func Train(n *Network, ds *dataset.Dataset, cfg TrainConfig, src *rng.Source) (*TrainResult, error) {
 	if ds.Len() == 0 {
 		return nil, dataset.ErrEmpty
@@ -68,6 +147,7 @@ func Train(n *Network, ds *dataset.Dataset, cfg TrainConfig, src *rng.Source) (*
 	targets := ds.OneHot()
 	velocity := tensor.New(n.Outputs(), n.Inputs())
 	grad := tensor.New(n.Outputs(), n.Inputs())
+	ws := newBatchWorkspace(batch, ds.Len(), n.Inputs(), n.Outputs())
 	res := &TrainResult{EpochLosses: make([]float64, 0, cfg.Epochs)}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := src.Perm(ds.Len())
@@ -77,30 +157,12 @@ func Train(n *Network, ds *dataset.Dataset, cfg TrainConfig, src *rng.Source) (*
 			if end > len(perm) {
 				end = len(perm)
 			}
-			grad.Fill(0)
-			for _, idx := range perm[start:end] {
-				u := ds.X.Row(idx)
-				t := targets.Row(idx)
-				delta, y := n.outputDelta(u, t)
-				epochLoss += lossValue(n.Crit, y, t)
-				for i, d := range delta {
-					if d == 0 {
-						continue
-					}
-					row := grad.Row(i)
-					for j, uj := range u {
-						row[j] += d * uj
-					}
-				}
-			}
+			idxs := perm[start:end]
+			n.batchStep(ds.X, targets, idxs, ws.views(len(idxs)), grad, &epochLoss)
 			scale := 1 / float64(end-start)
-			// v ← µv − η(∇ + wd·W); W ← W + v
-			velocity.Scale(cfg.Momentum)
-			velocity.AddScaled(-cfg.LearningRate*scale, grad)
-			if cfg.WeightDecay > 0 {
-				velocity.AddScaled(-cfg.LearningRate*cfg.WeightDecay, n.W)
-			}
-			n.W.AddMatrix(velocity)
+			// v ← µv − η(∇ + wd·W); W ← W + v, in one fused sweep.
+			tensor.SGDMomentumStep(n.W, velocity, grad, cfg.Momentum,
+				-cfg.LearningRate*scale, cfg.WeightDecay > 0, -cfg.LearningRate*cfg.WeightDecay)
 		}
 		res.EpochLosses = append(res.EpochLosses, epochLoss/float64(ds.Len()))
 	}

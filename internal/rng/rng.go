@@ -90,10 +90,17 @@ func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
 // NormalVec fills a fresh slice of length n with Normal(mean, std) draws.
 func (s *Source) NormalVec(n int, mean, std float64) []float64 {
 	out := make([]float64, n)
-	for i := range out {
-		out[i] = s.Normal(mean, std)
-	}
+	s.FillNormal(out, mean, std)
 	return out
+}
+
+// FillNormal fills dst with Normal(mean, std) draws without allocating —
+// the vectorized form of calling Normal len(dst) times: the stream
+// consumption order and every value are identical.
+func (s *Source) FillNormal(dst []float64, mean, std float64) {
+	for i := range dst {
+		dst[i] = mean + std*s.r.NormFloat64()
+	}
 }
 
 // UniformVec fills a fresh slice of length n with Uniform(lo, hi) draws.

@@ -1,0 +1,138 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/oracle"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// referenceTrain is the per-sample surrogate SGD loop exactly as shipped
+// before the batched rewrite (surrogate.go @ PR 1), minus input
+// validation (the caller validates).
+func referenceTrain(qs *oracle.QuerySet, cfg Config, src *rng.Source) *Model {
+	usePower := cfg.Lambda > 0 && qs.P != nil
+	q, n, m := qs.Len(), qs.U.Cols(), qs.Y.Cols()
+	net, err := nn.NewNetwork(m, n, nn.ActLinear, nn.LossMSE)
+	if err != nil {
+		panic(err)
+	}
+	net.InitXavier(src.Split("init"))
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 32
+	}
+	sgd := src.Split("sgd")
+	velocity := tensor.New(m, n)
+	grad := tensor.New(m, n)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := sgd.Perm(q)
+		for start := 0; start < q; start += batch {
+			end := start + batch
+			if end > q {
+				end = q
+			}
+			grad.Fill(0)
+			var colNorms []float64
+			if usePower {
+				colNorms = net.W.ColAbsSums()
+			}
+			for _, idx := range perm[start:end] {
+				u := qs.U.Row(idx)
+				y := qs.Y.Row(idx)
+				s := net.W.MatVec(u)
+				for i := range s {
+					d := 2 * (s[i] - y[i]) / float64(m)
+					if d == 0 {
+						continue
+					}
+					row := grad.Row(i)
+					for j, uj := range u {
+						row[j] += d * uj
+					}
+				}
+				if usePower {
+					e := tensor.Dot(u, colNorms) - qs.P[idx]
+					coeff := cfg.Lambda * 2 * e
+					for i := 0; i < m; i++ {
+						wrow := net.W.Row(i)
+						grow := grad.Row(i)
+						for j, uj := range u {
+							if uj == 0 {
+								continue
+							}
+							switch {
+							case wrow[j] > 0:
+								grow[j] += coeff * uj
+							case wrow[j] < 0:
+								grow[j] -= coeff * uj
+							}
+						}
+					}
+				}
+			}
+			scale := 1 / float64(end-start)
+			velocity.Scale(cfg.Momentum)
+			velocity.AddScaled(-cfg.LearningRate*scale, grad)
+			net.W.AddMatrix(velocity)
+		}
+	}
+	return &Model{Net: net}
+}
+
+// equivQuerySet builds a power-annotated query set from a small trained
+// victim on an ideal crossbar.
+func equivQuerySet(t *testing.T, queries int) *oracle.QuerySet {
+	t.Helper()
+	src := rng.New(31)
+	ds, err := dataset.GenerateMNISTLike(src.Split("data"), 90, dataset.DefaultMNISTLikeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, _, err := nn.TrainNew(ds, nn.ActLinear, nn.LossMSE, nn.TrainConfig{
+		Epochs: 3, BatchSize: 32, LearningRate: 0.05, Momentum: 0.9, ZeroInit: true,
+	}, src.Split("train"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := crossbar.NewNetwork(victim, crossbar.DefaultDeviceConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc, err := oracle.New(hw, oracle.Config{Mode: oracle.RawOutput, MeasurePower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := oracle.Collect(orc, ds, queries, src.Split("collect"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qs
+}
+
+// TestTrainMatchesPerSampleReference pins the batched surrogate trainer —
+// including the restructured branch-free power term — to the old
+// per-sample loop, bit for bit, with and without the power loss, and with
+// a remainder mini-batch (50 queries, batch 32 -> 32 + 18).
+func TestTrainMatchesPerSampleReference(t *testing.T) {
+	qs := equivQuerySet(t, 50)
+	for _, lambda := range []float64{0, 0.004} {
+		cfg := Config{Lambda: lambda, Epochs: 4, BatchSize: 32, LearningRate: 0.05, Momentum: 0.9}
+		want := referenceTrain(qs, cfg, rng.New(77))
+		got, err := Train(qs, cfg, rng.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gd, wd := got.Net.W.Data(), want.Net.W.Data()
+		for i := range gd {
+			if math.Float64bits(gd[i]) != math.Float64bits(wd[i]) {
+				t.Fatalf("lambda=%v: weight %d: %v vs %v", lambda, i, gd[i], wd[i])
+			}
+		}
+	}
+}

@@ -105,6 +105,7 @@ func Train(qs *oracle.QuerySet, cfg Config, src *rng.Source) (*Model, error) {
 	sgd := src.Split("sgd")
 	velocity := tensor.New(m, n)
 	grad := tensor.New(m, n)
+	ws := newTrainWorkspace(batch, q, n, m, usePower)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := sgd.Perm(q)
 		for start := 0; start < q; start += batch {
@@ -112,55 +113,145 @@ func Train(qs *oracle.QuerySet, cfg Config, src *rng.Source) (*Model, error) {
 			if end > q {
 				end = q
 			}
-			grad.Fill(0)
-			var colNorms []float64
-			if usePower {
-				colNorms = net.W.ColAbsSums()
-			}
-			for _, idx := range perm[start:end] {
-				u := qs.U.Row(idx)
-				y := qs.Y.Row(idx)
-				// Output MSE term: δ = 2(Wu - y)/M.
-				s := net.W.MatVec(u)
-				for i := range s {
-					d := 2 * (s[i] - y[i]) / float64(m)
-					if d == 0 {
-						continue
-					}
-					row := grad.Row(i)
-					for j, uj := range u {
-						row[j] += d * uj
-					}
-				}
-				if usePower {
-					// Power term: e = p̂(u) - p, p̂(u) = Σ_j u_j ‖W_:,j‖₁;
-					// ∂p̂/∂w_ij = u_j·sign(w_ij).
-					e := tensor.Dot(u, colNorms) - qs.P[idx]
-					coeff := cfg.Lambda * 2 * e
-					for i := 0; i < m; i++ {
-						wrow := net.W.Row(i)
-						grow := grad.Row(i)
-						for j, uj := range u {
-							if uj == 0 {
-								continue
-							}
-							switch {
-							case wrow[j] > 0:
-								grow[j] += coeff * uj
-							case wrow[j] < 0:
-								grow[j] -= coeff * uj
-							}
-						}
-					}
-				}
-			}
+			ws.step(net, qs, cfg, perm[start:end], ws.views(end-start), grad, usePower)
 			scale := 1 / float64(end-start)
-			velocity.Scale(cfg.Momentum)
-			velocity.AddScaled(-cfg.LearningRate*scale, grad)
-			net.W.AddMatrix(velocity)
+			tensor.SGDMomentumStep(net.W, velocity, grad, cfg.Momentum, -cfg.LearningRate*scale, false, 0)
 		}
 	}
 	return &Model{Net: net}, nil
+}
+
+// trainViews is one set of mini-batch workspaces: gathered query inputs u
+// and oracle outputs y, pre-activations s, and output-MSE deltas d.
+type trainViews struct {
+	rows       int
+	u, y, s, d *tensor.Matrix
+}
+
+// trainWorkspace owns the reusable surrogate-training buffers. As in nn,
+// an epoch sees at most two mini-batch sizes, so both view sets alias one
+// allocation and the steady-state step allocates nothing. The power-term
+// buffers (current column 1-norms, per-sample coeff·u products, and the
+// sign matrix of W) are only present when the power loss is active.
+type trainWorkspace struct {
+	full, rem trainViews
+	colNorms  []float64      // ‖W_:,j‖₁, refreshed per mini-batch
+	cu        []float64      // coeff · u for the current sample
+	sgn       *tensor.Matrix // sign(w_ij), refreshed per mini-batch
+}
+
+func newTrainWorkspace(batch, total, n, m int, usePower bool) *trainWorkspace {
+	if batch > total {
+		batch = total
+	}
+	full := trainViews{
+		rows: batch,
+		u:    tensor.New(batch, n),
+		y:    tensor.New(batch, m),
+		s:    tensor.New(batch, m),
+		d:    tensor.New(batch, m),
+	}
+	ws := &trainWorkspace{full: full}
+	if rem := total % batch; rem != 0 {
+		ws.rem = trainViews{
+			rows: rem,
+			u:    full.u.RowSpan(0, rem),
+			y:    full.y.RowSpan(0, rem),
+			s:    full.s.RowSpan(0, rem),
+			d:    full.d.RowSpan(0, rem),
+		}
+	}
+	if usePower {
+		ws.colNorms = make([]float64, n)
+		ws.cu = make([]float64, n)
+		ws.sgn = tensor.New(m, n)
+	}
+	return ws
+}
+
+func (w *trainWorkspace) views(rows int) *trainViews {
+	if rows == w.full.rows {
+		return &w.full
+	}
+	if rows == w.rem.rows {
+		return &w.rem
+	}
+	panic(fmt.Sprintf("surrogate: no workspace for batch of %d rows", rows))
+}
+
+// step computes the summed mini-batch gradient of Eq. (9) into grad
+// (overwritten). The forward pass runs as one matrix-matrix product for
+// the whole mini-batch. Without the power term the gradient is a single
+// batch contraction (GemmTA). With it, each sample contributes two
+// updates to every gradient element — the output-MSE term, then the
+// power term — and the original loop applied them per sample in exactly
+// that order, so the power path keeps a per-sample accumulation (the
+// batched forward still applies); it is restructured branch-free: the
+// sign tests on w_ij move into a per-mini-batch sign matrix and the
+// per-element coeff·u_j product is hoisted to one vector per sample.
+// Multiplying by a ±1 sign and adding (rather than branching on +=/-=)
+// and adding a ±0 term where the old loop skipped are both bit-neutral,
+// so results stay bit-identical to the per-sample reference loop (pinned
+// by TestTrainMatchesPerSampleReference in this package).
+func (w *trainWorkspace) step(net *nn.Network, qs *oracle.QuerySet, cfg Config, idxs []int, v *trainViews, grad *tensor.Matrix, usePower bool) {
+	m := net.Outputs()
+	for bi, idx := range idxs {
+		v.u.CopyRow(bi, qs.U, idx)
+		v.y.CopyRow(bi, qs.Y, idx)
+	}
+	tensor.GemmTB(v.s, v.u, net.W)
+	fm := float64(m)
+	for bi := range idxs {
+		s, y, d := v.s.Row(bi), v.y.Row(bi), v.d.Row(bi)
+		// Output MSE term: δ = 2(Wu - y)/M.
+		for i := range s {
+			d[i] = 2 * (s[i] - y[i]) / fm
+		}
+	}
+	if !usePower {
+		tensor.GemmTA(grad, v.d, v.u)
+		return
+	}
+	grad.Fill(0)
+	net.W.ColAbsSumsInto(w.colNorms)
+	sgnData, wData := w.sgn.Data(), net.W.Data()
+	for k, wk := range wData {
+		switch {
+		case wk > 0:
+			sgnData[k] = 1
+		case wk < 0:
+			sgnData[k] = -1
+		default:
+			sgnData[k] = 0
+		}
+	}
+	for bi, idx := range idxs {
+		u := v.u.Row(bi)
+		d := v.d.Row(bi)
+		for i, di := range d {
+			if di == 0 {
+				continue
+			}
+			row := grad.Row(i)
+			for j, uj := range u {
+				row[j] += di * uj
+			}
+		}
+		// Power term: e = p̂(u) - p, p̂(u) = Σ_j u_j ‖W_:,j‖₁;
+		// ∂p̂/∂w_ij = u_j·sign(w_ij).
+		e := tensor.Dot(u, w.colNorms) - qs.P[idx]
+		coeff := cfg.Lambda * 2 * e
+		for j, uj := range u {
+			w.cu[j] = coeff * uj
+		}
+		for i := 0; i < m; i++ {
+			srow := w.sgn.Row(i)
+			grow := grad.Row(i)
+			for j, cj := range w.cu {
+				grow[j] += srow[j] * cj
+			}
+		}
+	}
 }
 
 // AlgebraicExtract recovers the oracle's weights from raw-output queries
@@ -184,14 +275,21 @@ func AlgebraicExtract(qs *oracle.QuerySet) (*nn.Network, error) {
 	return net, nil
 }
 
-// Accuracy evaluates the surrogate's top-1 accuracy against true labels.
+// Accuracy evaluates the surrogate's top-1 accuracy against true labels
+// through the batched forward path (bit-identical to per-sample Predict).
 func (m *Model) Accuracy(x *tensor.Matrix, labels []int) float64 {
 	if x.Rows() == 0 {
 		return 0
 	}
+	preds, err := m.Net.PredictBatch(x)
+	if err != nil {
+		// Shape mismatch between surrogate and evaluation set — mirror the
+		// per-sample path, which would have panicked inside MatVec.
+		panic(err)
+	}
 	correct := 0
-	for i := 0; i < x.Rows(); i++ {
-		if m.Net.Predict(x.Row(i)) == labels[i] {
+	for i, p := range preds {
+		if p == labels[i] {
 			correct++
 		}
 	}
