@@ -1,13 +1,19 @@
 GO ?= go
 BENCH_JSON ?= BENCH_2.json
 
-.PHONY: build test vet fmt fmt-check bench bench-json ci
+.PHONY: build test race vet fmt fmt-check bench bench-json ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Full suite under the race detector — the honesty check for the
+# concurrent serving layer (internal/service) and the parallel
+# experiment engine. Slower than `make test`; CI runs it as its own job.
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

@@ -15,7 +15,11 @@
 //	fig5       Figure 5 surrogate black-box attack sweeps
 //	ablations  extraction-noise, search and multi-pixel ablations
 //	calibrate  victim accuracies per configuration
-//	all        everything above, in paper order
+//	campaign   query-budget x lambda campaign sweep through the
+//	           attack-campaign service layer (internal/service)
+//	all        everything above, in paper order ("all" excludes
+//	           campaign, which is a service-layer demo rather than a
+//	           paper artifact)
 //
 // Flags:
 //
@@ -38,8 +42,11 @@ import (
 	"path/filepath"
 	"sort"
 
+	"xbarsec/internal/dataset"
 	"xbarsec/internal/experiment"
+	"xbarsec/internal/oracle"
 	"xbarsec/internal/report"
+	"xbarsec/internal/service"
 )
 
 func main() {
@@ -74,6 +81,7 @@ func run(args []string) error {
 		"fig5":      runFig5,
 		"ablations": runAblations,
 		"calibrate": runCalibrate,
+		"campaign":  runCampaign,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"calibrate", "table1", "fig3", "fig4", "fig5", "ablations"} {
@@ -85,7 +93,7 @@ func run(args []string) error {
 	}
 	fn, ok := commands[cmd]
 	if !ok {
-		return fmt.Errorf("unknown command %q (want table1|fig3|fig4|fig5|ablations|calibrate|all)", cmd)
+		return fmt.Errorf("unknown command %q (want table1|fig3|fig4|fig5|ablations|calibrate|campaign|all)", cmd)
 	}
 	return fn(opts, *outDir)
 }
@@ -217,6 +225,91 @@ func runAblations(opts experiment.Options, _ string) error {
 		return err
 	}
 	fmt.Println(traces.Render().String())
+	return nil
+}
+
+// runCampaign drives the service layer end to end from the CLI: one
+// demo victim, a grid of (query budget x lambda) campaigns served
+// through the artifact cache, rendered like a Figure 5 panel. The sweep
+// is bit-identical at any -workers value.
+func runCampaign(opts experiment.Options, outDir string) error {
+	scale := opts.Scale
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	scaled := func(n, minimum int) int {
+		v := int(float64(n) * scale)
+		if v < minimum {
+			v = minimum
+		}
+		return v
+	}
+	svc := service.New(service.Config{Seed: opts.Seed, Workers: opts.Workers})
+	defer svc.Close()
+	victim, err := service.TrainVictim(service.VictimSpec{
+		Name: "mnist", Kind: dataset.MNIST, Seed: opts.Seed,
+		TrainN: scaled(600, 200), TestN: scaled(200, 100),
+		DataDir: opts.DataDir,
+	})
+	if err != nil {
+		return err
+	}
+	if err := svc.Register(victim); err != nil {
+		return err
+	}
+	queries := []int{scaled(50, 20), scaled(200, 50), scaled(600, 150)}
+	lambdas := []float64{0, 0.004, 0.01}
+	tbl := &report.Table{
+		Title:  "Campaign sweep: oracle adv. accuracy under surrogate FGSM (victim mnist, raw-output)",
+		Header: []string{"queries", "surrogate acc (λ=0)"},
+	}
+	for _, l := range lambdas {
+		tbl.Header = append(tbl.Header, fmt.Sprintf("adv acc λ=%g", l))
+	}
+	for _, q := range queries {
+		var row []string
+		var surAcc float64
+		advs := make([]string, 0, len(lambdas))
+		for _, l := range lambdas {
+			res, err := svc.RunCampaign(service.CampaignSpec{
+				Victim: "mnist", Mode: oracle.RawOutput, Seed: opts.Seed,
+				Queries: q, Lambda: l,
+			})
+			if err != nil {
+				return err
+			}
+			if l == 0 {
+				surAcc = res.SurrogateAccuracy
+			}
+			advs = append(advs, report.F(res.AdvAccuracy, 3))
+		}
+		row = append(row, fmt.Sprintf("%d", q), report.F(surAcc, 3))
+		row = append(row, advs...)
+		tbl.AddRow(row...)
+	}
+	fmt.Println(tbl.String())
+	st := svc.Stats()
+	fmt.Printf("campaigns served: %d (cache hits %d, misses %d)\n\n",
+		st.Campaigns, st.CacheHits, st.CacheMisses)
+	if outDir == "" {
+		return nil
+	}
+	path := filepath.Join(outDir, "campaign_sweep.csv")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tbl.WriteCSV(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
 	return nil
 }
 

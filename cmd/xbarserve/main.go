@@ -1,0 +1,132 @@
+// Command xbarserve exposes the attack-campaign service over HTTP: it
+// trains demo victim networks, programs them onto simulated crossbars,
+// and serves concurrent attacker sessions, side-channel extractions and
+// full extraction/evasion campaigns from one shared registry.
+//
+// Usage:
+//
+//	xbarserve [flags]
+//
+// Flags:
+//
+//	-addr     string  listen address (default :8080)
+//	-victims  string  comma-separated demo victims to host:
+//	                  mnist,cifar10 (default mnist)
+//	-seed     int     service and victim seed (default 1)
+//	-train-n  int     victim training-set size (default 600)
+//	-test-n   int     victim test-set size (default 200)
+//	-epochs   int     victim training epochs (default 30)
+//	-budget   int     default session query budget (default 10000)
+//	-workers  int     per-job fan-out (0 = all CPUs)
+//	-jobs     int     max concurrent campaign jobs (0 = all CPUs)
+//	-data     string  directory with real MNIST/CIFAR files (optional)
+//
+// Quickstart (see README.md for the full tour):
+//
+//	xbarserve -addr :8080 &
+//	curl -s localhost:8080/v1/victims
+//	curl -s -X POST localhost:8080/v1/sessions \
+//	     -d '{"victim":"mnist","mode":"raw-output","measure_power":true,"budget":100}'
+//	curl -s -X POST localhost:8080/v1/campaigns \
+//	     -d '{"victim":"mnist","mode":"raw-output","seed":7,"queries":200,"lambda":0.004}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "xbarserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("xbarserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	victims := fs.String("victims", "mnist", "comma-separated demo victims (mnist,cifar10)")
+	seed := fs.Int64("seed", 1, "service and victim seed")
+	trainN := fs.Int("train-n", 600, "victim training-set size")
+	testN := fs.Int("test-n", 200, "victim test-set size")
+	epochs := fs.Int("epochs", 30, "victim training epochs")
+	budget := fs.Int("budget", 10000, "default session query budget")
+	workers := fs.Int("workers", 0, "per-job fan-out (0 = all CPUs)")
+	jobs := fs.Int("jobs", 0, "max concurrent campaign jobs (0 = all CPUs)")
+	dataDir := fs.String("data", "", "directory with real MNIST/CIFAR-10 files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{
+		Seed:                 *seed,
+		Workers:              *workers,
+		MaxConcurrentJobs:    *jobs,
+		DefaultSessionBudget: *budget,
+	})
+	defer svc.Close()
+
+	for _, name := range strings.Split(*victims, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		var kind dataset.Kind
+		switch name {
+		case "mnist":
+			kind = dataset.MNIST
+		case "cifar10":
+			kind = dataset.CIFAR10
+		default:
+			return fmt.Errorf("unknown victim kind %q (want mnist or cifar10)", name)
+		}
+		fmt.Fprintf(os.Stderr, "xbarserve: training victim %q...\n", name)
+		v, err := service.TrainVictim(service.VictimSpec{
+			Name: name, Kind: kind, Seed: *seed,
+			TrainN: *trainN, TestN: *testN, Epochs: *epochs,
+			DataDir: *dataDir,
+		})
+		if err != nil {
+			return err
+		}
+		if err := svc.Register(v); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "xbarserve: victim %q ready (%d inputs, %d classes)\n",
+			name, v.Inputs(), v.Outputs())
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "xbarserve: listening on %s\n", *addr)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "xbarserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -14,7 +14,11 @@
 // Entry points:
 //
 //   - cmd/xbarattack — CLI that regenerates Table I and Figures 3-5
-//     (the -workers flag bounds concurrency; 0 = all CPUs, 1 = serial)
+//     (the -workers flag bounds concurrency; 0 = all CPUs, 1 = serial),
+//     plus a `campaign` sweep served through internal/service
+//   - cmd/xbarserve  — HTTP front end for the concurrent attack-campaign
+//     service (internal/service): multi-tenant victim registry, budgeted
+//     attacker sessions, coalesced batched serving, cached campaign jobs
 //   - examples/      — runnable walkthroughs of the public workflow
 //   - bench_test.go  — one benchmark per table/figure plus kernel
 //     microbenchmarks, serial and parallel

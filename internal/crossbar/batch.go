@@ -194,6 +194,102 @@ func (t *TiledArray) PowerBatch(us [][]float64) ([]float64, error) {
 	return out, nil
 }
 
+// Noisy reports whether the array draws per-read noise, making it
+// stateful: every read consumes the noise stream, so concurrent callers
+// must serialize access (the service layer's coalescer does) and results
+// depend on read order.
+func (x *Crossbar) Noisy() bool { return x.reads != nil }
+
+// Noisy reports whether the network's array draws per-read noise; see
+// Crossbar.Noisy.
+func (n *Network) Noisy() bool { return n.xbar.Noisy() }
+
+// OutputTotalCurrentBatch returns, per input, both the differential
+// output currents (Eq. 3) and the total supply current (Eq. 5) — the two
+// observables a power-measuring attacker gets from one inference. For a
+// noise-free array the two matrices are walked in one fused pass per
+// input with a single backing allocation for the whole batch, which is
+// what makes coalesced power-measuring serving cheaper than per-call
+// Forward-then-Power reads. Each accumulator keeps the exact operation
+// order of its scalar counterpart, so results are bit-identical to
+// calling OutputCurrents then TotalCurrent once per input; for a noisy
+// array that sequential pair IS the implementation (two reads per input,
+// in that order), preserving the noise-stream consumption order of the
+// scalar query path.
+func (x *Crossbar) OutputTotalCurrentBatch(us [][]float64) ([][]float64, []float64, error) {
+	if err := validateBatch(us, x.cols); err != nil {
+		return nil, nil, err
+	}
+	totals := make([]float64, len(us))
+	outs := make([][]float64, len(us))
+	if x.reads != nil {
+		for b, u := range us {
+			is, err := x.OutputCurrents(u)
+			if err != nil {
+				return nil, nil, err
+			}
+			tot, err := x.TotalCurrent(u)
+			if err != nil {
+				return nil, nil, err
+			}
+			outs[b], totals[b] = is, tot
+		}
+		return outs, totals, nil
+	}
+	x.effective()
+	vdd := x.cfg.Vdd
+	slab := make([]float64, len(us)*x.rows)
+	for b, u := range us {
+		out := slab[b*x.rows : (b+1)*x.rows : (b+1)*x.rows]
+		var total float64
+		for i := 0; i < x.rows; i++ {
+			dRow := x.effDiff.Row(i)
+			sRow := x.effSum.Row(i)
+			var s float64
+			for j, uj := range u {
+				if uj == 0 {
+					continue
+				}
+				s += dRow[j] * uj * vdd
+				total += sRow[j] * uj * vdd
+			}
+			out[i] = s
+		}
+		if x.effMask != nil {
+			for j, uj := range u {
+				if uj == 0 {
+					continue
+				}
+				total += x.effMask[j] * uj * vdd
+			}
+		}
+		outs[b], totals[b] = out, total
+	}
+	return outs, totals, nil
+}
+
+// ForwardPowerBatch returns ŷ = f(s) and the read power per input in one
+// fused pass — the serving-path combination of ForwardBatch and
+// PowerBatch, bit-identical to calling Forward then Power once per input
+// in that order.
+func (n *Network) ForwardPowerBatch(us [][]float64) ([][]float64, []float64, error) {
+	ss, totals, err := n.xbar.OutputTotalCurrentBatch(us)
+	if err != nil {
+		return nil, nil, err
+	}
+	inv := 1 / (n.xbar.scale * n.xbar.cfg.Vdd)
+	for b := range ss {
+		for i := range ss[b] {
+			ss[b][i] *= inv
+		}
+		ss[b] = applyActivation(n.act, ss[b])
+	}
+	for b := range totals {
+		totals[b] *= n.xbar.cfg.Vdd
+	}
+	return ss, totals, nil
+}
+
 // ForwardBatch returns ŷ = f(s) per input — the batched Network.Forward.
 func (n *Network) ForwardBatch(us [][]float64) ([][]float64, error) {
 	ss, err := n.xbar.OutputBatch(us)

@@ -1,0 +1,146 @@
+package crossbar
+
+import (
+	"testing"
+
+	"xbarsec/internal/nn"
+	"xbarsec/internal/rng"
+)
+
+// checkFusedMatches pins the fused serving kernel to the sequential
+// Forward-then-Power reads, per input in that order, on fresh
+// identically-programmed twins (bit-identical, including the noise
+// stream consumption order of noisy arrays).
+func checkFusedMatches(t *testing.T, program func() *Crossbar, us [][]float64) {
+	t.Helper()
+	seq, fused := program(), program()
+	wantOut := make([][]float64, len(us))
+	wantTot := make([]float64, len(us))
+	for b, u := range us {
+		out, err := seq.OutputCurrents(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot, err := seq.TotalCurrent(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOut[b], wantTot[b] = out, tot
+	}
+	gotOut, gotTot, err := fused.OutputTotalCurrentBatch(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range us {
+		if gotTot[b] != wantTot[b] {
+			t.Fatalf("fused total[%d] = %v, sequential %v", b, gotTot[b], wantTot[b])
+		}
+		for i := range wantOut[b] {
+			if gotOut[b][i] != wantOut[b][i] {
+				t.Fatalf("fused out[%d][%d] = %v, sequential %v", b, i, gotOut[b][i], wantOut[b][i])
+			}
+		}
+	}
+}
+
+func TestOutputTotalCurrentBatchMatchesSequential(t *testing.T) {
+	w, us := batchTestWeights(t, 9, 17)
+	for name, cfg := range map[string]DeviceConfig{
+		"ideal":            {GOn: 100e-6, GOff: 0, Vdd: 0.2},
+		"default":          DefaultDeviceConfig(),
+		"non-ideal":        nonIdealNoNoiseConfig(),
+		"read-noise":       readNoiseConfig(),
+		"masking-only":     {GOn: 100e-6, GOff: 1e-6, Vdd: 0.2, PowerMasking: true},
+		"irdrop-only":      {GOn: 100e-6, GOff: 1e-6, Vdd: 0.2, IRDropAlpha: 0.15},
+		"quantized":        {GOn: 100e-6, GOff: 1e-6, Vdd: 0.2, Levels: 8},
+		"noise-no-masking": {GOn: 100e-6, GOff: 1e-6, Vdd: 0.2, ReadNoiseStd: 0.05},
+	} {
+		t.Run(name, func(t *testing.T) {
+			checkFusedMatches(t, func() *Crossbar {
+				xb, err := Program(w, cfg, rng.New(77))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return xb
+			}, us)
+		})
+	}
+}
+
+func TestForwardPowerBatchMatchesSequential(t *testing.T) {
+	w, us := batchTestWeights(t, 10, 15)
+	for _, act := range []nn.Activation{nn.ActLinear, nn.ActSoftmax, nn.ActSigmoid, nn.ActReLU} {
+		for name, cfg := range map[string]DeviceConfig{
+			"non-ideal":  nonIdealNoNoiseConfig(),
+			"read-noise": readNoiseConfig(),
+		} {
+			t.Run(name+"/"+act.String(), func(t *testing.T) {
+				program := func() *Network {
+					net := &nn.Network{W: w.Clone(), Act: act}
+					hw, err := NewNetwork(net, cfg, rng.New(78))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return hw
+				}
+				seq, fused := program(), program()
+				wantY := make([][]float64, len(us))
+				wantP := make([]float64, len(us))
+				for b, u := range us {
+					y, err := seq.Forward(u)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p, err := seq.Power(u)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantY[b], wantP[b] = y, p
+				}
+				gotY, gotP, err := fused.ForwardPowerBatch(us)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for b := range us {
+					if gotP[b] != wantP[b] {
+						t.Fatalf("fused power[%d] = %v, sequential %v", b, gotP[b], wantP[b])
+					}
+					for i := range wantY[b] {
+						if gotY[b][i] != wantY[b][i] {
+							t.Fatalf("fused y[%d][%d] = %v, sequential %v", b, i, gotY[b][i], wantY[b][i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestNoisyReporting(t *testing.T) {
+	w, _ := batchTestWeights(t, 4, 6)
+	quiet, err := Program(w, DefaultDeviceConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Noisy() {
+		t.Fatal("noise-free array reported noisy")
+	}
+	loud, err := Program(w, readNoiseConfig(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loud.Noisy() {
+		t.Fatal("read-noise array reported noise-free")
+	}
+	net := &nn.Network{W: w.Clone(), Act: nn.ActLinear}
+	hw, err := NewNetwork(net, readNoiseConfig(), rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hw.Noisy() {
+		t.Fatal("network over noisy array must report noisy")
+	}
+	if _, _, err := hw.ForwardPowerBatch([][]float64{{1, 2}}); err == nil {
+		t.Fatal("bad input length must error")
+	}
+}

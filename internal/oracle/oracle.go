@@ -9,12 +9,47 @@ package oracle
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"xbarsec/internal/crossbar"
 	"xbarsec/internal/dataset"
 	"xbarsec/internal/rng"
 	"xbarsec/internal/tensor"
 )
+
+// Hardware is the device interface an Oracle queries: a crossbar-hosted
+// network (the concrete *crossbar.Network) or any proxy in front of one,
+// such as the service layer's query coalescer. The Crossbar accessor
+// exposes the underlying array so power readings can be normalized to the
+// paper's weight-unit convention.
+type Hardware interface {
+	// Forward returns the network output for input u.
+	Forward(u []float64) ([]float64, error)
+	// Power returns the read power consumed while processing u.
+	Power(u []float64) (float64, error)
+	// Predict returns the argmax class label for input u.
+	Predict(u []float64) (int, error)
+	// Inputs returns the input dimensionality.
+	Inputs() int
+	// Outputs returns the number of classes.
+	Outputs() int
+	// Crossbar returns the underlying programmed array.
+	Crossbar() *crossbar.Crossbar
+}
+
+// ForwardPowerer is optionally implemented by Hardware that can serve a
+// forward pass and its power measurement as one operation — one array
+// read instead of two. The service layer's coalescer implements it so a
+// power-measuring query costs a single batched round trip. Results must
+// be bit-identical to calling Forward then Power in that order on a
+// noise-free array.
+type ForwardPowerer interface {
+	ForwardPower(u []float64) ([]float64, float64, error)
+}
+
+// Compile-time check that the crossbar network satisfies Hardware.
+var _ Hardware = (*crossbar.Network)(nil)
 
 // Mode selects how much of the oracle's output a query reveals.
 type Mode int
@@ -25,6 +60,19 @@ const (
 	// RawOutput reveals the full output vector (rows 2 and 4).
 	RawOutput
 )
+
+// ParseMode is the inverse of Mode.String, for CLI flags and JSON wire
+// formats.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "label-only":
+		return LabelOnly, nil
+	case "raw-output":
+		return RawOutput, nil
+	default:
+		return 0, fmt.Errorf("oracle: unknown mode %q (want label-only or raw-output)", s)
+	}
+}
 
 // String returns the mode name used in reports.
 func (m Mode) String() string {
@@ -42,7 +90,9 @@ func (m Mode) String() string {
 type Response struct {
 	// Label is the oracle's predicted class.
 	Label int
-	// Raw is the full output vector; nil in LabelOnly mode.
+	// Raw is the full output vector; nil in LabelOnly mode. It is an
+	// independent copy owned by the caller — mutating it never affects
+	// the oracle or other sessions.
 	Raw []float64
 	// Power is the measured crossbar power for this query in the paper's
 	// normalized convention (Section II-B normalizes all voltages,
@@ -57,14 +107,21 @@ type Response struct {
 var ErrBudgetExhausted = errors.New("oracle: query budget exhausted")
 
 // Oracle wraps a crossbar-hosted network behind a query-counting
-// interface.
+// interface. It is safe for concurrent use: the query counter is atomic
+// and the budget admission check can never over-admit, so N goroutines
+// hammering one oracle with budget B get exactly B responses. When
+// PowerNoiseStd is set, concurrent queries draw instrument noise from one
+// shared stream in arrival order — race-free, but the per-query noise
+// values then depend on goroutine scheduling; fixed-seed replay of noisy
+// power readings requires serial use.
 type Oracle struct {
-	hw           *crossbar.Network
+	hw           Hardware
 	mode         Mode
 	measurePower bool
 	powerNoise   float64
 	noiseSrc     *rng.Source
-	queries      int
+	noiseMu      sync.Mutex // guards noiseSrc under concurrent queries
+	queries      atomic.Int64
 	budget       int
 }
 
@@ -86,7 +143,7 @@ type Config struct {
 }
 
 // New wraps hw as a query-counting oracle.
-func New(hw *crossbar.Network, cfg Config) (*Oracle, error) {
+func New(hw Hardware, cfg Config) (*Oracle, error) {
 	if hw == nil {
 		return nil, errors.New("oracle: nil hardware network")
 	}
@@ -119,11 +176,13 @@ func (o *Oracle) Inputs() int { return o.hw.Inputs() }
 // Outputs returns the number of classes.
 func (o *Oracle) Outputs() int { return o.hw.Outputs() }
 
-// Queries returns the number of attacker queries so far.
-func (o *Oracle) Queries() int { return o.queries }
+// Queries returns the number of attacker queries charged so far. Under
+// concurrent use this includes queries currently in flight (they hold a
+// budget reservation until they either deliver a response or roll back).
+func (o *Oracle) Queries() int { return int(o.queries.Load()) }
 
 // ResetQueries zeroes the attacker query counter.
-func (o *Oracle) ResetQueries() { o.queries = 0 }
+func (o *Oracle) ResetQueries() { o.queries.Store(0) }
 
 // Budget returns the configured query cap (0 = unlimited).
 func (o *Oracle) Budget() int { return o.budget }
@@ -133,34 +192,88 @@ func (o *Oracle) Remaining() int {
 	if o.budget == 0 {
 		return -1
 	}
-	r := o.budget - o.queries
+	r := o.budget - int(o.queries.Load())
 	if r < 0 {
 		r = 0
 	}
 	return r
 }
 
-// Query runs one attacker query against the oracle.
-func (o *Oracle) Query(u []float64) (Response, error) {
-	if o.budget > 0 && o.queries >= o.budget {
-		return Response{}, ErrBudgetExhausted
+// reserve atomically claims one budget slot. The compare-and-swap loop
+// makes admission exact under contention: the counter can never exceed
+// the budget, so N racing goroutines against budget B get exactly B
+// reservations and N-B ErrBudgetExhausted refusals.
+func (o *Oracle) reserve() error {
+	for {
+		q := o.queries.Load()
+		if o.budget > 0 && q >= int64(o.budget) {
+			return ErrBudgetExhausted
+		}
+		if o.queries.CompareAndSwap(q, q+1) {
+			return nil
+		}
 	}
-	y, err := o.hw.Forward(u)
+}
+
+// release returns a reserved budget slot after a failed query.
+func (o *Oracle) release() { o.queries.Add(-1) }
+
+// Query runs one attacker query against the oracle.
+//
+// Accounting contract: a query is charged if and only if it delivers a
+// Response. The budget slot is reserved atomically up front and rolled
+// back on any hardware error — including a power-read failure after a
+// successful forward pass — so Queries()/Remaining() always agree with
+// the number of responses the attacker actually received, serially and
+// under concurrency alike.
+//
+// The returned Response is owned by the caller: Raw is an independent
+// copy, so mutating it cannot affect the oracle, the underlying
+// hardware, or any other session sharing the same array.
+func (o *Oracle) Query(u []float64) (Response, error) {
+	if err := o.reserve(); err != nil {
+		return Response{}, err
+	}
+	resp, err := o.execute(u)
+	if err != nil {
+		o.release()
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// execute performs the hardware reads for one admitted query.
+func (o *Oracle) execute(u []float64) (Response, error) {
+	var (
+		y   []float64
+		p   float64
+		err error
+	)
+	if o.measurePower {
+		if fp, ok := o.hw.(ForwardPowerer); ok {
+			// One fused read serves both observables (coalesced path).
+			y, p, err = fp.ForwardPower(u)
+		} else {
+			y, err = o.hw.Forward(u)
+			if err == nil {
+				p, err = o.hw.Power(u)
+			}
+		}
+	} else {
+		y, err = o.hw.Forward(u)
+	}
 	if err != nil {
 		return Response{}, err
 	}
-	o.queries++
 	resp := Response{Label: tensor.ArgMax(y)}
 	if o.mode == RawOutput {
-		resp.Raw = y
+		resp.Raw = tensor.CloneVec(y)
 	}
 	if o.measurePower {
-		p, err := o.hw.Power(u)
-		if err != nil {
-			return Response{}, err
-		}
 		if o.powerNoise > 0 {
+			o.noiseMu.Lock()
 			p *= 1 + o.noiseSrc.Normal(0, o.powerNoise)
+			o.noiseMu.Unlock()
 		}
 		// Normalize to weight units (paper §II-B convention).
 		xb := o.hw.Crossbar()
@@ -193,6 +306,12 @@ func (q *QuerySet) Len() int { return q.U.Rows() }
 // to the oracle and assembles the attacker's training set. This mirrors
 // the paper's protocol: queries are drawn from the training distribution,
 // and responses plus power readings become the surrogate's dataset.
+//
+// If the oracle's budget runs out mid-collection, Collect fails with an
+// error wrapping ErrBudgetExhausted and discards the partial rows — the
+// attacker gets all q responses or none. The queries answered before the
+// refusal remain charged (the oracle delivered them); only the refused
+// query is free.
 func Collect(o *Oracle, ds *dataset.Dataset, q int, src *rng.Source) (*QuerySet, error) {
 	if q <= 0 {
 		return nil, fmt.Errorf("oracle: query budget %d must be positive", q)

@@ -100,6 +100,40 @@ func runItem(i int, fn func(int), panics []*itemPanic) {
 	fn(i)
 }
 
+// Gate bounds how many callers run a section at once — the admission
+// control long-lived services put in front of expensive jobs. Unlike Do,
+// which fans a fixed work list across workers and returns, a Gate is held
+// open for the life of a server and admits arbitrary callers as slots
+// free up; excess callers block in FIFO-ish channel order rather than
+// failing.
+type Gate struct {
+	sem chan struct{}
+}
+
+// NewGate returns a gate admitting at most limit concurrent callers;
+// limit <= 0 selects the runnable-proc count, as Workers.
+func NewGate(limit int) *Gate {
+	return &Gate{sem: make(chan struct{}, Workers(limit))}
+}
+
+// Limit returns the gate's admission cap.
+func (g *Gate) Limit() int { return cap(g.sem) }
+
+// Run blocks until a slot is free, runs fn, and releases the slot — also
+// on panic.
+func (g *Gate) Run(fn func()) {
+	g.sem <- struct{}{}
+	defer func() { <-g.sem }()
+	fn()
+}
+
+// RunErr is Run for fallible jobs.
+func (g *Gate) RunErr(fn func() error) error {
+	g.sem <- struct{}{}
+	defer func() { <-g.sem }()
+	return fn()
+}
+
 // DoErr is Do for fallible items. Every item runs regardless of other
 // items' failures (errors are exceptional in this codebase, so no
 // cancellation machinery), and the returned error is the one with the

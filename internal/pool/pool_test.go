@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"xbarsec/internal/rng"
 )
@@ -104,4 +107,63 @@ func TestDoPanicPropagates(t *testing.T) {
 			panic("kaboom")
 		}
 	})
+}
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const limit, jobs = 3, 24
+	g := NewGate(limit)
+	if g.Limit() != limit {
+		t.Fatalf("limit = %d, want %d", g.Limit(), limit)
+	}
+	var running, peak, done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Run(func() {
+				n := running.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				running.Add(-1)
+				done.Add(1)
+			})
+		}()
+	}
+	wg.Wait()
+	if done.Load() != jobs {
+		t.Fatalf("done = %d, want %d", done.Load(), jobs)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak concurrency %d exceeded limit %d", p, limit)
+	}
+}
+
+func TestGateReleasesOnPanicAndError(t *testing.T) {
+	g := NewGate(1)
+	func() {
+		defer func() { recover() }()
+		g.Run(func() { panic("boom") })
+	}()
+	wantErr := errors.New("job failed")
+	if err := g.RunErr(func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// The slot must be free again after both failures.
+	ok := false
+	g.Run(func() { ok = true })
+	if !ok {
+		t.Fatal("gate slot leaked")
+	}
+}
+
+func TestGateDefaultLimit(t *testing.T) {
+	if got := NewGate(0).Limit(); got != Workers(0) {
+		t.Fatalf("default limit = %d, want %d", got, Workers(0))
+	}
 }

@@ -68,6 +68,39 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// WriteCSV writes the table as RFC-4180-style CSV (header row first,
+// cells quoted only when they contain a comma, quote or newline) so any
+// rendered table — service stats, campaign sweeps — can be exported for
+// plotting without reparsing the aligned text form.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // F formats a float with the given number of decimals.
 func F(v float64, decimals int) string {
 	if math.IsNaN(v) {

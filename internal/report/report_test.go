@@ -97,3 +97,21 @@ func TestSignificanceMark(t *testing.T) {
 		t.Fatal("insignificant must not mark")
 	}
 }
+
+func TestTableWriteCSV(t *testing.T) {
+	tbl := &Table{
+		Header: []string{"name", "value"},
+		Rows: [][]string{
+			{"plain", "1.5"},
+			{"needs,quoting", `has "quotes"`},
+		},
+	}
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\nplain,1.5\n\"needs,quoting\",\"has \"\"quotes\"\"\"\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}

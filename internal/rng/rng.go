@@ -12,8 +12,12 @@ import (
 	"math/rand"
 )
 
-// Source is a deterministic random stream. It is not safe for concurrent
-// use; Split child streams for concurrent goroutines instead.
+// Source is a deterministic random stream. Drawing values is not safe
+// for concurrent use; Split child streams for concurrent goroutines
+// instead. Split and SplitN themselves ARE safe to call concurrently on
+// a shared parent: they only read the parent's immutable seed and never
+// consume its stream, a property the service layer relies on when many
+// clients derive session streams from one root source at once.
 type Source struct {
 	r    *rand.Rand
 	seed int64

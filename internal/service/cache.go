@@ -1,0 +1,101 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// artifactCache memoizes finished campaign artifacts by their exact
+// deterministic key and collapses concurrent identical requests onto a
+// single computation (singleflight): because every cached job is a pure
+// function of its spec, the first caller's result is every caller's
+// result, and repeated extractions are served from memory. The cache is
+// bounded: beyond maxEntries, the oldest completed artifacts are
+// evicted FIFO, so a client sweeping distinct specs can cost compute
+// but never unbounded memory.
+type artifactCache struct {
+	mu         sync.Mutex
+	entries    map[string]*cacheEntry
+	order      []string // insertion order, the FIFO eviction queue
+	maxEntries int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	ready chan struct{}
+	val   any
+	err   error
+	done  bool // set under mu when the computation finished
+}
+
+func newArtifactCache(maxEntries int) *artifactCache {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	return &artifactCache{entries: make(map[string]*cacheEntry), maxEntries: maxEntries}
+}
+
+// do returns the cached value for key, computing it with compute on a
+// miss. Concurrent callers with the same key wait for the one in-flight
+// computation instead of duplicating it. Failed computations are not
+// cached (the entry is removed so a later retry can succeed); waiters
+// joined to a failed flight receive its error.
+func (c *artifactCache) do(key string, compute func() (any, error)) (val any, cached bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		c.hits.Add(1)
+		return e.val, true, nil
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	c.mu.Unlock()
+	c.misses.Add(1)
+	e.val, e.err = compute()
+	c.mu.Lock()
+	e.done = true
+	if e.err != nil {
+		delete(c.entries, key)
+	}
+	c.evictLocked()
+	c.mu.Unlock()
+	close(e.ready)
+	return e.val, false, e.err
+}
+
+// evictLocked drops the oldest completed artifacts until the cache fits
+// its bound. In-flight entries are never evicted (their waiters hold
+// the entry anyway, and their count is bounded by the job gate); a
+// stale queue head whose key was re-inserted after an error just costs
+// that key an early eviction — a cache miss, never a wrong result.
+func (c *artifactCache) evictLocked() {
+	for len(c.entries) > c.maxEntries && len(c.order) > 0 {
+		k := c.order[0]
+		if e, ok := c.entries[k]; ok {
+			if !e.done {
+				return
+			}
+			delete(c.entries, k)
+		}
+		c.order = c.order[1:]
+	}
+}
+
+// stats returns cumulative hit/miss counters.
+func (c *artifactCache) stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// size returns the number of cached artifacts.
+func (c *artifactCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

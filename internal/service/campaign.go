@@ -1,0 +1,346 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"xbarsec/internal/attack"
+	"xbarsec/internal/oracle"
+	"xbarsec/internal/pool"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/sidechannel"
+	"xbarsec/internal/surrogate"
+	"xbarsec/internal/tensor"
+)
+
+// CampaignSpec fully determines one model-extraction-plus-evasion
+// campaign: collect a budgeted query set from the victim, train a
+// surrogate with the paper's joint loss (Eq. 9), craft FGSM adversarial
+// examples on the surrogate, and measure the oracle's accuracy on them —
+// one cell of the paper's Figure 5 grid, as a service job. Every random
+// choice derives from Seed via rng.Split, so against a noise-free
+// victim a spec is also the campaign's cache key and replaying it is
+// bit-identical at any worker count. Noisy victims' reads depend on
+// concurrent traffic, so their campaigns run uncached.
+type CampaignSpec struct {
+	// Victim names the registered victim to attack.
+	Victim string `json:"victim"`
+	// Mode is the disclosure mode (label-only or raw-output).
+	Mode oracle.Mode `json:"mode"`
+	// Seed drives collection shuffling, surrogate init and SGD order.
+	Seed int64 `json:"seed"`
+	// Queries is the attacker's oracle budget (Figure 5's cost axis).
+	Queries int `json:"queries"`
+	// Lambda is the power-loss weight λ of Eq. (9); 0 ignores power.
+	Lambda float64 `json:"lambda"`
+	// SurrogateEpochs overrides surrogate training length (0 = default).
+	SurrogateEpochs int `json:"surrogate_epochs,omitempty"`
+	// AttackEps is the FGSM strength (0 = the paper's Figure 5 value 0.1).
+	AttackEps float64 `json:"attack_eps,omitempty"`
+}
+
+// withDefaults normalizes the optional fields.
+func (c CampaignSpec) withDefaults() CampaignSpec {
+	if c.AttackEps == 0 {
+		c.AttackEps = 0.1
+	}
+	return c
+}
+
+// key is the artifact-cache identity: every field that influences the
+// result, nothing that doesn't (worker count deliberately excluded — the
+// result is bit-identical at any).
+func (c CampaignSpec) key() string {
+	return fmt.Sprintf("campaign|%s|%s|%d|%d|%g|%d|%g",
+		c.Victim, c.Mode, c.Seed, c.Queries, c.Lambda, c.SurrogateEpochs, c.AttackEps)
+}
+
+// CampaignResult is the deliverable of one campaign job.
+type CampaignResult struct {
+	Victim    string  `json:"victim"`
+	Mode      string  `json:"mode"`
+	Seed      int64   `json:"seed"`
+	Queries   int     `json:"queries"`
+	Lambda    float64 `json:"lambda"`
+	AttackEps float64 `json:"attack_eps"`
+	// CleanAccuracy is the victim's unattacked test accuracy.
+	CleanAccuracy float64 `json:"clean_accuracy"`
+	// SurrogateAccuracy is the stolen model's test accuracy.
+	SurrogateAccuracy float64 `json:"surrogate_accuracy"`
+	// AdvAccuracy is the victim's accuracy under surrogate-crafted FGSM;
+	// CleanAccuracy - AdvAccuracy is the attack's damage.
+	AdvAccuracy float64 `json:"adv_accuracy"`
+	// QueriesCharged is the oracle budget the campaign actually spent.
+	QueriesCharged int `json:"queries_charged"`
+	// Cached reports whether the result was served from the artifact
+	// cache instead of being recomputed.
+	Cached bool `json:"cached"`
+}
+
+// RunCampaign executes (or serves from cache) one campaign job. Jobs are
+// admitted through the service gate, so at most Config.MaxConcurrentJobs
+// run at once; within a job the per-sample attack evaluation fans out
+// across Config.Workers via the deterministic pool.
+func (s *Service) RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
+	if s.isClosed() {
+		return nil, ErrServiceClosed
+	}
+	spec = spec.withDefaults()
+	v, err := s.Victim(spec.Victim)
+	if err != nil {
+		return nil, err
+	}
+	if v.train == nil || v.test == nil {
+		return nil, fmt.Errorf("service: victim %q has no data splits for campaigns", v.name)
+	}
+	if spec.Queries <= 0 {
+		return nil, fmt.Errorf("service: campaign query budget %d must be positive", spec.Queries)
+	}
+	switch spec.Mode {
+	case oracle.LabelOnly, oracle.RawOutput:
+	default:
+		return nil, fmt.Errorf("service: unknown disclosure mode %v", spec.Mode)
+	}
+	compute := func() (*CampaignResult, error) {
+		var res *CampaignResult
+		err := s.gate.RunErr(func() error {
+			var err error
+			res, err = s.runCampaign(spec, v)
+			return err
+		})
+		return res, err
+	}
+	// A noisy victim's reads depend on concurrent traffic, so its
+	// results are not functions of the spec — never cache them.
+	if v.Noisy() {
+		res, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		s.campaigns.Add(1)
+		return res, nil
+	}
+	val, cached, err := s.cache.do(spec.key(), func() (any, error) { return compute() })
+	if err != nil {
+		return nil, err
+	}
+	res := *(val.(*CampaignResult)) // copy so Cached can differ per caller
+	res.Cached = cached
+	s.campaigns.Add(1)
+	return &res, nil
+}
+
+// runCampaign is the deterministic pipeline body.
+func (s *Service) runCampaign(spec CampaignSpec, v *Victim) (*CampaignResult, error) {
+	root := rng.New(spec.Seed).Split("campaign").Split(v.name)
+	hw := v.oracleHardware()
+	orc, err := oracle.New(hw, oracle.Config{
+		Mode: spec.Mode, MeasurePower: true, Budget: spec.Queries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	qs, err := oracle.Collect(orc, v.train, spec.Queries, root.Split("collect"))
+	if err != nil {
+		return nil, fmt.Errorf("service: campaign collection: %w", err)
+	}
+	sCfg := surrogate.DefaultConfig()
+	sCfg.Lambda = spec.Lambda
+	if spec.SurrogateEpochs > 0 {
+		sCfg.Epochs = spec.SurrogateEpochs
+	}
+	model, err := surrogate.Train(qs, sCfg, root.Split("surrogate"))
+	if err != nil {
+		return nil, fmt.Errorf("service: surrogate training: %w", err)
+	}
+	clean, err := v.clean()
+	if err != nil {
+		return nil, err
+	}
+	oh := v.test.OneHot()
+	advs := make([][]float64, v.test.Len())
+	err = pool.DoErr(s.cfg.Workers, v.test.Len(), func(i int) error {
+		adv, err := attack.FGSM(model.Net, tensor.CloneVec(v.test.X.Row(i)), oh.Row(i), spec.AttackEps)
+		if err != nil {
+			return err
+		}
+		advs[i] = adv
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: crafting adversarial examples: %w", err)
+	}
+	labels, err := predictAll(v, advs)
+	if err != nil {
+		return nil, err
+	}
+	correct := 0
+	for i, l := range labels {
+		if l == v.test.Labels[i] {
+			correct++
+		}
+	}
+	return &CampaignResult{
+		Victim:            v.name,
+		Mode:              spec.Mode.String(),
+		Seed:              spec.Seed,
+		Queries:           spec.Queries,
+		Lambda:            spec.Lambda,
+		AttackEps:         spec.AttackEps,
+		CleanAccuracy:     clean,
+		SurrogateAccuracy: model.Accuracy(v.test.X, v.test.Labels),
+		AdvAccuracy:       float64(correct) / float64(v.test.Len()),
+		QueriesCharged:    orc.Queries(),
+	}, nil
+}
+
+// oracleHardware returns the hardware view campaign jobs query: always
+// the coalescer. For a noise-free victim coalesced reads are
+// bit-identical to direct scalar reads, so replay determinism is
+// unaffected, and the coalescer's fused ForwardPower path serves each
+// power-measuring collection query with one array pass instead of two —
+// halving the dominant cost of a campaign's collection phase. For a
+// noisy victim the coalescer is also the required serializer (every
+// read mutates the noise stream; results then depend on concurrent
+// traffic, as real shared noisy hardware does).
+func (v *Victim) oracleHardware() oracle.Hardware {
+	return coalescedHW{v: v}
+}
+
+// predictAll classifies a batch of inputs on the victim, routing through
+// the batched predictor (noise-free) or the coalescer (noisy).
+func predictAll(v *Victim, us [][]float64) ([]int, error) {
+	if !v.Noisy() {
+		return v.hw.PredictBatch(us)
+	}
+	c := coalescedHW{v: v}
+	labels := make([]int, len(us))
+	for i, u := range us {
+		l, err := c.Predict(u)
+		if err != nil {
+			return nil, err
+		}
+		labels[i] = l
+	}
+	return labels, nil
+}
+
+// ExtractSpec determines one power-side-channel extraction job: basis
+// queries through a measurement probe (Section III's procedure), with
+// optional instrument noise.
+type ExtractSpec struct {
+	// Victim names the registered victim to probe.
+	Victim string `json:"victim"`
+	// Repeats averages each basis measurement this many times (0 = 1).
+	Repeats int `json:"repeats,omitempty"`
+	// NoiseStd is the relative instrument noise on the probe.
+	NoiseStd float64 `json:"noise_std,omitempty"`
+	// Seed drives the instrument-noise stream.
+	Seed int64 `json:"seed"`
+}
+
+func (e ExtractSpec) withDefaults() ExtractSpec {
+	if e.Repeats <= 0 {
+		e.Repeats = 1
+	}
+	return e
+}
+
+// key is the artifact-cache identity: (victim, probe config, seed).
+func (e ExtractSpec) key() string {
+	return fmt.Sprintf("extract|%s|%d|%g|%d", e.Victim, e.Repeats, e.NoiseStd, e.Seed)
+}
+
+// ExtractResult carries the recovered power-channel signals.
+type ExtractResult struct {
+	Victim   string  `json:"victim"`
+	Repeats  int     `json:"repeats"`
+	NoiseStd float64 `json:"noise_std"`
+	Seed     int64   `json:"seed"`
+	// Signals are the raw basis-query power readings, one per input.
+	Signals []float64 `json:"signals"`
+	// Norms are the calibrated column 1-norm estimates.
+	Norms []float64 `json:"norms"`
+	// ProbeQueries is the number of power measurements spent.
+	ProbeQueries int `json:"probe_queries"`
+	// Cached reports artifact-cache service.
+	Cached bool `json:"cached"`
+}
+
+// probeMeter adapts the coalescer to the sidechannel.PowerMeter
+// interface so extraction jobs ride the same batched serving path as
+// sessions.
+type probeMeter struct{ c coalescedHW }
+
+func (m probeMeter) Power(u []float64) (float64, error) { return m.c.Power(u) }
+func (m probeMeter) Inputs() int                        { return m.c.Inputs() }
+
+// RunExtract executes (or serves from cache) one extraction job.
+func (s *Service) RunExtract(spec ExtractSpec) (*ExtractResult, error) {
+	if s.isClosed() {
+		return nil, ErrServiceClosed
+	}
+	spec = spec.withDefaults()
+	v, err := s.Victim(spec.Victim)
+	if err != nil {
+		return nil, err
+	}
+	if spec.NoiseStd < 0 {
+		return nil, fmt.Errorf("service: negative probe noise %v", spec.NoiseStd)
+	}
+	compute := func() (*ExtractResult, error) {
+		var res *ExtractResult
+		err := s.gate.RunErr(func() error {
+			var err error
+			res, err = s.runExtract(spec, v)
+			return err
+		})
+		return res, err
+	}
+	if v.Noisy() {
+		// Not a function of the spec (see RunCampaign) — never cached.
+		return compute()
+	}
+	val, cached, err := s.cache.do(spec.key(), func() (any, error) { return compute() })
+	if err != nil {
+		return nil, err
+	}
+	res := *(val.(*ExtractResult))
+	// Deep-copy the slices: the cached artifact is shared by every
+	// future caller, so handing out aliases would let one client's
+	// in-place post-processing corrupt everyone else's results — the
+	// same ownership bug class Response.Raw had.
+	res.Signals = append([]float64(nil), res.Signals...)
+	res.Norms = append([]float64(nil), res.Norms...)
+	res.Cached = cached
+	return &res, nil
+}
+
+func (s *Service) runExtract(spec ExtractSpec, v *Victim) (*ExtractResult, error) {
+	var src *rng.Source
+	if spec.NoiseStd > 0 {
+		src = rng.New(spec.Seed).Split("extract").Split(v.name)
+	}
+	probe, err := sidechannel.NewProbe(probeMeter{c: coalescedHW{v: v}}, spec.NoiseStd, src)
+	if err != nil {
+		return nil, err
+	}
+	signals, err := probe.ExtractColumnSignals(spec.Repeats)
+	if err != nil {
+		if errors.Is(err, ErrVictimClosed) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("service: extraction: %w", err)
+	}
+	xb := v.hw.Crossbar()
+	norms := sidechannel.CalibrateColumnNorms(signals, xb.Config(), v.Outputs(), xb.Scale())
+	return &ExtractResult{
+		Victim:       v.name,
+		Repeats:      spec.Repeats,
+		NoiseStd:     spec.NoiseStd,
+		Seed:         spec.Seed,
+		Signals:      signals,
+		Norms:        norms,
+		ProbeQueries: probe.Queries(),
+	}, nil
+}

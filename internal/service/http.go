@@ -1,0 +1,283 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"xbarsec/internal/oracle"
+	"xbarsec/internal/report"
+)
+
+// Handler returns the service's HTTP JSON API:
+//
+//	GET    /healthz                  liveness probe
+//	GET    /v1/victims               registered victims with serving stats
+//	POST   /v1/sessions              open an attacker session
+//	GET    /v1/sessions/{id}         session accounting
+//	DELETE /v1/sessions/{id}         close a session
+//	POST   /v1/sessions/{id}/query   one oracle query
+//	POST   /v1/campaigns             run (or fetch cached) campaign job
+//	POST   /v1/extract               run (or fetch cached) extraction job
+//	GET    /v1/stats                 service snapshot (?format=csv for CSV)
+//
+// Every handler is safe for concurrent use — the service layer does the
+// synchronization, the handlers only translate JSON.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/victims", s.handleVictims)
+	mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/campaigns", s.handleCampaign)
+	mux.HandleFunc("POST /v1/extract", s.handleExtract)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps service errors onto HTTP status codes: unknown
+// resources are 404, an exhausted budget is 429 (the attacker is being
+// rate-limited by their own contract), shutdown is 503, malformed input
+// is 400.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrVictimUnknown), errors.Is(err, ErrSessionUnknown):
+		status = http.StatusNotFound
+	case errors.Is(err, oracle.ErrBudgetExhausted):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrServiceClosed), errors.Is(err, ErrVictimClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// errBadRequest marks client-side validation failures for status
+// mapping.
+var errBadRequest = errors.New("bad request")
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, errBadRequest)...)
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequestf("decoding request body (%v)", err)
+	}
+	return nil
+}
+
+func (s *Service) handleVictims(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats().Victims)
+}
+
+// sessionWire is the JSON shape of a session request/response.
+type sessionWire struct {
+	ID            string  `json:"id,omitempty"`
+	Victim        string  `json:"victim"`
+	Mode          string  `json:"mode,omitempty"`
+	MeasurePower  bool    `json:"measure_power,omitempty"`
+	PowerNoiseStd float64 `json:"power_noise_std,omitempty"`
+	Budget        int     `json:"budget,omitempty"`
+	Queries       int     `json:"queries"`
+	Remaining     int     `json:"remaining"`
+}
+
+func sessionInfo(sess *Session) sessionWire {
+	return sessionWire{
+		ID:        sess.ID(),
+		Victim:    sess.Victim(),
+		Mode:      sess.Mode().String(),
+		Budget:    sess.Budget(),
+		Queries:   sess.Queries(),
+		Remaining: sess.Remaining(),
+	}
+}
+
+func (s *Service) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	var req sessionWire
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	cfg := SessionConfig{
+		MeasurePower:  req.MeasurePower,
+		PowerNoiseStd: req.PowerNoiseStd,
+		Budget:        req.Budget,
+	}
+	if req.Mode != "" {
+		mode, err := oracle.ParseMode(req.Mode)
+		if err != nil {
+			writeError(w, badRequestf("%v", err))
+			return
+		}
+		cfg.Mode = mode
+	}
+	sess, err := s.OpenSession(req.Victim, cfg)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sessionInfo(sess))
+}
+
+func (s *Service) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Session(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionInfo(sess))
+}
+
+func (s *Service) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.CloseSession(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
+}
+
+// queryWire is the JSON shape of one oracle query exchange.
+type queryWire struct {
+	Input []float64 `json:"input"`
+}
+
+type responseWire struct {
+	Label     int       `json:"label"`
+	Raw       []float64 `json:"raw,omitempty"`
+	Power     float64   `json:"power,omitempty"`
+	Queries   int       `json:"queries"`
+	Remaining int       `json:"remaining"`
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Session(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req queryWire
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Input) != sess.victim.Inputs() {
+		writeError(w, badRequestf("input length %d, want %d", len(req.Input), sess.victim.Inputs()))
+		return
+	}
+	resp, err := sess.Query(req.Input)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, responseWire{
+		Label:     resp.Label,
+		Raw:       resp.Raw,
+		Power:     resp.Power,
+		Queries:   sess.Queries(),
+		Remaining: sess.Remaining(),
+	})
+}
+
+// campaignWire mirrors CampaignSpec with a string mode for the wire.
+type campaignWire struct {
+	Victim          string  `json:"victim"`
+	Mode            string  `json:"mode"`
+	Seed            int64   `json:"seed"`
+	Queries         int     `json:"queries"`
+	Lambda          float64 `json:"lambda"`
+	SurrogateEpochs int     `json:"surrogate_epochs,omitempty"`
+	AttackEps       float64 `json:"attack_eps,omitempty"`
+}
+
+func (s *Service) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var req campaignWire
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	mode, err := oracle.ParseMode(req.Mode)
+	if err != nil {
+		writeError(w, badRequestf("%v", err))
+		return
+	}
+	if req.Queries <= 0 {
+		writeError(w, badRequestf("query budget %d must be positive", req.Queries))
+		return
+	}
+	res, err := s.RunCampaign(CampaignSpec{
+		Victim:          req.Victim,
+		Mode:            mode,
+		Seed:            req.Seed,
+		Queries:         req.Queries,
+		Lambda:          req.Lambda,
+		SurrogateEpochs: req.SurrogateEpochs,
+		AttackEps:       req.AttackEps,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleExtract(w http.ResponseWriter, r *http.Request) {
+	var spec ExtractSpec
+	if err := decodeJSON(r, &spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	if spec.NoiseStd < 0 {
+		writeError(w, badRequestf("negative probe noise %v", spec.NoiseStd))
+		return
+	}
+	res, err := s.RunExtract(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	if r.URL.Query().Get("format") != "csv" {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	tbl := &report.Table{
+		Header: []string{"victim", "inputs", "outputs", "noisy", "requests", "batches", "max_batch", "open_sessions"},
+	}
+	for _, v := range st.Victims {
+		tbl.AddRow(v.Name,
+			fmt.Sprint(v.Inputs), fmt.Sprint(v.Outputs), fmt.Sprint(v.Noisy),
+			fmt.Sprint(v.Requests), fmt.Sprint(v.Batches), fmt.Sprint(v.MaxBatch),
+			fmt.Sprint(v.OpenSessions))
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	if err := tbl.WriteCSV(w); err != nil {
+		// Headers already sent; nothing recoverable.
+		return
+	}
+}

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// httpFixture boots a service with one victim behind httptest.
+func httpFixture(t *testing.T) (*httptest.Server, *Victim) {
+	t.Helper()
+	v := buildTestVictim(t, "mnist-toy", 11)
+	s := newTestService(t, Config{Seed: 11, Workers: 2}, v)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, v
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, wantStatus, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHTTPSessionLifecycle(t *testing.T) {
+	ts, v := httpFixture(t)
+
+	var victims []VictimStats
+	doJSON(t, "GET", ts.URL+"/v1/victims", nil, http.StatusOK, &victims)
+	if len(victims) != 1 || victims[0].Name != "mnist-toy" || victims[0].Inputs != 100 {
+		t.Fatalf("victims = %+v", victims)
+	}
+
+	var sess sessionWire
+	doJSON(t, "POST", ts.URL+"/v1/sessions", sessionWire{
+		Victim: "mnist-toy", Mode: "raw-output", MeasurePower: true, Budget: 2,
+	}, http.StatusCreated, &sess)
+	if sess.ID == "" || sess.Remaining != 2 {
+		t.Fatalf("session = %+v", sess)
+	}
+
+	queryURL := fmt.Sprintf("%s/v1/sessions/%s/query", ts.URL, sess.ID)
+	var qr responseWire
+	doJSON(t, "POST", queryURL, queryWire{Input: v.test.X.Row(0)}, http.StatusOK, &qr)
+	if len(qr.Raw) != 10 || qr.Power <= 0 || qr.Queries != 1 || qr.Remaining != 1 {
+		t.Fatalf("query response = %+v", qr)
+	}
+	// Responses must match the direct in-process session path exactly
+	// (modulo JSON float round-trip, which is exact for float64).
+	wantLabel, err := v.hw.Predict(v.test.X.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Label != wantLabel {
+		t.Fatalf("label = %d, want %d", qr.Label, wantLabel)
+	}
+
+	doJSON(t, "POST", queryURL, queryWire{Input: v.test.X.Row(1)}, http.StatusOK, &qr)
+	// Budget exhausted -> 429.
+	doJSON(t, "POST", queryURL, queryWire{Input: v.test.X.Row(2)}, http.StatusTooManyRequests, nil)
+
+	var info sessionWire
+	doJSON(t, "GET", ts.URL+"/v1/sessions/"+sess.ID, nil, http.StatusOK, &info)
+	if info.Queries != 2 || info.Remaining != 0 {
+		t.Fatalf("session info = %+v", info)
+	}
+
+	doJSON(t, "DELETE", ts.URL+"/v1/sessions/"+sess.ID, nil, http.StatusOK, nil)
+	doJSON(t, "GET", ts.URL+"/v1/sessions/"+sess.ID, nil, http.StatusNotFound, nil)
+}
+
+func TestHTTPValidationAndErrors(t *testing.T) {
+	ts, v := httpFixture(t)
+	// Unknown victim.
+	doJSON(t, "POST", ts.URL+"/v1/sessions", sessionWire{Victim: "nope"}, http.StatusNotFound, nil)
+	// Bad mode.
+	doJSON(t, "POST", ts.URL+"/v1/sessions", sessionWire{Victim: "mnist-toy", Mode: "psychic"}, http.StatusBadRequest, nil)
+	// Unknown fields rejected.
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"victim":"mnist-toy","surprise":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", resp.StatusCode)
+	}
+	// Short input is 400, not 500, and charges nothing.
+	var sess sessionWire
+	doJSON(t, "POST", ts.URL+"/v1/sessions", sessionWire{Victim: "mnist-toy"}, http.StatusCreated, &sess)
+	queryURL := fmt.Sprintf("%s/v1/sessions/%s/query", ts.URL, sess.ID)
+	doJSON(t, "POST", queryURL, queryWire{Input: []float64{1, 2}}, http.StatusBadRequest, nil)
+	var info sessionWire
+	doJSON(t, "GET", ts.URL+"/v1/sessions/"+sess.ID, nil, http.StatusOK, &info)
+	if info.Queries != 0 {
+		t.Fatalf("malformed query charged budget: %+v", info)
+	}
+	// Campaign validation.
+	doJSON(t, "POST", ts.URL+"/v1/campaigns", campaignWire{Victim: "mnist-toy", Mode: "label-only"}, http.StatusBadRequest, nil)
+	_ = v
+}
+
+func TestHTTPCampaignAndExtract(t *testing.T) {
+	ts, _ := httpFixture(t)
+	spec := campaignWire{Victim: "mnist-toy", Mode: "label-only", Seed: 5, Queries: 25, SurrogateEpochs: 3}
+	var res CampaignResult
+	doJSON(t, "POST", ts.URL+"/v1/campaigns", spec, http.StatusOK, &res)
+	if res.Cached || res.QueriesCharged != 25 || res.Mode != "label-only" {
+		t.Fatalf("campaign = %+v", res)
+	}
+	var again CampaignResult
+	doJSON(t, "POST", ts.URL+"/v1/campaigns", spec, http.StatusOK, &again)
+	if !again.Cached {
+		t.Fatal("replayed campaign must be cached")
+	}
+	again.Cached = res.Cached
+	if again != res {
+		t.Fatalf("cached campaign differs: %+v vs %+v", again, res)
+	}
+
+	var ex ExtractResult
+	doJSON(t, "POST", ts.URL+"/v1/extract", ExtractSpec{Victim: "mnist-toy"}, http.StatusOK, &ex)
+	if len(ex.Signals) != 100 || len(ex.Norms) != 100 || ex.ProbeQueries != 100 {
+		t.Fatalf("extract = signals:%d norms:%d queries:%d", len(ex.Signals), len(ex.Norms), ex.ProbeQueries)
+	}
+
+	var st Stats
+	doJSON(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK, &st)
+	if st.Campaigns != 2 || st.CacheHits < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// CSV stats export.
+	resp, err := http.Get(ts.URL + "/v1/stats?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "victim,") || !strings.HasPrefix(lines[1], "mnist-toy,") {
+		t.Fatalf("csv stats = %q", buf.String())
+	}
+}

@@ -1,0 +1,184 @@
+// Package service is the concurrent attack-campaign layer on top of the
+// simulation stack: a sharded registry of programmed victim networks,
+// per-attacker sessions with split randomness and atomically enforced
+// query budgets, a per-victim coalescer that merges in-flight queries
+// from all sessions into batched (and, for power queries, fused) array
+// reads, and deterministic campaign/extraction jobs with a singleflight
+// artifact cache. It is the first layer of this repository built to be
+// hit by many clients at once; cmd/xbarserve exposes it over HTTP.
+//
+// Determinism contract: campaign and extraction jobs are pure functions
+// of their spec (seeded via rng.Split, fanned out on the deterministic
+// pool), so replays are bit-identical at any worker count and specs
+// double as cache keys. Interactive session traffic against noise-free
+// victims is bit-identical to per-call scalar serving regardless of how
+// queries coalesce; only noisy (stateful) arrays make interleaved
+// results depend on arrival order — exactly as the physical hardware
+// would.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"xbarsec/internal/pool"
+	"xbarsec/internal/rng"
+)
+
+// ErrServiceClosed indicates an operation on a closed service.
+var ErrServiceClosed = errors.New("service: closed")
+
+// Config sizes the service.
+type Config struct {
+	// Seed roots every stream the service derives (session noise, demo
+	// victims); campaign jobs use their own spec seeds.
+	Seed int64
+	// Workers bounds the per-job fan-out (0 = all runnable procs).
+	Workers int
+	// MaxConcurrentJobs caps campaign/extraction jobs running at once
+	// (0 = all runnable procs).
+	MaxConcurrentJobs int
+	// QueueDepth bounds each victim's coalescer queue (0 = 256).
+	QueueDepth int
+	// DefaultSessionBudget applies when a session is opened with
+	// Budget == 0 (0 here means 10000).
+	DefaultSessionBudget int
+	// MaxCachedArtifacts bounds the artifact cache; the oldest completed
+	// artifacts are evicted FIFO beyond it (0 = 4096).
+	MaxCachedArtifacts int
+}
+
+// Service hosts victims, sessions and campaign jobs.
+type Service struct {
+	cfg      Config
+	root     *rng.Source
+	victims  shardedMap[*Victim]
+	sessions shardedMap[*Session]
+	cache    *artifactCache
+	gate     *pool.Gate
+
+	campaigns atomic.Int64
+	closed    atomic.Bool
+}
+
+// New returns an empty service.
+func New(cfg Config) *Service {
+	if cfg.DefaultSessionBudget <= 0 {
+		cfg.DefaultSessionBudget = 10000
+	}
+	return &Service{
+		cfg:   cfg,
+		root:  rng.New(cfg.Seed).Split("service"),
+		cache: newArtifactCache(cfg.MaxCachedArtifacts),
+		gate:  pool.NewGate(cfg.MaxConcurrentJobs),
+	}
+}
+
+// Register adds a victim and starts its coalescer.
+func (s *Service) Register(v *Victim) error {
+	if s.isClosed() {
+		return ErrServiceClosed
+	}
+	if v.batcher != nil {
+		return fmt.Errorf("service: victim %q already attached to a service", v.name)
+	}
+	v.batcher = newBatcher(v.hw, s.cfg.QueueDepth)
+	if !s.victims.put(v.name, v) {
+		v.batcher.close()
+		v.batcher = nil
+		return fmt.Errorf("service: victim %q: %w", v.name, ErrVictimExists)
+	}
+	// Close may have swept the registry between the entry check and the
+	// put; re-checking after the put closes the race — either Close's
+	// sweep saw this victim (and stopped its flusher; close is
+	// idempotent) or we observe closed here and undo the registration.
+	if s.isClosed() {
+		s.victims.remove(v.name)
+		v.batcher.close()
+		v.batcher = nil
+		return ErrServiceClosed
+	}
+	return nil
+}
+
+// Victim looks up a registered victim.
+func (s *Service) Victim(name string) (*Victim, error) {
+	v, ok := s.victims.get(name)
+	if !ok {
+		return nil, fmt.Errorf("service: victim %q: %w", name, ErrVictimUnknown)
+	}
+	return v, nil
+}
+
+// VictimNames lists registered victims in sorted order.
+func (s *Service) VictimNames() []string { return s.victims.keys() }
+
+// Close shuts the service down: coalescers stop after draining, queued
+// queries fail with ErrVictimClosed, and new work is refused.
+func (s *Service) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.victims.each(func(_ string, v *Victim) { v.batcher.close() })
+}
+
+func (s *Service) isClosed() bool { return s.closed.Load() }
+
+// VictimStats is one victim's serving counters.
+type VictimStats struct {
+	Name    string `json:"name"`
+	Inputs  int    `json:"inputs"`
+	Outputs int    `json:"outputs"`
+	Noisy   bool   `json:"noisy"`
+	// Requests is the number of queries served through the coalescer.
+	Requests int64 `json:"requests"`
+	// Batches is the number of coalesced flushes; Requests/Batches is
+	// the achieved coalescing factor.
+	Batches int64 `json:"batches"`
+	// MaxBatch is the largest single flush.
+	MaxBatch int64 `json:"max_batch"`
+	// OpenSessions counts currently open sessions.
+	OpenSessions int64 `json:"open_sessions"`
+}
+
+// Stats is a point-in-time service snapshot.
+type Stats struct {
+	Victims []VictimStats `json:"victims"`
+	// Sessions counts open sessions across all victims.
+	Sessions int `json:"sessions"`
+	// Campaigns counts campaign jobs served (cached or computed).
+	Campaigns int64 `json:"campaigns"`
+	// CacheHits and CacheMisses are artifact-cache counters.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// CachedArtifacts is the number of distinct artifacts in memory.
+	CachedArtifacts int `json:"cached_artifacts"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Sessions:        s.sessions.size(),
+		Campaigns:       s.campaigns.Load(),
+		CachedArtifacts: s.cache.size(),
+	}
+	st.CacheHits, st.CacheMisses = s.cache.stats()
+	for _, name := range s.victims.keys() {
+		v, ok := s.victims.get(name)
+		if !ok {
+			continue
+		}
+		st.Victims = append(st.Victims, VictimStats{
+			Name:         v.name,
+			Inputs:       v.Inputs(),
+			Outputs:      v.Outputs(),
+			Noisy:        v.Noisy(),
+			Requests:     v.batcher.requests.Load(),
+			Batches:      v.batcher.batches.Load(),
+			MaxBatch:     v.batcher.maxBatch.Load(),
+			OpenSessions: v.open.Load(),
+		})
+	}
+	return st
+}

@@ -1,0 +1,187 @@
+package service
+
+import (
+	cryptorand "crypto/rand"
+	"errors"
+	"fmt"
+
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/oracle"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// ErrSessionUnknown indicates a lookup for a closed or never-opened
+// session.
+var ErrSessionUnknown = errors.New("service: unknown session")
+
+// coalescedHW adapts a victim's batcher to the oracle.Hardware interface:
+// every read becomes one coalesced round trip through the shared array.
+// It also implements oracle.ForwardPowerer, so a power-measuring query
+// costs a single fused batched read instead of two.
+type coalescedHW struct {
+	v *Victim
+}
+
+func (c coalescedHW) Forward(u []float64) ([]float64, error) {
+	r := &batchRequest{u: u}
+	if err := c.v.batcher.submit(r); err != nil {
+		return nil, err
+	}
+	return r.y, nil
+}
+
+func (c coalescedHW) Power(u []float64) (float64, error) {
+	r := &batchRequest{u: u, wantPower: true}
+	if err := c.v.batcher.submit(r); err != nil {
+		return 0, err
+	}
+	return r.power, nil
+}
+
+func (c coalescedHW) ForwardPower(u []float64) ([]float64, float64, error) {
+	r := &batchRequest{u: u, wantPower: true}
+	if err := c.v.batcher.submit(r); err != nil {
+		return nil, 0, err
+	}
+	return r.y, r.power, nil
+}
+
+func (c coalescedHW) Predict(u []float64) (int, error) {
+	y, err := c.Forward(u)
+	if err != nil {
+		return 0, err
+	}
+	return tensor.ArgMax(y), nil
+}
+
+func (c coalescedHW) Inputs() int                  { return c.v.hw.Inputs() }
+func (c coalescedHW) Outputs() int                 { return c.v.hw.Outputs() }
+func (c coalescedHW) Crossbar() *crossbar.Crossbar { return c.v.hw.Crossbar() }
+
+// Compile-time checks: the coalescer is oracle hardware with the fused
+// fast path.
+var (
+	_ oracle.Hardware       = coalescedHW{}
+	_ oracle.ForwardPowerer = coalescedHW{}
+)
+
+// SessionConfig controls what one attacker session may observe and spend.
+type SessionConfig struct {
+	// Mode selects label-only or raw-output disclosure (0 = label-only).
+	Mode oracle.Mode
+	// MeasurePower attaches the power side channel to every query.
+	MeasurePower bool
+	// PowerNoiseStd is the relative instrument noise on power readings.
+	PowerNoiseStd float64
+	// Budget caps the session's oracle queries. 0 selects the service
+	// default; negative means unlimited.
+	Budget int
+}
+
+// Session is one attacker's budgeted handle on a shared victim. All its
+// queries flow through the victim's coalescer, its budget is enforced
+// atomically by the oracle layer (exact under any concurrency), and its
+// instrument-noise randomness comes from a session-private stream
+// derived with rng.Split from the service root — so no session's draws
+// ever perturb another's.
+type Session struct {
+	id     string
+	victim *Victim
+	oracle *oracle.Oracle
+}
+
+// OpenSession admits a new attacker session against a registered victim.
+func (s *Service) OpenSession(victim string, cfg SessionConfig) (*Session, error) {
+	if s.isClosed() {
+		return nil, ErrServiceClosed
+	}
+	v, err := s.Victim(victim)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = oracle.LabelOnly
+	}
+	budget := cfg.Budget
+	switch {
+	case budget == 0:
+		budget = s.cfg.DefaultSessionBudget
+	case budget < 0:
+		budget = 0 // unlimited in oracle terms
+	}
+	ord := v.sessionSeq.Add(1)
+	// The id doubles as the session's only credential on the HTTP API,
+	// so it carries an unguessable token — a sequential id would let
+	// any client spend or close another attacker's budget.
+	var token [8]byte
+	if _, err := cryptorand.Read(token[:]); err != nil {
+		return nil, fmt.Errorf("service: generating session token: %w", err)
+	}
+	id := fmt.Sprintf("%s-s%d-%x", v.name, ord, token)
+	src := s.root.Split("victim:"+v.name).SplitN("session", int(ord))
+	var noiseSrc *rng.Source
+	if cfg.PowerNoiseStd > 0 {
+		noiseSrc = src.Split("power-noise")
+	}
+	orc, err := oracle.New(coalescedHW{v: v}, oracle.Config{
+		Mode:          cfg.Mode,
+		MeasurePower:  cfg.MeasurePower,
+		PowerNoiseStd: cfg.PowerNoiseStd,
+		Src:           noiseSrc,
+		Budget:        budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{id: id, victim: v, oracle: orc}
+	if !s.sessions.put(id, sess) {
+		return nil, fmt.Errorf("service: session id collision %q", id)
+	}
+	v.open.Add(1)
+	return sess, nil
+}
+
+// Session returns an open session by id.
+func (s *Service) Session(id string) (*Session, error) {
+	sess, ok := s.sessions.get(id)
+	if !ok {
+		return nil, fmt.Errorf("service: session %q: %w", id, ErrSessionUnknown)
+	}
+	return sess, nil
+}
+
+// CloseSession removes a session; its remaining budget is forfeited.
+func (s *Service) CloseSession(id string) error {
+	sess, ok := s.sessions.remove(id)
+	if !ok {
+		return fmt.Errorf("service: session %q: %w", id, ErrSessionUnknown)
+	}
+	sess.victim.open.Add(-1)
+	return nil
+}
+
+// ID returns the session identifier.
+func (sess *Session) ID() string { return sess.id }
+
+// Victim returns the attacked victim's name.
+func (sess *Session) Victim() string { return sess.victim.name }
+
+// Mode returns the session's disclosure mode.
+func (sess *Session) Mode() oracle.Mode { return sess.oracle.Mode() }
+
+// Query runs one attacker query through the victim's coalescer, charging
+// the session budget if and only if a response is delivered (the oracle
+// accounting contract).
+func (sess *Session) Query(u []float64) (oracle.Response, error) {
+	return sess.oracle.Query(u)
+}
+
+// Queries returns how many queries the session has been charged.
+func (sess *Session) Queries() int { return sess.oracle.Queries() }
+
+// Budget returns the session's query cap (0 = unlimited).
+func (sess *Session) Budget() int { return sess.oracle.Budget() }
+
+// Remaining returns the unspent budget, or -1 when unlimited.
+func (sess *Session) Remaining() int { return sess.oracle.Remaining() }

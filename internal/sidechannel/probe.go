@@ -9,6 +9,8 @@ package sidechannel
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"xbarsec/internal/crossbar"
 	"xbarsec/internal/linalg"
@@ -38,13 +40,20 @@ func (m xbarMeter) Inputs() int                        { return m.x.Cols() }
 // Probe is the attacker's measurement apparatus. It counts queries and can
 // model instrument noise on top of whatever device noise the crossbar
 // itself exhibits.
+//
+// The query counter is atomic, so goroutines may share a probe over a
+// noise-free meter without racing. With instrument noise the shared
+// noise stream is mutex-guarded: concurrent measurements are race-free
+// but consume the stream in arrival order, so fixed-seed replay of noisy
+// readings requires serial use.
 type Probe struct {
 	meter PowerMeter
 	// NoiseStd is the relative instrument noise: each measurement is
 	// multiplied by 1 + N(0, NoiseStd).
 	noiseStd float64
 	src      *rng.Source
-	queries  int
+	srcMu    sync.Mutex // guards src under concurrent measurements
+	queries  atomic.Int64
 }
 
 // NewProbe wraps meter. noiseStd is the relative measurement noise; src
@@ -63,23 +72,27 @@ func NewProbe(meter PowerMeter, noiseStd float64, src *rng.Source) (*Probe, erro
 }
 
 // Queries returns the number of power measurements taken so far.
-func (p *Probe) Queries() int { return p.queries }
+func (p *Probe) Queries() int { return int(p.queries.Load()) }
 
 // ResetQueries zeroes the query counter.
-func (p *Probe) ResetQueries() { p.queries = 0 }
+func (p *Probe) ResetQueries() { p.queries.Store(0) }
 
 // Inputs returns the input dimensionality of the metered device.
 func (p *Probe) Inputs() int { return p.meter.Inputs() }
 
 // Measure returns one (possibly noisy) power measurement for input u.
+// Only successful measurements count: a meter error leaves the query
+// counter unchanged.
 func (p *Probe) Measure(u []float64) (float64, error) {
 	pw, err := p.meter.Power(u)
 	if err != nil {
 		return 0, err
 	}
-	p.queries++
+	p.queries.Add(1)
 	if p.noiseStd > 0 {
+		p.srcMu.Lock()
 		pw *= 1 + p.src.Normal(0, p.noiseStd)
+		p.srcMu.Unlock()
 	}
 	return pw, nil
 }

@@ -1,0 +1,57 @@
+package sidechannel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"xbarsec/internal/tensor"
+)
+
+// failMeter errors on every read; successful-read-only counting is pinned
+// against it.
+type failMeter struct{ n int }
+
+var errProbeMeter = errors.New("meter fault")
+
+func (m failMeter) Power(u []float64) (float64, error) { return 0, errProbeMeter }
+func (m failMeter) Inputs() int                        { return m.n }
+
+func TestMeasureErrorDoesNotCount(t *testing.T) {
+	probe, err := NewProbe(failMeter{n: 4}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Measure(tensor.Basis(4, 0, 1)); !errors.Is(err, errProbeMeter) {
+		t.Fatalf("want meter fault, got %v", err)
+	}
+	if q := probe.Queries(); q != 0 {
+		t.Fatalf("failed measurement counted: queries = %d", q)
+	}
+}
+
+func TestProbeCounterExactUnderContention(t *testing.T) {
+	xb, _ := buildCrossbar(t, 31, 6, 8, idealCfg())
+	probe, err := NewProbe(MeterFromCrossbar(xb), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 200
+	u := tensor.Basis(8, 3, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := probe.Measure(u); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if q := probe.Queries(); q != goroutines*perG {
+		t.Fatalf("queries = %d, want %d", q, goroutines*perG)
+	}
+}
