@@ -1,7 +1,8 @@
 GO ?= go
-BENCH_JSON ?= BENCH_2.json
+BENCH_JSON ?= BENCH_4.json
+COVER_PROFILE ?= cover.out
 
-.PHONY: build test race vet fmt fmt-check bench bench-json ci
+.PHONY: build test race vet fmt fmt-check bench bench-json cover ci
 
 build:
 	$(GO) build ./...
@@ -11,9 +12,14 @@ test:
 
 # Full suite under the race detector — the honesty check for the
 # concurrent serving layer (internal/service) and the parallel
-# experiment engine. Slower than `make test`; CI runs it as its own job.
+# experiment engine. -short skips the two full-registry deterministic
+# replay tests (golden bit-identity, engine-wide worker invariance):
+# they are ~10x slower under race and carry no concurrency value beyond
+# what the dedicated store/pool/service race tests cover; the plain
+# `make test` and `make cover` jobs run them in full. Slower than
+# `make test`; CI runs it as its own job.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short -timeout 20m ./...
 
 vet:
 	$(GO) vet ./...
@@ -44,7 +50,15 @@ bench:
 bench-json:
 	$(GO) test -run XXX -bench 'GemmTA$$|GemmTB$$|TrainEpoch|CrossbarMVM|CrossbarPower|NormExtraction|FGSM$$' -benchtime 200x . > /tmp/xbarsec-bench-micro.txt
 	$(GO) test -run XXX -bench 'SurrogateTrain|Table1$$' -benchtime 3x . > /tmp/xbarsec-bench-macro.txt
-	cat /tmp/xbarsec-bench-micro.txt /tmp/xbarsec-bench-macro.txt | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	$(GO) test -run XXX -bench 'VictimStoreColdFig3$$|VictimStoreWarmFig3$$' -benchtime 3x . > /tmp/xbarsec-bench-store.txt
+	cat /tmp/xbarsec-bench-micro.txt /tmp/xbarsec-bench-macro.txt /tmp/xbarsec-bench-store.txt | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@cat $(BENCH_JSON)
+
+# Full-suite coverage profile plus the per-package summary; CI runs this
+# as its own job and archives nothing — the one-line total is the
+# trend signal.
+cover:
+	$(GO) test -coverprofile=$(COVER_PROFILE) -covermode=atomic ./...
+	$(GO) tool cover -func=$(COVER_PROFILE) | tail -n 1
 
 ci: build vet fmt-check test

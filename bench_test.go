@@ -42,12 +42,13 @@ func withBenchWorkers(w int) experiment.Options {
 // sensitivity and power-extracted column 1-norms, 4 configurations).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
 		res, err := experiment.RunTable1(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == b.N-1 {
-			b.Log("\n" + res.Render().String())
+			b.Log("\n" + res.Render())
 			b.ReportMetric(res.Rows[0].CorrOfMeanTest, "mnist-linear-corr-of-mean")
 		}
 	}
@@ -56,6 +57,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFig3 regenerates Figure 3 (sensitivity vs 1-norm heatmaps).
 func BenchmarkFig3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
 		res, err := experiment.RunFig3(benchOpts())
 		if err != nil {
 			b.Fatal(err)
@@ -70,6 +72,7 @@ func BenchmarkFig3(b *testing.B) {
 // sweeps, 5 methods x 4 configurations).
 func BenchmarkFig4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
 		res, err := experiment.RunFig4(benchOpts())
 		if err != nil {
 			b.Fatal(err)
@@ -95,6 +98,7 @@ func fig5BenchOptions() experiment.Fig5Options {
 // significance-tested improvement — panels a/b/c of each row).
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
 		res, err := experiment.RunFig5(fig5BenchOptions())
 		if err != nil {
 			b.Fatal(err)
@@ -109,12 +113,13 @@ func BenchmarkFig5(b *testing.B) {
 // measurement noise and device quantization).
 func BenchmarkAblationNoise(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
 		res, err := experiment.RunNoiseAblation(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == b.N-1 {
-			b.Log("\n" + res.Render().String())
+			b.Log("\n" + res.Render())
 		}
 	}
 }
@@ -123,12 +128,13 @@ func BenchmarkAblationNoise(b *testing.B) {
 // max-1-norm search vs exhaustive measurement).
 func BenchmarkAblationSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
 		res, err := experiment.RunSearchAblation(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == b.N-1 {
-			b.Log("\n" + res.Render().String())
+			b.Log("\n" + res.Render())
 		}
 	}
 }
@@ -137,12 +143,13 @@ func BenchmarkAblationSearch(b *testing.B) {
 // decay with random signs, paper §III).
 func BenchmarkAblationMultiPixel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
 		res, err := experiment.RunMultiPixelAblation(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == b.N-1 {
-			b.Log("\n" + res.Render().String())
+			b.Log("\n" + res.Render())
 		}
 	}
 }
@@ -155,6 +162,7 @@ func BenchmarkTable1Workers(b *testing.B) {
 	for _, w := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
+				experiment.ResetVictimStore()
 				if _, err := experiment.RunTable1(withBenchWorkers(w)); err != nil {
 					b.Fatal(err)
 				}
@@ -169,11 +177,51 @@ func BenchmarkFig4Workers(b *testing.B) {
 	for _, w := range []int{4} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
+				experiment.ResetVictimStore()
 				if _, err := experiment.RunFig4(withBenchWorkers(w)); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// --- victim store ------------------------------------------------------
+
+// BenchmarkVictimStoreColdFig3 measures Figure 3 with an empty victim
+// store each iteration: the full train-and-evaluate pipeline, the
+// number every pre-store BENCH entry recorded. (Every experiment
+// benchmark above also resets the store per iteration for the same
+// comparability.)
+func BenchmarkVictimStoreColdFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
+		if _, err := experiment.RunFig3(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVictimStoreWarmFig3 measures Figure 3 with the victims
+// already in the store — the steady state of a process that has run the
+// experiment (or any experiment sharing its streams) before, e.g. the
+// xbarserve /experiments endpoint replaying a grid at a known seed. The
+// cold/warm ratio is the victim-store hit speedup BENCH_4.json records.
+func BenchmarkVictimStoreWarmFig3(b *testing.B) {
+	experiment.ResetVictimStore()
+	if _, err := experiment.RunFig3(benchOpts()); err != nil {
+		b.Fatal(err)
+	}
+	warm := experiment.StoreStats().Trainings
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFig3(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if d := experiment.StoreStats().Trainings - warm; d != 0 {
+		b.Fatalf("warm benchmark trained %d victims", d)
 	}
 }
 
@@ -391,12 +439,13 @@ func BenchmarkCIFARGeneration(b *testing.B) {
 // vs network depth — the paper's multi-layer future-work direction).
 func BenchmarkAblationDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
 		res, err := experiment.RunDepthAblation(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == b.N-1 {
-			b.Log("\n" + res.Render().String())
+			b.Log("\n" + res.Render())
 		}
 	}
 }
@@ -405,12 +454,13 @@ func BenchmarkAblationDepth(b *testing.B) {
 // masking countermeasure).
 func BenchmarkAblationMasking(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
 		res, err := experiment.RunMaskingAblation(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == b.N-1 {
-			b.Log("\n" + res.Render().String())
+			b.Log("\n" + res.Render())
 		}
 	}
 }
@@ -419,12 +469,13 @@ func BenchmarkAblationMasking(b *testing.B) {
 // extraction vs the paper's static channel).
 func BenchmarkAblationTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
 		res, err := experiment.RunTraceAblation(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == b.N-1 {
-			b.Log("\n" + res.Render().String())
+			b.Log("\n" + res.Render())
 		}
 	}
 }

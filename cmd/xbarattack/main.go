@@ -7,19 +7,27 @@
 //
 //	xbarattack [flags] <command>
 //
-// Commands:
+// Commands (every registered experiment is a command; `xbarattack list`
+// prints the registry):
 //
-//	table1     Table I correlation coefficients
-//	fig3       Figure 3 sensitivity / 1-norm heatmaps
-//	fig4       Figure 4 single-pixel attack sweeps
-//	fig5       Figure 5 surrogate black-box attack sweeps
-//	ablations  extraction-noise, search and multi-pixel ablations
-//	calibrate  victim accuracies per configuration
-//	campaign   query-budget x lambda campaign sweep through the
-//	           attack-campaign service layer (internal/service)
-//	all        everything above, in paper order ("all" excludes
-//	           campaign, which is a service-layer demo rather than a
-//	           paper artifact)
+//	table1             Table I correlation coefficients
+//	fig3               Figure 3 sensitivity / 1-norm heatmaps
+//	fig4               Figure 4 single-pixel attack sweeps
+//	fig5               Figure 5 surrogate black-box attack sweeps
+//	ablate-noise       extraction noise/quantization ablation (A1)
+//	ablate-search      query-efficient 1-norm search ablation (A2)
+//	ablate-multipixel  multi-pixel attack ablation (A3)
+//	ablate-depth       network-depth extension (A4)
+//	ablate-masking     power-masking defense extension (A5)
+//	ablate-trace       bit-serial trace extraction extension (A6)
+//	calibrate          victim accuracies per configuration
+//	ablations          all six ablations/extensions, in order
+//	campaign           query-budget x lambda campaign sweep through the
+//	                   attack-campaign service layer (internal/service)
+//	list               registered experiments with their grid axes
+//	all                every paper artifact, in paper order ("all"
+//	                   excludes campaign, which is a service-layer demo
+//	                   rather than a paper artifact)
 //
 // Flags:
 //
@@ -27,12 +35,15 @@
 //	-scale    float   workload scale in (0,1]; 1 = paper-sized (default 0.25)
 //	-runs     int     override repetition count (0 = scaled default)
 //	-workers  int     workers per fan-out level (0 = all CPUs, 1 =
-//	                  fully serial; default 0). Runners nest fan-outs
+//	                  fully serial; default 0). Grids nest fan-outs
 //	                  (e.g. configs x samples), so total goroutines can
 //	                  reach workers^2. Results are bit-identical for
 //	                  every worker count at a fixed seed.
 //	-data     string  directory with real MNIST/CIFAR files (optional)
-//	-out      string  directory for CSV exports (optional)
+//	-out      string  directory for CSV/PGM exports (optional)
+//	-format   string  output format: table (human tables/plots, the
+//	                  default), csv (every result table as CSV), or
+//	                  json (the full structured result)
 package main
 
 import (
@@ -40,10 +51,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
+	"strings"
 
 	"xbarsec/internal/dataset"
 	"xbarsec/internal/experiment"
+	"xbarsec/internal/experiment/engine"
 	"xbarsec/internal/oracle"
 	"xbarsec/internal/report"
 	"xbarsec/internal/service"
@@ -63,7 +75,8 @@ func run(args []string) error {
 	runs := fs.Int("runs", 0, "override repetition count (0 = scaled default)")
 	workers := fs.Int("workers", 0, "workers per fan-out level (0 = all CPUs, 1 = fully serial); nested sweeps may run up to workers^2 goroutines; results are seed-deterministic at any count")
 	dataDir := fs.String("data", "", "directory with real MNIST/CIFAR-10 files")
-	outDir := fs.String("out", "", "directory for CSV exports")
+	outDir := fs.String("out", "", "directory for CSV/PGM exports")
+	format := fs.String("format", "table", "output format: table|csv|json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,160 +84,107 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one command, got %d", fs.NArg())
 	}
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want table|csv|json)", *format)
+	}
 	opts := experiment.Options{Seed: *seed, Scale: *scale, Runs: *runs, Workers: *workers, DataDir: *dataDir}
 
 	cmd := fs.Arg(0)
-	commands := map[string]func(experiment.Options, string) error{
-		"table1":    runTable1,
-		"fig3":      runFig3,
-		"fig4":      runFig4,
-		"fig5":      runFig5,
-		"ablations": runAblations,
-		"calibrate": runCalibrate,
-		"campaign":  runCampaign,
-	}
-	if cmd == "all" {
-		for _, name := range []string{"calibrate", "table1", "fig3", "fig4", "fig5", "ablations"} {
-			if err := commands[name](opts, *outDir); err != nil {
+	runNames := func(names []string) error {
+		for _, name := range names {
+			exp, ok := engine.Lookup(name)
+			if !ok {
+				return fmt.Errorf("experiment %q not registered", name)
+			}
+			if err := runExperiment(exp, opts, *format, *outDir); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
 		return nil
 	}
-	fn, ok := commands[cmd]
-	if !ok {
-		return fmt.Errorf("unknown command %q (want table1|fig3|fig4|fig5|ablations|calibrate|campaign|all)", cmd)
+	switch cmd {
+	case "all":
+		return runNames(experiment.PaperOrder())
+	case "ablations":
+		return runNames(experiment.AblationNames())
+	case "campaign":
+		return runCampaign(opts, *outDir)
+	case "list":
+		return runList(opts)
 	}
-	return fn(opts, *outDir)
+	if exp, ok := engine.Lookup(cmd); ok {
+		return runExperiment(exp, opts, *format, *outDir)
+	}
+	return fmt.Errorf("unknown command %q (want %s|ablations|campaign|list|all)",
+		cmd, strings.Join(engine.Names(), "|"))
 }
 
-func runTable1(opts experiment.Options, _ string) error {
-	res, err := experiment.RunTable1(opts)
+// runExperiment dispatches one registry entry and presents its result
+// in the requested format, exporting artifact files when -out is set.
+func runExperiment(exp engine.Experiment, opts experiment.Options, format, outDir string) error {
+	res, err := exp.Run(opts)
 	if err != nil {
 		return err
 	}
-	fmt.Println(res.Render().String())
-	return nil
-}
-
-func runFig3(opts experiment.Options, outDir string) error {
-	res, err := experiment.RunFig3(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println(res.Render())
-	if outDir == "" {
-		return nil
-	}
-	for _, panel := range res.Panels {
-		for _, m := range []struct {
-			suffix string
-			values []float64
-		}{
-			{"sensitivity", panel.Sensitivity},
-			{"norms", panel.Norms},
-		} {
-			path := filepath.Join(outDir, "fig3_"+sanitize(panel.Config.Name())+"_"+m.suffix+".pgm")
-			if err := writePGMFile(path, m.values, panel.Width, panel.Height); err != nil {
+	switch format {
+	case "table":
+		fmt.Println(res.Render())
+	case "csv":
+		for i, tbl := range res.Tables() {
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := tbl.WriteCSV(os.Stdout); err != nil {
 				return err
 			}
-			fmt.Println("wrote", path)
 		}
-	}
-	return nil
-}
-
-func writePGMFile(path string, values []float64, w, h int) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := report.WritePGM(f, values, w, h); err != nil {
-		_ = f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func runFig4(opts experiment.Options, outDir string) error {
-	res, err := experiment.RunFig4(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println(res.Render())
-	// Iterate panels in sorted-name order: ranging over the series map
-	// directly would print in Go's randomized map order, breaking the
-	// run-to-run reproducibility the engine guarantees.
-	series := res.Series()
-	names := make([]string, 0, len(series))
-	for name := range series {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		plot := &report.LinePlot{
-			Title:  "Figure 4 [" + name + "]",
-			XLabel: "attack strength", YLabel: "test accuracy",
-			Series: series[name],
+	case "json":
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			return err
 		}
-		fmt.Println(plot.String())
 	}
 	if outDir == "" {
 		return nil
 	}
-	for _, name := range names {
-		path := filepath.Join(outDir, "fig4_"+sanitize(name)+".csv")
-		if err := writeCSV(path, "strength", series[name]); err != nil {
+	if exporter, ok := res.(interface {
+		Export(dir string) ([]string, error)
+	}); ok {
+		written, err := exporter.Export(outDir)
+		// With a machine-readable format on stdout, export notices go
+		// to stderr so the document stays parseable.
+		notices := os.Stdout
+		if format != "table" {
+			notices = os.Stderr
+		}
+		for _, path := range written {
+			fmt.Fprintln(notices, "wrote", path)
+		}
+		if err != nil {
 			return err
 		}
-		fmt.Println("wrote", path)
 	}
 	return nil
 }
 
-func runFig5(opts experiment.Options, _ string) error {
-	res, err := experiment.RunFig5(experiment.Fig5Options{Options: opts})
-	if err != nil {
-		return err
+// runList prints the experiment registry with each grid's axes at the
+// current options.
+func runList(opts experiment.Options) error {
+	tbl := &report.Table{
+		Title:  "Registered experiments (grid axes at the current -scale/-runs)",
+		Header: []string{"name", "title", "axes"},
 	}
-	fmt.Println(res.Render())
-	return nil
-}
-
-func runAblations(opts experiment.Options, _ string) error {
-	noise, err := experiment.RunNoiseAblation(opts)
-	if err != nil {
-		return err
+	for _, exp := range engine.All() {
+		var dims []string
+		if exp.Axes != nil {
+			for _, ax := range exp.Axes(opts) {
+				dims = append(dims, fmt.Sprintf("%s(%d)", ax.Name, len(ax.Values)))
+			}
+		}
+		tbl.AddRow(exp.Name, exp.Title, strings.Join(dims, " x "))
 	}
-	fmt.Println(noise.Render().String())
-	search, err := experiment.RunSearchAblation(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println(search.Render().String())
-	multi, err := experiment.RunMultiPixelAblation(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println(multi.Render().String())
-	depth, err := experiment.RunDepthAblation(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println(depth.Render().String())
-	masking, err := experiment.RunMaskingAblation(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println(masking.Render().String())
-	traces, err := experiment.RunTraceAblation(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println(traces.Render().String())
+	fmt.Println(tbl.String())
 	return nil
 }
 
@@ -311,53 +271,4 @@ func runCampaign(opts experiment.Options, outDir string) error {
 	}
 	fmt.Println("wrote", path)
 	return nil
-}
-
-func runCalibrate(opts experiment.Options, _ string) error {
-	accs, err := experiment.VictimAccuracies(opts)
-	if err != nil {
-		return err
-	}
-	tbl := &report.Table{
-		Title:  "Victim calibration (paper regime: MNIST ~0.92, CIFAR-10 ~0.30-0.40 test)",
-		Header: []string{"config", "train acc", "test acc"},
-	}
-	names := make([]string, 0, len(accs))
-	for name := range accs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		tbl.AddRow(name, report.F(accs[name][0], 3), report.F(accs[name][1], 3))
-	}
-	fmt.Println(tbl.String())
-	return nil
-}
-
-func sanitize(name string) string {
-	out := make([]rune, 0, len(name))
-	for _, r := range name {
-		switch {
-		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
-			out = append(out, r)
-		default:
-			out = append(out, '_')
-		}
-	}
-	return string(out)
-}
-
-func writeCSV(path, xLabel string, series []report.Series) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := report.WriteSeriesCSV(f, xLabel, series); err != nil {
-		_ = f.Close()
-		return err
-	}
-	return f.Close()
 }

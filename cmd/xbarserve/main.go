@@ -18,8 +18,12 @@
 //	-epochs   int     victim training epochs (default 30)
 //	-budget   int     default session query budget (default 10000)
 //	-workers  int     per-job fan-out (0 = all CPUs)
-//	-jobs     int     max concurrent campaign jobs (0 = all CPUs)
+//	-jobs     int     max concurrent campaign/experiment jobs (0 = all CPUs)
 //	-data     string  directory with real MNIST/CIFAR files (optional)
+//	-session-ttl   duration  evict sessions idle longer than this
+//	                         (0 = never; e.g. 10m)
+//	-max-sessions  int       cap concurrently open sessions per victim
+//	                         (0 = unlimited)
 //
 // Quickstart (see README.md for the full tour):
 //
@@ -29,6 +33,15 @@
 //	     -d '{"victim":"mnist","mode":"raw-output","measure_power":true,"budget":100}'
 //	curl -s -X POST localhost:8080/v1/campaigns \
 //	     -d '{"victim":"mnist","mode":"raw-output","seed":7,"queries":200,"lambda":0.004}'
+//
+// Any experiment in the grid-engine registry runs server-side too —
+// list, launch and poll:
+//
+//	curl -s localhost:8080/v1/experiments
+//	curl -s -X POST 'localhost:8080/v1/experiments?wait=1' \
+//	     -d '{"name":"table1","seed":7,"scale":0.05}'
+//	curl -s -X POST localhost:8080/v1/experiments -d '{"name":"fig5","seed":7,"scale":0.05}'
+//	curl -s localhost:8080/v1/experiments/jobs/job-1
 package main
 
 import (
@@ -64,8 +77,10 @@ func run(args []string) error {
 	epochs := fs.Int("epochs", 30, "victim training epochs")
 	budget := fs.Int("budget", 10000, "default session query budget")
 	workers := fs.Int("workers", 0, "per-job fan-out (0 = all CPUs)")
-	jobs := fs.Int("jobs", 0, "max concurrent campaign jobs (0 = all CPUs)")
+	jobs := fs.Int("jobs", 0, "max concurrent campaign/experiment jobs (0 = all CPUs)")
 	dataDir := fs.String("data", "", "directory with real MNIST/CIFAR-10 files")
+	sessionTTL := fs.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = never)")
+	maxSessions := fs.Int("max-sessions", 0, "cap concurrently open sessions per victim (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,6 +90,9 @@ func run(args []string) error {
 		Workers:              *workers,
 		MaxConcurrentJobs:    *jobs,
 		DefaultSessionBudget: *budget,
+		SessionTTL:           *sessionTTL,
+		MaxSessionsPerVictim: *maxSessions,
+		DataDir:              *dataDir,
 	})
 	defer svc.Close()
 

@@ -9,28 +9,36 @@
 // network training, an NVM crossbar simulator with a power model and
 // first-order non-idealities, the attacker's power probe and 1-norm
 // extraction, evasion attacks, the power-augmented surrogate trainer, and
-// one experiment runner per table/figure of the paper.
+// one declarative grid spec per table/figure of the paper on the
+// deterministic grid engine (internal/experiment/engine), registered in
+// a name→spec registry that the CLI, the service layer and the HTTP API
+// all dispatch through.
 //
 // Entry points:
 //
-//   - cmd/xbarattack — CLI that regenerates Table I and Figures 3-5
-//     (the -workers flag bounds concurrency; 0 = all CPUs, 1 = serial),
-//     plus a `campaign` sweep served through internal/service
+//   - cmd/xbarattack — CLI that runs any registered experiment by name
+//     (-format table|csv|json; the -workers flag bounds concurrency;
+//     0 = all CPUs, 1 = serial), plus a `campaign` sweep served through
+//     internal/service
 //   - cmd/xbarserve  — HTTP front end for the concurrent attack-campaign
 //     service (internal/service): multi-tenant victim registry, budgeted
-//     attacker sessions, coalesced batched serving, cached campaign jobs
+//     attacker sessions (idle-TTL eviction, per-victim caps), coalesced
+//     batched serving, cached campaign jobs, and server-side experiment
+//     jobs (/v1/experiments)
 //   - examples/      — runnable walkthroughs of the public workflow
-//   - bench_test.go  — one benchmark per table/figure plus kernel
-//     microbenchmarks, serial and parallel
+//   - bench_test.go  — one benchmark per table/figure plus victim-store
+//     and kernel microbenchmarks, serial and parallel
 //
 // The evaluation engine is batched and concurrent, and both axes are
 // deterministic: batched crossbar calls (internal/crossbar's
 // OutputBatch, TotalCurrentBatch, PowerBatch, ForwardBatch,
 // PredictBatch) are bit-identical to sequential scalar calls, and the
-// experiment runners fan work across internal/pool workers with every
-// work item's randomness derived from Options.Seed via
-// rng.Source.Split/SplitN keyed by the item's identity — so for a fixed
-// seed the output is bit-identical at every worker count.
+// grid engine fans cells across internal/pool workers with every cell's
+// randomness derived from Options.Seed via rng.Source.Split/SplitN
+// keyed by the cell's identity — so for a fixed seed the output is
+// bit-identical at every worker count. Victims train at most once per
+// (config, stream, scale) per process through a shared singleflight
+// store.
 //
 // See DESIGN.md for the system inventory and concurrency model, README.md
 // for usage, and EXPERIMENTS.md for paper-vs-measured comparisons.

@@ -4,6 +4,7 @@
 package attack
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -195,6 +196,25 @@ func (m PixelMethod) String() string {
 // AllPixelMethods lists the five methods in the paper's legend order.
 func AllPixelMethods() []PixelMethod {
 	return []PixelMethod{PixelRandom, PixelNormPlus, PixelNormMinus, PixelNormRandom, PixelWorst}
+}
+
+// MarshalJSON emits the legend label, the form experiment results carry
+// on the wire.
+func (m PixelMethod) MarshalJSON() ([]byte, error) { return json.Marshal(m.String()) }
+
+// UnmarshalJSON accepts the legend label.
+func (m *PixelMethod) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for _, cand := range AllPixelMethods() {
+		if cand.String() == s {
+			*m = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("attack: unknown pixel method %q", s)
 }
 
 // SinglePixel perturbs one pixel of u according to the method.

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -28,6 +29,37 @@ func (k Kind) String() string {
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+}
+
+// ParseKind is the inverse of Kind.String, for CLI flags and JSON wire
+// formats.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "mnist":
+		return MNIST, nil
+	case "cifar10":
+		return CIFAR10, nil
+	default:
+		return 0, fmt.Errorf("dataset: unknown kind %q (want mnist or cifar10)", s)
+	}
+}
+
+// MarshalJSON emits the family name, the form experiment results carry
+// on the wire.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON accepts the family name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
 }
 
 // LoadOptions controls Load.

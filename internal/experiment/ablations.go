@@ -2,11 +2,13 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"xbarsec/internal/attack"
 	"xbarsec/internal/crossbar"
 	"xbarsec/internal/dataset"
+	"xbarsec/internal/experiment/engine"
 	"xbarsec/internal/nn"
 	"xbarsec/internal/pool"
 	"xbarsec/internal/report"
@@ -24,41 +26,35 @@ import (
 // NoiseAblationPoint is one row of ablation A1.
 type NoiseAblationPoint struct {
 	// MeasurementNoise is the relative instrument noise on the probe.
-	MeasurementNoise float64
+	MeasurementNoise float64 `json:"measurement_noise"`
 	// Levels is the device quantization level count (0 = analog).
-	Levels int
+	Levels int `json:"levels"`
 	// RankCorrelation is the Spearman correlation between extracted
 	// signals and true column 1-norms.
-	RankCorrelation float64
+	RankCorrelation float64 `json:"rank_correlation"`
 	// ArgmaxHit reports whether the extracted argmax matches the true
 	// largest-1-norm column.
-	ArgmaxHit bool
+	ArgmaxHit bool `json:"argmax_hit"`
 	// Repeats is the measurement-averaging count used.
-	Repeats int
+	Repeats int `json:"repeats"`
 }
 
 // NoiseAblationResult reports how extraction quality degrades with
 // measurement noise and device quantization.
 type NoiseAblationResult struct {
-	Points []NoiseAblationPoint
+	Points []NoiseAblationPoint `json:"points"`
 }
 
-// RunNoiseAblation measures 1-norm extraction fidelity across instrument
-// noise levels and conductance quantization (ablation A1).
-func RunNoiseAblation(opts Options) (*NoiseAblationResult, error) {
-	opts = opts.withDefaults()
-	root := rng.New(opts.Seed).Split("ablation-noise")
-	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
-	v, err := buildVictim(cfg, opts, root.Split("victim"))
-	if err != nil {
-		return nil, err
-	}
-	trueNorms := v.net.W.ColAbsSums()
-	grid := []struct {
-		noise   float64
-		levels  int
-		repeats int
-	}{
+// noiseGridPoint is one (noise, levels, repeats) cell of ablation A1.
+type noiseGridPoint struct {
+	noise   float64
+	levels  int
+	repeats int
+}
+
+// noiseAblationPoints is the A1 measurement grid.
+func noiseAblationPoints() []noiseGridPoint {
+	return []noiseGridPoint{
 		{0, 0, 1},
 		{0.01, 0, 1},
 		{0.05, 0, 1},
@@ -69,47 +65,83 @@ func RunNoiseAblation(opts Options) (*NoiseAblationResult, error) {
 		{0, 4, 1},
 		{0.05, 8, 4},
 	}
-	// Every grid point programs and probes its own crossbar from its own
-	// seed split, so the sweep fans out across workers.
-	points := make([]NoiseAblationPoint, len(grid))
-	err = pool.DoErr(opts.Workers, len(grid), func(i int) error {
-		g := grid[i]
+}
+
+// noiseEnv is the A1 shared environment: one victim and its true norms.
+type noiseEnv struct {
+	v         *victim
+	trueNorms []float64
+}
+
+// noiseGrid measures 1-norm extraction fidelity across instrument noise
+// levels and conductance quantization (ablation A1) on the grid engine:
+// every grid point programs and probes its own crossbar from its own
+// seed split, so the sweep fans out across workers.
+var noiseGrid = &engine.Grid[noiseEnv, noiseGridPoint, NoiseAblationPoint, *NoiseAblationResult]{
+	Name:      "ablate-noise",
+	Title:     "extraction fidelity vs measurement noise and quantization (A1)",
+	SeedLabel: "ablation-noise",
+	Axes: func(t *engine.T) []engine.Axis {
+		ax := engine.Axis{Name: "point"}
+		for _, g := range noiseAblationPoints() {
+			ax.Values = append(ax.Values, fmt.Sprintf("noise=%g,levels=%d,repeats=%d", g.noise, g.levels, g.repeats))
+		}
+		return []engine.Axis{ax}
+	},
+	Setup: func(t *engine.T) (noiseEnv, error) {
+		cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
+		v, err := getVictim(cfg, t.Opts, t.Root.Split("victim"))
+		if err != nil {
+			return noiseEnv{}, err
+		}
+		return noiseEnv{v: v, trueNorms: v.net.W.ColAbsSums()}, nil
+	},
+	Cells: func(t *engine.T, _ noiseEnv) ([]noiseGridPoint, error) {
+		return noiseAblationPoints(), nil
+	},
+	Src: func(t *engine.T, _ noiseGridPoint, i int) *rng.Source {
+		return t.Root.SplitN("point", i)
+	},
+	Job: func(t *engine.T, env noiseEnv, g noiseGridPoint, src *rng.Source) (NoiseAblationPoint, error) {
 		dcfg := crossbar.DefaultDeviceConfig()
 		dcfg.Levels = g.levels
-		src := root.SplitN("point", i)
-		xb, err := crossbar.Program(v.net.W, dcfg, src.Split("xbar"))
+		xb, err := crossbar.Program(env.v.net.W, dcfg, src.Split("xbar"))
 		if err != nil {
-			return err
+			return NoiseAblationPoint{}, err
 		}
 		probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(xb), g.noise, src.Split("probe"))
 		if err != nil {
-			return err
+			return NoiseAblationPoint{}, err
 		}
 		signals, err := probe.ExtractColumnSignals(g.repeats)
 		if err != nil {
-			return err
+			return NoiseAblationPoint{}, err
 		}
-		rho, err := stats.Spearman(signals, trueNorms)
+		rho, err := stats.Spearman(signals, env.trueNorms)
 		if err != nil {
-			return fmt.Errorf("experiment: noise ablation point %d: %w", i, err)
+			return NoiseAblationPoint{}, fmt.Errorf("experiment: noise ablation point (noise=%g levels=%d): %w", g.noise, g.levels, err)
 		}
-		points[i] = NoiseAblationPoint{
+		return NoiseAblationPoint{
 			MeasurementNoise: g.noise,
 			Levels:           g.levels,
 			Repeats:          g.repeats,
 			RankCorrelation:  rho,
-			ArgmaxHit:        tensor.ArgMax(signals) == tensor.ArgMax(trueNorms),
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &NoiseAblationResult{Points: points}, nil
+			ArgmaxHit:        tensor.ArgMax(signals) == tensor.ArgMax(env.trueNorms),
+		}, nil
+	},
+	Reduce: func(t *engine.T, _ noiseEnv, cells []noiseGridPoint, points []NoiseAblationPoint) (*NoiseAblationResult, error) {
+		return &NoiseAblationResult{Points: points}, nil
+	},
 }
 
-// Render formats the A1 ablation as a table.
-func (r *NoiseAblationResult) Render() *report.Table {
+// RunNoiseAblation measures 1-norm extraction fidelity across instrument
+// noise levels and conductance quantization (ablation A1).
+func RunNoiseAblation(opts Options) (*NoiseAblationResult, error) {
+	return noiseGrid.Run(opts)
+}
+
+// Tables formats the A1 ablation as a table.
+func (r *NoiseAblationResult) Tables() []*report.Table {
 	t := &report.Table{
 		Title:  "Ablation A1: 1-norm extraction fidelity vs measurement noise and quantization",
 		Header: []string{"noise", "levels", "repeats", "rank corr", "argmax hit"},
@@ -122,77 +154,99 @@ func (r *NoiseAblationResult) Render() *report.Table {
 		t.AddRow(report.F(p.MeasurementNoise, 2), fmt.Sprintf("%d", p.Levels),
 			fmt.Sprintf("%d", p.Repeats), report.F(p.RankCorrelation, 3), hit)
 	}
-	return t
+	return []*report.Table{t}
 }
+
+// Render formats the A1 ablation.
+func (r *NoiseAblationResult) Render() string { return r.Tables()[0].String() }
+
+// WriteJSON serializes the structured result.
+func (r *NoiseAblationResult) WriteJSON(w io.Writer) error { return engine.WriteJSON(w, r) }
 
 // SearchAblationRow is one row of ablation A2.
 type SearchAblationRow struct {
-	Config ModelConfig
+	Config ModelConfig `json:"config"`
 	// ExhaustiveQueries is the cost of measuring every column (N).
-	ExhaustiveQueries int
+	ExhaustiveQueries int `json:"exhaustive_queries"`
 	// HillClimbQueries is the cost of the greedy spatial search.
-	HillClimbQueries int
+	HillClimbQueries int `json:"hill_climb_queries"`
 	// SignalRatio is hill-climb's found signal over the true maximum
 	// (1.0 = found the global max).
-	SignalRatio float64
+	SignalRatio float64 `json:"signal_ratio"`
 }
 
 // SearchAblationResult compares exhaustive and query-efficient max-1-norm
 // search on the smooth (MNIST) and rough (CIFAR) power landscapes.
 type SearchAblationResult struct {
-	Rows []SearchAblationRow
+	Rows []SearchAblationRow `json:"rows"`
 }
 
-// RunSearchAblation implements the paper's §III closing remark: on MNIST
-// the 1-norm map is smooth, so local search finds the maximum with far
-// fewer queries; on CIFAR-10 it is rapidly varying and search degrades.
-func RunSearchAblation(opts Options) (*SearchAblationResult, error) {
-	opts = opts.withDefaults()
-	root := rng.New(opts.Seed).Split("ablation-search")
-	configs := []ModelConfig{
-		{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE},
-		{Kind: dataset.CIFAR10, Act: nn.ActLinear, Crit: nn.LossMSE},
-	}
-	rows := make([]SearchAblationRow, len(configs))
-	err := pool.DoErr(opts.Workers, len(configs), func(ci int) error {
-		cfg := configs[ci]
-		src := root.Split(cfg.Name())
-		v, err := buildVictim(cfg, opts, src)
+// searchGrid implements the paper's §III closing remark on the grid
+// engine: on MNIST the 1-norm map is smooth, so local search finds the
+// maximum with far fewer queries; on CIFAR-10 it is rapidly varying and
+// search degrades.
+var searchGrid = &engine.Grid[struct{}, ModelConfig, SearchAblationRow, *SearchAblationResult]{
+	Name:      "ablate-search",
+	Title:     "query-efficient max-1-norm search, hill climb vs exhaustive (A2)",
+	SeedLabel: "ablation-search",
+	Axes: func(t *engine.T) []engine.Axis {
+		return []engine.Axis{configAxis(searchConfigs())}
+	},
+	Cells: func(t *engine.T, _ struct{}) ([]ModelConfig, error) {
+		return searchConfigs(), nil
+	},
+	Src: func(t *engine.T, cfg ModelConfig, _ int) *rng.Source {
+		return t.Root.Split(cfg.Name())
+	},
+	Job: func(t *engine.T, _ struct{}, cfg ModelConfig, src *rng.Source) (SearchAblationRow, error) {
+		v, err := getVictim(cfg, t.Opts, src)
 		if err != nil {
-			return err
+			return SearchAblationRow{}, err
 		}
 		probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(v.hw.Crossbar()), 0, nil)
 		if err != nil {
-			return err
+			return SearchAblationRow{}, err
 		}
 		hc, err := sidechannel.HillClimbMaxSearch(probe, sidechannel.HillClimbConfig{
 			Width: v.test.Width, Height: v.test.Height,
 			Restarts: 6, MaxSteps: v.test.Width * v.test.Height,
 		}, src.Split("climb"))
 		if err != nil {
-			return err
+			return SearchAblationRow{}, err
 		}
 		best := v.signals[tensor.ArgMax(v.signals)]
 		ratio := 0.0
 		if best > 0 {
 			ratio = hc.Signal / best
 		}
-		rows[ci] = SearchAblationRow{
+		return SearchAblationRow{
 			Config:            cfg,
 			ExhaustiveQueries: len(v.signals),
 			HillClimbQueries:  hc.Queries,
 			SignalRatio:       ratio,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &SearchAblationResult{Rows: rows}, nil
+		}, nil
+	},
+	Reduce: func(t *engine.T, _ struct{}, cells []ModelConfig, rows []SearchAblationRow) (*SearchAblationResult, error) {
+		return &SearchAblationResult{Rows: rows}, nil
+	},
 }
 
-// Render formats the A2 ablation as a table.
-func (r *SearchAblationResult) Render() *report.Table {
+// searchConfigs lists the two A2 configurations.
+func searchConfigs() []ModelConfig {
+	return []ModelConfig{
+		{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE},
+		{Kind: dataset.CIFAR10, Act: nn.ActLinear, Crit: nn.LossMSE},
+	}
+}
+
+// RunSearchAblation compares exhaustive and hill-climb max-1-norm
+// search (ablation A2).
+func RunSearchAblation(opts Options) (*SearchAblationResult, error) {
+	return searchGrid.Run(opts)
+}
+
+// Tables formats the A2 ablation as a table.
+func (r *SearchAblationResult) Tables() []*report.Table {
 	t := &report.Table{
 		Title:  "Ablation A2: query-efficient max-1-norm search (hill climb vs exhaustive)",
 		Header: []string{"config", "exhaustive", "hill-climb", "signal ratio"},
@@ -201,57 +255,75 @@ func (r *SearchAblationResult) Render() *report.Table {
 		t.AddRow(row.Config.Name(), fmt.Sprintf("%d", row.ExhaustiveQueries),
 			fmt.Sprintf("%d", row.HillClimbQueries), report.F(row.SignalRatio, 3))
 	}
-	return t
+	return []*report.Table{t}
 }
+
+// Render formats the A2 ablation.
+func (r *SearchAblationResult) Render() string { return r.Tables()[0].String() }
+
+// WriteJSON serializes the structured result.
+func (r *SearchAblationResult) WriteJSON(w io.Writer) error { return engine.WriteJSON(w, r) }
 
 // MultiPixelPoint is one (N pixels, accuracy) point of ablation A3.
 type MultiPixelPoint struct {
-	Pixels   int
-	Accuracy float64
+	Pixels   int     `json:"pixels"`
+	Accuracy float64 `json:"accuracy"`
 	// WorstAccuracy is the gradient-signed variant on the same pixel
 	// count (white-box bound).
-	WorstAccuracy float64
+	WorstAccuracy float64 `json:"worst_accuracy"`
 }
 
 // MultiPixelResult reproduces the paper's multi-pixel observation: with
 // random perturbation signs on the top-N 1-norm pixels, attack success
 // decays roughly like (1/2)^N relative to the signed bound.
 type MultiPixelResult struct {
-	Config ModelConfig
-	Eps    float64
-	Points []MultiPixelPoint
+	Config ModelConfig       `json:"config"`
+	Eps    float64           `json:"eps"`
+	Points []MultiPixelPoint `json:"points"`
 }
 
-// RunMultiPixelAblation sweeps the number of attacked pixels.
-func RunMultiPixelAblation(opts Options) (*MultiPixelResult, error) {
-	opts = opts.withDefaults()
-	root := rng.New(opts.Seed).Split("ablation-multipixel")
-	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
-	v, err := buildVictim(cfg, opts, root.Split("victim"))
-	if err != nil {
-		return nil, err
-	}
-	const eps = 4.0
-	oh := v.test.OneHot()
-	ks := []int{1, 2, 4, 8, 16}
-	points := make([]MultiPixelPoint, len(ks))
-	err = pool.DoErr(opts.Workers, len(ks), func(ki int) error {
-		k := ks[ki]
-		src := root.SplitN("eval", k)
+// multiPixelEps is the A3 attack strength.
+const multiPixelEps = 4.0
+
+// multiPixelKs is the attacked-pixel-count sweep.
+func multiPixelKs() []int { return []int{1, 2, 4, 8, 16} }
+
+// multiPixelGrid sweeps the number of attacked pixels (ablation A3) on
+// the grid engine: one shared victim from Setup, one cell per pixel
+// count, per-sample crafting fanned on the nested pool.
+var multiPixelGrid = &engine.Grid[*victim, int, MultiPixelPoint, *MultiPixelResult]{
+	Name:      "ablate-multipixel",
+	Title:     "multi-pixel attacks, random vs gradient signs (A3)",
+	SeedLabel: "ablation-multipixel",
+	Axes: func(t *engine.T) []engine.Axis {
+		return []engine.Axis{engine.IntAxis("pixels", multiPixelKs())}
+	},
+	Setup: func(t *engine.T) (*victim, error) {
+		cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
+		return getVictim(cfg, t.Opts, t.Root.Split("victim"))
+	},
+	Cells: func(t *engine.T, _ *victim) ([]int, error) {
+		return multiPixelKs(), nil
+	},
+	Src: func(t *engine.T, k, _ int) *rng.Source {
+		return t.Root.SplitN("eval", k)
+	},
+	Job: func(t *engine.T, v *victim, k int, src *rng.Source) (MultiPixelPoint, error) {
+		oh := v.test.OneHot()
 		n := v.test.Len()
 		// Craft both variants per sample concurrently (random signs come
 		// from per-sample seed splits), then measure each set against the
 		// oracle in one batched pass.
 		advRand := make([][]float64, n)
 		advWorst := make([][]float64, n)
-		err := pool.DoErr(opts.Workers, n, func(i int) error {
+		err := pool.DoErr(t.Opts.Workers, n, func(i int) error {
 			u := v.test.X.Row(i)
 			target := oh.Row(i)
-			advR, err := attack.MultiPixel(k, u, target, eps, v.signals, nil, false, src.SplitN("sample", i))
+			advR, err := attack.MultiPixel(k, u, target, multiPixelEps, v.signals, nil, false, src.SplitN("sample", i))
 			if err != nil {
 				return err
 			}
-			advW, err := attack.MultiPixel(k, u, target, eps, nil, v.net, true, nil)
+			advW, err := attack.MultiPixel(k, u, target, multiPixelEps, nil, v.net, true, nil)
 			if err != nil {
 				return err
 			}
@@ -259,15 +331,15 @@ func RunMultiPixelAblation(opts Options) (*MultiPixelResult, error) {
 			return nil
 		})
 		if err != nil {
-			return err
+			return MultiPixelPoint{}, err
 		}
 		labelsR, err := v.hw.PredictBatch(advRand)
 		if err != nil {
-			return err
+			return MultiPixelPoint{}, err
 		}
 		labelsW, err := v.hw.PredictBatch(advWorst)
 		if err != nil {
-			return err
+			return MultiPixelPoint{}, err
 		}
 		var correctRand, correctWorst int
 		for i := 0; i < n; i++ {
@@ -278,21 +350,24 @@ func RunMultiPixelAblation(opts Options) (*MultiPixelResult, error) {
 				correctWorst++
 			}
 		}
-		points[ki] = MultiPixelPoint{
+		return MultiPixelPoint{
 			Pixels:        k,
 			Accuracy:      float64(correctRand) / float64(n),
 			WorstAccuracy: float64(correctWorst) / float64(n),
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &MultiPixelResult{Config: cfg, Eps: eps, Points: points}, nil
+		}, nil
+	},
+	Reduce: func(t *engine.T, v *victim, cells []int, points []MultiPixelPoint) (*MultiPixelResult, error) {
+		return &MultiPixelResult{Config: v.cfg, Eps: multiPixelEps, Points: points}, nil
+	},
 }
 
-// Render formats the A3 ablation as a table.
-func (r *MultiPixelResult) Render() *report.Table {
+// RunMultiPixelAblation sweeps the number of attacked pixels.
+func RunMultiPixelAblation(opts Options) (*MultiPixelResult, error) {
+	return multiPixelGrid.Run(opts)
+}
+
+// Tables formats the A3 ablation as a table.
+func (r *MultiPixelResult) Tables() []*report.Table {
 	t := &report.Table{
 		Title:  fmt.Sprintf("Ablation A3: multi-pixel attacks on %s (eps=%.1f)", r.Config.Name(), r.Eps),
 		Header: []string{"pixels", "accuracy (random signs)", "accuracy (gradient signs)"},
@@ -300,8 +375,14 @@ func (r *MultiPixelResult) Render() *report.Table {
 	for _, p := range r.Points {
 		t.AddRow(fmt.Sprintf("%d", p.Pixels), report.F(p.Accuracy, 3), report.F(p.WorstAccuracy, 3))
 	}
-	return t
+	return []*report.Table{t}
 }
+
+// Render formats the A3 ablation.
+func (r *MultiPixelResult) Render() string { return r.Tables()[0].String() }
+
+// WriteJSON serializes the structured result.
+func (r *MultiPixelResult) WriteJSON(w io.Writer) error { return engine.WriteJSON(w, r) }
 
 // expectedRandomSignDecay is documented for reference: the probability of
 // guessing all N perturbation directions correctly is (1/2)^N.

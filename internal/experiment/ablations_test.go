@@ -43,7 +43,7 @@ func TestRunNoiseAblation(t *testing.T) {
 	if avg.RankCorrelation < noisy.RankCorrelation {
 		t.Fatalf("averaging should help: %v < %v", avg.RankCorrelation, noisy.RankCorrelation)
 	}
-	if out := res.Render().String(); !strings.Contains(out, "Ablation A1") {
+	if out := res.Render(); !strings.Contains(out, "Ablation A1") {
 		t.Fatal("render incomplete")
 	}
 }
@@ -69,7 +69,7 @@ func TestRunSearchAblation(t *testing.T) {
 				row.Config.Name(), row.HillClimbQueries, row.ExhaustiveQueries)
 		}
 	}
-	if out := res.Render().String(); !strings.Contains(out, "Ablation A2") {
+	if out := res.Render(); !strings.Contains(out, "Ablation A2") {
 		t.Fatal("render incomplete")
 	}
 }
@@ -92,7 +92,7 @@ func TestRunMultiPixelAblation(t *testing.T) {
 				p.Pixels, p.WorstAccuracy, p.Accuracy)
 		}
 	}
-	if out := res.Render().String(); !strings.Contains(out, "Ablation A3") {
+	if out := res.Render(); !strings.Contains(out, "Ablation A3") {
 		t.Fatal("render incomplete")
 	}
 }

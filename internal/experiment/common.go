@@ -1,62 +1,28 @@
 // Package experiment contains one runner per table and figure of the
-// paper's evaluation, plus the ablations listed in DESIGN.md. Every runner
-// is deterministic given Options.Seed and scales its workload with
-// Options.Scale so the full sweeps (scale 1) and fast CI/bench sweeps
-// (scale << 1) share one code path.
+// paper's evaluation, plus the ablations listed in DESIGN.md. Every
+// runner is a declarative grid spec on the deterministic engine in
+// internal/experiment/engine: cells fan across Options.Workers with
+// bit-identical results at any worker count, victims are trained at
+// most once per (config, stream, scale) through the process-wide victim
+// store, and every experiment registers itself by name so the CLI, the
+// service layer and the HTTP API dispatch uniformly (see registry.go).
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"xbarsec/internal/crossbar"
 	"xbarsec/internal/dataset"
+	"xbarsec/internal/experiment/engine"
 	"xbarsec/internal/nn"
-	"xbarsec/internal/pool"
 	"xbarsec/internal/rng"
 	"xbarsec/internal/sidechannel"
 )
 
-// Options configures an experiment run.
-type Options struct {
-	// Seed drives every random choice in the experiment.
-	Seed int64
-	// Scale in (0, 1] shrinks dataset sizes and sweep densities; 1.0
-	// reproduces paper-sized sweeps on the synthetic datasets.
-	Scale float64
-	// DataDir, when set, is searched for real MNIST/CIFAR files.
-	DataDir string
-	// Runs overrides the number of independent repetitions (0 = scaled
-	// default: 5 for Table I, 10 for Figure 5, as in the paper).
-	Runs int
-	// Workers bounds the concurrent goroutines per fan-out level (0 =
-	// all CPUs, 1 = strictly serial). Runners nest fan-outs — e.g.
-	// Fig. 4 fans configurations and, within each, per-sample attack
-	// evaluations — so total concurrency can exceed Workers (see
-	// pool.Do); Workers == 1 disables every level and is exactly the
-	// serial path. Any value produces bit-identical results: every
-	// work item derives
-	// its randomness from Seed via rng.Source.Split/SplitN keyed by the
-	// item's identity — never from a stream shared across items — and
-	// results are assembled in item order, so nothing depends on
-	// goroutine scheduling.
-	Workers int
-}
-
-// withDefaults normalizes an Options value.
-func (o Options) withDefaults() Options {
-	if o.Scale <= 0 || o.Scale > 1 {
-		o.Scale = 1
-	}
-	return o
-}
-
-func (o Options) scaled(full int, minimum int) int {
-	v := int(float64(full) * o.Scale)
-	if v < minimum {
-		v = minimum
-	}
-	return v
-}
+// Options configures an experiment run; it is the engine's option type,
+// shared by every grid in the registry.
+type Options = engine.Options
 
 // ModelConfig is one of the paper's four dataset/head configurations.
 type ModelConfig struct {
@@ -72,6 +38,16 @@ func (c ModelConfig) Name() string {
 	return fmt.Sprintf("%s/%s", c.Kind, c.Act)
 }
 
+// MarshalJSON emits the configuration with symbolic names, the form the
+// HTTP experiment API serves.
+func (c ModelConfig) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Kind string `json:"kind"`
+		Act  string `json:"act"`
+		Crit string `json:"crit"`
+	}{c.Kind.String(), c.Act.String(), c.Crit.String()})
+}
+
 // FourConfigs lists the paper's four configurations in the order of
 // Table I and Figures 3-4.
 func FourConfigs() []ModelConfig {
@@ -83,8 +59,19 @@ func FourConfigs() []ModelConfig {
 	}
 }
 
+// configAxis is the descriptive axis over the paper's configurations.
+func configAxis(configs []ModelConfig) engine.Axis {
+	ax := engine.Axis{Name: "config"}
+	for _, c := range configs {
+		ax.Values = append(ax.Values, c.Name())
+	}
+	return ax
+}
+
 // victim bundles everything an experiment needs about one trained model
-// hosted on an ideal crossbar.
+// hosted on an ideal crossbar. Victims obtained through the store are
+// shared across runners and must be treated as read-only — the ideal
+// crossbar is stateless, so concurrent evaluation is safe.
 type victim struct {
 	cfg     ModelConfig
 	train   *dataset.Dataset
@@ -96,15 +83,22 @@ type victim struct {
 
 // loadData returns train/test sets for a config, sized by Scale.
 func loadData(cfg ModelConfig, opts Options, src *rng.Source) (train, test *dataset.Dataset, err error) {
+	trainN, testN := victimSplitSizes(cfg, opts)
+	return dataset.Load(cfg.Kind, src, dataset.LoadOptions{
+		DataDir: opts.DataDir,
+		TrainN:  trainN,
+		TestN:   testN,
+	})
+}
+
+// victimSplitSizes resolves the Scale-dependent split sizes — part of a
+// victim's store identity.
+func victimSplitSizes(cfg ModelConfig, opts Options) (trainN, testN int) {
 	trainFull, testFull := 2000, 500
 	if cfg.Kind == dataset.CIFAR10 {
 		trainFull, testFull = 1500, 400
 	}
-	return dataset.Load(cfg.Kind, src, dataset.LoadOptions{
-		DataDir: opts.DataDir,
-		TrainN:  opts.scaled(trainFull, 200),
-		TestN:   opts.scaled(testFull, 100),
-	})
+	return opts.ScaledCount(trainFull, 200), opts.ScaledCount(testFull, 100)
 }
 
 // trainCfgFor returns the training hyperparameters for a config.
@@ -138,6 +132,8 @@ func trainCfgFor(cfg ModelConfig) nn.TrainConfig {
 // buildVictim trains the model for cfg, programs it onto an ideal
 // crossbar, and extracts the power-channel column signals with basis
 // queries, reproducing the attacker's Section III measurement procedure.
+// Runners call getVictim instead, which memoizes this through the
+// process-wide victim store.
 func buildVictim(cfg ModelConfig, opts Options, src *rng.Source) (*victim, error) {
 	train, test, err := loadData(cfg, opts, src.Split("data"))
 	if err != nil {
@@ -161,32 +157,4 @@ func buildVictim(cfg ModelConfig, opts Options, src *rng.Source) (*victim, error
 		return nil, fmt.Errorf("experiment: power extraction for %s: %w", cfg.Name(), err)
 	}
 	return &victim{cfg: cfg, train: train, test: test, net: net, hw: hw, signals: signals}, nil
-}
-
-// VictimAccuracies trains each of the four configurations once and
-// returns {train, test} accuracy per config name — a calibration helper
-// used by the CLI to verify the synthetic datasets land in the paper's
-// accuracy regime (~90% MNIST, ~30-40% CIFAR for single-layer nets).
-func VictimAccuracies(opts Options) (map[string][2]float64, error) {
-	opts = opts.withDefaults()
-	root := rng.New(opts.Seed).Split("calibration")
-	configs := FourConfigs()
-	accs := make([][2]float64, len(configs))
-	err := pool.DoErr(opts.Workers, len(configs), func(ci int) error {
-		cfg := configs[ci]
-		v, err := buildVictim(cfg, opts, root.Split(cfg.Name()))
-		if err != nil {
-			return err
-		}
-		accs[ci] = [2]float64{v.net.Accuracy(v.train), v.net.Accuracy(v.test)}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string][2]float64, len(configs))
-	for ci, cfg := range configs {
-		out[cfg.Name()] = accs[ci]
-	}
-	return out, nil
 }

@@ -1,0 +1,200 @@
+// Package engine is the deterministic grid engine every experiment
+// runner in this repository is built on. An experiment is a declarative
+// Grid spec — named axes enumerated into cells, a per-cell job that is a
+// pure function of (options, environment, cell, cell stream), and a
+// typed reduction run in cell order — rather than a bespoke fan-out
+// loop. The engine owns the mechanics the runners used to hand-roll:
+// root-stream derivation, the worker-pool fan-out, result assembly in
+// cell order, and the uniform Result surface the CLI, the service layer
+// and the HTTP API all consume.
+//
+// Determinism contract (inherited from internal/pool and internal/rng):
+// cell enumeration depends only on Options and the Setup environment;
+// each cell's randomness derives from the run root via Split/SplitN
+// keyed by the cell's identity, never from a stream shared across
+// cells; and Reduce sees results in enumeration order. Under that
+// contract a grid's output is bit-identical at every worker count.
+package engine
+
+import (
+	"io"
+
+	"xbarsec/internal/pool"
+	"xbarsec/internal/report"
+	"xbarsec/internal/rng"
+)
+
+// Options configures an experiment run. It is shared by every grid in
+// the registry so one flag set / wire format drives them all.
+type Options struct {
+	// Seed drives every random choice in the experiment.
+	Seed int64
+	// Scale in (0, 1] shrinks dataset sizes and sweep densities; 1.0
+	// reproduces paper-sized sweeps on the synthetic datasets.
+	Scale float64
+	// DataDir, when set, is searched for real MNIST/CIFAR files.
+	DataDir string
+	// Runs overrides the number of independent repetitions (0 = scaled
+	// default: 5 for Table I, 10 for Figure 5, as in the paper).
+	Runs int
+	// Workers bounds the concurrent goroutines per fan-out level (0 =
+	// all CPUs, 1 = strictly serial). Grids nest fan-outs — e.g. Fig. 4
+	// fans configurations and, within each, per-sample attack
+	// evaluations — so total concurrency can exceed Workers (see
+	// pool.Do); Workers == 1 disables every level and is exactly the
+	// serial path. Any value produces bit-identical results: every work
+	// item derives its randomness from Seed via rng.Source.Split/SplitN
+	// keyed by the item's identity — never from a stream shared across
+	// items — and results are assembled in item order, so nothing
+	// depends on goroutine scheduling.
+	Workers int
+}
+
+// Normalized clamps Options into its valid domain (the zero value runs
+// at full scale).
+func (o Options) Normalized() Options {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// ScaledCount shrinks a full-scale workload count by Scale, bounded
+// below by minimum so tiny scales stay statistically meaningful.
+func (o Options) ScaledCount(full, minimum int) int {
+	v := int(float64(full) * o.Scale)
+	if v < minimum {
+		v = minimum
+	}
+	return v
+}
+
+// Result is the uniform deliverable of every registered experiment:
+// renderable for humans, tabular for CSV export, and serializable for
+// the HTTP API. Render returns exactly the bytes the pre-engine CLI
+// printed for the experiment, so migrations are pinned by byte
+// comparison.
+type Result interface {
+	// Render returns the human-readable report (tables, heatmaps,
+	// plots) without a trailing newline.
+	Render() string
+	// Tables returns the result's tabular views for CSV export.
+	Tables() []*report.Table
+	// WriteJSON serializes the full structured result.
+	WriteJSON(w io.Writer) error
+}
+
+// T carries one run's shared context into every spec hook.
+type T struct {
+	// Opts is the normalized run configuration.
+	Opts Options
+	// Root is rng.New(Opts.Seed).Split(seed label): the stream every
+	// cell stream must derive from.
+	Root *rng.Source
+}
+
+// Grid is the declarative description of one experiment: a typed
+// (environment, cell, per-cell result, output) pipeline the engine
+// executes deterministically.
+//
+// E is the shared environment Setup builds once per run (trained
+// victims, datasets); C is one grid cell; R is one cell's result; Out
+// is the aggregate the experiment returns.
+type Grid[E, C, R any, Out Result] struct {
+	// Name is the registry key and CLI command, e.g. "table1".
+	Name string
+	// Title is a one-line human description for listings.
+	Title string
+	// SeedLabel roots the run stream: rng.New(seed).Split(SeedLabel).
+	// Empty selects Name. Migrated runners keep their historical label
+	// here so outputs stay bit-identical to the pre-engine code.
+	SeedLabel string
+	// Axes describes the grid's named dimensions for listings and
+	// result metadata (optional, purely descriptive).
+	Axes func(t *T) []Axis
+	// Setup builds the shared environment once per run, before the
+	// fan-out (optional; heavy work belongs here or in Job, never in
+	// Cells). It may fan out internally via pool on t.Opts.Workers.
+	Setup func(t *T) (E, error)
+	// Cells deterministically enumerates the grid from options and
+	// environment.
+	Cells func(t *T, env E) ([]C, error)
+	// Src derives cell i's private random stream from t.Root. It must
+	// depend only on the cell's identity. Optional: the default is
+	// t.Root.SplitN("cell", i).
+	Src func(t *T, cell C, i int) *rng.Source
+	// Job computes one cell — a pure function of (t.Opts, env, cell,
+	// src). Jobs run concurrently across Workers goroutines.
+	Job func(t *T, env E, cell C, src *rng.Source) (R, error)
+	// Reduce aggregates the per-cell results, delivered in enumeration
+	// order regardless of scheduling.
+	Reduce func(t *T, env E, cells []C, results []R) (Out, error)
+}
+
+// seedLabel returns the root-stream label.
+func (g *Grid[E, C, R, Out]) seedLabel() string {
+	if g.SeedLabel != "" {
+		return g.SeedLabel
+	}
+	return g.Name
+}
+
+// Run executes the grid: normalize options, derive the root stream,
+// Setup, enumerate, fan the cells across the worker pool, and Reduce in
+// cell order.
+func (g *Grid[E, C, R, Out]) Run(opts Options) (Out, error) {
+	var zero Out
+	t := &T{Opts: opts.Normalized()}
+	t.Root = rng.New(t.Opts.Seed).Split(g.seedLabel())
+	var env E
+	if g.Setup != nil {
+		var err error
+		if env, err = g.Setup(t); err != nil {
+			return zero, err
+		}
+	}
+	cells, err := g.Cells(t, env)
+	if err != nil {
+		return zero, err
+	}
+	results := make([]R, len(cells))
+	err = pool.DoErr(t.Opts.Workers, len(cells), func(i int) error {
+		src := t.Root.SplitN("cell", i)
+		if g.Src != nil {
+			src = g.Src(t, cells[i], i)
+		}
+		r, err := g.Job(t, env, cells[i], src)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return zero, err
+	}
+	return g.Reduce(t, env, cells, results)
+}
+
+// Experiment returns the type-erased registry entry for the grid.
+func (g *Grid[E, C, R, Out]) Experiment() Experiment {
+	return Experiment{
+		Name:  g.Name,
+		Title: g.Title,
+		Run: func(opts Options) (Result, error) {
+			out, err := g.Run(opts)
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+		Axes: func(opts Options) []Axis {
+			if g.Axes == nil {
+				return nil
+			}
+			t := &T{Opts: opts.Normalized()}
+			t.Root = rng.New(t.Opts.Seed).Split(g.seedLabel())
+			return g.Axes(t)
+		},
+	}
+}

@@ -31,24 +31,24 @@ func TestFourConfigs(t *testing.T) {
 }
 
 func TestOptionsDefaults(t *testing.T) {
-	o := Options{}.withDefaults()
+	o := Options{}.Normalized()
 	if o.Scale != 1 {
 		t.Fatalf("default scale %v", o.Scale)
 	}
-	o = Options{Scale: 2}.withDefaults()
+	o = Options{Scale: 2}.Normalized()
 	if o.Scale != 1 {
 		t.Fatal("over-scale must clamp to 1")
 	}
-	if (Options{Scale: 0.1}).scaled(1000, 200) != 200 {
+	if (Options{Scale: 0.1}).ScaledCount(1000, 200) != 200 {
 		t.Fatal("scaled must respect minimum")
 	}
-	if (Options{Scale: 0.5}.withDefaults()).scaled(1000, 200) != 500 {
+	if (Options{Scale: 0.5}.Normalized()).ScaledCount(1000, 200) != 500 {
 		t.Fatal("scaled must multiply")
 	}
 }
 
 func TestBuildVictimProducesWorkingOracle(t *testing.T) {
-	opts := tinyOpts().withDefaults()
+	opts := tinyOpts().Normalized()
 	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
 	v, err := buildVictim(cfg, opts, testSrc(t, 7))
 	if err != nil {
@@ -93,7 +93,7 @@ func TestRunTable1Structure(t *testing.T) {
 				row.Config.Name(), row.CorrOfMeanTest, row.MeanCorrTest)
 		}
 	}
-	out := res.Render().String()
+	out := res.Render()
 	if !strings.Contains(out, "mnist") || !strings.Contains(out, "cifar10") {
 		t.Fatalf("render missing datasets:\n%s", out)
 	}

@@ -28,7 +28,7 @@ func TestRunDepthAblation(t *testing.T) {
 	if res.Rows[0].CorrOfMean < 0.5 {
 		t.Fatalf("single-layer correlation %v should be strong", res.Rows[0].CorrOfMean)
 	}
-	if out := res.Render().String(); !strings.Contains(out, "Extension A4") {
+	if out := res.Render(); !strings.Contains(out, "Extension A4") {
 		t.Fatal("render incomplete")
 	}
 }
@@ -57,7 +57,7 @@ func TestRunMaskingAblation(t *testing.T) {
 		t.Fatalf("masking should blunt the attack: plain %v vs masked %v",
 			res.AttackAccPlain, res.AttackAccMasked)
 	}
-	if out := res.Render().String(); !strings.Contains(out, "Extension A5") {
+	if out := res.Render(); !strings.Contains(out, "Extension A5") {
 		t.Fatal("render incomplete")
 	}
 }
@@ -85,7 +85,7 @@ func TestRunTraceAblation(t *testing.T) {
 		t.Fatalf("bit-serial traces should cost <= N/4 inferences: %d vs %d",
 			traced.Inferences, basis.Inferences)
 	}
-	if out := res.Render().String(); !strings.Contains(out, "Extension A6") {
+	if out := res.Render(); !strings.Contains(out, "Extension A6") {
 		t.Fatal("render incomplete")
 	}
 }

@@ -2,10 +2,13 @@ package experiment
 
 import (
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"xbarsec/internal/dataset"
-	"xbarsec/internal/pool"
+	"xbarsec/internal/experiment/engine"
 	"xbarsec/internal/report"
 	"xbarsec/internal/rng"
 	"xbarsec/internal/stats"
@@ -14,34 +17,42 @@ import (
 // Fig3Panel is one (sensitivity map, 1-norm map) pair of Figure 3. For
 // CIFAR-10 the maps cover only the first color channel, as in the paper.
 type Fig3Panel struct {
-	Config ModelConfig
+	Config ModelConfig `json:"config"`
 	// Sensitivity is the per-pixel mean |∂L/∂u_j| over the test set.
-	Sensitivity []float64
+	Sensitivity []float64 `json:"sensitivity"`
 	// Norms is the per-pixel power-channel 1-norm signal.
-	Norms []float64
+	Norms []float64 `json:"norms"`
 	// Width and Height give the map geometry for rendering.
-	Width, Height int
+	Width  int `json:"width"`
+	Height int `json:"height"`
 	// Corr is the Pearson correlation between the two maps.
-	Corr float64
+	Corr float64 `json:"corr"`
 }
 
 // Fig3Result reproduces Figure 3's four panel pairs.
 type Fig3Result struct {
-	Panels []Fig3Panel
+	Panels []Fig3Panel `json:"panels"`
 }
 
-// RunFig3 regenerates Figure 3: per configuration, the mean sensitivity
-// map next to the power-extracted column-1-norm map.
-func RunFig3(opts Options) (*Fig3Result, error) {
-	opts = opts.withDefaults()
-	root := rng.New(opts.Seed).Split("fig3")
-	configs := FourConfigs()
-	panels := make([]Fig3Panel, len(configs))
-	err := pool.DoErr(opts.Workers, len(configs), func(ci int) error {
-		cfg := configs[ci]
-		v, err := buildVictim(cfg, opts, root.Split(cfg.Name()))
+// fig3Grid reproduces Figure 3 on the grid engine: one cell per
+// configuration, each correlating the victim's mean sensitivity map
+// with its power-extracted column-1-norm map.
+var fig3Grid = &engine.Grid[struct{}, ModelConfig, Fig3Panel, *Fig3Result]{
+	Name:  "fig3",
+	Title: "Figure 3 sensitivity / 1-norm heatmaps",
+	Axes: func(t *engine.T) []engine.Axis {
+		return []engine.Axis{configAxis(FourConfigs())}
+	},
+	Cells: func(t *engine.T, _ struct{}) ([]ModelConfig, error) {
+		return FourConfigs(), nil
+	},
+	Src: func(t *engine.T, cfg ModelConfig, _ int) *rng.Source {
+		return t.Root.Split(cfg.Name())
+	},
+	Job: func(t *engine.T, _ struct{}, cfg ModelConfig, src *rng.Source) (Fig3Panel, error) {
+		v, err := getVictim(cfg, t.Opts, src)
 		if err != nil {
-			return err
+			return Fig3Panel{}, err
 		}
 		sens := v.net.MeanAbsInputGradient(v.test)
 		norms := v.signals
@@ -52,24 +63,26 @@ func RunFig3(opts Options) (*Fig3Result, error) {
 		normMap := dataset.FirstChannel(norms, w, h)
 		corr, err := stats.Pearson(sensMap[:plane], normMap[:plane])
 		if err != nil {
-			return fmt.Errorf("experiment: fig3 %s: %w", cfg.Name(), err)
+			return Fig3Panel{}, fmt.Errorf("experiment: fig3 %s: %w", cfg.Name(), err)
 		}
-		panels[ci] = Fig3Panel{
+		return Fig3Panel{
 			Config: cfg, Sensitivity: sensMap, Norms: normMap,
 			Width: w, Height: h, Corr: corr,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Fig3Result{Panels: panels}, nil
+		}, nil
+	},
+	Reduce: func(t *engine.T, _ struct{}, cells []ModelConfig, panels []Fig3Panel) (*Fig3Result, error) {
+		return &Fig3Result{Panels: panels}, nil
+	},
 }
 
-// Render produces side-by-side ASCII heatmaps per panel plus the
-// correlation summary table.
-func (r *Fig3Result) Render() string {
-	var b strings.Builder
+// RunFig3 regenerates Figure 3: per configuration, the mean sensitivity
+// map next to the power-extracted column-1-norm map.
+func RunFig3(opts Options) (*Fig3Result, error) {
+	return fig3Grid.Run(opts)
+}
+
+// Tables returns the correlation summary table.
+func (r *Fig3Result) Tables() []*report.Table {
 	tbl := &report.Table{
 		Title:  "Figure 3: mean |sensitivity| vs power-extracted column 1-norms (first channel)",
 		Header: []string{"Config", "Pearson r"},
@@ -77,10 +90,73 @@ func (r *Fig3Result) Render() string {
 	for _, p := range r.Panels {
 		tbl.AddRow(p.Config.Name(), report.F(p.Corr, 3))
 	}
-	b.WriteString(tbl.String())
+	return []*report.Table{tbl}
+}
+
+// Render produces side-by-side ASCII heatmaps per panel plus the
+// correlation summary table.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Tables()[0].String())
 	for _, p := range r.Panels {
 		fmt.Fprintf(&b, "\n[%s] mean |dL/du| map:\n%s", p.Config.Name(), report.Heatmap(p.Sensitivity, p.Width, p.Height))
 		fmt.Fprintf(&b, "[%s] 1-norm map:\n%s", p.Config.Name(), report.Heatmap(p.Norms, p.Width, p.Height))
 	}
 	return b.String()
+}
+
+// WriteJSON serializes the structured result.
+func (r *Fig3Result) WriteJSON(w io.Writer) error { return engine.WriteJSON(w, r) }
+
+// Export writes each panel's maps as PGM images under dir, returning
+// the written paths (the CLI's -out behavior).
+func (r *Fig3Result) Export(dir string) ([]string, error) {
+	var written []string
+	for _, panel := range r.Panels {
+		for _, m := range []struct {
+			suffix string
+			values []float64
+		}{
+			{"sensitivity", panel.Sensitivity},
+			{"norms", panel.Norms},
+		} {
+			path := filepath.Join(dir, "fig3_"+sanitizeName(panel.Config.Name())+"_"+m.suffix+".pgm")
+			if err := writePGMFile(path, m.values, panel.Width, panel.Height); err != nil {
+				return written, err
+			}
+			written = append(written, path)
+		}
+	}
+	return written, nil
+}
+
+// sanitizeName maps a config name onto a filesystem-safe token.
+func sanitizeName(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// writePGMFile writes one grayscale map to path, creating parent
+// directories as needed.
+func writePGMFile(path string, values []float64, w, h int) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WritePGM(f, values, w, h); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -2,12 +2,14 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
 	"xbarsec/internal/attack"
 	"xbarsec/internal/crossbar"
 	"xbarsec/internal/dataset"
+	"xbarsec/internal/experiment/engine"
 	"xbarsec/internal/nn"
 	"xbarsec/internal/oracle"
 	"xbarsec/internal/pool"
@@ -37,22 +39,22 @@ type Fig5Options struct {
 // per (λ, query budget) the surrogate's test accuracy and the oracle's
 // adversarial accuracy under surrogate-crafted FGSM, across runs.
 type Fig5Row struct {
-	Kind    dataset.Kind
-	Mode    oracle.Mode
-	Queries []int
-	Lambdas []float64
+	Kind    dataset.Kind `json:"kind"`
+	Mode    oracle.Mode  `json:"mode"`
+	Queries []int        `json:"queries"`
+	Lambdas []float64    `json:"lambdas"`
 	// SurrogateAcc[l][q] collects per-run surrogate test accuracies.
-	SurrogateAcc [][][]float64
+	SurrogateAcc [][][]float64 `json:"surrogate_acc"`
 	// OracleAdvAcc[l][q] collects per-run oracle adversarial accuracies.
-	OracleAdvAcc [][][]float64
+	OracleAdvAcc [][][]float64 `json:"oracle_adv_acc"`
 	// CleanAccuracy is the oracle's unattacked test accuracy.
-	CleanAccuracy float64
+	CleanAccuracy float64 `json:"clean_accuracy"`
 }
 
 // Fig5Result reproduces Figure 5's four rows.
 type Fig5Result struct {
-	Rows []Fig5Row
-	Runs int
+	Rows []Fig5Row `json:"rows"`
+	Runs int       `json:"runs"`
 }
 
 func fig5Grids(opts Fig5Options, trainN int) (queries []int, lambdas []float64) {
@@ -87,66 +89,54 @@ func fig5Grids(opts Fig5Options, trainN int) (queries []int, lambdas []float64) 
 	return qs, lambdas
 }
 
-// RunFig5 regenerates Figure 5: surrogate-based black-box attacks with
-// and without power information, for MNIST/CIFAR x label-only/raw-output.
-func RunFig5(opts Fig5Options) (*Fig5Result, error) {
-	opts.Options = opts.Options.withDefaults()
-	runs := opts.Runs
-	if runs <= 0 {
-		runs = opts.scaled(10, 3)
-	}
-	root := rng.New(opts.Seed).Split("fig5")
-	res := &Fig5Result{Runs: runs}
-	rows := []struct {
-		kind dataset.Kind
-		mode oracle.Mode
-	}{
+// fig5RowSpec names one Figure 5 row: a dataset x disclosure-mode pair.
+type fig5RowSpec struct {
+	kind dataset.Kind
+	mode oracle.Mode
+}
+
+func (rs fig5RowSpec) label() string { return fmt.Sprintf("%s-%s", rs.kind, rs.mode) }
+
+// fig5RowSpecs lists the paper's four rows in order.
+func fig5RowSpecs() []fig5RowSpec {
+	return []fig5RowSpec{
 		{dataset.MNIST, oracle.LabelOnly},
 		{dataset.MNIST, oracle.RawOutput},
 		{dataset.CIFAR10, oracle.LabelOnly},
 		{dataset.CIFAR10, oracle.RawOutput},
 	}
-	rowResults := make([]*Fig5Row, len(rows))
-	err := pool.DoErr(opts.Workers, len(rows), func(ri int) error {
-		rc := rows[ri]
-		row, err := runFig5Row(rc.kind, rc.mode, opts, runs, root.Split(fmt.Sprintf("%s-%s", rc.kind, rc.mode)))
-		if err != nil {
-			return err
-		}
-		rowResults[ri] = row
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, row := range rowResults {
-		res.Rows = append(res.Rows, *row)
-	}
-	return res, nil
 }
 
-func runFig5Row(kind dataset.Kind, mode oracle.Mode, opts Fig5Options, runs int, src *rng.Source) (*Fig5Row, error) {
-	// Case 2 uses linear victims only (paper §IV).
-	cfg := ModelConfig{Kind: kind, Act: nn.ActLinear, Crit: nn.LossMSE}
-	v, err := buildVictim(cfg, opts.Options, src.Split("victim"))
-	if err != nil {
-		return nil, err
+// fig5RowEnv is one row's shared environment, built once in Setup: the
+// trained victim, its clean oracle accuracy, and the sweep grids.
+type fig5RowEnv struct {
+	spec    fig5RowSpec
+	victim  *victim
+	clean   float64
+	queries []int
+	lambdas []float64
+	sCfg    surrogate.Config
+}
+
+// fig5Cell is one (row, run) grid point.
+type fig5Cell struct {
+	row int
+	run int
+}
+
+// fig5CellAcc is one (λ, budget) pair's accuracies for a single run.
+type fig5CellAcc struct{ sAcc, aAcc float64 }
+
+// fig5Runs resolves the repetition count.
+func fig5Runs(opts Options) int {
+	if opts.Runs > 0 {
+		return opts.Runs
 	}
-	orc, err := oracle.New(v.hw, oracle.Config{Mode: mode, MeasurePower: true})
-	if err != nil {
-		return nil, err
-	}
-	clean, err := orc.AccuracyOn(v.test)
-	if err != nil {
-		return nil, err
-	}
-	queries, lambdas := fig5Grids(opts, v.train.Len())
-	row := &Fig5Row{
-		Kind: kind, Mode: mode, Queries: queries, Lambdas: lambdas,
-		CleanAccuracy: clean,
-		SurrogateAcc:  allocCells(len(lambdas), len(queries)),
-		OracleAdvAcc:  allocCells(len(lambdas), len(queries)),
-	}
+	return opts.ScaledCount(10, 3)
+}
+
+// fig5SurrogateCfg resolves one row's surrogate training config.
+func fig5SurrogateCfg(x Fig5Options, kind dataset.Kind) surrogate.Config {
 	sCfg := surrogate.DefaultConfig()
 	if kind == dataset.CIFAR10 {
 		// MSE gradients scale with ‖u‖²; dense 3072-dim CIFAR inputs need
@@ -157,65 +147,146 @@ func runFig5Row(kind dataset.Kind, mode oracle.Mode, opts Fig5Options, runs int,
 		sCfg.LearningRate = 0.003
 		sCfg.Epochs = 120
 	}
-	if opts.SurrogateEpochs > 0 {
-		sCfg.Epochs = opts.SurrogateEpochs
-	} else if opts.Scale < 0.5 {
+	if x.SurrogateEpochs > 0 {
+		sCfg.Epochs = x.SurrogateEpochs
+	} else if x.Scale < 0.5 {
 		sCfg.Epochs /= 2
 	}
-	// Repetitions are independent given per-run seed splits, so they fan
-	// out across workers. Each run gets its own Oracle: the query counter
-	// is the oracle's only mutable state, and the underlying ideal
-	// crossbar is read-only, so per-run oracles return exactly what one
-	// shared oracle would.
-	type cell struct{ sAcc, aAcc float64 }
-	runCells := make([][][]cell, runs)
-	err = pool.DoErr(opts.Workers, runs, func(run int) error {
-		runSrc := src.SplitN("run", run)
-		runOrc, err := oracle.New(v.hw, oracle.Config{Mode: mode, MeasurePower: true})
-		if err != nil {
-			return err
-		}
-		cells := make([][]cell, len(lambdas))
-		for li := range cells {
-			cells[li] = make([]cell, len(queries))
-		}
-		for qi, q := range queries {
-			qs, err := oracle.Collect(runOrc, v.train, q, runSrc.SplitN("collect", qi))
-			if err != nil {
-				return err
+	return sCfg
+}
+
+// fig5GridFor builds the Figure 5 grid for the given extended options:
+// Setup trains the four row victims (through the store) and measures
+// their clean accuracy; the cells are the (row x run) cross product,
+// each run sweeping the full (λ x budget) grid against its own oracle.
+func fig5GridFor(x Fig5Options) *engine.Grid[[]fig5RowEnv, fig5Cell, [][]fig5CellAcc, *Fig5Result] {
+	return &engine.Grid[[]fig5RowEnv, fig5Cell, [][]fig5CellAcc, *Fig5Result]{
+		Name:  "fig5",
+		Title: "Figure 5 surrogate black-box attack sweeps",
+		Axes: func(t *engine.T) []engine.Axis {
+			rows := engine.Axis{Name: "row"}
+			for _, rs := range fig5RowSpecs() {
+				rows.Values = append(rows.Values, rs.label())
 			}
-			for li, lambda := range lambdas {
-				cfg := sCfg
-				cfg.Lambda = lambda
-				model, err := surrogate.Train(qs, cfg, runSrc.SplitN(fmt.Sprintf("train-%d", qi), li))
-				if err != nil {
-					return fmt.Errorf("experiment: fig5 %s/%s run=%d q=%d λ=%v: %w", kind, mode, run, q, lambda, err)
-				}
-				sAcc := model.Accuracy(v.test.X, v.test.Labels)
-				aAcc, err := oracleFGSMAccuracy(v, model, opts.Workers)
+			runs := make([]int, fig5Runs(t.Opts))
+			for i := range runs {
+				runs[i] = i
+			}
+			return []engine.Axis{rows, engine.IntAxis("run", runs)}
+		},
+		Setup: func(t *engine.T) ([]fig5RowEnv, error) {
+			specs := fig5RowSpecs()
+			envs := make([]fig5RowEnv, len(specs))
+			err := pool.DoErr(t.Opts.Workers, len(specs), func(ri int) error {
+				rs := specs[ri]
+				src := t.Root.Split(rs.label())
+				// Case 2 uses linear victims only (paper §IV).
+				cfg := ModelConfig{Kind: rs.kind, Act: nn.ActLinear, Crit: nn.LossMSE}
+				v, err := getVictim(cfg, t.Opts, src.Split("victim"))
 				if err != nil {
 					return err
 				}
-				cells[li][qi] = cell{sAcc: sAcc, aAcc: aAcc}
+				orc, err := oracle.New(v.hw, oracle.Config{Mode: rs.mode, MeasurePower: true})
+				if err != nil {
+					return err
+				}
+				clean, err := orc.AccuracyOn(v.test)
+				if err != nil {
+					return err
+				}
+				fopts := x
+				fopts.Options = t.Opts
+				queries, lambdas := fig5Grids(fopts, v.train.Len())
+				envs[ri] = fig5RowEnv{
+					spec: rs, victim: v, clean: clean,
+					queries: queries, lambdas: lambdas,
+					sCfg: fig5SurrogateCfg(fopts, rs.kind),
+				}
+				return nil
+			})
+			return envs, err
+		},
+		Cells: func(t *engine.T, envs []fig5RowEnv) ([]fig5Cell, error) {
+			runs := fig5Runs(t.Opts)
+			cells := make([]fig5Cell, 0, len(envs)*runs)
+			for _, coord := range engine.CrossProduct(len(envs), runs) {
+				cells = append(cells, fig5Cell{row: coord[0], run: coord[1]})
 			}
-		}
-		runCells[run] = cells
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Append per-run results in run order, as the serial sweep would.
-	for run := 0; run < runs; run++ {
-		for li := range lambdas {
-			for qi := range queries {
-				c := runCells[run][li][qi]
-				row.SurrogateAcc[li][qi] = append(row.SurrogateAcc[li][qi], c.sAcc)
-				row.OracleAdvAcc[li][qi] = append(row.OracleAdvAcc[li][qi], c.aAcc)
+			return cells, nil
+		},
+		Src: func(t *engine.T, c fig5Cell, _ int) *rng.Source {
+			return t.Root.Split(fig5RowSpecs()[c.row].label()).SplitN("run", c.run)
+		},
+		Job: func(t *engine.T, envs []fig5RowEnv, c fig5Cell, runSrc *rng.Source) ([][]fig5CellAcc, error) {
+			env := envs[c.row]
+			v := env.victim
+			// Each run gets its own Oracle: the query counter is the
+			// oracle's only mutable state, and the underlying ideal
+			// crossbar is read-only, so per-run oracles return exactly
+			// what one shared oracle would.
+			runOrc, err := oracle.New(v.hw, oracle.Config{Mode: env.spec.mode, MeasurePower: true})
+			if err != nil {
+				return nil, err
 			}
-		}
+			cells := make([][]fig5CellAcc, len(env.lambdas))
+			for li := range cells {
+				cells[li] = make([]fig5CellAcc, len(env.queries))
+			}
+			for qi, q := range env.queries {
+				qs, err := oracle.Collect(runOrc, v.train, q, runSrc.SplitN("collect", qi))
+				if err != nil {
+					return nil, err
+				}
+				for li, lambda := range env.lambdas {
+					cfg := env.sCfg
+					cfg.Lambda = lambda
+					model, err := surrogate.Train(qs, cfg, runSrc.SplitN(fmt.Sprintf("train-%d", qi), li))
+					if err != nil {
+						return nil, fmt.Errorf("experiment: fig5 %s run=%d q=%d λ=%v: %w", env.spec.label(), c.run, q, lambda, err)
+					}
+					sAcc := model.Accuracy(v.test.X, v.test.Labels)
+					aAcc, err := oracleFGSMAccuracy(v, model, t.Opts.Workers)
+					if err != nil {
+						return nil, err
+					}
+					cells[li][qi] = fig5CellAcc{sAcc: sAcc, aAcc: aAcc}
+				}
+			}
+			return cells, nil
+		},
+		Reduce: func(t *engine.T, envs []fig5RowEnv, cells []fig5Cell, results [][][]fig5CellAcc) (*Fig5Result, error) {
+			runs := fig5Runs(t.Opts)
+			res := &Fig5Result{Runs: runs}
+			for ri, env := range envs {
+				row := Fig5Row{
+					Kind: env.spec.kind, Mode: env.spec.mode,
+					Queries: env.queries, Lambdas: env.lambdas,
+					CleanAccuracy: env.clean,
+					SurrogateAcc:  allocCells(len(env.lambdas), len(env.queries)),
+					OracleAdvAcc:  allocCells(len(env.lambdas), len(env.queries)),
+				}
+				// Append per-run results in run order, as the serial
+				// sweep would.
+				for run := 0; run < runs; run++ {
+					rc := results[ri*runs+run]
+					for li := range env.lambdas {
+						for qi := range env.queries {
+							row.SurrogateAcc[li][qi] = append(row.SurrogateAcc[li][qi], rc[li][qi].sAcc)
+							row.OracleAdvAcc[li][qi] = append(row.OracleAdvAcc[li][qi], rc[li][qi].aAcc)
+						}
+					}
+				}
+				res.Rows = append(res.Rows, row)
+			}
+			return res, nil
+		},
 	}
-	return row, nil
+}
+
+// RunFig5 regenerates Figure 5: surrogate-based black-box attacks with
+// and without power information, for MNIST/CIFAR x label-only/raw-output.
+func RunFig5(opts Fig5Options) (*Fig5Result, error) {
+	return fig5GridFor(opts).Run(opts.Options)
 }
 
 func allocCells(l, q int) [][][]float64 {
@@ -287,53 +358,76 @@ func (r *Fig5Row) BootstrapImprovement(li, qi int, level float64, src *rng.Sourc
 	return stats.BootstrapDiffCI(r.OracleAdvAcc[0][qi], r.OracleAdvAcc[li][qi], level, 1000, src)
 }
 
-// Render prints, per row, the three Figure 5 panels as tables: surrogate
+// panelTables builds one row's three Figure 5 panels: surrogate
 // accuracy, oracle adversarial accuracy, and the power-information
-// improvement with significance asterisks (p < 0.05).
+// improvement with significance asterisks (p < 0.05). titlePrefix
+// distinguishes the rendered form (empty — rows carry their own header
+// line) from the exported form ("[kind, mode] ").
+func (row *Fig5Row) panelTables(titlePrefix string) (sur, adv, diff *report.Table) {
+	sur = &report.Table{Title: titlePrefix + "Surrogate test accuracy", Header: []string{"queries"}}
+	adv = &report.Table{Title: titlePrefix + "Oracle accuracy under surrogate FGSM (eps=0.1)", Header: []string{"queries"}}
+	for _, l := range row.Lambdas {
+		sur.Header = append(sur.Header, fmt.Sprintf("λ=%g", l))
+		adv.Header = append(adv.Header, fmt.Sprintf("λ=%g", l))
+	}
+	for qi, q := range row.Queries {
+		srow := []string{fmt.Sprintf("%d", q)}
+		arow := []string{fmt.Sprintf("%d", q)}
+		for li := range row.Lambdas {
+			srow = append(srow, report.F(stats.Mean(row.SurrogateAcc[li][qi]), 3))
+			arow = append(arow, report.F(stats.Mean(row.OracleAdvAcc[li][qi]), 3))
+		}
+		sur.AddRow(srow...)
+		adv.AddRow(arow...)
+	}
+	diff = &report.Table{Title: titlePrefix + "Attack improvement with power info (Δ adv-accuracy, * = p<0.05)", Header: []string{"queries"}}
+	for _, l := range row.Lambdas[1:] {
+		diff.Header = append(diff.Header, fmt.Sprintf("λ=%g", l))
+	}
+	for qi, q := range row.Queries {
+		drow := []string{fmt.Sprintf("%d", q)}
+		for li := 1; li < len(row.Lambdas); li++ {
+			d, p, err := row.Improvement(li, qi)
+			if err != nil {
+				drow = append(drow, "err")
+				continue
+			}
+			drow = append(drow, report.F(d, 3)+report.SignificanceMark(p, 0.05))
+		}
+		diff.AddRow(drow...)
+	}
+	return sur, adv, diff
+}
+
+// Tables returns the three panels per row, titled for standalone export.
+func (r *Fig5Result) Tables() []*report.Table {
+	var out []*report.Table
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		sur, adv, diff := row.panelTables(fmt.Sprintf("[%s, %s] ", row.Kind, row.Mode))
+		out = append(out, sur, adv, diff)
+	}
+	return out
+}
+
+// Render prints, per row, the three Figure 5 panels as tables.
 func (r *Fig5Result) Render() string {
 	var b strings.Builder
-	for _, row := range r.Rows {
+	for i := range r.Rows {
+		row := &r.Rows[i]
 		fmt.Fprintf(&b, "=== Figure 5 row: %s, %s (clean oracle accuracy %.3f, %d runs) ===\n",
 			row.Kind, row.Mode, row.CleanAccuracy, r.Runs)
-		sur := &report.Table{Title: "Surrogate test accuracy", Header: []string{"queries"}}
-		adv := &report.Table{Title: "Oracle accuracy under surrogate FGSM (eps=0.1)", Header: []string{"queries"}}
-		for _, l := range row.Lambdas {
-			sur.Header = append(sur.Header, fmt.Sprintf("λ=%g", l))
-			adv.Header = append(adv.Header, fmt.Sprintf("λ=%g", l))
-		}
-		for qi, q := range row.Queries {
-			srow := []string{fmt.Sprintf("%d", q)}
-			arow := []string{fmt.Sprintf("%d", q)}
-			for li := range row.Lambdas {
-				srow = append(srow, report.F(stats.Mean(row.SurrogateAcc[li][qi]), 3))
-				arow = append(arow, report.F(stats.Mean(row.OracleAdvAcc[li][qi]), 3))
-			}
-			sur.AddRow(srow...)
-			adv.AddRow(arow...)
-		}
+		sur, adv, diff := row.panelTables("")
 		b.WriteString(sur.String())
 		b.WriteString(adv.String())
-		diff := &report.Table{Title: "Attack improvement with power info (Δ adv-accuracy, * = p<0.05)", Header: []string{"queries"}}
-		for _, l := range row.Lambdas[1:] {
-			diff.Header = append(diff.Header, fmt.Sprintf("λ=%g", l))
-		}
-		for qi, q := range row.Queries {
-			drow := []string{fmt.Sprintf("%d", q)}
-			for li := 1; li < len(row.Lambdas); li++ {
-				d, p, err := row.Improvement(li, qi)
-				if err != nil {
-					drow = append(drow, "err")
-					continue
-				}
-				drow = append(drow, report.F(d, 3)+report.SignificanceMark(p, 0.05))
-			}
-			diff.AddRow(drow...)
-		}
 		b.WriteString(diff.String())
 		b.WriteByte('\n')
 	}
 	return b.String()
 }
+
+// WriteJSON serializes the structured result.
+func (r *Fig5Result) WriteJSON(w io.Writer) error { return engine.WriteJSON(w, r) }
 
 // Compile-time guards: the experiment relies on these types satisfying
 // the attack interfaces.

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xbarsec/internal/experiment/engine"
+)
+
+// goldenOpts are the options the pre-engine code was run at to produce
+// testdata/golden/*.txt (one file per registry experiment, captured
+// from the runners as they existed before the grid-engine migration).
+func goldenOpts() Options {
+	return Options{Seed: 7, Scale: 0.01, Runs: 1}
+}
+
+// TestGoldenBitIdentity pins the grid-engine migration: every
+// registered experiment's Render() output must byte-match the output of
+// the pre-refactor runner at the same options. The golden files were
+// generated from commit dce9a09 (the last pre-engine revision); they
+// change only when an experiment's published numbers deliberately
+// change.
+func TestGoldenBitIdentity(t *testing.T) {
+	if testing.Short() {
+		// Deterministic replay of every experiment — no concurrency
+		// value beyond what the store/pool race tests cover, and ~10x
+		// slower under the race detector, which runs with -short.
+		t.Skip("skipping full-registry golden replay in -short mode")
+	}
+	for _, name := range PaperOrder() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			exp, ok := engine.Lookup(name)
+			if !ok {
+				t.Fatalf("experiment %q not registered", name)
+			}
+			res, err := exp.Run(goldenOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := []byte(res.Render())
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: output diverged from pre-engine golden\n--- got (%d bytes) ---\n%s\n--- want (%d bytes) ---\n%s",
+					name, len(got), got, len(want), want)
+			}
+		})
+	}
+}
+
+// TestRegistryCoversPaperOrder keeps the aggregate command lists and
+// the registry in sync.
+func TestRegistryCoversPaperOrder(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range engine.Names() {
+		names[n] = true
+	}
+	for _, n := range PaperOrder() {
+		if !names[n] {
+			t.Fatalf("PaperOrder lists unregistered experiment %q", n)
+		}
+	}
+	// Every registry entry must be reachable from the CLI's aggregate
+	// commands or be a deliberate standalone (none today).
+	inOrder := map[string]bool{}
+	for _, n := range PaperOrder() {
+		inOrder[n] = true
+	}
+	for n := range names {
+		if !inOrder[n] {
+			t.Fatalf("registered experiment %q missing from PaperOrder", n)
+		}
+	}
+}

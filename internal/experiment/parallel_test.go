@@ -6,6 +6,7 @@ import (
 
 	"xbarsec/internal/attack"
 	"xbarsec/internal/dataset"
+	"xbarsec/internal/experiment/engine"
 	"xbarsec/internal/nn"
 )
 
@@ -22,7 +23,7 @@ func withWorkers(o Options, w int) Options {
 }
 
 func TestEvaluateSinglePixelWorkerInvariance(t *testing.T) {
-	opts := tinyOpts().withDefaults()
+	opts := tinyOpts().Normalized()
 	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
 	v, err := buildVictim(cfg, opts, testSrc(t, 7))
 	if err != nil {
@@ -73,6 +74,41 @@ func TestRunMultiPixelAblationWorkerInvariance(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatalf("parallel result diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestEngineGridsWorkerInvariance pins the engine-level contract for
+// every registered experiment: Workers ∈ {1, 4} produce deeply equal
+// results. It runs at the golden options so the victim store (shared
+// with TestGoldenBitIdentity) absorbs the training cost.
+func TestEngineGridsWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		// Two full-registry replays; the per-runner invariance tests
+		// below keep worker-invariance covered in -short (race) runs.
+		t.Skip("skipping full-registry invariance replay in -short mode")
+	}
+	for _, name := range PaperOrder() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			exp, ok := engine.Lookup(name)
+			if !ok {
+				t.Fatalf("experiment %q not registered", name)
+			}
+			opts := goldenOpts()
+			opts.Workers = 1
+			serial, err := exp.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Workers = 4
+			parallel, err := exp.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("workers=4 result diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+			}
+		})
 	}
 }
 

@@ -2,9 +2,10 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 	"math"
 
-	"xbarsec/internal/pool"
+	"xbarsec/internal/experiment/engine"
 	"xbarsec/internal/report"
 	"xbarsec/internal/rng"
 	"xbarsec/internal/stats"
@@ -16,76 +17,109 @@ import (
 // column 1-norm signals, on the train and test splits, averaged over
 // Options.Runs independent training runs.
 type Table1Row struct {
-	Config          ModelConfig
-	MeanCorrTrain   float64
-	MeanCorrTest    float64
-	CorrOfMeanTrain float64
-	CorrOfMeanTest  float64
+	Config          ModelConfig `json:"config"`
+	MeanCorrTrain   float64     `json:"mean_corr_train"`
+	MeanCorrTest    float64     `json:"mean_corr_test"`
+	CorrOfMeanTrain float64     `json:"corr_of_mean_train"`
+	CorrOfMeanTest  float64     `json:"corr_of_mean_test"`
 }
 
 // Table1Result is the full reproduction of Table I.
 type Table1Result struct {
-	Rows []Table1Row
-	Runs int
+	Rows []Table1Row `json:"rows"`
+	Runs int         `json:"runs"`
+}
+
+// table1Runs resolves the repetition count.
+func table1Runs(opts Options) int {
+	if opts.Runs > 0 {
+		return opts.Runs
+	}
+	return opts.ScaledCount(5, 2)
+}
+
+// table1Cell is one (configuration, run) grid point.
+type table1Cell struct {
+	cfg ModelConfig
+	run int
+}
+
+// table1Corrs is one cell's four correlation coefficients.
+type table1Corrs struct {
+	mcTrain, mcTest, cmTrain, cmTest float64
+}
+
+// table1Grid reproduces Table I on the grid engine: the (configuration
+// x run) cross product, one victim trained (or fetched from the store)
+// per cell, reduced by fixed-order averaging so float accumulation
+// never depends on scheduling.
+var table1Grid = &engine.Grid[struct{}, table1Cell, table1Corrs, *Table1Result]{
+	Name:  "table1",
+	Title: "Table I correlation coefficients",
+	Axes: func(t *engine.T) []engine.Axis {
+		runs := make([]int, table1Runs(t.Opts))
+		for i := range runs {
+			runs[i] = i
+		}
+		return []engine.Axis{configAxis(FourConfigs()), engine.IntAxis("run", runs)}
+	},
+	Cells: func(t *engine.T, _ struct{}) ([]table1Cell, error) {
+		configs := FourConfigs()
+		runs := table1Runs(t.Opts)
+		cells := make([]table1Cell, 0, len(configs)*runs)
+		for _, coord := range engine.CrossProduct(len(configs), runs) {
+			cells = append(cells, table1Cell{cfg: configs[coord[0]], run: coord[1]})
+		}
+		return cells, nil
+	},
+	Src: func(t *engine.T, c table1Cell, _ int) *rng.Source {
+		return t.Root.SplitN(c.cfg.Name(), c.run)
+	},
+	Job: func(t *engine.T, _ struct{}, c table1Cell, src *rng.Source) (table1Corrs, error) {
+		var out table1Corrs
+		v, err := getVictim(c.cfg, t.Opts, src)
+		if err != nil {
+			return out, err
+		}
+		out.mcTrain, out.cmTrain, err = sensitivityCorrelations(v, true)
+		if err != nil {
+			return out, fmt.Errorf("experiment: %s run %d train: %w", c.cfg.Name(), c.run, err)
+		}
+		out.mcTest, out.cmTest, err = sensitivityCorrelations(v, false)
+		if err != nil {
+			return out, fmt.Errorf("experiment: %s run %d test: %w", c.cfg.Name(), c.run, err)
+		}
+		return out, nil
+	},
+	Reduce: func(t *engine.T, _ struct{}, cells []table1Cell, results []table1Corrs) (*Table1Result, error) {
+		configs := FourConfigs()
+		runs := table1Runs(t.Opts)
+		res := &Table1Result{Runs: runs}
+		for ci, cfg := range configs {
+			row := Table1Row{Config: cfg}
+			for run := 0; run < runs; run++ {
+				c := results[ci*runs+run]
+				row.MeanCorrTrain += c.mcTrain
+				row.MeanCorrTest += c.mcTest
+				row.CorrOfMeanTrain += c.cmTrain
+				row.CorrOfMeanTest += c.cmTest
+			}
+			inv := 1 / float64(runs)
+			row.MeanCorrTrain *= inv
+			row.MeanCorrTest *= inv
+			row.CorrOfMeanTrain *= inv
+			row.CorrOfMeanTest *= inv
+			res.Rows = append(res.Rows, row)
+		}
+		return res, nil
+	},
 }
 
 // RunTable1 regenerates Table I: for each of the four configurations it
 // trains Runs independent networks, extracts column 1-norm signals from
 // crossbar power, and correlates them with the loss sensitivity.
 func RunTable1(opts Options) (*Table1Result, error) {
-	opts = opts.withDefaults()
-	runs := opts.Runs
-	if runs <= 0 {
-		runs = opts.scaled(5, 2)
-	}
-	root := rng.New(opts.Seed).Split("table1")
-	res := &Table1Result{Runs: runs}
-	configs := FourConfigs()
-	// One work item per (configuration, run) pair; each derives its seed
-	// from the pair's identity alone, so the grid fans out across workers
-	// with bit-identical results to the serial sweep.
-	type cell struct{ mcTrain, mcTest, cmTrain, cmTest float64 }
-	cells := make([]cell, len(configs)*runs)
-	err := pool.DoErr(opts.Workers, len(cells), func(k int) error {
-		cfg, run := configs[k/runs], k%runs
-		src := root.SplitN(cfg.Name(), run)
-		v, err := buildVictim(cfg, opts, src)
-		if err != nil {
-			return err
-		}
-		mcTrain, cmTrain, err := sensitivityCorrelations(v, true)
-		if err != nil {
-			return fmt.Errorf("experiment: %s run %d train: %w", cfg.Name(), run, err)
-		}
-		mcTest, cmTest, err := sensitivityCorrelations(v, false)
-		if err != nil {
-			return fmt.Errorf("experiment: %s run %d test: %w", cfg.Name(), run, err)
-		}
-		cells[k] = cell{mcTrain: mcTrain, mcTest: mcTest, cmTrain: cmTrain, cmTest: cmTest}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Reduce in fixed (configuration, run) order so float accumulation
-	// never depends on scheduling.
-	for ci, cfg := range configs {
-		row := Table1Row{Config: cfg}
-		for run := 0; run < runs; run++ {
-			c := cells[ci*runs+run]
-			row.MeanCorrTrain += c.mcTrain
-			row.MeanCorrTest += c.mcTest
-			row.CorrOfMeanTrain += c.cmTrain
-			row.CorrOfMeanTest += c.cmTest
-		}
-		inv := 1 / float64(runs)
-		row.MeanCorrTrain *= inv
-		row.MeanCorrTest *= inv
-		row.CorrOfMeanTrain *= inv
-		row.CorrOfMeanTest *= inv
-		res.Rows = append(res.Rows, row)
-	}
-	return res, nil
+	return table1Grid.Run(opts)
 }
 
 // sensitivityCorrelations computes, for one victim and one split, the
@@ -136,8 +170,8 @@ func sensitivityCorrelations(v *victim, train bool) (meanCorr, corrOfMean float6
 	return corrSum / float64(corrCount), cm, nil
 }
 
-// Render formats the result in the layout of the paper's Table I.
-func (r *Table1Result) Render() *report.Table {
+// Tables formats the result in the layout of the paper's Table I.
+func (r *Table1Result) Tables() []*report.Table {
 	t := &report.Table{
 		Title: fmt.Sprintf("Table I: correlation between |dL/du| and column 1-norms (avg over %d runs)", r.Runs),
 		Header: []string{
@@ -153,5 +187,11 @@ func (r *Table1Result) Render() *report.Table {
 			report.F(row.CorrOfMeanTrain, 2), report.F(row.CorrOfMeanTest, 2),
 		)
 	}
-	return t
+	return []*report.Table{t}
 }
+
+// Render returns the table in the paper's layout.
+func (r *Table1Result) Render() string { return r.Tables()[0].String() }
+
+// WriteJSON serializes the structured result.
+func (r *Table1Result) WriteJSON(w io.Writer) error { return engine.WriteJSON(w, r) }

@@ -2,8 +2,10 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 
 	"xbarsec/internal/dataset"
+	"xbarsec/internal/experiment/engine"
 	"xbarsec/internal/nn"
 	"xbarsec/internal/report"
 	"xbarsec/internal/rng"
@@ -16,103 +18,129 @@ import (
 // TraceAblationRow compares one extraction strategy's cost and fidelity.
 type TraceAblationRow struct {
 	// Strategy names the extraction method.
-	Strategy string
+	Strategy string `json:"strategy"`
 	// Inferences is the number of full inferences the attacker ran.
-	Inferences int
+	Inferences int `json:"inferences"`
 	// RankCorr is the Spearman correlation of the recovered signals with
 	// the true column 1-norms.
-	RankCorr float64
+	RankCorr float64 `json:"rank_corr"`
 }
 
 // TraceAblationResult is extension experiment A6: static basis queries vs
 // least-squares over natural inputs vs bit-serial trace recovery, at
 // equal fidelity targets.
 type TraceAblationResult struct {
-	Rows []TraceAblationRow
+	Rows []TraceAblationRow `json:"rows"`
 	// Inputs is the victim's input dimensionality (the static baseline
 	// cost).
-	Inputs int
+	Inputs int `json:"inputs"`
 }
 
-// RunTraceAblation quantifies how much cheaper the temporal (bit-serial
-// trace) channel makes 1-norm extraction compared with the paper's static
+// traceGrid quantifies how much cheaper the temporal (bit-serial trace)
+// channel makes 1-norm extraction compared with the paper's static
 // model: N basis queries vs Q >= N natural-input measurements vs
 // ceil(N/Bits) traced inferences. The three strategies share one probe
-// whose query counter is reset between them, so this runner is
-// inherently sequential and ignores Options.Workers.
-func RunTraceAblation(opts Options) (*TraceAblationResult, error) {
-	opts = opts.withDefaults()
-	root := rng.New(opts.Seed).Split("ablation-trace")
-	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
-	v, err := buildVictim(cfg, opts, root.Split("victim"))
-	if err != nil {
-		return nil, err
-	}
-	trueNorms := v.net.W.ColAbsSums()
-	n := v.net.Inputs()
-	res := &TraceAblationResult{Inputs: n}
+// whose query counter is reset between them, so this experiment is a
+// single sequential cell on the engine — the degenerate but legal grid
+// shape for inherently ordered protocols.
+var traceGrid = &engine.Grid[struct{}, struct{}, *TraceAblationResult, *TraceAblationResult]{
+	Name:      "ablate-trace",
+	Title:     "1-norm extraction cost, basis vs LS vs bit-serial traces (A6)",
+	SeedLabel: "ablation-trace",
+	Axes: func(t *engine.T) []engine.Axis {
+		return []engine.Axis{{Name: "strategy", Values: []string{
+			"static basis queries", "static LS on arbitrary inputs", "bit-serial traces (8-bit DAC)",
+		}}}
+	},
+	Cells: func(t *engine.T, _ struct{}) ([]struct{}, error) {
+		return []struct{}{{}}, nil
+	},
+	Src: func(t *engine.T, _ struct{}, _ int) *rng.Source {
+		// The sequential protocol derives every stream from the run root
+		// itself, as the pre-engine runner did.
+		return t.Root
+	},
+	Job: func(t *engine.T, _ struct{}, _ struct{}, root *rng.Source) (*TraceAblationResult, error) {
+		cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
+		v, err := getVictim(cfg, t.Opts, root.Split("victim"))
+		if err != nil {
+			return nil, err
+		}
+		trueNorms := v.net.W.ColAbsSums()
+		n := v.net.Inputs()
+		res := &TraceAblationResult{Inputs: n}
 
-	// Strategy 1: the paper's static basis queries (N inferences).
-	probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(v.hw.Crossbar()), 0, nil)
-	if err != nil {
-		return nil, err
-	}
-	signals, err := probe.ExtractColumnSignals(1)
-	if err != nil {
-		return nil, err
-	}
-	rho, err := stats.Spearman(signals, trueNorms)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: trace ablation basis: %w", err)
-	}
-	res.Rows = append(res.Rows, TraceAblationRow{Strategy: "static basis queries", Inferences: probe.Queries(), RankCorr: rho})
+		// Strategy 1: the paper's static basis queries (N inferences).
+		probe, err := sidechannel.NewProbe(sidechannel.MeterFromCrossbar(v.hw.Crossbar()), 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		signals, err := probe.ExtractColumnSignals(1)
+		if err != nil {
+			return nil, err
+		}
+		rho, err := stats.Spearman(signals, trueNorms)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: trace ablation basis: %w", err)
+		}
+		res.Rows = append(res.Rows, TraceAblationRow{Strategy: "static basis queries", Inferences: probe.Queries(), RankCorr: rho})
 
-	// Strategy 2: static least squares over arbitrary (non-basis) inputs
-	// — stealthier ride-along measurement, still >= N inferences.
-	probe.ResetQueries()
-	q := n + n/4
-	lsSrc := root.Split("ls-inputs")
-	lsInputs := tensor.New(q, n)
-	for i := 0; i < q; i++ {
-		lsInputs.SetRow(i, lsSrc.UniformVec(n, 0, 1))
-	}
-	lsSignals, err := probe.EstimateColumnSignalsLS(lsInputs)
-	if err != nil {
-		return nil, err
-	}
-	rho, err = stats.Spearman(lsSignals, trueNorms)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: trace ablation LS: %w", err)
-	}
-	res.Rows = append(res.Rows, TraceAblationRow{Strategy: "static LS on arbitrary inputs", Inferences: probe.Queries(), RankCorr: rho})
+		// Strategy 2: static least squares over arbitrary (non-basis) inputs
+		// — stealthier ride-along measurement, still >= N inferences.
+		probe.ResetQueries()
+		q := n + n/4
+		lsSrc := root.Split("ls-inputs")
+		lsInputs := tensor.New(q, n)
+		for i := 0; i < q; i++ {
+			lsInputs.SetRow(i, lsSrc.UniformVec(n, 0, 1))
+		}
+		lsSignals, err := probe.EstimateColumnSignalsLS(lsInputs)
+		if err != nil {
+			return nil, err
+		}
+		rho, err = stats.Spearman(lsSignals, trueNorms)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: trace ablation LS: %w", err)
+		}
+		res.Rows = append(res.Rows, TraceAblationRow{Strategy: "static LS on arbitrary inputs", Inferences: probe.Queries(), RankCorr: rho})
 
-	// Strategy 3: bit-serial trace recovery (ceil(N/Bits) inferences).
-	const bits = 8
-	rec, err := trace.NewRecorder(sidechannel.MeterFromCrossbar(v.hw.Crossbar()), bits, 0, nil)
-	if err != nil {
-		return nil, err
-	}
-	needed := (n + bits - 1) / bits
-	needed += needed / 4 // slack for conditioning
-	src := root.Split("trace-inputs")
-	trInputs := tensor.New(needed, n)
-	for i := 0; i < needed; i++ {
-		trInputs.SetRow(i, src.UniformVec(n, 0, 1))
-	}
-	trSignals, err := rec.RecoverColumnSignals(trInputs)
-	if err != nil {
-		return nil, err
-	}
-	rho, err = stats.Spearman(trSignals, trueNorms)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: trace ablation bit-serial: %w", err)
-	}
-	res.Rows = append(res.Rows, TraceAblationRow{Strategy: "bit-serial traces (8-bit DAC)", Inferences: rec.Queries(), RankCorr: rho})
-	return res, nil
+		// Strategy 3: bit-serial trace recovery (ceil(N/Bits) inferences).
+		const bits = 8
+		rec, err := trace.NewRecorder(sidechannel.MeterFromCrossbar(v.hw.Crossbar()), bits, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		needed := (n + bits - 1) / bits
+		needed += needed / 4 // slack for conditioning
+		src := root.Split("trace-inputs")
+		trInputs := tensor.New(needed, n)
+		for i := 0; i < needed; i++ {
+			trInputs.SetRow(i, src.UniformVec(n, 0, 1))
+		}
+		trSignals, err := rec.RecoverColumnSignals(trInputs)
+		if err != nil {
+			return nil, err
+		}
+		rho, err = stats.Spearman(trSignals, trueNorms)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: trace ablation bit-serial: %w", err)
+		}
+		res.Rows = append(res.Rows, TraceAblationRow{Strategy: "bit-serial traces (8-bit DAC)", Inferences: rec.Queries(), RankCorr: rho})
+		return res, nil
+	},
+	Reduce: func(t *engine.T, _ struct{}, cells []struct{}, results []*TraceAblationResult) (*TraceAblationResult, error) {
+		return results[0], nil
+	},
 }
 
-// Render formats A6 as a table.
-func (r *TraceAblationResult) Render() *report.Table {
+// RunTraceAblation quantifies 1-norm extraction cost across the static
+// and temporal channels.
+func RunTraceAblation(opts Options) (*TraceAblationResult, error) {
+	return traceGrid.Run(opts)
+}
+
+// Tables formats A6 as a table.
+func (r *TraceAblationResult) Tables() []*report.Table {
 	t := &report.Table{
 		Title:  fmt.Sprintf("Extension A6: 1-norm extraction cost (victim has %d inputs)", r.Inputs),
 		Header: []string{"strategy", "inferences", "rank corr"},
@@ -120,5 +148,11 @@ func (r *TraceAblationResult) Render() *report.Table {
 	for _, row := range r.Rows {
 		t.AddRow(row.Strategy, fmt.Sprintf("%d", row.Inferences), report.F(row.RankCorr, 3))
 	}
-	return t
+	return []*report.Table{t}
 }
+
+// Render formats A6.
+func (r *TraceAblationResult) Render() string { return r.Tables()[0].String() }
+
+// WriteJSON serializes the structured result.
+func (r *TraceAblationResult) WriteJSON(w io.Writer) error { return engine.WriteJSON(w, r) }

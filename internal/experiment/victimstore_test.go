@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/rng"
+)
+
+// storeDelta runs fn and returns how many victim trainings it caused.
+// The victim store is process-global, so tests measure deltas rather
+// than absolute counts.
+func storeDelta(t *testing.T, fn func()) int64 {
+	t.Helper()
+	before := StoreStats().Trainings
+	fn()
+	return StoreStats().Trainings - before
+}
+
+func TestVictimStoreTrainsOncePerKey(t *testing.T) {
+	opts := tinyOpts().Normalized()
+	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
+	src := rng.New(101).Split("store-test")
+	var first, second *victim
+	d := storeDelta(t, func() {
+		var err error
+		if first, err = getVictim(cfg, opts, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if d != 1 {
+		t.Fatalf("first request trained %d times, want 1", d)
+	}
+	d = storeDelta(t, func() {
+		var err error
+		if second, err = getVictim(cfg, opts, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if d != 0 {
+		t.Fatalf("identical request retrained (%d trainings)", d)
+	}
+	if first != second {
+		t.Fatal("identical requests must share one victim instance")
+	}
+	// A different stream is a different victim.
+	d = storeDelta(t, func() {
+		other, err := getVictim(cfg, opts, rng.New(102).Split("store-test"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other == first {
+			t.Fatal("different streams must not share a victim")
+		}
+	})
+	if d != 1 {
+		t.Fatalf("distinct stream trained %d times, want 1", d)
+	}
+}
+
+func TestVictimStoreMatchesDirectBuild(t *testing.T) {
+	opts := tinyOpts().Normalized()
+	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActSoftmax, Crit: nn.LossCrossEntropy}
+	stored, err := getVictim(cfg, opts, rng.New(103).Split("equiv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := buildVictim(cfg, opts, rng.New(103).Split("equiv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stored.net.W, direct.net.W) {
+		t.Fatal("stored victim's weights diverge from a direct build")
+	}
+	if !reflect.DeepEqual(stored.signals, direct.signals) {
+		t.Fatal("stored victim's power signals diverge from a direct build")
+	}
+}
+
+// TestVictimStoreSingleflightUnderConcurrentRunners pins the collapse
+// guarantee: N concurrent runners requesting the same victims cause
+// each distinct victim to train exactly once.
+func TestVictimStoreSingleflightUnderConcurrentRunners(t *testing.T) {
+	opts := Options{Seed: 424242, Scale: 0.01}.Normalized()
+	const runners = 4
+	d := storeDelta(t, func() {
+		var wg sync.WaitGroup
+		errs := make([]error, runners)
+		for r := 0; r < runners; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				// Every runner requests the same four victims (fig3's
+				// streams at this seed).
+				root := rng.New(opts.Seed).Split("fig3")
+				for _, cfg := range FourConfigs() {
+					if _, err := getVictim(cfg, opts, root.Split(cfg.Name())); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if d != int64(len(FourConfigs())) {
+		t.Fatalf("%d concurrent runners trained %d victims, want exactly %d",
+			runners, d, len(FourConfigs()))
+	}
+}
+
+// TestRunnerReuseTrainsAtMostOncePerVictim pins the acceptance
+// criterion end to end: re-running a full experiment in the same
+// process trains nothing the second time.
+func TestRunnerReuseTrainsAtMostOncePerVictim(t *testing.T) {
+	opts := Options{Seed: 31337, Scale: 0.01, Runs: 1}
+	first := storeDelta(t, func() {
+		if _, err := RunFig3(opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if first != int64(len(FourConfigs())) {
+		t.Fatalf("cold fig3 trained %d victims, want %d", first, len(FourConfigs()))
+	}
+	again := storeDelta(t, func() {
+		if _, err := RunFig3(opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if again != 0 {
+		t.Fatalf("warm fig3 retrained %d victims, want 0", again)
+	}
+}
+
+func TestResetVictimStore(t *testing.T) {
+	opts := tinyOpts().Normalized()
+	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
+	if _, err := getVictim(cfg, opts, rng.New(104).Split("reset")); err != nil {
+		t.Fatal(err)
+	}
+	ResetVictimStore()
+	st := StoreStats()
+	if st.Cached != 0 || st.Trainings != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("store not empty after reset: %+v", st)
+	}
+	d := storeDelta(t, func() {
+		if _, err := getVictim(cfg, opts, rng.New(104).Split("reset")); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if d != 1 {
+		t.Fatalf("post-reset request trained %d times, want 1", d)
+	}
+}

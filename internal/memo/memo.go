@@ -1,0 +1,136 @@
+// Package memo provides a bounded, singleflight memoization cache: the
+// concurrency substrate shared by the service layer's artifact cache and
+// the experiment engine's victim store. Both memoize values that are
+// pure functions of a string key, so the first computation's result is
+// every caller's result and concurrent identical requests must collapse
+// onto a single computation instead of duplicating work.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes computed values by their exact deterministic key and
+// collapses concurrent identical requests onto a single computation
+// (singleflight). The cache is bounded: beyond maxEntries, the oldest
+// completed values are evicted FIFO, so a caller sweeping distinct keys
+// can cost compute but never unbounded memory.
+type Cache[V any] struct {
+	mu         sync.Mutex
+	entries    map[string]*entry[V]
+	order      []string // insertion order, the FIFO eviction queue
+	maxEntries int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type entry[V any] struct {
+	ready chan struct{}
+	val   V
+	err   error
+	done  bool // set under mu when the computation finished
+}
+
+// New returns a cache bounded to maxEntries values (<= 0 selects 4096).
+func New[V any](maxEntries int) *Cache[V] {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	return &Cache[V]{entries: make(map[string]*entry[V]), maxEntries: maxEntries}
+}
+
+// Do returns the cached value for key, computing it with compute on a
+// miss. Concurrent callers with the same key wait for the one in-flight
+// computation instead of duplicating it. Failed computations are not
+// cached (the entry is removed so a later retry can succeed); waiters
+// joined to a failed flight receive its error.
+func (c *Cache[V]) Do(key string, compute func() (V, error)) (val V, cached bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			var zero V
+			return zero, false, e.err
+		}
+		c.hits.Add(1)
+		return e.val, true, nil
+	}
+	e := &entry[V]{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	c.mu.Unlock()
+	c.misses.Add(1)
+	e.val, e.err = compute()
+	c.mu.Lock()
+	e.done = true
+	if e.err != nil {
+		// Only remove the entry this flight installed: after a Reset a
+		// stale failing flight must not evict a newer live entry that
+		// reused its key.
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+			c.removeFromOrderLocked(key)
+		}
+	}
+	c.evictLocked()
+	c.mu.Unlock()
+	close(e.ready)
+	return e.val, false, e.err
+}
+
+// removeFromOrderLocked drops key's entry from the eviction queue when
+// its computation failed — otherwise repeated failures of one key would
+// grow the queue without bound. Scans from the tail: the failing key
+// was appended recently.
+func (c *Cache[V]) removeFromOrderLocked(key string) {
+	for i := len(c.order) - 1; i >= 0; i-- {
+		if c.order[i] == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictLocked drops the oldest completed values until the cache fits its
+// bound. In-flight entries are never evicted (their waiters hold the
+// entry anyway), and failed entries never linger in the queue (Do
+// removes them), so the queue tracks the map exactly.
+func (c *Cache[V]) evictLocked() {
+	for len(c.entries) > c.maxEntries && len(c.order) > 0 {
+		k := c.order[0]
+		if e, ok := c.entries[k]; ok {
+			if !e.done {
+				return
+			}
+			delete(c.entries, k)
+		}
+		c.order = c.order[1:]
+	}
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *Cache[V]) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Size returns the number of cached values.
+func (c *Cache[V]) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every cached value and zeroes the counters. Tests and
+// benchmarks use it to measure the cold path; in-flight computations
+// finish but their results are no longer shared with later callers.
+func (c *Cache[V]) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[string]*entry[V])
+	c.order = nil
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

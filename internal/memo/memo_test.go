@@ -1,0 +1,177 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCachesAndCounts(t *testing.T) {
+	c := New[int](0)
+	calls := 0
+	compute := func() (int, error) { calls++; return 42, nil }
+	v, cached, err := c.Do("k", compute)
+	if err != nil || v != 42 || cached {
+		t.Fatalf("first Do: v=%v cached=%v err=%v", v, cached, err)
+	}
+	v, cached, err = c.Do("k", compute)
+	if err != nil || v != 42 || !cached {
+		t.Fatalf("second Do: v=%v cached=%v err=%v", v, cached, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times", calls)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d", hits, misses)
+	}
+	if c.Size() != 1 {
+		t.Fatalf("size %d", c.Size())
+	}
+}
+
+func TestSingleflightCollapsesConcurrentCallers(t *testing.T) {
+	c := New[int](0)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do("k", func() (int, error) {
+				calls.Add(1)
+				<-release
+				return 7, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Fatalf("caller %d got %d", i, v)
+		}
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New[int](0)
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Size() != 0 {
+		t.Fatalf("failed computation cached (size %d)", c.Size())
+	}
+	v, cached, err := c.Do("k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 || cached {
+		t.Fatalf("retry after error: v=%v cached=%v err=%v", v, cached, err)
+	}
+}
+
+func TestRepeatedFailuresDoNotGrowEvictionQueue(t *testing.T) {
+	c := New[int](2)
+	boom := errors.New("boom")
+	for i := 0; i < 100; i++ {
+		if _, _, err := c.Do("bad", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	queued := len(c.order)
+	c.mu.Unlock()
+	if queued != 0 {
+		t.Fatalf("eviction queue holds %d entries after failures, want 0", queued)
+	}
+	// The failing key never displaces live values.
+	if _, _, err := c.Do("good", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_, _, _ = c.Do("bad", func() (int, error) { return 0, boom })
+	}
+	if _, cached, _ := c.Do("good", func() (int, error) { return -1, nil }); !cached {
+		t.Fatal("live value evicted by failing key churn")
+	}
+}
+
+func TestFIFOEvictionBound(t *testing.T) {
+	c := New[int](2)
+	for i := 0; i < 5; i++ {
+		_, _, err := c.Do(fmt.Sprintf("k%d", i), func() (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Size() != 2 {
+		t.Fatalf("size %d, want bound 2", c.Size())
+	}
+	// The two newest keys survive; the oldest were evicted.
+	if _, cached, _ := c.Do("k4", func() (int, error) { return -1, nil }); !cached {
+		t.Fatal("newest key evicted")
+	}
+	if _, cached, _ := c.Do("k0", func() (int, error) { return -1, nil }); cached {
+		t.Fatal("oldest key not evicted")
+	}
+}
+
+func TestStaleFailingFlightDoesNotEvictNewEntry(t *testing.T) {
+	c := New[int](0)
+	boom := errors.New("boom")
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	staleDone := make(chan struct{})
+	go func() {
+		defer close(staleDone)
+		_, _, _ = c.Do("k", func() (int, error) {
+			close(inFlight)
+			<-release
+			return 0, boom
+		})
+	}()
+	<-inFlight
+	c.Reset()
+	// A new flight for the same key succeeds in the post-Reset map.
+	if _, _, err := c.Do("k", func() (int, error) { return 5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// The stale flight fails; it must not evict the new live entry.
+	close(release)
+	<-staleDone
+	v, cached, err := c.Do("k", func() (int, error) { return -1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || v != 5 {
+		t.Fatalf("live entry lost after stale flight failed: v=%v cached=%v", v, cached)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New[int](0)
+	if _, _, err := c.Do("k", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if c.Size() != 0 {
+		t.Fatalf("size %d after reset", c.Size())
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("stats %d/%d after reset", hits, misses)
+	}
+	if _, cached, _ := c.Do("k", func() (int, error) { return 2, nil }); cached {
+		t.Fatal("value survived reset")
+	}
+}

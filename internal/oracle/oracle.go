@@ -7,6 +7,7 @@
 package oracle
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -84,6 +85,24 @@ func (m Mode) String() string {
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
+}
+
+// MarshalJSON emits the mode name, the form experiment results carry on
+// the wire.
+func (m Mode) MarshalJSON() ([]byte, error) { return json.Marshal(m.String()) }
+
+// UnmarshalJSON accepts the mode name.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseMode(s)
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
 }
 
 // Response is what one query reveals to the attacker.

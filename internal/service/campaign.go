@@ -120,7 +120,7 @@ func (s *Service) RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 		s.campaigns.Add(1)
 		return res, nil
 	}
-	val, cached, err := s.cache.do(spec.key(), func() (any, error) { return compute() })
+	val, cached, err := s.cache.Do(spec.key(), func() (any, error) { return compute() })
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +301,7 @@ func (s *Service) RunExtract(spec ExtractSpec) (*ExtractResult, error) {
 		// Not a function of the spec (see RunCampaign) — never cached.
 		return compute()
 	}
-	val, cached, err := s.cache.do(spec.key(), func() (any, error) { return compute() })
+	val, cached, err := s.cache.Do(spec.key(), func() (any, error) { return compute() })
 	if err != nil {
 		return nil, err
 	}

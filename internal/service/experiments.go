@@ -1,0 +1,335 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	// Imported for its side effect: experiment's init populates the
+	// engine registry this layer dispatches through.
+	_ "xbarsec/internal/experiment"
+	"xbarsec/internal/experiment/engine"
+)
+
+// The experiment-job layer turns every experiment in the engine
+// registry into a server-side job: any registered grid can be launched,
+// listed and polled remotely, with results memoized in the service's
+// artifact cache. Registry experiments build their victims through the
+// process-wide victim store, so repeated launches of the same spec —
+// the common case for a result-serving deployment — cost one training
+// and then memory reads.
+
+// ErrExperimentUnknown indicates a launch for an unregistered
+// experiment name.
+var ErrExperimentUnknown = errors.New("service: unknown experiment")
+
+// ErrJobUnknown indicates a poll for an unknown (or evicted) job.
+var ErrJobUnknown = errors.New("service: unknown experiment job")
+
+// ExperimentSpec fully determines one experiment job. Registry
+// experiments are pure functions of (name, seed, scale, runs) plus the
+// server's DataDir, so the spec doubles as the artifact-cache key;
+// Workers is deliberately excluded (results are bit-identical at any
+// worker count).
+type ExperimentSpec struct {
+	// Name is the registry name, e.g. "table1" or "ablate-noise".
+	Name string `json:"name"`
+	// Seed roots every random choice of the experiment.
+	Seed int64 `json:"seed"`
+	// Scale in (0, 1] shrinks the sweep; 0 selects 1.0 (paper-sized).
+	Scale float64 `json:"scale,omitempty"`
+	// Runs overrides the repetition count (0 = scaled default).
+	Runs int `json:"runs,omitempty"`
+}
+
+// withDefaults normalizes the spec so equivalent requests share one
+// cache key: Scale 0 means full scale (the engine's Normalized
+// contract), so {"scale":0} and {"scale":1} must not recompute.
+func (e ExperimentSpec) withDefaults() ExperimentSpec {
+	if e.Scale == 0 {
+		e.Scale = 1
+	}
+	return e
+}
+
+// validate rejects specs the engine would reject, before any job record
+// or cache flight exists.
+func (e ExperimentSpec) validate() error {
+	if _, ok := engine.Lookup(e.Name); !ok {
+		return fmt.Errorf("service: experiment %q (have %s): %w",
+			e.Name, strings.Join(engine.Names(), ", "), ErrExperimentUnknown)
+	}
+	if e.Scale < 0 || e.Scale > 1 {
+		return badRequestf("scale %v outside (0, 1]", e.Scale)
+	}
+	// Runs sizes grid allocations (configs x runs cells); an absurd value
+	// in one unauthenticated request must not be able to OOM the server.
+	// The paper's largest grid uses 10 runs; 1000 is generous headroom.
+	if e.Runs < 0 || e.Runs > maxExperimentRuns {
+		return badRequestf("runs %d outside [0, %d]", e.Runs, maxExperimentRuns)
+	}
+	return nil
+}
+
+// maxExperimentRuns bounds the server-side repetition count.
+const maxExperimentRuns = 1000
+
+// key is the artifact-cache identity of the normalized spec.
+func (e ExperimentSpec) key() string {
+	return fmt.Sprintf("experiment|%s|%d|%g|%d", e.Name, e.Seed, e.Scale, e.Runs)
+}
+
+// options resolves the spec into engine options on this service's
+// worker budget and data directory.
+func (s *Service) options(spec ExperimentSpec) engine.Options {
+	return engine.Options{
+		Seed:    spec.Seed,
+		Scale:   spec.Scale,
+		Runs:    spec.Runs,
+		Workers: s.cfg.Workers,
+		DataDir: s.cfg.DataDir,
+	}
+}
+
+// ExperimentInfo describes one registry entry for listings.
+type ExperimentInfo struct {
+	Name  string        `json:"name"`
+	Title string        `json:"title"`
+	Axes  []engine.Axis `json:"axes,omitempty"`
+}
+
+// Experiments lists the registry with each grid's axes at the given
+// spec defaults (zero spec = full scale).
+func (s *Service) Experiments(spec ExperimentSpec) []ExperimentInfo {
+	opts := s.options(spec)
+	var out []ExperimentInfo
+	for _, exp := range engine.All() {
+		info := ExperimentInfo{Name: exp.Name, Title: exp.Title}
+		if exp.Axes != nil {
+			info.Axes = exp.Axes(opts)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// ExperimentResult is the deliverable of one experiment job.
+type ExperimentResult struct {
+	Name  string  `json:"name"`
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+	Runs  int     `json:"runs,omitempty"`
+	// Render is the experiment's human-readable report — byte-identical
+	// to `xbarattack <name>` at the same options.
+	Render string `json:"render"`
+	// Result is the experiment's structured JSON form.
+	Result json.RawMessage `json:"result"`
+	// Cached reports whether the result came from the artifact cache.
+	Cached bool `json:"cached"`
+}
+
+// RunExperiment executes (or serves from cache) one experiment job
+// synchronously. Jobs are admitted through the service gate, so at most
+// Config.MaxConcurrentJobs run at once.
+func (s *Service) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) {
+	if s.isClosed() {
+		return nil, ErrServiceClosed
+	}
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	exp, _ := engine.Lookup(spec.Name)
+	compute := func() (any, error) {
+		var res *ExperimentResult
+		err := s.gate.RunErr(func() error {
+			out, err := exp.Run(s.options(spec))
+			if err != nil {
+				return err
+			}
+			var buf bytes.Buffer
+			if err := out.WriteJSON(&buf); err != nil {
+				return err
+			}
+			res = &ExperimentResult{
+				Name: spec.Name, Seed: spec.Seed, Scale: spec.Scale, Runs: spec.Runs,
+				Render: out.Render(),
+				Result: json.RawMessage(buf.Bytes()),
+			}
+			return nil
+		})
+		return res, err
+	}
+	val, cached, err := s.cache.Do(spec.key(), compute)
+	if err != nil {
+		return nil, err
+	}
+	res := *(val.(*ExperimentResult)) // copy so Cached can differ per caller
+	res.Cached = cached
+	return &res, nil
+}
+
+// JobStatus is an experiment job's lifecycle state.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// ExperimentJob tracks one asynchronous experiment launch.
+type ExperimentJob struct {
+	id   string
+	spec ExperimentSpec
+	done chan struct{}
+
+	mu     sync.Mutex
+	result *ExperimentResult
+	err    error
+}
+
+// ID returns the job's poll handle.
+func (j *ExperimentJob) ID() string { return j.id }
+
+// Spec returns the job's launch spec.
+func (j *ExperimentJob) Spec() ExperimentSpec { return j.spec }
+
+// Done returns a channel closed when the job finishes.
+func (j *ExperimentJob) Done() <-chan struct{} { return j.done }
+
+// Snapshot returns the job's current status and, once done, its result
+// or error.
+func (j *ExperimentJob) Snapshot() (JobStatus, *ExperimentResult, error) {
+	select {
+	case <-j.done:
+	default:
+		return JobRunning, nil, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return JobFailed, nil, j.err
+	}
+	return JobDone, j.result, nil
+}
+
+// LaunchExperiment starts one experiment job in the background and
+// returns its poll handle. Identical concurrent launches collapse onto
+// one computation through the artifact cache; each keeps its own job
+// record.
+func (s *Service) LaunchExperiment(spec ExperimentSpec) (*ExperimentJob, error) {
+	if s.isClosed() {
+		return nil, ErrServiceClosed
+	}
+	spec = spec.withDefaults()
+	// Validate before creating any job record, so a malformed spec is an
+	// immediate 400 on the launch path, exactly as on the synchronous one.
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	job := &ExperimentJob{spec: spec, done: make(chan struct{})}
+	// add assigns job.id under the table lock before publishing the job;
+	// concurrent pollers may read ID() the moment add returns.
+	if err := s.jobs.add(job); err != nil {
+		return nil, err
+	}
+	go func() {
+		res, err := s.RunExperiment(spec)
+		job.mu.Lock()
+		job.result, job.err = res, err
+		job.mu.Unlock()
+		close(job.done)
+	}()
+	return job, nil
+}
+
+// ExperimentJobByID returns a tracked job.
+func (s *Service) ExperimentJobByID(id string) (*ExperimentJob, error) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return nil, fmt.Errorf("service: job %q: %w", id, ErrJobUnknown)
+	}
+	return j, nil
+}
+
+// jobTable tracks experiment jobs with a bounded FIFO of finished
+// entries: running jobs are never evicted; beyond the bound the oldest
+// finished jobs are forgotten (their cached artifacts remain in the
+// artifact cache, so re-launching the same spec is instant). The bound
+// also backpressures admission: when every tracked job is still
+// running, further launches are refused rather than growing the table
+// (and its goroutines) without limit.
+type jobTable struct {
+	mu    sync.Mutex
+	seq   int64
+	jobs  map[string]*ExperimentJob
+	order []string
+	bound int
+}
+
+// ErrJobLimit indicates the experiment-job table is full of running
+// jobs (Config.MaxExperimentJobs); the client should retry after some
+// finish.
+var ErrJobLimit = errors.New("service: experiment job limit reached")
+
+func newJobTable(bound int) *jobTable {
+	if bound <= 0 {
+		bound = 1024
+	}
+	return &jobTable{jobs: make(map[string]*ExperimentJob), bound: bound}
+}
+
+// add registers a job, assigns its id under the lock (pollers may read
+// it the moment the job is published), and evicts old finished jobs.
+// It refuses the job when the table is at its bound with nothing
+// finished to evict.
+func (t *jobTable) add(j *ExperimentJob) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.jobs) >= t.bound {
+		evicted := false
+		for i, oid := range t.order {
+			oj, ok := t.jobs[oid]
+			if !ok {
+				continue
+			}
+			select {
+			case <-oj.done:
+				delete(t.jobs, oid)
+				t.order = append(t.order[:i:i], t.order[i+1:]...)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			// Everything tracked is still running: admitting more would
+			// grow the table and its launch goroutines without bound.
+			return fmt.Errorf("service: %d jobs running: %w", len(t.jobs), ErrJobLimit)
+		}
+	}
+	t.seq++
+	j.id = fmt.Sprintf("job-%d", t.seq)
+	t.jobs[j.id] = j
+	t.order = append(t.order, j.id)
+	return nil
+}
+
+func (t *jobTable) get(id string) (*ExperimentJob, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}
+
+func (t *jobTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.jobs)
+}

@@ -1,0 +1,253 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"xbarsec/internal/experiment"
+	"xbarsec/internal/experiment/engine"
+)
+
+// expSpec is a cheap experiment job for tests: one victim, three
+// sequential strategies.
+func expSpec(seed int64) ExperimentSpec {
+	return ExperimentSpec{Name: "ablate-trace", Seed: seed, Scale: 0.01}
+}
+
+func TestRunExperimentServesRegistryEntry(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	defer svc.Close()
+	res, err := svc.RunExperiment(expSpec(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("first run must not be cached")
+	}
+	if !strings.Contains(res.Render, "Extension A6") {
+		t.Fatalf("render incomplete:\n%s", res.Render)
+	}
+	var decoded experiment.TraceAblationResult
+	if err := json.Unmarshal(res.Result, &decoded); err != nil {
+		t.Fatalf("structured result does not parse: %v", err)
+	}
+	if len(decoded.Rows) != 3 {
+		t.Fatalf("structured result rows = %d", len(decoded.Rows))
+	}
+	// The job result is byte-identical to the Go API at the same
+	// options (worker count excluded from the spec on purpose).
+	direct, err := experiment.RunTraceAblation(experiment.Options{Seed: 21, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Render != direct.Render() {
+		t.Fatal("service render diverged from direct run")
+	}
+	if !reflect.DeepEqual(&decoded, direct) {
+		t.Fatalf("service result diverged from direct run:\n%+v\nvs\n%+v", &decoded, direct)
+	}
+	// Replay is a cache hit with the same payload.
+	again, err := svc.RunExperiment(expSpec(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("replay must be served from the artifact cache")
+	}
+	if again.Render != res.Render {
+		t.Fatal("cached replay diverged")
+	}
+}
+
+func TestRunExperimentValidation(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	defer svc.Close()
+	if _, err := svc.RunExperiment(ExperimentSpec{Name: "no-such-grid", Seed: 1}); !errors.Is(err, ErrExperimentUnknown) {
+		t.Fatalf("err = %v, want ErrExperimentUnknown", err)
+	}
+	if _, err := svc.RunExperiment(ExperimentSpec{Name: "table1", Seed: 1, Scale: 7}); !errors.Is(err, errBadRequest) {
+		t.Fatalf("err = %v, want bad request", err)
+	}
+	// An absurd runs value must be refused before any grid allocation.
+	if _, err := svc.RunExperiment(ExperimentSpec{Name: "table1", Seed: 1, Scale: 0.01, Runs: 2_000_000_000}); !errors.Is(err, errBadRequest) {
+		t.Fatalf("huge runs err = %v, want bad request", err)
+	}
+	if _, err := svc.LaunchExperiment(ExperimentSpec{Name: "table1", Seed: 1, Scale: 0.01, Runs: -1}); !errors.Is(err, errBadRequest) {
+		t.Fatalf("negative runs err = %v, want bad request", err)
+	}
+	if _, err := svc.LaunchExperiment(ExperimentSpec{Name: "no-such-grid", Seed: 1}); !errors.Is(err, ErrExperimentUnknown) {
+		t.Fatalf("launch err = %v, want ErrExperimentUnknown", err)
+	}
+}
+
+func TestExperimentsListsRegistry(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	defer svc.Close()
+	infos := svc.Experiments(ExperimentSpec{Scale: 0.01})
+	if len(infos) != len(engine.Names()) {
+		t.Fatalf("listed %d experiments, registry has %d", len(infos), len(engine.Names()))
+	}
+	byName := map[string]ExperimentInfo{}
+	for _, info := range infos {
+		byName[info.Name] = info
+	}
+	tbl, ok := byName["table1"]
+	if !ok {
+		t.Fatal("table1 missing from listing")
+	}
+	if tbl.Title == "" || len(tbl.Axes) != 2 {
+		t.Fatalf("table1 listing incomplete: %+v", tbl)
+	}
+}
+
+func TestLaunchExperimentJobLifecycle(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	defer svc.Close()
+	job, err := svc.LaunchExperiment(expSpec(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID() == "" {
+		t.Fatal("job has no id")
+	}
+	got, err := svc.ExperimentJobByID(job.ID())
+	if err != nil || got != job {
+		t.Fatalf("job lookup: %v", err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(2 * time.Minute):
+		t.Fatal("job never finished")
+	}
+	status, res, jerr := job.Snapshot()
+	if status != JobDone || jerr != nil || res == nil {
+		t.Fatalf("snapshot: status=%v res=%v err=%v", status, res, jerr)
+	}
+	if !strings.Contains(res.Render, "Extension A6") {
+		t.Fatal("job result incomplete")
+	}
+	if _, err := svc.ExperimentJobByID("job-999999"); !errors.Is(err, ErrJobUnknown) {
+		t.Fatalf("unknown job err = %v", err)
+	}
+}
+
+func TestLaunchExperimentValidatesLikeRun(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	defer svc.Close()
+	// Invalid scale is rejected at launch time — an immediate 400, the
+	// same behavior as the synchronous path, with no job record left
+	// behind.
+	if _, err := svc.LaunchExperiment(ExperimentSpec{Name: "ablate-trace", Seed: 1, Scale: -3}); !errors.Is(err, errBadRequest) {
+		t.Fatalf("err = %v, want bad request", err)
+	}
+	if n := svc.jobs.size(); n != 0 {
+		t.Fatalf("rejected launch left %d job records", n)
+	}
+}
+
+func TestJobTableBackpressureAndEviction(t *testing.T) {
+	tb := newJobTable(2)
+	running := func() *ExperimentJob {
+		return &ExperimentJob{spec: ExperimentSpec{Name: "x"}, done: make(chan struct{})}
+	}
+	a, b := running(), running()
+	if err := tb.add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.add(b); err != nil {
+		t.Fatal(err)
+	}
+	// Table full of running jobs: admission is refused, nothing evicted.
+	if err := tb.add(running()); !errors.Is(err, ErrJobLimit) {
+		t.Fatalf("err = %v, want ErrJobLimit", err)
+	}
+	if tb.size() != 2 {
+		t.Fatalf("size %d after refused add", tb.size())
+	}
+	// A finished job frees a slot; the oldest finished one is evicted.
+	close(a.done)
+	c := running()
+	if err := tb.add(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.get(a.ID()); ok {
+		t.Fatal("finished job not evicted")
+	}
+	if _, ok := tb.get(c.ID()); !ok {
+		t.Fatal("admitted job not tracked")
+	}
+	if c.ID() == "" {
+		t.Fatal("add must assign the id")
+	}
+}
+
+func TestExperimentSpecNormalization(t *testing.T) {
+	// Scale 0 means full scale; both spellings must share one cache key.
+	a := ExperimentSpec{Name: "table1", Seed: 1}.withDefaults()
+	b := ExperimentSpec{Name: "table1", Seed: 1, Scale: 1}.withDefaults()
+	if a.key() != b.key() {
+		t.Fatalf("equivalent specs have distinct keys: %q vs %q", a.key(), b.key())
+	}
+	if c := (ExperimentSpec{Name: "table1", Seed: 1, Scale: 0.5}).withDefaults(); c.Scale != 0.5 {
+		t.Fatalf("explicit scale mangled: %v", c.Scale)
+	}
+}
+
+func TestExperimentHTTPEndToEnd(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// List.
+	var infos []ExperimentInfo
+	doJSON(t, "GET", srv.URL+"/v1/experiments", nil, 200, &infos)
+	if len(infos) != len(engine.Names()) {
+		t.Fatalf("HTTP listed %d experiments", len(infos))
+	}
+
+	// Launch with wait: the response carries the finished job.
+	spec := ExperimentSpec{Name: "ablate-trace", Seed: 23, Scale: 0.01}
+	var done jobWire
+	doJSON(t, "POST", srv.URL+"/v1/experiments?wait=1", spec, 200, &done)
+	if done.Status != JobDone || done.Result == nil {
+		t.Fatalf("wait launch: %+v", done)
+	}
+	if !strings.Contains(done.Result.Render, "Extension A6") {
+		t.Fatal("HTTP result render incomplete")
+	}
+
+	// Async launch + poll until done (same spec: served from cache).
+	var launched jobWire
+	doJSON(t, "POST", srv.URL+"/v1/experiments", spec, 202, &launched)
+	if launched.ID == "" {
+		t.Fatalf("async launch: %+v", launched)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var polled jobWire
+		doJSON(t, "GET", srv.URL+"/v1/experiments/jobs/"+launched.ID, nil, 200, &polled)
+		if polled.Status == JobDone {
+			if polled.Result == nil || !polled.Result.Cached {
+				t.Fatalf("replayed job must be cache-served: %+v", polled.Result)
+			}
+			break
+		}
+		if polled.Status == JobFailed {
+			t.Fatalf("job failed: %s", polled.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("poll never saw the job finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Unknown experiment → 404; unknown job → 404.
+	doJSON(t, "POST", srv.URL+"/v1/experiments", ExperimentSpec{Name: "nope", Seed: 1}, 404, nil)
+	doJSON(t, "GET", srv.URL+"/v1/experiments/jobs/job-999999", nil, 404, nil)
+}

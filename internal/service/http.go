@@ -20,6 +20,10 @@ import (
 //	POST   /v1/sessions/{id}/query   one oracle query
 //	POST   /v1/campaigns             run (or fetch cached) campaign job
 //	POST   /v1/extract               run (or fetch cached) extraction job
+//	GET    /v1/experiments           registered experiments with axes
+//	POST   /v1/experiments           launch an experiment job (async;
+//	                                 ?wait=1 blocks for the result)
+//	GET    /v1/experiments/jobs/{id} poll an experiment job
 //	GET    /v1/stats                 service snapshot (?format=csv for CSV)
 //
 // Every handler is safe for concurrent use — the service layer does the
@@ -36,6 +40,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/campaigns", s.handleCampaign)
 	mux.HandleFunc("POST /v1/extract", s.handleExtract)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	mux.HandleFunc("POST /v1/experiments", s.handleExperimentLaunch)
+	mux.HandleFunc("GET /v1/experiments/jobs/{id}", s.handleExperimentJob)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
@@ -58,9 +65,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrVictimUnknown), errors.Is(err, ErrSessionUnknown):
+	case errors.Is(err, ErrVictimUnknown), errors.Is(err, ErrSessionUnknown),
+		errors.Is(err, ErrExperimentUnknown), errors.Is(err, ErrJobUnknown):
 		status = http.StatusNotFound
-	case errors.Is(err, oracle.ErrBudgetExhausted):
+	case errors.Is(err, oracle.ErrBudgetExhausted), errors.Is(err, ErrSessionLimit),
+		errors.Is(err, ErrJobLimit):
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrServiceClosed), errors.Is(err, ErrVictimClosed):
 		status = http.StatusServiceUnavailable
@@ -258,6 +267,64 @@ func (s *Service) handleExtract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Experiments(ExperimentSpec{}))
+}
+
+// jobWire is the JSON shape of an experiment-job snapshot.
+type jobWire struct {
+	ID     string            `json:"id"`
+	Spec   ExperimentSpec    `json:"spec"`
+	Status JobStatus         `json:"status"`
+	Error  string            `json:"error,omitempty"`
+	Result *ExperimentResult `json:"result,omitempty"`
+}
+
+func jobInfo(j *ExperimentJob) jobWire {
+	out := jobWire{ID: j.ID(), Spec: j.Spec()}
+	status, res, err := j.Snapshot()
+	out.Status = status
+	out.Result = res
+	if err != nil {
+		out.Error = err.Error()
+	}
+	return out
+}
+
+func (s *Service) handleExperimentLaunch(w http.ResponseWriter, r *http.Request) {
+	var spec ExperimentSpec
+	if err := decodeJSON(r, &spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	job, err := s.LaunchExperiment(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		// Honor client disconnects: the job keeps running (its result
+		// lands in the artifact cache and stays pollable by id), but the
+		// handler goroutine must not stay pinned to a dead connection.
+		select {
+		case <-job.Done():
+			writeJSON(w, http.StatusOK, jobInfo(job))
+		case <-r.Context().Done():
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobInfo(job))
+}
+
+func (s *Service) handleExperimentJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.ExperimentJobByID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobInfo(job))
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -21,7 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"xbarsec/internal/memo"
 	"xbarsec/internal/pool"
 	"xbarsec/internal/rng"
 )
@@ -47,32 +49,110 @@ type Config struct {
 	// MaxCachedArtifacts bounds the artifact cache; the oldest completed
 	// artifacts are evicted FIFO beyond it (0 = 4096).
 	MaxCachedArtifacts int
+	// SessionTTL evicts sessions idle longer than this (0 = sessions
+	// never expire). A background janitor sweeps at TTL/4 granularity;
+	// an evicted session behaves exactly like a closed one (lookups
+	// fail with ErrSessionUnknown, remaining budget is forfeited).
+	SessionTTL time.Duration
+	// MaxSessionsPerVictim caps concurrently open sessions per victim
+	// (0 = unlimited); OpenSession fails with ErrSessionLimit beyond it.
+	MaxSessionsPerVictim int
+	// DataDir, when set, is searched for real MNIST/CIFAR files by
+	// server-side experiment jobs.
+	DataDir string
+	// MaxExperimentJobs bounds the experiment-job table; the oldest
+	// finished jobs are evicted beyond it (0 = 1024).
+	MaxExperimentJobs int
 }
 
-// Service hosts victims, sessions and campaign jobs.
+// Service hosts victims, sessions, campaign jobs and experiment jobs.
 type Service struct {
 	cfg      Config
 	root     *rng.Source
 	victims  shardedMap[*Victim]
 	sessions shardedMap[*Session]
-	cache    *artifactCache
+	cache    *memo.Cache[any]
 	gate     *pool.Gate
+	jobs     *jobTable
 
 	campaigns atomic.Int64
+	reaped    atomic.Int64
 	closed    atomic.Bool
+	janitorCh chan struct{} // closed on Close to stop the session janitor
 }
 
-// New returns an empty service.
+// New returns an empty service. When Config.SessionTTL is set, a
+// janitor goroutine reaps idle sessions until Close.
 func New(cfg Config) *Service {
 	if cfg.DefaultSessionBudget <= 0 {
 		cfg.DefaultSessionBudget = 10000
 	}
-	return &Service{
-		cfg:   cfg,
-		root:  rng.New(cfg.Seed).Split("service"),
-		cache: newArtifactCache(cfg.MaxCachedArtifacts),
-		gate:  pool.NewGate(cfg.MaxConcurrentJobs),
+	s := &Service{
+		cfg:       cfg,
+		root:      rng.New(cfg.Seed).Split("service"),
+		cache:     memo.New[any](cfg.MaxCachedArtifacts),
+		gate:      pool.NewGate(cfg.MaxConcurrentJobs),
+		jobs:      newJobTable(cfg.MaxExperimentJobs),
+		janitorCh: make(chan struct{}),
 	}
+	if cfg.SessionTTL > 0 {
+		go s.sessionJanitor()
+	}
+	return s
+}
+
+// sessionJanitor periodically reaps idle sessions. Sweep granularity is
+// TTL/4 (at least a millisecond), so a session lives at most ~1.25 TTL
+// past its last query.
+func (s *Service) sessionJanitor() {
+	interval := s.cfg.SessionTTL / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.janitorCh:
+			return
+		case now := <-ticker.C:
+			s.ReapIdleSessions(now)
+		}
+	}
+}
+
+// ReapIdleSessions closes every session idle longer than the configured
+// TTL as of now, returning how many it reaped. It is a no-op when no
+// TTL is configured. Exposed so operators (and tests) can force a sweep
+// without waiting for the janitor.
+func (s *Service) ReapIdleSessions(now time.Time) int {
+	if s.cfg.SessionTTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.cfg.SessionTTL).UnixNano()
+	// Two phases: collect stale ids under the shard read locks, then
+	// remove outside them (remove takes the write lock). A query racing
+	// the sweep is still served — budget accounting is the oracle's —
+	// but its session may be reaped right after; with TTLs in seconds
+	// and the race window in microseconds that is the intended "idle"
+	// semantics, not a correctness hazard.
+	var stale []string
+	s.sessions.each(func(id string, sess *Session) {
+		if sess.lastUsed.Load() < cutoff {
+			stale = append(stale, id)
+		}
+	})
+	reaped := 0
+	for _, id := range stale {
+		// remove is the linearization point: each session is reaped at
+		// most once even when sweeps race with CloseSession.
+		if sess, ok := s.sessions.remove(id); ok {
+			sess.victim.open.Add(-1)
+			reaped++
+		}
+	}
+	s.reaped.Add(int64(reaped))
+	return reaped
 }
 
 // Register adds a victim and starts its coalescer.
@@ -115,11 +195,13 @@ func (s *Service) Victim(name string) (*Victim, error) {
 func (s *Service) VictimNames() []string { return s.victims.keys() }
 
 // Close shuts the service down: coalescers stop after draining, queued
-// queries fail with ErrVictimClosed, and new work is refused.
+// queries fail with ErrVictimClosed, the session janitor stops, and new
+// work is refused.
 func (s *Service) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
+	close(s.janitorCh)
 	s.victims.each(func(_ string, v *Victim) { v.batcher.close() })
 }
 
@@ -147,8 +229,13 @@ type Stats struct {
 	Victims []VictimStats `json:"victims"`
 	// Sessions counts open sessions across all victims.
 	Sessions int `json:"sessions"`
+	// ReapedSessions counts sessions evicted by the idle-TTL janitor.
+	ReapedSessions int64 `json:"reaped_sessions"`
 	// Campaigns counts campaign jobs served (cached or computed).
 	Campaigns int64 `json:"campaigns"`
+	// ExperimentJobs counts experiment jobs currently tracked (running
+	// or finished, within the job-table bound).
+	ExperimentJobs int `json:"experiment_jobs"`
 	// CacheHits and CacheMisses are artifact-cache counters.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
@@ -160,10 +247,12 @@ type Stats struct {
 func (s *Service) Stats() Stats {
 	st := Stats{
 		Sessions:        s.sessions.size(),
+		ReapedSessions:  s.reaped.Load(),
 		Campaigns:       s.campaigns.Load(),
-		CachedArtifacts: s.cache.size(),
+		ExperimentJobs:  s.jobs.size(),
+		CachedArtifacts: s.cache.Size(),
 	}
-	st.CacheHits, st.CacheMisses = s.cache.stats()
+	st.CacheHits, st.CacheMisses = s.cache.Stats()
 	for _, name := range s.victims.keys() {
 		v, ok := s.victims.get(name)
 		if !ok {

@@ -262,7 +262,7 @@ func TestCampaignSingleflight(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	hits, misses := s.cache.stats()
+	hits, misses := s.cache.Stats()
 	if misses != 1 {
 		t.Fatalf("computed %d times, want singleflight (1)", misses)
 	}
@@ -404,7 +404,7 @@ func TestArtifactCacheBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if n := s.cache.size(); n > 3 {
+	if n := s.cache.Size(); n > 3 {
 		t.Fatalf("cache holds %d artifacts, bound is 3", n)
 	}
 	// The newest artifact survived; the oldest was evicted (recomputed

@@ -4,6 +4,8 @@ import (
 	cryptorand "crypto/rand"
 	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"xbarsec/internal/crossbar"
 	"xbarsec/internal/oracle"
@@ -11,9 +13,13 @@ import (
 	"xbarsec/internal/tensor"
 )
 
-// ErrSessionUnknown indicates a lookup for a closed or never-opened
-// session.
+// ErrSessionUnknown indicates a lookup for a closed, expired or
+// never-opened session.
 var ErrSessionUnknown = errors.New("service: unknown session")
+
+// ErrSessionLimit indicates a victim is at its per-victim open-session
+// cap (Config.MaxSessionsPerVictim).
+var ErrSessionLimit = errors.New("service: victim session limit reached")
 
 // coalescedHW adapts a victim's batcher to the oracle.Hardware interface:
 // every read becomes one coalesced round trip through the shared array.
@@ -89,6 +95,9 @@ type Session struct {
 	id     string
 	victim *Victim
 	oracle *oracle.Oracle
+	// lastUsed is the unix-nano time of the session's last query (or
+	// its open), read by the idle-TTL janitor.
+	lastUsed atomic.Int64
 }
 
 // OpenSession admits a new attacker session against a registered victim.
@@ -110,6 +119,23 @@ func (s *Service) OpenSession(victim string, cfg SessionConfig) (*Session, error
 	case budget < 0:
 		budget = 0 // unlimited in oracle terms
 	}
+	// Admission against the per-victim cap: optimistically increment,
+	// then undo on overshoot. Concurrent opens can transiently exceed
+	// the cap inside this window but never both remain admitted.
+	if max := s.cfg.MaxSessionsPerVictim; max > 0 {
+		if v.open.Add(1) > int64(max) {
+			v.open.Add(-1)
+			return nil, fmt.Errorf("service: victim %q: %w", v.name, ErrSessionLimit)
+		}
+	} else {
+		v.open.Add(1)
+	}
+	admitted := false
+	defer func() {
+		if !admitted {
+			v.open.Add(-1)
+		}
+	}()
 	ord := v.sessionSeq.Add(1)
 	// The id doubles as the session's only credential on the HTTP API,
 	// so it carries an unguessable token — a sequential id would let
@@ -135,10 +161,11 @@ func (s *Service) OpenSession(victim string, cfg SessionConfig) (*Session, error
 		return nil, err
 	}
 	sess := &Session{id: id, victim: v, oracle: orc}
+	sess.lastUsed.Store(time.Now().UnixNano())
 	if !s.sessions.put(id, sess) {
 		return nil, fmt.Errorf("service: session id collision %q", id)
 	}
-	v.open.Add(1)
+	admitted = true
 	return sess, nil
 }
 
@@ -172,8 +199,10 @@ func (sess *Session) Mode() oracle.Mode { return sess.oracle.Mode() }
 
 // Query runs one attacker query through the victim's coalescer, charging
 // the session budget if and only if a response is delivered (the oracle
-// accounting contract).
+// accounting contract). Every query marks the session live for the
+// idle-TTL janitor.
 func (sess *Session) Query(u []float64) (oracle.Response, error) {
+	sess.lastUsed.Store(time.Now().UnixNano())
 	return sess.oracle.Query(u)
 }
 
