@@ -2,7 +2,7 @@ GO ?= go
 BENCH_JSON ?= BENCH_4.json
 COVER_PROFILE ?= cover.out
 
-.PHONY: build test race vet fmt fmt-check bench bench-json cover ci
+.PHONY: build test race vet fmt fmt-check bench bench-json cover examples ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,19 @@ bench-json:
 	$(GO) test -run XXX -bench 'VictimStoreColdFig3$$|VictimStoreWarmFig3$$' -benchtime 3x . > /tmp/xbarsec-bench-store.txt
 	cat /tmp/xbarsec-bench-micro.txt /tmp/xbarsec-bench-macro.txt /tmp/xbarsec-bench-store.txt | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@cat $(BENCH_JSON)
+
+# Builds and RUNS every example end to end (each takes a second or two;
+# the campaign example boots the HTTP service and drives it through the
+# client SDK), so SDK-consuming examples can't silently rot. CI runs
+# this as its own step.
+examples:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/powerprofile
+	$(GO) run ./examples/surrogatetheft
+	$(GO) run ./examples/robustness
+	$(GO) run ./examples/defenses
+	$(GO) run ./examples/campaign
 
 # Full-suite coverage profile plus the per-package summary; CI runs this
 # as its own job and archives nothing — the one-line total is the

@@ -1,0 +1,102 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestErrorCodeHTTPStatus(t *testing.T) {
+	cases := map[ErrorCode]int{
+		CodeBadRequest:        http.StatusBadRequest,
+		CodeUnknownVictim:     http.StatusNotFound,
+		CodeUnknownSession:    http.StatusNotFound,
+		CodeUnknownExperiment: http.StatusNotFound,
+		CodeUnknownJob:        http.StatusNotFound,
+		CodeBudgetExhausted:   http.StatusTooManyRequests,
+		CodeSessionLimit:      http.StatusTooManyRequests,
+		CodeJobLimit:          http.StatusTooManyRequests,
+		CodeServiceClosed:     http.StatusServiceUnavailable,
+		CodeVictimClosed:      http.StatusServiceUnavailable,
+		CodeVersionMismatch:   http.StatusInternalServerError,
+		CodeInternal:          http.StatusInternalServerError,
+	}
+	for code, want := range cases {
+		if got := code.HTTPStatus(); got != want {
+			t.Errorf("%s -> %d, want %d", code, got, want)
+		}
+	}
+}
+
+func TestErrorEnvelopeRoundTrip(t *testing.T) {
+	e := &Error{Code: CodeBudgetExhausted, Message: "spent", Detail: "42 of 42"}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"code":"budget_exhausted","message":"spent","detail":"42 of 42"}`
+	if string(data) != want {
+		t.Fatalf("envelope = %s", data)
+	}
+	var back Error
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *e {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.Error() != "budget_exhausted: spent (42 of 42)" {
+		t.Fatalf("Error() = %q", back.Error())
+	}
+	if (&Error{Code: CodeInternal, Message: "boom"}).Error() != "internal: boom" {
+		t.Fatal("detail-less rendering broken")
+	}
+}
+
+func TestCodeOf(t *testing.T) {
+	base := &Error{Code: CodeSessionLimit, Message: "full"}
+	if CodeOf(base) != CodeSessionLimit {
+		t.Fatal("direct extraction failed")
+	}
+	wrapped := fmt.Errorf("outer context: %w", base)
+	if CodeOf(wrapped) != CodeSessionLimit {
+		t.Fatal("wrapped extraction failed")
+	}
+	if CodeOf(errors.New("plain")) != "" {
+		t.Fatal("plain error has a code")
+	}
+	if CodeOf(nil) != "" {
+		t.Fatal("nil error has a code")
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	if VersionString() != fmt.Sprintf("v%d.%d", Major, Minor) {
+		t.Fatalf("VersionString() = %q", VersionString())
+	}
+}
+
+// TestWireShapes pins a few JSON field names the protocol freezes —
+// renaming any of these is a major-version change.
+func TestWireShapes(t *testing.T) {
+	spec := ExperimentSpec{Name: "fig5", Seed: 7, Options: &ExperimentOptions{
+		Fig5: &Fig5Options{Queries: []int{5}, Lambdas: []float64{0.01}},
+	}}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"name":"fig5","seed":7,"options":{"fig5":{"queries":[5],"lambdas":[0.01]}}}`
+	if string(data) != want {
+		t.Fatalf("spec wire = %s", data)
+	}
+	out, err := json.Marshal(QueryOutcome{Error: &Error{Code: CodeBudgetExhausted, Message: "m"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `{"label":0,"error":{"code":"budget_exhausted","message":"m"}}` {
+		t.Fatalf("outcome wire = %s", out)
+	}
+}

@@ -1,0 +1,46 @@
+// Package api is the versioned public wire protocol of the xbarsec
+// attack-campaign service: every request and response body exchanged
+// with an xbarserve instance is one of the typed structs in this
+// package, every error response is the uniform Error envelope, and the
+// protocol version is negotiated through GET /v1/version. The package
+// has no dependencies beyond the standard library, so any Go client —
+// the bundled client SDK (xbarsec/client), the CLI's remote paths, or
+// third-party tooling — can speak the protocol by importing it alone.
+//
+// # Endpoints (protocol v1)
+//
+//	GET    /healthz                    Health
+//	GET    /v1/version                 VersionInfo
+//	GET    /v1/victims                 []VictimStats
+//	POST   /v1/sessions                OpenSessionRequest  -> Session
+//	GET    /v1/sessions/{id}           Session
+//	DELETE /v1/sessions/{id}           SessionClosed
+//	POST   /v1/sessions/{id}/query     QueryRequest        -> QueryResponse
+//	POST   /v1/sessions/{id}/queries   QueryBatchRequest   -> QueryBatchResponse
+//	POST   /v1/campaigns               CampaignRequest     -> CampaignResult
+//	POST   /v1/extract                 ExtractRequest      -> ExtractResult
+//	GET    /v1/experiments             []ExperimentInfo
+//	POST   /v1/experiments             ExperimentSpec      -> Job
+//	                                   (?wait=1 blocks for the result)
+//	GET    /v1/experiments/jobs/{id}   Job
+//	GET    /v1/stats                   Stats (?format=csv for CSV)
+//
+// # Versioning policy
+//
+// The protocol follows the usual major/minor contract. Within one major
+// version, servers may add endpoints and add response fields, and may
+// accept new optional request fields — they never rename or remove
+// fields, change a field's type, or change an endpoint's meaning.
+// Clients must therefore tolerate unknown response fields. Anything
+// incompatible increments Major (and the /v1/ path prefix), and the
+// client SDK refuses to talk to a server whose major version differs
+// from its own (ErrorCode "version_mismatch").
+//
+// # Errors
+//
+// Every non-2xx response carries the Error envelope {code, message,
+// detail}. Code is machine-readable and stable across the major
+// version; Message and Detail are human-readable and may change.
+// Clients switch on Code (or on the HTTP status, which is derived from
+// it — see ErrorCode.HTTPStatus), never on message text.
+package api

@@ -1,0 +1,100 @@
+package api
+
+import (
+	"errors"
+	"net/http"
+)
+
+// ErrorCode is the machine-readable identity of a protocol error.
+// Codes are stable across a major version: clients switch on them to
+// drive retry/backoff/abort decisions, never on message text.
+type ErrorCode string
+
+// The protocol v1 error codes.
+const (
+	// CodeBadRequest: the request body or parameters failed validation;
+	// retrying the identical request cannot succeed.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeUnknownVictim: the named victim is not registered.
+	CodeUnknownVictim ErrorCode = "unknown_victim"
+	// CodeUnknownSession: the session id is closed, expired or never
+	// existed.
+	CodeUnknownSession ErrorCode = "unknown_session"
+	// CodeUnknownExperiment: the experiment name is not in the server's
+	// registry (list GET /v1/experiments).
+	CodeUnknownExperiment ErrorCode = "unknown_experiment"
+	// CodeUnknownJob: the experiment job id is unknown or was evicted.
+	CodeUnknownJob ErrorCode = "unknown_job"
+	// CodeBudgetExhausted: the session's oracle query budget is spent;
+	// further queries on this session will keep failing.
+	CodeBudgetExhausted ErrorCode = "budget_exhausted"
+	// CodeSessionLimit: the victim is at its per-victim open-session cap;
+	// retry after other sessions close or expire.
+	CodeSessionLimit ErrorCode = "session_limit"
+	// CodeJobLimit: the experiment-job table is full of running jobs;
+	// retry after some finish.
+	CodeJobLimit ErrorCode = "job_limit"
+	// CodeServiceClosed: the service is shutting down.
+	CodeServiceClosed ErrorCode = "service_closed"
+	// CodeVictimClosed: the victim's serving pipeline has been shut down.
+	CodeVictimClosed ErrorCode = "victim_closed"
+	// CodeVersionMismatch: the client and server speak different major
+	// protocol versions. Synthesized client-side by the SDK's version
+	// handshake; never emitted by a server.
+	CodeVersionMismatch ErrorCode = "version_mismatch"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// HTTPStatus returns the HTTP status a server sends with the code —
+// the mapping is part of the protocol, shared by server and clients.
+func (c ErrorCode) HTTPStatus() int {
+	switch c {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeUnknownVictim, CodeUnknownSession, CodeUnknownExperiment, CodeUnknownJob:
+		return http.StatusNotFound
+	case CodeBudgetExhausted, CodeSessionLimit, CodeJobLimit:
+		return http.StatusTooManyRequests
+	case CodeServiceClosed, CodeVictimClosed:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Error is the uniform envelope of every non-2xx response body. It
+// implements the error interface, so SDK methods return it directly and
+// callers unwrap it with errors.As (or the CodeOf shortcut).
+type Error struct {
+	// Code is the machine-readable error identity.
+	Code ErrorCode `json:"code"`
+	// Message is a human-readable summary. Not stable — do not parse.
+	Message string `json:"message"`
+	// Detail optionally carries underlying-cause context (a decoder
+	// error, the offending value). Not stable — do not parse.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Error renders the envelope as a conventional error string.
+func (e *Error) Error() string {
+	if e.Detail != "" {
+		return string(e.Code) + ": " + e.Message + " (" + e.Detail + ")"
+	}
+	return string(e.Code) + ": " + e.Message
+}
+
+// CodeOf extracts the protocol error code from any error in err's
+// chain, or "" when err carries none. The idiomatic client switch:
+//
+//	switch api.CodeOf(err) {
+//	case api.CodeBudgetExhausted: ...
+//	case api.CodeSessionLimit:    ...
+//	}
+func CodeOf(err error) ErrorCode {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return ""
+}

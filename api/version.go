@@ -1,0 +1,17 @@
+package api
+
+import "fmt"
+
+// The protocol version this package defines. Major gates
+// compatibility (see the package comment's versioning policy); Minor
+// counts additive changes within it.
+const (
+	Major = 1
+	Minor = 0
+)
+
+// VersionString renders the package's protocol version, e.g. "v1.0".
+func VersionString() string { return fmt.Sprintf("v%d.%d", Major, Minor) }
+
+// PathPrefix is the URL prefix of every versioned endpoint.
+const PathPrefix = "/v1"

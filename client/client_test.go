@@ -1,0 +1,455 @@
+package client_test
+
+// SDK round-trip tests: every endpoint and every typed error code,
+// driven against a real service behind httptest — exactly the stack an
+// external consumer talks to.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xbarsec/api"
+	"xbarsec/client"
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/dataset"
+	"xbarsec/internal/experiment/engine"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/service"
+)
+
+// buildVictim trains a tiny deterministic victim for SDK tests.
+func buildVictim(t testing.TB, name string, seed int64) *service.Victim {
+	t.Helper()
+	src := rng.New(seed)
+	gen := func(label string, n int) *dataset.Dataset {
+		ds, err := dataset.GenerateMNISTLike(src.Split(label), n, dataset.MNISTLikeConfig{
+			Size: 10, StrokeWidth: 0.06, Jitter: 0.4, PixelNoise: 0.02,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	train, test := gen("train", 120), gen("test", 60)
+	net, _, err := nn.TrainNew(train, nn.ActLinear, nn.LossMSE, nn.TrainConfig{
+		Epochs: 8, BatchSize: 16, LearningRate: 0.1, Momentum: 0.9, ZeroInit: true,
+	}, src.Split("fit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := crossbar.DefaultDeviceConfig()
+	cfg.GOff = 0
+	hw, err := crossbar.NewNetwork(net, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := service.NewVictim(name, net, hw, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// fixture boots a service with one victim and returns an SDK client.
+func fixture(t *testing.T, cfg service.Config) (*client.Client, *service.Service, *service.Victim) {
+	t.Helper()
+	v := buildVictim(t, "toy", 17)
+	svc := service.New(cfg)
+	if err := svc.Register(v); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, svc, v
+}
+
+func TestNewValidatesBaseURL(t *testing.T) {
+	if _, err := client.New("ftp://nope"); err == nil {
+		t.Fatal("non-http scheme accepted")
+	}
+	if _, err := client.New("://bad"); err == nil {
+		t.Fatal("unparseable URL accepted")
+	}
+}
+
+func TestHealthAndVersion(t *testing.T) {
+	c, _, _ := fixture(t, service.Config{Seed: 17})
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Major != api.Major || v.Minor != api.Minor || v.Version != api.VersionString() {
+		t.Fatalf("version = %+v", v)
+	}
+	if v.Experiments != len(engine.Names()) || len(v.ExperimentsHash) != 64 {
+		t.Fatalf("registry digest = %+v", v)
+	}
+}
+
+func TestVersionMismatchRefusal(t *testing.T) {
+	// A server speaking a different major version: every SDK call is
+	// refused with the typed code before any request fires.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/version" {
+			_ = json.NewEncoder(w).Encode(api.VersionInfo{Version: "v99.0", Major: 99})
+			return
+		}
+		t.Errorf("request leaked past the version gate: %s", r.URL.Path)
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	c, err := client.New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.Victims(ctx); api.CodeOf(err) != api.CodeVersionMismatch {
+		t.Fatalf("err = %v, want version_mismatch", err)
+	}
+	// The verdict is cached: still refused, still typed.
+	if _, err := c.Stats(ctx); api.CodeOf(err) != api.CodeVersionMismatch {
+		t.Fatalf("second call err = %v, want version_mismatch", err)
+	}
+}
+
+func TestVersionMissingEndpointRefusal(t *testing.T) {
+	// A pre-versioning server (no /v1/version at all) is permanently
+	// incompatible.
+	srv := httptest.NewServer(http.HandlerFunc(http.NotFound))
+	defer srv.Close()
+	c, err := client.New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Victims(context.Background()); api.CodeOf(err) != api.CodeVersionMismatch {
+		t.Fatalf("err = %v, want version_mismatch", err)
+	}
+}
+
+func TestWithoutVersionCheck(t *testing.T) {
+	// The escape hatch talks to anything.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/stats" {
+			_ = json.NewEncoder(w).Encode(api.Stats{Sessions: 7})
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	c, err := client.New(srv.URL, client.WithoutVersionCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil || st.Sessions != 7 {
+		t.Fatalf("stats = %+v, %v", st, err)
+	}
+}
+
+func TestNonEnvelopeErrorSynthesized(t *testing.T) {
+	// A non-JSON 500 still comes back as a typed *api.Error.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/version" {
+			_ = json.NewEncoder(w).Encode(api.VersionInfo{Version: api.VersionString(), Major: api.Major})
+			return
+		}
+		http.Error(w, "kaboom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c, err := client.New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Victims(context.Background())
+	if api.CodeOf(err) != api.CodeInternal || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want synthesized internal envelope", err)
+	}
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	c, _, v := fixture(t, service.Config{Seed: 17, Workers: 2})
+	ctx := context.Background()
+
+	victims, err := c.Victims(ctx)
+	if err != nil || len(victims) != 1 || victims[0].Name != "toy" {
+		t.Fatalf("victims = %+v, %v", victims, err)
+	}
+
+	sess, err := c.OpenSession(ctx, api.OpenSessionRequest{
+		Victim: "toy", Mode: api.ModeRawOutput, MeasurePower: true, Budget: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID() == "" || sess.Info().Victim != "toy" || sess.Info().Budget != 3 {
+		t.Fatalf("session = %+v", sess.Info())
+	}
+
+	qr, err := sess.Query(ctx, v.Test().X.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Raw) != 10 || qr.Power <= 0 || qr.Queries != 1 || qr.Remaining != 2 {
+		t.Fatalf("query = %+v", qr)
+	}
+	// The wire result matches the in-process hardware bit for bit
+	// (JSON float64 round-trips exactly).
+	wantY, err := v.Hardware().Forward(v.Test().X.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantY {
+		if qr.Raw[i] != wantY[i] {
+			t.Fatalf("raw[%d] = %v, want %v", i, qr.Raw[i], wantY[i])
+		}
+	}
+
+	// A detached handle on the same id sees the same accounting.
+	info, err := c.SessionByID(sess.ID()).Refresh(ctx)
+	if err != nil || info.Queries != 1 {
+		t.Fatalf("refresh = %+v, %v", info, err)
+	}
+
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Query(ctx, v.Test().X.Row(0)); api.CodeOf(err) != api.CodeUnknownSession {
+		t.Fatalf("closed session err = %v", err)
+	}
+}
+
+func TestQueryBatchRoundTrip(t *testing.T) {
+	c, _, v := fixture(t, service.Config{Seed: 17, Workers: 2})
+	ctx := context.Background()
+	sess, err := c.OpenSession(ctx, api.OpenSessionRequest{
+		Victim: "toy", Mode: api.ModeRawOutput, MeasurePower: true, Budget: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][]float64, 6)
+	for i := range inputs {
+		inputs[i] = v.Test().X.Row(i)
+	}
+	batch, err := sess.QueryBatch(ctx, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 6 || batch.Queries != 4 || batch.Remaining != 0 {
+		t.Fatalf("batch accounting = %d results, %d/%d", len(batch.Results), batch.Queries, batch.Remaining)
+	}
+	for i, r := range batch.Results {
+		if i < 4 {
+			if r.Error != nil || len(r.Raw) != 10 || r.Power <= 0 {
+				t.Fatalf("admitted outcome %d = %+v", i, r)
+			}
+		} else if r.Error == nil || r.Error.Code != api.CodeBudgetExhausted {
+			t.Fatalf("refused outcome %d = %+v", i, r)
+		}
+	}
+	// A fully refused batch fails like a single exhausted query.
+	if _, err := sess.QueryBatch(ctx, inputs[:2]); api.CodeOf(err) != api.CodeBudgetExhausted {
+		t.Fatalf("exhausted batch err = %v", err)
+	}
+	// Malformed input inside a batch: typed bad request, nothing charged.
+	sess2, err := c.OpenSession(ctx, api.OpenSessionRequest{Victim: "toy", Budget: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess2.QueryBatch(ctx, [][]float64{v.Test().X.Row(0), {1, 2}}); api.CodeOf(err) != api.CodeBadRequest {
+		t.Fatalf("short batch input err = %v", err)
+	}
+	if _, err := sess2.QueryBatch(ctx, nil); api.CodeOf(err) != api.CodeBadRequest {
+		t.Fatalf("empty batch err = %v", err)
+	}
+	info, err := sess2.Refresh(ctx)
+	if err != nil || info.Queries != 0 {
+		t.Fatalf("malformed batch charged budget: %+v, %v", info, err)
+	}
+}
+
+func TestCampaignExtractAndStats(t *testing.T) {
+	c, _, _ := fixture(t, service.Config{Seed: 17, Workers: 2})
+	ctx := context.Background()
+	spec := api.CampaignRequest{Victim: "toy", Mode: api.ModeLabelOnly, Seed: 5, Queries: 20, SurrogateEpochs: 3}
+	res, err := c.RunCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached || res.QueriesCharged != 20 {
+		t.Fatalf("campaign = %+v", res)
+	}
+	again, err := c.RunCampaign(ctx, spec)
+	if err != nil || !again.Cached {
+		t.Fatalf("replay = %+v, %v", again, err)
+	}
+	again.Cached = res.Cached
+	if *again != *res {
+		t.Fatalf("cached campaign differs: %+v vs %+v", again, res)
+	}
+
+	ex, err := c.RunExtract(ctx, api.ExtractRequest{Victim: "toy", Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Signals) != 100 || len(ex.Norms) != 100 || ex.ProbeQueries != 200 {
+		t.Fatalf("extract = %d signals, %d probes", len(ex.Signals), ex.ProbeQueries)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Campaigns != 2 || st.CachedArtifacts < 2 || st.CachedArtifactBytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	c, _, _ := fixture(t, service.Config{Seed: 17})
+	ctx := context.Background()
+	infos, err := c.Experiments(ctx)
+	if err != nil || len(infos) != len(engine.Names()) {
+		t.Fatalf("experiments = %d, %v", len(infos), err)
+	}
+	spec := api.ExperimentSpec{Name: "ablate-trace", Seed: 29, Scale: 0.01}
+	res, err := c.RunExperiment(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Render, "Extension A6") || len(res.Result) == 0 {
+		t.Fatalf("experiment result incomplete: %+v", res)
+	}
+	job, err := c.LaunchExperiment(ctx, spec)
+	if err != nil || job.ID == "" {
+		t.Fatalf("launch = %+v, %v", job, err)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	done, err := c.WaitJob(waitCtx, job.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != api.JobDone || done.Result == nil || !done.Result.Cached {
+		t.Fatalf("waited job = %+v", done)
+	}
+	if got, err := c.ExperimentJob(ctx, job.ID); err != nil || got.Status != api.JobDone {
+		t.Fatalf("poll = %+v, %v", got, err)
+	}
+}
+
+// blockGate releases the registered blocking test experiment.
+var blockGate = make(chan struct{})
+
+var registerBlocker = sync.OnceFunc(func() {
+	engine.Register(engine.Experiment{
+		Name:  "sdk-test-blocker",
+		Title: "blocks until released (client tests only)",
+		Run: func(opts engine.Options) (engine.Result, error) {
+			<-blockGate
+			return nil, context.Canceled
+		},
+	})
+})
+
+// TestEveryTypedErrorCode drives one request per protocol error code
+// and asserts the SDK surfaces exactly that code.
+func TestEveryTypedErrorCode(t *testing.T) {
+	registerBlocker()
+	c, svc, v := fixture(t, service.Config{
+		Seed: 17, MaxSessionsPerVictim: 1, MaxExperimentJobs: 1,
+	})
+	ctx := context.Background()
+
+	// bad_request
+	if _, err := c.OpenSession(ctx, api.OpenSessionRequest{Victim: "toy", Mode: "psychic"}); api.CodeOf(err) != api.CodeBadRequest {
+		t.Fatalf("bad_request: %v", err)
+	}
+	// unknown_victim
+	if _, err := c.OpenSession(ctx, api.OpenSessionRequest{Victim: "ghost"}); api.CodeOf(err) != api.CodeUnknownVictim {
+		t.Fatalf("unknown_victim: %v", err)
+	}
+	// unknown_session
+	if _, err := c.SessionByID("toy-s9-deadbeef").Refresh(ctx); api.CodeOf(err) != api.CodeUnknownSession {
+		t.Fatalf("unknown_session: %v", err)
+	}
+	// unknown_experiment
+	if _, err := c.RunExperiment(ctx, api.ExperimentSpec{Name: "ghost"}); api.CodeOf(err) != api.CodeUnknownExperiment {
+		t.Fatalf("unknown_experiment: %v", err)
+	}
+	// unknown_job
+	if _, err := c.ExperimentJob(ctx, "job-424242"); api.CodeOf(err) != api.CodeUnknownJob {
+		t.Fatalf("unknown_job: %v", err)
+	}
+
+	// session_limit (cap 1): the second open is refused.
+	sess, err := c.OpenSession(ctx, api.OpenSessionRequest{Victim: "toy", Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenSession(ctx, api.OpenSessionRequest{Victim: "toy"}); api.CodeOf(err) != api.CodeSessionLimit {
+		t.Fatalf("session_limit: %v", err)
+	}
+
+	// budget_exhausted (budget 1): the second query is refused.
+	if _, err := sess.Query(ctx, v.Test().X.Row(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Query(ctx, v.Test().X.Row(1)); api.CodeOf(err) != api.CodeBudgetExhausted {
+		t.Fatalf("budget_exhausted: %v", err)
+	}
+
+	// job_limit (table bound 1): a blocked running job refuses the next
+	// launch.
+	job, err := c.LaunchExperiment(ctx, api.ExperimentSpec{Name: "sdk-test-blocker"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LaunchExperiment(ctx, api.ExperimentSpec{Name: "sdk-test-blocker", Seed: 2}); api.CodeOf(err) != api.CodeJobLimit {
+		t.Fatalf("job_limit: %v", err)
+	}
+	close(blockGate)
+	waitCtx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	if _, err := c.WaitJob(waitCtx, job.ID, time.Millisecond); err == nil {
+		t.Fatal("blocker job must fail")
+	}
+
+	// victim_closed / service_closed: shut the service down under the
+	// live handler. The probe session needs unspent budget (the budget
+	// check precedes the hardware path) — swap the exhausted one out
+	// first.
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sess, err = c.OpenSession(ctx, api.OpenSessionRequest{Victim: "toy", Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	if _, err := sess.Query(ctx, v.Test().X.Row(0)); api.CodeOf(err) != api.CodeVictimClosed {
+		t.Fatalf("victim_closed: %v", err)
+	}
+	if _, err := c.RunCampaign(ctx, api.CampaignRequest{Victim: "toy", Mode: api.ModeLabelOnly, Queries: 5}); api.CodeOf(err) != api.CodeServiceClosed {
+		t.Fatalf("service_closed: %v", err)
+	}
+	// version_mismatch and internal are covered by the dedicated fake-
+	// server tests above; together that is every code the protocol
+	// defines.
+}

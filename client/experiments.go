@@ -1,0 +1,87 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"xbarsec/api"
+)
+
+// Experiments lists the server's experiment registry with grid axes.
+func (c *Client) Experiments(ctx context.Context) ([]api.ExperimentInfo, error) {
+	var out []api.ExperimentInfo
+	err := c.call(ctx, http.MethodGet, "/v1/experiments", nil, &out)
+	return out, err
+}
+
+// LaunchExperiment starts an experiment job asynchronously and returns
+// its poll handle (combine with WaitJob, or poll ExperimentJob).
+func (c *Client) LaunchExperiment(ctx context.Context, spec api.ExperimentSpec) (api.Job, error) {
+	var job api.Job
+	err := c.call(ctx, http.MethodPost, "/v1/experiments", spec, &job)
+	return job, err
+}
+
+// ExperimentJob polls one experiment job.
+func (c *Client) ExperimentJob(ctx context.Context, id string) (api.Job, error) {
+	var job api.Job
+	err := c.call(ctx, http.MethodGet, "/v1/experiments/jobs/"+id, nil, &job)
+	return job, err
+}
+
+// RunExperiment launches an experiment job and blocks (server-side,
+// ?wait=1 — one round trip, no polling) until it finishes, returning
+// its result. A failed job surfaces as an error. Long experiments are
+// bounded only by ctx.
+func (c *Client) RunExperiment(ctx context.Context, spec api.ExperimentSpec) (*api.ExperimentResult, error) {
+	var job api.Job
+	if err := c.call(ctx, http.MethodPost, "/v1/experiments?wait=1", spec, &job); err != nil {
+		return nil, err
+	}
+	return jobResult(job)
+}
+
+// WaitJob polls an experiment job until it finishes (or ctx expires),
+// returning the finished job. poll <= 0 selects 250ms. A failed job is
+// returned alongside a non-nil error.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (api.Job, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		job, err := c.ExperimentJob(ctx, id)
+		if err != nil {
+			return job, err
+		}
+		if job.Status != api.JobRunning {
+			if job.Status == api.JobFailed {
+				return job, fmt.Errorf("client: experiment job %s failed: %s", job.ID, job.Error)
+			}
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return job, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// jobResult extracts a finished job's result.
+func jobResult(job api.Job) (*api.ExperimentResult, error) {
+	switch job.Status {
+	case api.JobDone:
+		if job.Result == nil {
+			return nil, fmt.Errorf("client: job %s done without a result", job.ID)
+		}
+		return job.Result, nil
+	case api.JobFailed:
+		return nil, fmt.Errorf("client: experiment job %s failed: %s", job.ID, job.Error)
+	default:
+		return nil, fmt.Errorf("client: job %s still %s", job.ID, job.Status)
+	}
+}

@@ -1,0 +1,79 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"xbarsec/api"
+)
+
+// Session is a client-side handle on one attacker session. Methods are
+// safe for concurrent use (the handle holds only the immutable id plus
+// the open-time snapshot); per-call accounting comes back on each
+// response.
+type Session struct {
+	c    *Client
+	info api.Session
+}
+
+// OpenSession opens an attacker session against a registered victim.
+func (c *Client) OpenSession(ctx context.Context, req api.OpenSessionRequest) (*Session, error) {
+	var info api.Session
+	if err := c.call(ctx, http.MethodPost, "/v1/sessions", req, &info); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, info: info}, nil
+}
+
+// SessionByID wraps an existing session id (e.g. one persisted across
+// process restarts) without a server round trip; the Info snapshot is
+// then zero until Refresh.
+func (c *Client) SessionByID(id string) *Session {
+	return &Session{c: c, info: api.Session{ID: id}}
+}
+
+// ID returns the session identifier — the only credential needed to
+// spend or close the session.
+func (s *Session) ID() string { return s.info.ID }
+
+// Info returns the open-time (or last Refresh) session snapshot. Use
+// Refresh — or the accounting fields on each query response — for live
+// budget numbers.
+func (s *Session) Info() api.Session { return s.info }
+
+// Refresh fetches the session's current accounting.
+func (s *Session) Refresh(ctx context.Context) (api.Session, error) {
+	var info api.Session
+	if err := s.c.call(ctx, http.MethodGet, "/v1/sessions/"+s.info.ID, nil, &info); err != nil {
+		return api.Session{}, err
+	}
+	return info, nil
+}
+
+// Query runs one oracle query: one HTTP round trip, one budget charge
+// iff a response is delivered.
+func (s *Session) Query(ctx context.Context, input []float64) (api.QueryResponse, error) {
+	var out api.QueryResponse
+	err := s.c.call(ctx, http.MethodPost, "/v1/sessions/"+s.info.ID+"/query", api.QueryRequest{Input: input}, &out)
+	return out, err
+}
+
+// QueryBatch runs a whole query slice in one HTTP round trip, served
+// server-side as one coalesced batch: responses are bit-identical to
+// len(inputs) sequential Query calls, budget accounting is per query
+// (after mid-batch exhaustion the remaining outcomes carry the typed
+// error "budget_exhausted"), but the cost is one round trip and a
+// constant number of array passes. This is the path that makes remote
+// collection scale with the server's coalescer instead of with HTTP
+// latency.
+func (s *Session) QueryBatch(ctx context.Context, inputs [][]float64) (api.QueryBatchResponse, error) {
+	var out api.QueryBatchResponse
+	err := s.c.call(ctx, http.MethodPost, "/v1/sessions/"+s.info.ID+"/queries", api.QueryBatchRequest{Inputs: inputs}, &out)
+	return out, err
+}
+
+// Close closes the session; its remaining budget is forfeited.
+func (s *Session) Close(ctx context.Context) error {
+	var out api.SessionClosed
+	return s.c.call(ctx, http.MethodDelete, "/v1/sessions/"+s.info.ID, nil, &out)
+}

@@ -44,15 +44,30 @@
 //	-format   string  output format: table (human tables/plots, the
 //	                  default), csv (every result table as CSV), or
 //	                  json (the full structured result)
+//	-server   string  xbarserve base URL; when set, experiments, list
+//	                  and campaign run remotely through the client SDK
+//	                  (xbarsec/client) instead of in-process. The server
+//	                  supplies -workers and -data; -format csv and -out
+//	                  need local result objects and are refused. Remote
+//	                  output is byte-identical to the in-process run at
+//	                  the same seeds (for campaign: against a server
+//	                  hosting the matching victim, e.g.
+//	                  `xbarserve -train-n 200 -test-n 100 -seed 1` for
+//	                  the default -scale 0.25).
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"xbarsec/api"
+	"xbarsec/client"
 	"xbarsec/internal/dataset"
 	"xbarsec/internal/experiment"
 	"xbarsec/internal/experiment/engine"
@@ -77,6 +92,7 @@ func run(args []string) error {
 	dataDir := fs.String("data", "", "directory with real MNIST/CIFAR-10 files")
 	outDir := fs.String("out", "", "directory for CSV/PGM exports")
 	format := fs.String("format", "table", "output format: table|csv|json")
+	server := fs.String("server", "", "xbarserve base URL: run remotely through the client SDK")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +108,9 @@ func run(args []string) error {
 	opts := experiment.Options{Seed: *seed, Scale: *scale, Runs: *runs, Workers: *workers, DataDir: *dataDir}
 
 	cmd := fs.Arg(0)
+	if *server != "" {
+		return runRemote(*server, cmd, opts, *format, *outDir)
+	}
 	runNames := func(names []string) error {
 		for _, name := range names {
 			exp, ok := engine.Lookup(name)
@@ -110,7 +129,7 @@ func run(args []string) error {
 	case "ablations":
 		return runNames(experiment.AblationNames())
 	case "campaign":
-		return runCampaign(opts, *outDir)
+		return runCampaign(opts, *outDir, nil)
 	case "list":
 		return runList(opts)
 	}
@@ -119,6 +138,96 @@ func run(args []string) error {
 	}
 	return fmt.Errorf("unknown command %q (want %s|ablations|campaign|list|all)",
 		cmd, strings.Join(engine.Names(), "|"))
+}
+
+// runRemote dispatches a command against a live xbarserve through the
+// client SDK. The server performs the compute (with its own -workers
+// and -data); the output is byte-identical to the in-process run at
+// the same seeds.
+func runRemote(server, cmd string, opts experiment.Options, format, outDir string) error {
+	c, err := client.New(server)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	switch cmd {
+	case "all":
+		return runNamesRemote(ctx, c, experiment.PaperOrder(), opts, format, outDir)
+	case "ablations":
+		return runNamesRemote(ctx, c, experiment.AblationNames(), opts, format, outDir)
+	case "campaign":
+		return runCampaign(opts, outDir, c)
+	case "list":
+		return runListRemote(ctx, c)
+	}
+	return runExperimentRemote(ctx, c, cmd, opts, format, outDir)
+}
+
+func runNamesRemote(ctx context.Context, c *client.Client, names []string, opts experiment.Options, format, outDir string) error {
+	for _, name := range names {
+		if err := runExperimentRemote(ctx, c, name, opts, format, outDir); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// runExperimentRemote runs one registry experiment server-side
+// (?wait=1: one round trip, results cached by spec) and presents it
+// exactly as the local path would: Render for table, the structured
+// JSON for json. CSV and -out need local result objects, so they are
+// refused rather than silently degraded.
+func runExperimentRemote(ctx context.Context, c *client.Client, name string, opts experiment.Options, format, outDir string) error {
+	if format == "csv" {
+		return fmt.Errorf("-format csv is not available with -server (use table or json)")
+	}
+	if outDir != "" {
+		return fmt.Errorf("-out is not available with -server (exports need local result objects)")
+	}
+	res, err := c.RunExperiment(ctx, api.ExperimentSpec{
+		Name: name, Seed: opts.Seed, Scale: opts.Scale, Runs: opts.Runs,
+	})
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "table":
+		fmt.Println(res.Render)
+	case "json":
+		// The wire compacts the embedded raw result; re-indent to the
+		// exact bytes the local path's WriteJSON emits.
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, res.Result, "", "  "); err != nil {
+			return err
+		}
+		buf.WriteByte('\n')
+		if _, err := os.Stdout.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runListRemote prints the server's experiment registry in the same
+// table the local list command renders.
+func runListRemote(ctx context.Context, c *client.Client) error {
+	infos, err := c.Experiments(ctx)
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:  "Registered experiments (grid axes at the current -scale/-runs)",
+		Header: []string{"name", "title", "axes"},
+	}
+	for _, info := range infos {
+		var dims []string
+		for _, ax := range info.Axes {
+			dims = append(dims, fmt.Sprintf("%s(%d)", ax.Name, len(ax.Values)))
+		}
+		tbl.AddRow(info.Name, info.Title, strings.Join(dims, " x "))
+	}
+	fmt.Println(tbl.String())
+	return nil
 }
 
 // runExperiment dispatches one registry entry and presents its result
@@ -191,8 +300,12 @@ func runList(opts experiment.Options) error {
 // runCampaign drives the service layer end to end from the CLI: one
 // demo victim, a grid of (query budget x lambda) campaigns served
 // through the artifact cache, rendered like a Figure 5 panel. The sweep
-// is bit-identical at any -workers value.
-func runCampaign(opts experiment.Options, outDir string) error {
+// is bit-identical at any -workers value. With a non-nil client the
+// same sweep runs against a live xbarserve through the SDK — the
+// output is byte-identical to the in-process run when the server hosts
+// the matching "mnist" victim (same seed and split sizes) and starts
+// fresh (the stats footer counts server-lifetime campaigns).
+func runCampaign(opts experiment.Options, outDir string, remote *client.Client) error {
 	scale := opts.Scale
 	if scale <= 0 || scale > 1 {
 		scale = 1
@@ -204,18 +317,44 @@ func runCampaign(opts experiment.Options, outDir string) error {
 		}
 		return v
 	}
-	svc := service.New(service.Config{Seed: opts.Seed, Workers: opts.Workers})
-	defer svc.Close()
-	victim, err := service.TrainVictim(service.VictimSpec{
-		Name: "mnist", Kind: dataset.MNIST, Seed: opts.Seed,
-		TrainN: scaled(600, 200), TestN: scaled(200, 100),
-		DataDir: opts.DataDir,
-	})
-	if err != nil {
-		return err
-	}
-	if err := svc.Register(victim); err != nil {
-		return err
+	ctx := context.Background()
+	// One sweep body, two transports: a local service's Go API or a
+	// remote server through the SDK. service.CampaignResult and
+	// service.Stats are aliases of the api wire types, so both paths
+	// produce identical values by construction.
+	var (
+		runCell  func(q int, lambda float64) (*api.CampaignResult, error)
+		getStats func() (api.Stats, error)
+	)
+	if remote != nil {
+		runCell = func(q int, lambda float64) (*api.CampaignResult, error) {
+			return remote.RunCampaign(ctx, api.CampaignRequest{
+				Victim: "mnist", Mode: api.ModeRawOutput, Seed: opts.Seed,
+				Queries: q, Lambda: lambda,
+			})
+		}
+		getStats = func() (api.Stats, error) { return remote.Stats(ctx) }
+	} else {
+		svc := service.New(service.Config{Seed: opts.Seed, Workers: opts.Workers})
+		defer svc.Close()
+		victim, err := service.TrainVictim(service.VictimSpec{
+			Name: "mnist", Kind: dataset.MNIST, Seed: opts.Seed,
+			TrainN: scaled(600, 200), TestN: scaled(200, 100),
+			DataDir: opts.DataDir,
+		})
+		if err != nil {
+			return err
+		}
+		if err := svc.Register(victim); err != nil {
+			return err
+		}
+		runCell = func(q int, lambda float64) (*api.CampaignResult, error) {
+			return svc.RunCampaign(service.CampaignSpec{
+				Victim: "mnist", Mode: oracle.RawOutput, Seed: opts.Seed,
+				Queries: q, Lambda: lambda,
+			})
+		}
+		getStats = func() (api.Stats, error) { return svc.Stats(), nil }
 	}
 	queries := []int{scaled(50, 20), scaled(200, 50), scaled(600, 150)}
 	lambdas := []float64{0, 0.004, 0.01}
@@ -231,10 +370,7 @@ func runCampaign(opts experiment.Options, outDir string) error {
 		var surAcc float64
 		advs := make([]string, 0, len(lambdas))
 		for _, l := range lambdas {
-			res, err := svc.RunCampaign(service.CampaignSpec{
-				Victim: "mnist", Mode: oracle.RawOutput, Seed: opts.Seed,
-				Queries: q, Lambda: l,
-			})
+			res, err := runCell(q, l)
 			if err != nil {
 				return err
 			}
@@ -248,7 +384,10 @@ func runCampaign(opts experiment.Options, outDir string) error {
 		tbl.AddRow(row...)
 	}
 	fmt.Println(tbl.String())
-	st := svc.Stats()
+	st, err := getStats()
+	if err != nil {
+		return err
+	}
 	fmt.Printf("campaigns served: %d (cache hits %d, misses %d)\n\n",
 		st.Campaigns, st.CacheHits, st.CacheMisses)
 	if outDir == "" {

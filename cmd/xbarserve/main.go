@@ -1,7 +1,10 @@
 // Command xbarserve exposes the attack-campaign service over HTTP: it
 // trains demo victim networks, programs them onto simulated crossbars,
 // and serves concurrent attacker sessions, side-channel extractions and
-// full extraction/evasion campaigns from one shared registry.
+// full extraction/evasion campaigns from one shared registry. The wire
+// protocol is the versioned public xbarsec/api package; the supported
+// way to drive a server is the xbarsec/client SDK (curl works too —
+// every body is plain JSON).
 //
 // Usage:
 //
@@ -20,28 +23,44 @@
 //	-workers  int     per-job fan-out (0 = all CPUs)
 //	-jobs     int     max concurrent campaign/experiment jobs (0 = all CPUs)
 //	-data     string  directory with real MNIST/CIFAR files (optional)
-//	-session-ttl   duration  evict sessions idle longer than this
-//	                         (0 = never; e.g. 10m)
-//	-max-sessions  int       cap concurrently open sessions per victim
-//	                         (0 = unlimited)
+//	-session-ttl       duration  evict sessions idle longer than this
+//	                             (0 = never; e.g. 10m)
+//	-max-sessions      int       cap concurrently open sessions per victim
+//	                             (0 = unlimited)
+//	-artifact-cache-mb int       byte budget of the artifact cache in MiB
+//	                             (0 = 256)
+//	-victim-cache-mb   int       byte budget of the experiment victim
+//	                             store in MiB (0 = 1024)
+//	-smoke                       after boot, drive the server through the
+//	                             client SDK (version handshake, session,
+//	                             batched queries, stats), print the
+//	                             results, and exit
 //
-// Quickstart (see README.md for the full tour):
+// Quickstart with the Go SDK (see README.md for the full tour):
 //
-//	xbarserve -addr :8080 &
-//	curl -s localhost:8080/v1/victims
-//	curl -s -X POST localhost:8080/v1/sessions \
-//	     -d '{"victim":"mnist","mode":"raw-output","measure_power":true,"budget":100}'
-//	curl -s -X POST localhost:8080/v1/campaigns \
-//	     -d '{"victim":"mnist","mode":"raw-output","seed":7,"queries":200,"lambda":0.004}'
+//	c, _ := client.New("http://localhost:8080")
+//	sess, _ := c.OpenSession(ctx, api.OpenSessionRequest{
+//		Victim: "mnist", Mode: api.ModeRawOutput,
+//		MeasurePower: true, Budget: 100,
+//	})
+//	batch, _ := sess.QueryBatch(ctx, inputs) // N queries, 1 round trip
+//	res, _ := c.RunCampaign(ctx, api.CampaignRequest{
+//		Victim: "mnist", Mode: api.ModeRawOutput,
+//		Seed: 7, Queries: 200, Lambda: 0.004,
+//	})
 //
-// Any experiment in the grid-engine registry runs server-side too —
-// list, launch and poll:
+// Any experiment in the grid-engine registry runs server-side too,
+// including fig5 with custom sweep grids:
 //
-//	curl -s localhost:8080/v1/experiments
-//	curl -s -X POST 'localhost:8080/v1/experiments?wait=1' \
-//	     -d '{"name":"table1","seed":7,"scale":0.05}'
-//	curl -s -X POST localhost:8080/v1/experiments -d '{"name":"fig5","seed":7,"scale":0.05}'
-//	curl -s localhost:8080/v1/experiments/jobs/job-1
+//	infos, _ := c.Experiments(ctx)
+//	res, _ := c.RunExperiment(ctx, api.ExperimentSpec{
+//		Name: "fig5", Seed: 7, Scale: 0.05,
+//		Options: &api.ExperimentOptions{Fig5: &api.Fig5Options{
+//			Queries: []int{10, 100}, Lambdas: []float64{0, 0.01},
+//		}},
+//	})
+//	job, _ := c.LaunchExperiment(ctx, api.ExperimentSpec{Name: "table1", Seed: 7})
+//	done, _ := c.WaitJob(ctx, job.ID, 0)
 package main
 
 import (
@@ -49,6 +68,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -56,7 +76,10 @@ import (
 	"syscall"
 	"time"
 
+	"xbarsec/api"
+	"xbarsec/client"
 	"xbarsec/internal/dataset"
+	"xbarsec/internal/experiment"
 	"xbarsec/internal/service"
 )
 
@@ -81,18 +104,25 @@ func run(args []string) error {
 	dataDir := fs.String("data", "", "directory with real MNIST/CIFAR-10 files")
 	sessionTTL := fs.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = never)")
 	maxSessions := fs.Int("max-sessions", 0, "cap concurrently open sessions per victim (0 = unlimited)")
+	artifactMB := fs.Int("artifact-cache-mb", 0, "artifact-cache byte budget in MiB (0 = 256)")
+	victimMB := fs.Int("victim-cache-mb", 0, "experiment victim-store byte budget in MiB (0 = 1024)")
+	smoke := fs.Bool("smoke", false, "boot, self-check through the client SDK, and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *victimMB > 0 {
+		experiment.ConfigureVictimStore(0, int64(*victimMB)<<20)
+	}
 	svc := service.New(service.Config{
-		Seed:                 *seed,
-		Workers:              *workers,
-		MaxConcurrentJobs:    *jobs,
-		DefaultSessionBudget: *budget,
-		SessionTTL:           *sessionTTL,
-		MaxSessionsPerVictim: *maxSessions,
-		DataDir:              *dataDir,
+		Seed:                   *seed,
+		Workers:                *workers,
+		MaxConcurrentJobs:      *jobs,
+		DefaultSessionBudget:   *budget,
+		SessionTTL:             *sessionTTL,
+		MaxSessionsPerVictim:   *maxSessions,
+		MaxCachedArtifactBytes: int64(*artifactMB) << 20,
+		DataDir:                *dataDir,
 	})
 	defer svc.Close()
 
@@ -126,18 +156,36 @@ func run(args []string) error {
 			name, v.Inputs(), v.Outputs())
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "xbarserve: listening on %s\n", *addr)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "xbarserve: listening on %s\n", ln.Addr())
+
+	if *smoke {
+		err := runSmoke(ctx, svc, baseURL(ln.Addr()))
+		shutdownErr := shutdown(srv, errCh)
+		if err != nil {
+			return fmt.Errorf("smoke: %w", err)
+		}
+		return shutdownErr
+	}
+
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "xbarserve: shutting down")
+	return shutdown(srv, errCh)
+}
+
+func shutdown(srv *http.Server, errCh chan error) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -146,5 +194,108 @@ func run(args []string) error {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	return nil
+}
+
+// baseURL renders a dialable http URL for the bound listener (an
+// unspecified listen IP like ":8080" dials back over loopback).
+func baseURL(a net.Addr) string {
+	tcp, ok := a.(*net.TCPAddr)
+	if !ok {
+		return "http://" + a.String()
+	}
+	host := tcp.IP.String()
+	if tcp.IP == nil || tcp.IP.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return fmt.Sprintf("http://%s", net.JoinHostPort(host, fmt.Sprint(tcp.Port)))
+}
+
+// runSmoke drives the freshly booted server through the client SDK —
+// the deployment self-check: version handshake, victim listing, a
+// budgeted session issuing single and batched queries, and the stats
+// snapshot. Output goes to stdout (one "smoke:" line per probe); any
+// failure aborts with the offending error.
+func runSmoke(ctx context.Context, svc *service.Service, url string) error {
+	c, err := client.New(url)
+	if err != nil {
+		return err
+	}
+	v, err := c.Version(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke: protocol %s, %d experiments (registry %.12s)\n", v.Version, v.Experiments, v.ExperimentsHash)
+
+	victims, err := c.Victims(ctx)
+	if err != nil {
+		return err
+	}
+	if len(victims) == 0 {
+		return errors.New("no victims registered")
+	}
+	name := victims[0].Name
+	fmt.Printf("smoke: %d victim(s); probing %q (%d inputs, %d classes)\n",
+		len(victims), name, victims[0].Inputs, victims[0].Outputs)
+
+	sess, err := c.OpenSession(ctx, api.OpenSessionRequest{
+		Victim: name, Mode: api.ModeRawOutput, MeasurePower: true, Budget: 5,
+	})
+	if err != nil {
+		return err
+	}
+	victim, err := svc.Victim(name)
+	if err != nil {
+		return err
+	}
+	input := victim.Test().X.Row(0)
+	single, err := sess.Query(ctx, input)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke: query ok (label %d, power %.4g, %d/%d budget spent)\n",
+		single.Label, single.Power, single.Queries, sess.Info().Budget)
+
+	// A batch larger than the remaining budget: the admitted prefix must
+	// succeed, the tail must carry the typed budget error.
+	inputs := make([][]float64, 6)
+	for i := range inputs {
+		inputs[i] = victim.Test().X.Row(i % victim.Test().Len())
+	}
+	batch, err := sess.QueryBatch(ctx, inputs)
+	if err != nil {
+		return err
+	}
+	served, refused := 0, 0
+	for _, r := range batch.Results {
+		if r.Error == nil {
+			served++
+		} else if r.Error.Code == api.CodeBudgetExhausted {
+			refused++
+		} else {
+			return fmt.Errorf("unexpected batch outcome error: %v", r.Error)
+		}
+	}
+	if served != 4 || refused != 2 {
+		return fmt.Errorf("batch accounting: served %d refused %d, want 4/2", served, refused)
+	}
+	// The first batch outcome must equal a fresh session's same query —
+	// the batched path serves the same bytes as the scalar one.
+	if batch.Results[0].Label != single.Label {
+		return fmt.Errorf("batch label %d != single-query label %d", batch.Results[0].Label, single.Label)
+	}
+	fmt.Printf("smoke: batch of %d ok in one round trip (%d served, %d refused, remaining %d)\n",
+		len(inputs), served, refused, batch.Remaining)
+
+	if err := sess.Close(ctx); err != nil {
+		return err
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke: stats ok (%d queries in %d coalesced flushes, max batch %d)\n",
+		st.Victims[0].Requests, st.Victims[0].Batches, st.Victims[0].MaxBatch)
+	fmt.Println("smoke: ok")
 	return nil
 }

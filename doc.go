@@ -16,15 +16,22 @@
 //
 // Entry points:
 //
+//   - api/           — the PUBLIC versioned wire protocol: every HTTP
+//     request/response type, the typed {code, message, detail} error
+//     envelope, and the protocol version constants
+//   - client/        — the PUBLIC Go SDK (client.New(baseURL)): typed
+//     access to every endpoint, batched queries (QueryBatch: N oracle
+//     queries in one round trip), experiment launch/poll, and a
+//     major-version handshake
 //   - cmd/xbarattack — CLI that runs any registered experiment by name
 //     (-format table|csv|json; the -workers flag bounds concurrency;
 //     0 = all CPUs, 1 = serial), plus a `campaign` sweep served through
-//     internal/service
+//     internal/service; -server URL runs remotely through the SDK
 //   - cmd/xbarserve  — HTTP front end for the concurrent attack-campaign
 //     service (internal/service): multi-tenant victim registry, budgeted
 //     attacker sessions (idle-TTL eviction, per-victim caps), coalesced
 //     batched serving, cached campaign jobs, and server-side experiment
-//     jobs (/v1/experiments)
+//     jobs (/v1/experiments); -smoke self-checks through the SDK
 //   - examples/      — runnable walkthroughs of the public workflow
 //   - bench_test.go  — one benchmark per table/figure plus victim-store
 //     and kernel microbenchmarks, serial and parallel

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"xbarsec/internal/dataset"
 	"xbarsec/internal/memo"
 	"xbarsec/internal/rng"
 )
@@ -28,10 +29,77 @@ import (
 // Stored victims are shared across goroutines and runners; they are
 // read-only by contract (the ideal crossbar is stateless and
 // experiment code never mutates a victim's fields).
+//
+// The store is bounded two ways: by entry count and by approximate
+// resident bytes (victimBytes). Victims are wildly uneven — a scale-1
+// CIFAR victim pins tens of MB of split data while a toy MNIST one is
+// kilobytes — so an entry bound alone would let a seed-sweeping client
+// pin gigabytes; the byte budget (DefaultVictimStoreBytes unless
+// reconfigured) makes the limit track actual memory.
+
+// Victim-store default bounds.
+const (
+	defaultMaxVictims = 64
+	// DefaultVictimStoreBytes is the default byte budget of the victim
+	// store: 1 GiB, roughly twenty scale-1 CIFAR victims.
+	DefaultVictimStoreBytes int64 = 1 << 30
+)
+
 var victimStore = struct {
-	cache     *memo.Cache[*victim]
+	cache     atomic.Pointer[memo.Cache[*victim]]
 	trainings atomic.Int64
-}{cache: memo.New[*victim](64)}
+}{}
+
+func init() {
+	victimStore.cache.Store(newVictimCache(defaultMaxVictims, DefaultVictimStoreBytes))
+}
+
+func newVictimCache(maxVictims int, maxBytes int64) *memo.Cache[*victim] {
+	return memo.NewWeighted[*victim](maxVictims, maxBytes, victimBytes)
+}
+
+// ConfigureVictimStore replaces the process-wide victim store with one
+// bounded to maxVictims entries and maxBytes approximate resident bytes
+// (<= 0 selects the defaults). Existing cached victims are dropped;
+// in-flight trainings finish against the old store. Intended for
+// process startup (xbarserve flags) — calling it mid-run only costs
+// retraining, never correctness.
+func ConfigureVictimStore(maxVictims int, maxBytes int64) {
+	if maxVictims <= 0 {
+		maxVictims = defaultMaxVictims
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultVictimStoreBytes
+	}
+	victimStore.cache.Store(newVictimCache(maxVictims, maxBytes))
+}
+
+// victimBytes approximates one stored victim's resident bytes: the two
+// data splits, the software weight matrix, the crossbar's G+/G- device
+// matrices plus their two lazily-built effective-conductance caches
+// (crossbar/batch.go), and any extracted signals. Deliberately an
+// estimate — the budget is a memory-pressure bound, not an allocator
+// ledger.
+func victimBytes(v *victim) int64 {
+	const f64 = 8
+	var n int64
+	split := func(d *dataset.Dataset) {
+		if d == nil {
+			return
+		}
+		n += int64(d.X.Rows()*d.X.Cols()+len(d.Labels)) * f64
+	}
+	split(v.train)
+	split(v.test)
+	if v.net != nil && v.net.W != nil {
+		n += int64(v.net.W.Rows()*v.net.W.Cols()) * f64
+	}
+	if v.hw != nil {
+		n += 4 * int64(v.hw.Inputs()*v.hw.Outputs()) * f64
+	}
+	n += int64(len(v.signals)) * f64
+	return n
+}
 
 // victimKey is the store identity of one victim build request.
 func victimKey(cfg ModelConfig, opts Options, src *rng.Source) string {
@@ -47,7 +115,7 @@ func victimKey(cfg ModelConfig, opts Options, src *rng.Source) string {
 // parent stream), so callers may keep deriving child streams from src
 // afterwards.
 func getVictim(cfg ModelConfig, opts Options, src *rng.Source) (*victim, error) {
-	v, _, err := victimStore.cache.Do(victimKey(cfg, opts, src), func() (*victim, error) {
+	v, _, err := victimStore.cache.Load().Do(victimKey(cfg, opts, src), func() (*victim, error) {
 		victimStore.trainings.Add(1)
 		return buildVictim(cfg, opts, src)
 	})
@@ -63,17 +131,22 @@ type VictimStoreStats struct {
 	// Trainings counts actual victim training runs — the number the
 	// store exists to minimize.
 	Trainings int64
-	// Cached is the number of victims currently in memory.
+	// Cached is the number of victims currently in memory; Bytes is
+	// their approximate resident size (the value the byte budget
+	// bounds).
 	Cached int
+	Bytes  int64
 }
 
 // StoreStats snapshots the victim store counters.
 func StoreStats() VictimStoreStats {
-	h, m := victimStore.cache.Stats()
+	c := victimStore.cache.Load()
+	h, m := c.Stats()
 	return VictimStoreStats{
 		Hits: h, Misses: m,
 		Trainings: victimStore.trainings.Load(),
-		Cached:    victimStore.cache.Size(),
+		Cached:    c.Size(),
+		Bytes:     c.Weight(),
 	}
 }
 
@@ -81,6 +154,6 @@ func StoreStats() VictimStoreStats {
 // Benchmarks use it to measure the cold path; the engine-equivalence
 // tests use it to isolate training counts.
 func ResetVictimStore() {
-	victimStore.cache.Reset()
+	victimStore.cache.Load().Reset()
 	victimStore.trainings.Store(0)
 }

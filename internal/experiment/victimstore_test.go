@@ -20,6 +20,56 @@ func storeDelta(t *testing.T, fn func()) int64 {
 	return StoreStats().Trainings - before
 }
 
+// TestVictimStoreByteBudget pins the size-aware bound: with a byte
+// budget smaller than two victims, the older one is evicted and
+// retrains on the next request, while the store's byte gauge tracks
+// what is retained.
+func TestVictimStoreByteBudget(t *testing.T) {
+	opts := tinyOpts().Normalized()
+	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
+	srcA := rng.New(501).Split("budget-test")
+	srcB := rng.New(502).Split("budget-test")
+
+	// Measure one victim's weight with an ample budget.
+	ConfigureVictimStore(0, 0)
+	defer func() { ConfigureVictimStore(0, 0); ResetVictimStore() }()
+	if _, err := getVictim(cfg, opts, srcA); err != nil {
+		t.Fatal(err)
+	}
+	one := StoreStats().Bytes
+	if one <= 0 {
+		t.Fatalf("victim byte estimate = %d", one)
+	}
+
+	// Budget for ~1.5 victims: the second insert evicts the first.
+	ConfigureVictimStore(0, one+one/2)
+	if _, err := getVictim(cfg, opts, srcA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := getVictim(cfg, opts, srcB); err != nil {
+		t.Fatal(err)
+	}
+	st := StoreStats()
+	if st.Cached != 1 || st.Bytes > one+one/2 {
+		t.Fatalf("store over budget: %d victims, %d bytes (budget %d)", st.Cached, st.Bytes, one+one/2)
+	}
+	// The evicted victim retrains; the retained one does not.
+	if d := storeDelta(t, func() {
+		if _, err := getVictim(cfg, opts, srcB); err != nil {
+			t.Fatal(err)
+		}
+	}); d != 0 {
+		t.Fatalf("retained victim retrained %d times", d)
+	}
+	if d := storeDelta(t, func() {
+		if _, err := getVictim(cfg, opts, srcA); err != nil {
+			t.Fatal(err)
+		}
+	}); d != 1 {
+		t.Fatalf("evicted victim trained %d times, want 1", d)
+	}
+}
+
 func TestVictimStoreTrainsOncePerKey(t *testing.T) {
 	opts := tinyOpts().Normalized()
 	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}

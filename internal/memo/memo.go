@@ -13,32 +13,61 @@ import (
 
 // Cache memoizes computed values by their exact deterministic key and
 // collapses concurrent identical requests onto a single computation
-// (singleflight). The cache is bounded: beyond maxEntries, the oldest
-// completed values are evicted FIFO, so a caller sweeping distinct keys
-// can cost compute but never unbounded memory.
+// (singleflight). The cache is bounded: beyond maxEntries — and, when a
+// weight function is configured, beyond maxWeight total weight — the
+// oldest completed values are evicted FIFO, so a caller sweeping
+// distinct keys can cost compute but never unbounded memory. The
+// entry-count bound alone cannot protect a cache of unevenly sized
+// values (64 CIFAR victims are gigabytes; 64 campaign results are
+// kilobytes); the weight bound makes the limit track what the values
+// actually pin.
 type Cache[V any] struct {
 	mu         sync.Mutex
 	entries    map[string]*entry[V]
 	order      []string // insertion order, the FIFO eviction queue
 	maxEntries int
+	maxWeight  int64
+	weigh      func(V) int64
+	weight     int64 // total weight of completed, retained entries
 
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
 type entry[V any] struct {
-	ready chan struct{}
-	val   V
-	err   error
-	done  bool // set under mu when the computation finished
+	ready  chan struct{}
+	val    V
+	err    error
+	done   bool  // set under mu when the computation finished
+	weight int64 // weigh(val), accounted while the entry is retained
 }
 
-// New returns a cache bounded to maxEntries values (<= 0 selects 4096).
+// New returns a cache bounded to maxEntries values (<= 0 selects 4096)
+// with no weight bound.
 func New[V any](maxEntries int) *Cache[V] {
+	return NewWeighted[V](maxEntries, 0, nil)
+}
+
+// NewWeighted returns a cache bounded both by entry count and — when
+// weigh is non-nil and maxWeight is positive — by total value weight.
+// weigh is called once per computed value, outside the cache lock; it
+// must be cheap relative to the computation and must not mutate the
+// value. The usual weight is an approximate byte size, making maxWeight
+// a memory budget. A single value heavier than maxWeight is still
+// computed and returned, but is evicted rather than retained.
+func NewWeighted[V any](maxEntries int, maxWeight int64, weigh func(V) int64) *Cache[V] {
 	if maxEntries <= 0 {
 		maxEntries = 4096
 	}
-	return &Cache[V]{entries: make(map[string]*entry[V]), maxEntries: maxEntries}
+	if weigh == nil {
+		maxWeight = 0
+	}
+	return &Cache[V]{
+		entries:    make(map[string]*entry[V]),
+		maxEntries: maxEntries,
+		maxWeight:  maxWeight,
+		weigh:      weigh,
+	}
 }
 
 // Do returns the cached value for key, computing it with compute on a
@@ -64,15 +93,20 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (val V, cached bool
 	c.mu.Unlock()
 	c.misses.Add(1)
 	e.val, e.err = compute()
+	if e.err == nil && c.weigh != nil {
+		e.weight = c.weigh(e.val)
+	}
 	c.mu.Lock()
 	e.done = true
-	if e.err != nil {
-		// Only remove the entry this flight installed: after a Reset a
-		// stale failing flight must not evict a newer live entry that
-		// reused its key.
-		if cur, ok := c.entries[key]; ok && cur == e {
+	// Only account for the entry this flight installed: after a Reset a
+	// stale flight must neither evict a newer live entry that reused its
+	// key nor charge its weight against the new generation's budget.
+	if cur, ok := c.entries[key]; ok && cur == e {
+		if e.err != nil {
 			delete(c.entries, key)
 			c.removeFromOrderLocked(key)
+		} else {
+			c.weight += e.weight
 		}
 	}
 	c.evictLocked()
@@ -94,17 +128,23 @@ func (c *Cache[V]) removeFromOrderLocked(key string) {
 	}
 }
 
-// evictLocked drops the oldest completed values until the cache fits its
-// bound. In-flight entries are never evicted (their waiters hold the
-// entry anyway), and failed entries never linger in the queue (Do
-// removes them), so the queue tracks the map exactly.
+// evictLocked drops the oldest completed values until the cache fits
+// both its entry bound and (when configured) its weight bound.
+// In-flight entries are never evicted (their waiters hold the entry
+// anyway), and failed entries never linger in the queue (Do removes
+// them), so the queue tracks the map exactly.
 func (c *Cache[V]) evictLocked() {
-	for len(c.entries) > c.maxEntries && len(c.order) > 0 {
+	over := func() bool {
+		return len(c.entries) > c.maxEntries ||
+			(c.maxWeight > 0 && c.weight > c.maxWeight)
+	}
+	for over() && len(c.order) > 0 {
 		k := c.order[0]
 		if e, ok := c.entries[k]; ok {
 			if !e.done {
 				return
 			}
+			c.weight -= e.weight
 			delete(c.entries, k)
 		}
 		c.order = c.order[1:]
@@ -123,6 +163,14 @@ func (c *Cache[V]) Size() int {
 	return len(c.entries)
 }
 
+// Weight returns the total weight of retained completed values (0 when
+// the cache has no weight function).
+func (c *Cache[V]) Weight() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.weight
+}
+
 // Reset drops every cached value and zeroes the counters. Tests and
 // benchmarks use it to measure the cold path; in-flight computations
 // finish but their results are no longer shared with later callers.
@@ -130,6 +178,7 @@ func (c *Cache[V]) Reset() {
 	c.mu.Lock()
 	c.entries = make(map[string]*entry[V])
 	c.order = nil
+	c.weight = 0
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)

@@ -1,0 +1,137 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+var errTest = errors.New("compute failed")
+
+// weighted builds a cache where each string value weighs its length.
+func weighted(maxEntries int, maxWeight int64) *Cache[string] {
+	return NewWeighted[string](maxEntries, maxWeight, func(v string) int64 { return int64(len(v)) })
+}
+
+func put(t *testing.T, c *Cache[string], key, val string) {
+	t.Helper()
+	got, _, err := c.Do(key, func() (string, error) { return val, nil })
+	if err != nil || got != val {
+		t.Fatalf("Do(%q) = %q, %v", key, got, err)
+	}
+}
+
+func TestWeightEvictionBound(t *testing.T) {
+	c := weighted(100, 10)
+	put(t, c, "a", "xxxx") // weight 4
+	put(t, c, "b", "xxxx") // 8
+	if w := c.Weight(); w != 8 {
+		t.Fatalf("weight = %d, want 8", w)
+	}
+	put(t, c, "c", "xxxx") // 12 > 10: evict oldest ("a") -> 8
+	if w := c.Weight(); w != 8 {
+		t.Fatalf("weight after eviction = %d, want 8", w)
+	}
+	if c.Size() != 2 {
+		t.Fatalf("size = %d, want 2", c.Size())
+	}
+	// "a" was evicted: recomputed on next request.
+	calls := 0
+	_, cached, err := c.Do("a", func() (string, error) { calls++; return "xxxx", nil })
+	if err != nil || cached || calls != 1 {
+		t.Fatalf("evicted key served from cache: cached=%v calls=%d", cached, calls)
+	}
+	// "c" survived.
+	_, cached, err = c.Do("c", func() (string, error) { t.Fatal("recompute"); return "", nil })
+	if err != nil || !cached {
+		t.Fatal("retained key recomputed")
+	}
+}
+
+func TestOverweightValueComputedButNotRetained(t *testing.T) {
+	c := weighted(100, 5)
+	put(t, c, "big", "0123456789") // weight 10 > budget 5
+	if c.Size() != 0 || c.Weight() != 0 {
+		t.Fatalf("overweight value retained: size %d weight %d", c.Size(), c.Weight())
+	}
+	// Still correct, just recomputed each time.
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if _, cached, _ := c.Do("big", func() (string, error) { calls++; return "0123456789", nil }); cached {
+			t.Fatal("overweight value served from cache")
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestEntryBoundStillApplies(t *testing.T) {
+	c := weighted(2, 1<<30)
+	for i := 0; i < 4; i++ {
+		put(t, c, fmt.Sprint(i), "v")
+	}
+	if c.Size() != 2 || c.Weight() != 2 {
+		t.Fatalf("size %d weight %d, want 2/2", c.Size(), c.Weight())
+	}
+}
+
+func TestFailedComputeAddsNoWeight(t *testing.T) {
+	c := weighted(10, 100)
+	_, _, err := c.Do("f", func() (string, error) { return "ignored", errTest })
+	if err != errTest {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Weight() != 0 || c.Size() != 0 {
+		t.Fatalf("failed compute accounted: size %d weight %d", c.Size(), c.Weight())
+	}
+}
+
+func TestResetZeroesWeight(t *testing.T) {
+	c := weighted(10, 100)
+	put(t, c, "a", "xyz")
+	c.Reset()
+	if c.Weight() != 0 || c.Size() != 0 {
+		t.Fatalf("reset left size %d weight %d", c.Size(), c.Weight())
+	}
+	// Post-reset inserts account from zero.
+	put(t, c, "b", "xy")
+	if c.Weight() != 2 {
+		t.Fatalf("weight = %d, want 2", c.Weight())
+	}
+}
+
+func TestStaleFlightAfterResetDoesNotLeakWeight(t *testing.T) {
+	c := weighted(10, 100)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.Do("k", func() (string, error) {
+			close(started)
+			<-release
+			return "stale-value", nil
+		})
+	}()
+	<-started
+	c.Reset() // the in-flight entry is no longer current
+	close(release)
+	<-done
+	if c.Weight() != 0 || c.Size() != 0 {
+		t.Fatalf("stale flight leaked: size %d weight %d", c.Size(), c.Weight())
+	}
+	// The new generation computes and accounts independently.
+	put(t, c, "k", "new")
+	if c.Weight() != 3 {
+		t.Fatalf("weight = %d, want 3", c.Weight())
+	}
+}
+
+func TestUnweightedCacheReportsZeroWeight(t *testing.T) {
+	c := New[string](4)
+	put(t, c, "a", "whatever")
+	if c.Weight() != 0 {
+		t.Fatalf("unweighted cache weight = %d", c.Weight())
+	}
+}

@@ -92,6 +92,40 @@ func (b *batcher) submit(r *batchRequest) error {
 	return r.err
 }
 
+// submitAll enqueues every request in rs and blocks until all are
+// served — the one-slice feed behind the batched query endpoint. The
+// requests enter the flusher's channel contiguously in slice order, so
+// with no interleaving traffic they ride one flush (or an ordered run
+// of flushes, which serves a noisy array in exactly the same per-input
+// order); either way the victim sees len(rs) queries for a constant
+// number of array passes instead of len(rs) round trips. Returns the
+// first request error, if any.
+func (b *batcher) submitAll(rs []*batchRequest) error {
+	for _, r := range rs {
+		if len(r.u) != b.hw.Inputs() {
+			return fmt.Errorf("service: query input length %d, want %d", len(r.u), b.hw.Inputs())
+		}
+	}
+	b.sendMu.RLock()
+	if b.closed {
+		b.sendMu.RUnlock()
+		return ErrVictimClosed
+	}
+	for _, r := range rs {
+		r.done.Add(1)
+		b.reqs <- r
+	}
+	b.sendMu.RUnlock()
+	var err error
+	for _, r := range rs {
+		r.done.Wait()
+		if err == nil {
+			err = r.err
+		}
+	}
+	return err
+}
+
 // close stops the flusher after it drains every already-submitted
 // request; later submits fail with ErrVictimClosed. Idempotent.
 func (b *batcher) close() {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"xbarsec/api"
 	"xbarsec/internal/attack"
 	"xbarsec/internal/oracle"
 	"xbarsec/internal/pool"
@@ -22,21 +23,23 @@ import (
 // victim a spec is also the campaign's cache key and replaying it is
 // bit-identical at any worker count. Noisy victims' reads depend on
 // concurrent traffic, so their campaigns run uncached.
+// CampaignSpec is the internal job spec; its wire form is
+// api.CampaignRequest (the HTTP layer converts, parsing the mode).
 type CampaignSpec struct {
 	// Victim names the registered victim to attack.
-	Victim string `json:"victim"`
+	Victim string
 	// Mode is the disclosure mode (label-only or raw-output).
-	Mode oracle.Mode `json:"mode"`
+	Mode oracle.Mode
 	// Seed drives collection shuffling, surrogate init and SGD order.
-	Seed int64 `json:"seed"`
+	Seed int64
 	// Queries is the attacker's oracle budget (Figure 5's cost axis).
-	Queries int `json:"queries"`
+	Queries int
 	// Lambda is the power-loss weight λ of Eq. (9); 0 ignores power.
-	Lambda float64 `json:"lambda"`
+	Lambda float64
 	// SurrogateEpochs overrides surrogate training length (0 = default).
-	SurrogateEpochs int `json:"surrogate_epochs,omitempty"`
+	SurrogateEpochs int
 	// AttackEps is the FGSM strength (0 = the paper's Figure 5 value 0.1).
-	AttackEps float64 `json:"attack_eps,omitempty"`
+	AttackEps float64
 }
 
 // withDefaults normalizes the optional fields.
@@ -55,27 +58,10 @@ func (c CampaignSpec) key() string {
 		c.Victim, c.Mode, c.Seed, c.Queries, c.Lambda, c.SurrogateEpochs, c.AttackEps)
 }
 
-// CampaignResult is the deliverable of one campaign job.
-type CampaignResult struct {
-	Victim    string  `json:"victim"`
-	Mode      string  `json:"mode"`
-	Seed      int64   `json:"seed"`
-	Queries   int     `json:"queries"`
-	Lambda    float64 `json:"lambda"`
-	AttackEps float64 `json:"attack_eps"`
-	// CleanAccuracy is the victim's unattacked test accuracy.
-	CleanAccuracy float64 `json:"clean_accuracy"`
-	// SurrogateAccuracy is the stolen model's test accuracy.
-	SurrogateAccuracy float64 `json:"surrogate_accuracy"`
-	// AdvAccuracy is the victim's accuracy under surrogate-crafted FGSM;
-	// CleanAccuracy - AdvAccuracy is the attack's damage.
-	AdvAccuracy float64 `json:"adv_accuracy"`
-	// QueriesCharged is the oracle budget the campaign actually spent.
-	QueriesCharged int `json:"queries_charged"`
-	// Cached reports whether the result was served from the artifact
-	// cache instead of being recomputed.
-	Cached bool `json:"cached"`
-}
+// CampaignResult is the deliverable of one campaign job — served
+// verbatim on the wire, so it is defined by the public protocol
+// package.
+type CampaignResult = api.CampaignResult
 
 // RunCampaign executes (or serves from cache) one campaign job. Jobs are
 // admitted through the service gate, so at most Config.MaxConcurrentJobs
@@ -182,7 +168,7 @@ func (s *Service) runCampaign(spec CampaignSpec, v *Victim) (*CampaignResult, er
 	}
 	return &CampaignResult{
 		Victim:            v.name,
-		Mode:              spec.Mode.String(),
+		Mode:              api.Mode(spec.Mode.String()),
 		Seed:              spec.Seed,
 		Queries:           spec.Queries,
 		Lambda:            spec.Lambda,
@@ -227,45 +213,27 @@ func predictAll(v *Victim, us [][]float64) ([]int, error) {
 
 // ExtractSpec determines one power-side-channel extraction job: basis
 // queries through a measurement probe (Section III's procedure), with
-// optional instrument noise.
-type ExtractSpec struct {
-	// Victim names the registered victim to probe.
-	Victim string `json:"victim"`
-	// Repeats averages each basis measurement this many times (0 = 1).
-	Repeats int `json:"repeats,omitempty"`
-	// NoiseStd is the relative instrument noise on the probe.
-	NoiseStd float64 `json:"noise_std,omitempty"`
-	// Seed drives the instrument-noise stream.
-	Seed int64 `json:"seed"`
-}
+// optional instrument noise. It is served verbatim on the wire, so it
+// is defined by the public protocol package.
+type ExtractSpec = api.ExtractRequest
 
-func (e ExtractSpec) withDefaults() ExtractSpec {
+// extractDefaults normalizes an extraction spec's optional fields.
+func extractDefaults(e ExtractSpec) ExtractSpec {
 	if e.Repeats <= 0 {
 		e.Repeats = 1
 	}
 	return e
 }
 
-// key is the artifact-cache identity: (victim, probe config, seed).
-func (e ExtractSpec) key() string {
+// extractKey is the artifact-cache identity: (victim, probe config,
+// seed).
+func extractKey(e ExtractSpec) string {
 	return fmt.Sprintf("extract|%s|%d|%g|%d", e.Victim, e.Repeats, e.NoiseStd, e.Seed)
 }
 
-// ExtractResult carries the recovered power-channel signals.
-type ExtractResult struct {
-	Victim   string  `json:"victim"`
-	Repeats  int     `json:"repeats"`
-	NoiseStd float64 `json:"noise_std"`
-	Seed     int64   `json:"seed"`
-	// Signals are the raw basis-query power readings, one per input.
-	Signals []float64 `json:"signals"`
-	// Norms are the calibrated column 1-norm estimates.
-	Norms []float64 `json:"norms"`
-	// ProbeQueries is the number of power measurements spent.
-	ProbeQueries int `json:"probe_queries"`
-	// Cached reports artifact-cache service.
-	Cached bool `json:"cached"`
-}
+// ExtractResult carries the recovered power-channel signals (the wire
+// type).
+type ExtractResult = api.ExtractResult
 
 // probeMeter adapts the coalescer to the sidechannel.PowerMeter
 // interface so extraction jobs ride the same batched serving path as
@@ -280,7 +248,7 @@ func (s *Service) RunExtract(spec ExtractSpec) (*ExtractResult, error) {
 	if s.isClosed() {
 		return nil, ErrServiceClosed
 	}
-	spec = spec.withDefaults()
+	spec = extractDefaults(spec)
 	v, err := s.Victim(spec.Victim)
 	if err != nil {
 		return nil, err
@@ -301,7 +269,7 @@ func (s *Service) RunExtract(spec ExtractSpec) (*ExtractResult, error) {
 		// Not a function of the spec (see RunCampaign) — never cached.
 		return compute()
 	}
-	val, cached, err := s.cache.Do(spec.key(), func() (any, error) { return compute() })
+	val, cached, err := s.cache.Do(extractKey(spec), func() (any, error) { return compute() })
 	if err != nil {
 		return nil, err
 	}

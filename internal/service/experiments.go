@@ -8,9 +8,11 @@ import (
 	"strings"
 	"sync"
 
-	// Imported for its side effect: experiment's init populates the
-	// engine registry this layer dispatches through.
-	_ "xbarsec/internal/experiment"
+	"xbarsec/api"
+	// The experiment import is load-bearing twice over: its init
+	// populates the engine registry this layer dispatches through, and
+	// RunFig5 serves specs carrying typed fig5 options.
+	"xbarsec/internal/experiment"
 	"xbarsec/internal/experiment/engine"
 )
 
@@ -30,56 +32,106 @@ var ErrExperimentUnknown = errors.New("service: unknown experiment")
 var ErrJobUnknown = errors.New("service: unknown experiment job")
 
 // ExperimentSpec fully determines one experiment job. Registry
-// experiments are pure functions of (name, seed, scale, runs) plus the
-// server's DataDir, so the spec doubles as the artifact-cache key;
-// Workers is deliberately excluded (results are bit-identical at any
-// worker count).
-type ExperimentSpec struct {
-	// Name is the registry name, e.g. "table1" or "ablate-noise".
-	Name string `json:"name"`
-	// Seed roots every random choice of the experiment.
-	Seed int64 `json:"seed"`
-	// Scale in (0, 1] shrinks the sweep; 0 selects 1.0 (paper-sized).
-	Scale float64 `json:"scale,omitempty"`
-	// Runs overrides the repetition count (0 = scaled default).
-	Runs int `json:"runs,omitempty"`
-}
+// experiments are pure functions of (name, seed, scale, runs, options)
+// plus the server's DataDir, so the spec doubles as the artifact-cache
+// key; Workers is deliberately excluded (results are bit-identical at
+// any worker count). It is served verbatim on the wire, so it is
+// defined by the public protocol package.
+type ExperimentSpec = api.ExperimentSpec
 
-// withDefaults normalizes the spec so equivalent requests share one
+// specDefaults normalizes the spec so equivalent requests share one
 // cache key: Scale 0 means full scale (the engine's Normalized
-// contract), so {"scale":0} and {"scale":1} must not recompute.
-func (e ExperimentSpec) withDefaults() ExperimentSpec {
+// contract), so {"scale":0} and {"scale":1} must not recompute; and an
+// options envelope with nothing in it means no options.
+func specDefaults(e ExperimentSpec) ExperimentSpec {
 	if e.Scale == 0 {
 		e.Scale = 1
+	}
+	if e.Options != nil && *e.Options == (api.ExperimentOptions{}) {
+		e.Options = nil
+	}
+	if f := fig5OptionsOf(e); f != nil && len(f.Queries) == 0 && len(f.Lambdas) == 0 && f.SurrogateEpochs == 0 {
+		e.Options = nil
 	}
 	return e
 }
 
-// validate rejects specs the engine would reject, before any job record
-// or cache flight exists.
-func (e ExperimentSpec) validate() error {
-	if _, ok := engine.Lookup(e.Name); !ok {
-		return fmt.Errorf("service: experiment %q (have %s): %w",
+// fig5OptionsOf extracts the typed fig5 options, nil when absent.
+func fig5OptionsOf(e ExperimentSpec) *api.Fig5Options {
+	if e.Options == nil {
+		return nil
+	}
+	return e.Options.Fig5
+}
+
+// Option-grid bounds: one unauthenticated request must not be able to
+// size server allocations arbitrarily. The paper's densest fig5 grid is
+// 7 budgets x 6 lambdas.
+const (
+	maxOptionGrid       = 64
+	maxSurrogateEpochs  = 10000
+	maxExperimentRuns   = 1000
+	maxOptionQueryValue = 1 << 20
+)
+
+// validateSpec rejects specs the engine would reject — and option
+// payloads outside the server's bounds — before any job record or
+// cache flight exists, returning the registry entry a valid spec names
+// (so callers never repeat the lookup).
+func validateSpec(e ExperimentSpec) (engine.Experiment, error) {
+	exp, ok := engine.Lookup(e.Name)
+	if !ok {
+		return engine.Experiment{}, fmt.Errorf("service: experiment %q (have %s): %w",
 			e.Name, strings.Join(engine.Names(), ", "), ErrExperimentUnknown)
 	}
 	if e.Scale < 0 || e.Scale > 1 {
-		return badRequestf("scale %v outside (0, 1]", e.Scale)
+		return engine.Experiment{}, badRequestf("scale %v outside (0, 1]", e.Scale)
 	}
 	// Runs sizes grid allocations (configs x runs cells); an absurd value
 	// in one unauthenticated request must not be able to OOM the server.
 	// The paper's largest grid uses 10 runs; 1000 is generous headroom.
 	if e.Runs < 0 || e.Runs > maxExperimentRuns {
-		return badRequestf("runs %d outside [0, %d]", e.Runs, maxExperimentRuns)
+		return engine.Experiment{}, badRequestf("runs %d outside [0, %d]", e.Runs, maxExperimentRuns)
 	}
-	return nil
+	if e.Options == nil {
+		return exp, nil
+	}
+	f := e.Options.Fig5
+	if f != nil && e.Name != "fig5" {
+		return engine.Experiment{}, badRequestf("options.fig5 requires experiment fig5, not %q", e.Name)
+	}
+	if f == nil {
+		return exp, nil
+	}
+	if len(f.Queries) > maxOptionGrid || len(f.Lambdas) > maxOptionGrid {
+		return engine.Experiment{}, badRequestf("fig5 option grids capped at %d points (got %d queries, %d lambdas)",
+			maxOptionGrid, len(f.Queries), len(f.Lambdas))
+	}
+	for _, q := range f.Queries {
+		if q <= 0 || q > maxOptionQueryValue {
+			return engine.Experiment{}, badRequestf("fig5 query budget %d outside [1, %d]", q, maxOptionQueryValue)
+		}
+	}
+	for _, l := range f.Lambdas {
+		if l < 0 {
+			return engine.Experiment{}, badRequestf("fig5 lambda %v must be non-negative", l)
+		}
+	}
+	if f.SurrogateEpochs < 0 || f.SurrogateEpochs > maxSurrogateEpochs {
+		return engine.Experiment{}, badRequestf("fig5 surrogate epochs %d outside [0, %d]", f.SurrogateEpochs, maxSurrogateEpochs)
+	}
+	return exp, nil
 }
 
-// maxExperimentRuns bounds the server-side repetition count.
-const maxExperimentRuns = 1000
-
-// key is the artifact-cache identity of the normalized spec.
-func (e ExperimentSpec) key() string {
-	return fmt.Sprintf("experiment|%s|%d|%g|%d", e.Name, e.Seed, e.Scale, e.Runs)
+// specKey is the artifact-cache identity of the normalized spec,
+// including any option grids (two specs with different grids are
+// different experiments).
+func specKey(e ExperimentSpec) string {
+	key := fmt.Sprintf("experiment|%s|%d|%g|%d", e.Name, e.Seed, e.Scale, e.Runs)
+	if f := fig5OptionsOf(e); f != nil {
+		key += fmt.Sprintf("|fig5|%v|%v|%d", f.Queries, f.Lambdas, f.SurrogateEpochs)
+	}
+	return key
 }
 
 // options resolves the spec into engine options on this service's
@@ -94,42 +146,48 @@ func (s *Service) options(spec ExperimentSpec) engine.Options {
 	}
 }
 
-// ExperimentInfo describes one registry entry for listings.
-type ExperimentInfo struct {
-	Name  string        `json:"name"`
-	Title string        `json:"title"`
-	Axes  []engine.Axis `json:"axes,omitempty"`
+// runnerFor resolves a validated spec to its runner: the registry entry
+// itself, or — when the spec carries typed options — the experiment's
+// optioned run path (fig5's custom query/λ grids).
+func runnerFor(exp engine.Experiment, spec ExperimentSpec) func(engine.Options) (engine.Result, error) {
+	f := fig5OptionsOf(spec)
+	if f == nil {
+		return exp.Run
+	}
+	return func(opts engine.Options) (engine.Result, error) {
+		return experiment.RunFig5(experiment.Fig5Options{
+			Options:         opts,
+			Queries:         f.Queries,
+			Lambdas:         f.Lambdas,
+			SurrogateEpochs: f.SurrogateEpochs,
+		})
+	}
 }
+
+// ExperimentInfo describes one registry entry for listings (the wire
+// type).
+type ExperimentInfo = api.ExperimentInfo
 
 // Experiments lists the registry with each grid's axes at the given
 // spec defaults (zero spec = full scale).
 func (s *Service) Experiments(spec ExperimentSpec) []ExperimentInfo {
 	opts := s.options(spec)
-	var out []ExperimentInfo
+	out := []ExperimentInfo{}
 	for _, exp := range engine.All() {
 		info := ExperimentInfo{Name: exp.Name, Title: exp.Title}
 		if exp.Axes != nil {
-			info.Axes = exp.Axes(opts)
+			for _, ax := range exp.Axes(opts) {
+				info.Axes = append(info.Axes, api.Axis{Name: ax.Name, Values: ax.Values})
+			}
 		}
 		out = append(out, info)
 	}
 	return out
 }
 
-// ExperimentResult is the deliverable of one experiment job.
-type ExperimentResult struct {
-	Name  string  `json:"name"`
-	Seed  int64   `json:"seed"`
-	Scale float64 `json:"scale"`
-	Runs  int     `json:"runs,omitempty"`
-	// Render is the experiment's human-readable report — byte-identical
-	// to `xbarattack <name>` at the same options.
-	Render string `json:"render"`
-	// Result is the experiment's structured JSON form.
-	Result json.RawMessage `json:"result"`
-	// Cached reports whether the result came from the artifact cache.
-	Cached bool `json:"cached"`
-}
+// ExperimentResult is the deliverable of one experiment job (the wire
+// type).
+type ExperimentResult = api.ExperimentResult
 
 // RunExperiment executes (or serves from cache) one experiment job
 // synchronously. Jobs are admitted through the service gate, so at most
@@ -138,15 +196,16 @@ func (s *Service) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) 
 	if s.isClosed() {
 		return nil, ErrServiceClosed
 	}
-	spec = spec.withDefaults()
-	if err := spec.validate(); err != nil {
+	spec = specDefaults(spec)
+	exp, err := validateSpec(spec)
+	if err != nil {
 		return nil, err
 	}
-	exp, _ := engine.Lookup(spec.Name)
+	run := runnerFor(exp, spec)
 	compute := func() (any, error) {
 		var res *ExperimentResult
 		err := s.gate.RunErr(func() error {
-			out, err := exp.Run(s.options(spec))
+			out, err := run(s.options(spec))
 			if err != nil {
 				return err
 			}
@@ -156,14 +215,15 @@ func (s *Service) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) 
 			}
 			res = &ExperimentResult{
 				Name: spec.Name, Seed: spec.Seed, Scale: spec.Scale, Runs: spec.Runs,
-				Render: out.Render(),
-				Result: json.RawMessage(buf.Bytes()),
+				Options: spec.Options,
+				Render:  out.Render(),
+				Result:  json.RawMessage(buf.Bytes()),
 			}
 			return nil
 		})
 		return res, err
 	}
-	val, cached, err := s.cache.Do(spec.key(), compute)
+	val, cached, err := s.cache.Do(specKey(spec), compute)
 	if err != nil {
 		return nil, err
 	}
@@ -172,14 +232,14 @@ func (s *Service) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) 
 	return &res, nil
 }
 
-// JobStatus is an experiment job's lifecycle state.
-type JobStatus string
+// JobStatus is an experiment job's lifecycle state (the wire type).
+type JobStatus = api.JobStatus
 
 // Job lifecycle states.
 const (
-	JobRunning JobStatus = "running"
-	JobDone    JobStatus = "done"
-	JobFailed  JobStatus = "failed"
+	JobRunning = api.JobRunning
+	JobDone    = api.JobDone
+	JobFailed  = api.JobFailed
 )
 
 // ExperimentJob tracks one asynchronous experiment launch.
@@ -226,10 +286,10 @@ func (s *Service) LaunchExperiment(spec ExperimentSpec) (*ExperimentJob, error) 
 	if s.isClosed() {
 		return nil, ErrServiceClosed
 	}
-	spec = spec.withDefaults()
+	spec = specDefaults(spec)
 	// Validate before creating any job record, so a malformed spec is an
 	// immediate 400 on the launch path, exactly as on the synchronous one.
-	if err := spec.validate(); err != nil {
+	if _, err := validateSpec(spec); err != nil {
 		return nil, err
 	}
 	job := &ExperimentJob{spec: spec, done: make(chan struct{})}

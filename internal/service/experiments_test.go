@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http/httptest"
@@ -9,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"xbarsec/api"
+	"xbarsec/client"
 	"xbarsec/internal/experiment"
 	"xbarsec/internal/experiment/engine"
 )
@@ -188,13 +191,108 @@ func TestJobTableBackpressureAndEviction(t *testing.T) {
 
 func TestExperimentSpecNormalization(t *testing.T) {
 	// Scale 0 means full scale; both spellings must share one cache key.
-	a := ExperimentSpec{Name: "table1", Seed: 1}.withDefaults()
-	b := ExperimentSpec{Name: "table1", Seed: 1, Scale: 1}.withDefaults()
-	if a.key() != b.key() {
-		t.Fatalf("equivalent specs have distinct keys: %q vs %q", a.key(), b.key())
+	a := specDefaults(ExperimentSpec{Name: "table1", Seed: 1})
+	b := specDefaults(ExperimentSpec{Name: "table1", Seed: 1, Scale: 1})
+	if specKey(a) != specKey(b) {
+		t.Fatalf("equivalent specs have distinct keys: %q vs %q", specKey(a), specKey(b))
 	}
-	if c := (ExperimentSpec{Name: "table1", Seed: 1, Scale: 0.5}).withDefaults(); c.Scale != 0.5 {
+	if c := specDefaults(ExperimentSpec{Name: "table1", Seed: 1, Scale: 0.5}); c.Scale != 0.5 {
 		t.Fatalf("explicit scale mangled: %v", c.Scale)
+	}
+	// An empty options envelope (or one with an all-zero fig5 entry) is
+	// the same experiment as no options at all.
+	c := specDefaults(ExperimentSpec{Name: "fig5", Seed: 1, Options: &api.ExperimentOptions{}})
+	d := specDefaults(ExperimentSpec{Name: "fig5", Seed: 1, Options: &api.ExperimentOptions{Fig5: &api.Fig5Options{}}})
+	e := specDefaults(ExperimentSpec{Name: "fig5", Seed: 1})
+	if c.Options != nil || d.Options != nil || specKey(c) != specKey(e) || specKey(d) != specKey(e) {
+		t.Fatalf("empty options not normalized: %q %q %q", specKey(c), specKey(d), specKey(e))
+	}
+	// Distinct grids are distinct experiments.
+	f := specDefaults(ExperimentSpec{Name: "fig5", Seed: 1,
+		Options: &api.ExperimentOptions{Fig5: &api.Fig5Options{Queries: []int{5, 10}}}})
+	if specKey(f) == specKey(e) {
+		t.Fatal("optioned spec shares the default key")
+	}
+}
+
+func TestExperimentOptionValidation(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	defer svc.Close()
+	cases := []struct {
+		name string
+		spec ExperimentSpec
+	}{
+		{"options for wrong experiment", ExperimentSpec{Name: "table1", Seed: 1, Scale: 0.01,
+			Options: &api.ExperimentOptions{Fig5: &api.Fig5Options{Queries: []int{5}}}}},
+		{"non-positive query", ExperimentSpec{Name: "fig5", Seed: 1, Scale: 0.01,
+			Options: &api.ExperimentOptions{Fig5: &api.Fig5Options{Queries: []int{0}}}}},
+		{"negative lambda", ExperimentSpec{Name: "fig5", Seed: 1, Scale: 0.01,
+			Options: &api.ExperimentOptions{Fig5: &api.Fig5Options{Lambdas: []float64{-1}}}}},
+		{"oversized grid", ExperimentSpec{Name: "fig5", Seed: 1, Scale: 0.01,
+			Options: &api.ExperimentOptions{Fig5: &api.Fig5Options{Queries: make([]int, maxOptionGrid+1)}}}},
+		{"absurd epochs", ExperimentSpec{Name: "fig5", Seed: 1, Scale: 0.01,
+			Options: &api.ExperimentOptions{Fig5: &api.Fig5Options{SurrogateEpochs: maxSurrogateEpochs + 1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := svc.RunExperiment(tc.spec); !errors.Is(err, errBadRequest) {
+			t.Errorf("%s: err = %v, want bad request", tc.name, err)
+		}
+		if _, err := svc.LaunchExperiment(tc.spec); !errors.Is(err, errBadRequest) {
+			t.Errorf("%s (launch): err = %v, want bad request", tc.name, err)
+		}
+	}
+}
+
+// TestFig5OptionsEndToEnd pins the ROADMAP item this API closes: a
+// remote spec carrying custom query/λ grids runs RunFig5 with exactly
+// those grids and returns a structured result matching the direct Go
+// call bit for bit.
+func TestFig5OptionsEndToEnd(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	defer svc.Close()
+	spec := ExperimentSpec{Name: "fig5", Seed: 31, Scale: 0.01,
+		Options: &api.ExperimentOptions{Fig5: &api.Fig5Options{
+			Queries: []int{5, 15}, Lambdas: []float64{0, 0.01}, SurrogateEpochs: 2,
+		}}}
+	res, err := svc.RunExperiment(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded experiment.Fig5Result
+	if err := json.Unmarshal(res.Result, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Rows) == 0 {
+		t.Fatal("no fig5 rows")
+	}
+	for _, row := range decoded.Rows {
+		if !reflect.DeepEqual(row.Queries, []int{5, 15}) || !reflect.DeepEqual(row.Lambdas, []float64{0, 0.01}) {
+			t.Fatalf("row grids = %v / %v, want the requested sub-grid", row.Queries, row.Lambdas)
+		}
+	}
+	direct, err := experiment.RunFig5(experiment.Fig5Options{
+		Options:         experiment.Options{Seed: 31, Scale: 0.01},
+		Queries:         []int{5, 15},
+		Lambdas:         []float64{0, 0.01},
+		SurrogateEpochs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Render != direct.Render() {
+		t.Fatal("optioned job render diverged from direct RunFig5")
+	}
+	if !reflect.DeepEqual(&decoded, direct) {
+		t.Fatal("optioned job result diverged from direct RunFig5")
+	}
+	// The optioned result must not collide with the default-grid cache
+	// entry.
+	plain, err := svc.RunExperiment(ExperimentSpec{Name: "fig5", Seed: 31, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cached {
+		t.Fatal("default-grid run served the optioned artifact")
 	}
 }
 
@@ -203,51 +301,54 @@ func TestExperimentHTTPEndToEnd(t *testing.T) {
 	defer svc.Close()
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()
+	c, err := client.New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
 
 	// List.
-	var infos []ExperimentInfo
-	doJSON(t, "GET", srv.URL+"/v1/experiments", nil, 200, &infos)
+	infos, err := c.Experiments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(infos) != len(engine.Names()) {
 		t.Fatalf("HTTP listed %d experiments", len(infos))
 	}
 
-	// Launch with wait: the response carries the finished job.
+	// Launch with wait: one round trip returns the finished result.
 	spec := ExperimentSpec{Name: "ablate-trace", Seed: 23, Scale: 0.01}
-	var done jobWire
-	doJSON(t, "POST", srv.URL+"/v1/experiments?wait=1", spec, 200, &done)
-	if done.Status != JobDone || done.Result == nil {
-		t.Fatalf("wait launch: %+v", done)
+	res, err := c.RunExperiment(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(done.Result.Render, "Extension A6") {
+	if !strings.Contains(res.Render, "Extension A6") {
 		t.Fatal("HTTP result render incomplete")
 	}
 
-	// Async launch + poll until done (same spec: served from cache).
-	var launched jobWire
-	doJSON(t, "POST", srv.URL+"/v1/experiments", spec, 202, &launched)
-	if launched.ID == "" {
+	// Async launch + WaitJob poll (same spec: served from cache).
+	launched, err := c.LaunchExperiment(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if launched.ID == "" || launched.Spec.Name != "ablate-trace" {
 		t.Fatalf("async launch: %+v", launched)
 	}
-	deadline := time.Now().Add(2 * time.Minute)
-	for {
-		var polled jobWire
-		doJSON(t, "GET", srv.URL+"/v1/experiments/jobs/"+launched.ID, nil, 200, &polled)
-		if polled.Status == JobDone {
-			if polled.Result == nil || !polled.Result.Cached {
-				t.Fatalf("replayed job must be cache-served: %+v", polled.Result)
-			}
-			break
-		}
-		if polled.Status == JobFailed {
-			t.Fatalf("job failed: %s", polled.Error)
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("poll never saw the job finish")
-		}
-		time.Sleep(10 * time.Millisecond)
+	waitCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	polled, err := c.WaitJob(waitCtx, launched.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polled.Status != JobDone || polled.Result == nil || !polled.Result.Cached {
+		t.Fatalf("replayed job must be cache-served: %+v", polled.Result)
 	}
 
-	// Unknown experiment → 404; unknown job → 404.
-	doJSON(t, "POST", srv.URL+"/v1/experiments", ExperimentSpec{Name: "nope", Seed: 1}, 404, nil)
-	doJSON(t, "GET", srv.URL+"/v1/experiments/jobs/job-999999", nil, 404, nil)
+	// Unknown experiment and unknown job carry their typed codes.
+	if _, err := c.LaunchExperiment(ctx, ExperimentSpec{Name: "nope", Seed: 1}); api.CodeOf(err) != api.CodeUnknownExperiment {
+		t.Fatalf("unknown experiment err = %v", err)
+	}
+	if _, err := c.ExperimentJob(ctx, "job-999999"); api.CodeOf(err) != api.CodeUnknownJob {
+		t.Fatalf("unknown job err = %v", err)
+	}
 }

@@ -1,43 +1,56 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
+	"xbarsec/api"
+	"xbarsec/internal/experiment/engine"
 	"xbarsec/internal/oracle"
 	"xbarsec/internal/report"
 )
 
-// Handler returns the service's HTTP JSON API:
+// Handler returns the service's HTTP JSON API — protocol v1, with every
+// request/response body and error envelope defined by the public
+// xbarsec/api package (see its package comment for the endpoint table
+// and versioning policy):
 //
-//	GET    /healthz                  liveness probe
-//	GET    /v1/victims               registered victims with serving stats
-//	POST   /v1/sessions              open an attacker session
-//	GET    /v1/sessions/{id}         session accounting
-//	DELETE /v1/sessions/{id}         close a session
-//	POST   /v1/sessions/{id}/query   one oracle query
-//	POST   /v1/campaigns             run (or fetch cached) campaign job
-//	POST   /v1/extract               run (or fetch cached) extraction job
-//	GET    /v1/experiments           registered experiments with axes
-//	POST   /v1/experiments           launch an experiment job (async;
-//	                                 ?wait=1 blocks for the result)
-//	GET    /v1/experiments/jobs/{id} poll an experiment job
-//	GET    /v1/stats                 service snapshot (?format=csv for CSV)
+//	GET    /healthz                    liveness probe
+//	GET    /v1/version                 protocol version + registry hash
+//	GET    /v1/victims                 registered victims with serving stats
+//	POST   /v1/sessions                open an attacker session
+//	GET    /v1/sessions/{id}           session accounting
+//	DELETE /v1/sessions/{id}           close a session
+//	POST   /v1/sessions/{id}/query     one oracle query
+//	POST   /v1/sessions/{id}/queries   a batched slice of oracle queries
+//	POST   /v1/campaigns               run (or fetch cached) campaign job
+//	POST   /v1/extract                 run (or fetch cached) extraction job
+//	GET    /v1/experiments             registered experiments with axes
+//	POST   /v1/experiments             launch an experiment job (async;
+//	                                   ?wait=1 blocks for the result)
+//	GET    /v1/experiments/jobs/{id}   poll an experiment job
+//	GET    /v1/stats                   service snapshot (?format=csv for CSV)
 //
 // Every handler is safe for concurrent use — the service layer does the
-// synchronization, the handlers only translate JSON.
+// synchronization, the handlers only translate between api types and
+// service calls.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, api.Health{Status: "ok"})
 	})
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/victims", s.handleVictims)
 	mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/sessions/{id}/queries", s.handleQueryBatch)
 	mux.HandleFunc("POST /v1/campaigns", s.handleCampaign)
 	mux.HandleFunc("POST /v1/extract", s.handleExtract)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
@@ -47,36 +60,58 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// errorBody is the uniform error envelope.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps service errors onto HTTP status codes: unknown
-// resources are 404, an exhausted budget is 429 (the attacker is being
-// rate-limited by their own contract), shutdown is 503, malformed input
-// is 400.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// errorCode maps a service error onto its protocol code — the one
+// mapping from the internal error taxonomy to the wire (the HTTP status
+// is derived from the code, api.ErrorCode.HTTPStatus).
+func errorCode(err error) api.ErrorCode {
 	switch {
-	case errors.Is(err, ErrVictimUnknown), errors.Is(err, ErrSessionUnknown),
-		errors.Is(err, ErrExperimentUnknown), errors.Is(err, ErrJobUnknown):
-		status = http.StatusNotFound
-	case errors.Is(err, oracle.ErrBudgetExhausted), errors.Is(err, ErrSessionLimit),
-		errors.Is(err, ErrJobLimit):
-		status = http.StatusTooManyRequests
-	case errors.Is(err, ErrServiceClosed), errors.Is(err, ErrVictimClosed):
-		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrVictimUnknown):
+		return api.CodeUnknownVictim
+	case errors.Is(err, ErrSessionUnknown):
+		return api.CodeUnknownSession
+	case errors.Is(err, ErrExperimentUnknown):
+		return api.CodeUnknownExperiment
+	case errors.Is(err, ErrJobUnknown):
+		return api.CodeUnknownJob
+	case errors.Is(err, oracle.ErrBudgetExhausted):
+		return api.CodeBudgetExhausted
+	case errors.Is(err, ErrSessionLimit):
+		return api.CodeSessionLimit
+	case errors.Is(err, ErrJobLimit):
+		return api.CodeJobLimit
+	case errors.Is(err, ErrServiceClosed):
+		return api.CodeServiceClosed
+	case errors.Is(err, ErrVictimClosed):
+		return api.CodeVictimClosed
 	case errors.Is(err, errBadRequest):
-		status = http.StatusBadRequest
+		return api.CodeBadRequest
+	default:
+		return api.CodeInternal
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// apiError wraps a service error into the wire envelope. An error that
+// already is an *api.Error (a decode failure, say) passes through
+// untouched.
+func apiError(err error) *api.Error {
+	var e *api.Error
+	if errors.As(err, &e) {
+		return e
+	}
+	return &api.Error{Code: errorCode(err), Message: err.Error()}
+}
+
+// writeError emits the uniform machine-readable error envelope with the
+// status its code implies.
+func writeError(w http.ResponseWriter, err error) {
+	e := apiError(err)
+	writeJSON(w, e.Code.HTTPStatus(), e)
 }
 
 // errBadRequest marks client-side validation failures for status
@@ -87,36 +122,59 @@ func badRequestf(format string, args ...any) error {
 	return fmt.Errorf(format+": %w", append(args, errBadRequest)...)
 }
 
-func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
+// maxRequestBody bounds every request body BEFORE it is decoded: the
+// allocation cap the batch/option limits assume. 128 MiB fits the
+// largest legitimate payload (a maxQueryBatch slice of 784-dim inputs
+// is ~60 MiB of JSON) with headroom; anything larger is a typed 400,
+// so one unauthenticated request can never materialize an unbounded
+// input slab.
+const maxRequestBody = 128 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return badRequestf("decoding request body (%v)", err)
+		return &api.Error{
+			Code:    api.CodeBadRequest,
+			Message: "malformed request body",
+			Detail:  err.Error(),
+		}
 	}
 	return nil
 }
 
+// RegistryHash digests the experiment registry: sha256 over the sorted
+// names. Two servers with equal hashes accept the same experiment
+// specs. Exposed so clients and tests can compute the expected value.
+func RegistryHash() string {
+	sum := sha256.Sum256([]byte(strings.Join(engine.Names(), "\n")))
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Service) handleVersion(w http.ResponseWriter, r *http.Request) {
+	names := engine.Names()
+	writeJSON(w, http.StatusOK, api.VersionInfo{
+		Version:         api.VersionString(),
+		Major:           api.Major,
+		Minor:           api.Minor,
+		Experiments:     len(names),
+		ExperimentsHash: RegistryHash(),
+	})
+}
+
 func (s *Service) handleVictims(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats().Victims)
+	victims := s.Stats().Victims
+	if victims == nil {
+		victims = []api.VictimStats{}
+	}
+	writeJSON(w, http.StatusOK, victims)
 }
 
-// sessionWire is the JSON shape of a session request/response.
-type sessionWire struct {
-	ID            string  `json:"id,omitempty"`
-	Victim        string  `json:"victim"`
-	Mode          string  `json:"mode,omitempty"`
-	MeasurePower  bool    `json:"measure_power,omitempty"`
-	PowerNoiseStd float64 `json:"power_noise_std,omitempty"`
-	Budget        int     `json:"budget,omitempty"`
-	Queries       int     `json:"queries"`
-	Remaining     int     `json:"remaining"`
-}
-
-func sessionInfo(sess *Session) sessionWire {
-	return sessionWire{
+func sessionInfo(sess *Session) api.Session {
+	return api.Session{
 		ID:        sess.ID(),
 		Victim:    sess.Victim(),
-		Mode:      sess.Mode().String(),
+		Mode:      api.Mode(sess.Mode().String()),
 		Budget:    sess.Budget(),
 		Queries:   sess.Queries(),
 		Remaining: sess.Remaining(),
@@ -124,8 +182,8 @@ func sessionInfo(sess *Session) sessionWire {
 }
 
 func (s *Service) handleOpenSession(w http.ResponseWriter, r *http.Request) {
-	var req sessionWire
-	if err := decodeJSON(r, &req); err != nil {
+	var req api.OpenSessionRequest
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -135,7 +193,7 @@ func (s *Service) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 		Budget:        req.Budget,
 	}
 	if req.Mode != "" {
-		mode, err := oracle.ParseMode(req.Mode)
+		mode, err := oracle.ParseMode(string(req.Mode))
 		if err != nil {
 			writeError(w, badRequestf("%v", err))
 			return
@@ -164,20 +222,7 @@ func (s *Service) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
-}
-
-// queryWire is the JSON shape of one oracle query exchange.
-type queryWire struct {
-	Input []float64 `json:"input"`
-}
-
-type responseWire struct {
-	Label     int       `json:"label"`
-	Raw       []float64 `json:"raw,omitempty"`
-	Power     float64   `json:"power,omitempty"`
-	Queries   int       `json:"queries"`
-	Remaining int       `json:"remaining"`
+	writeJSON(w, http.StatusOK, api.SessionClosed{Status: "closed"})
 }
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -186,8 +231,8 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	var req queryWire
-	if err := decodeJSON(r, &req); err != nil {
+	var req api.QueryRequest
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -200,7 +245,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, responseWire{
+	writeJSON(w, http.StatusOK, api.QueryResponse{
 		Label:     resp.Label,
 		Raw:       resp.Raw,
 		Power:     resp.Power,
@@ -209,24 +254,75 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// campaignWire mirrors CampaignSpec with a string mode for the wire.
-type campaignWire struct {
-	Victim          string  `json:"victim"`
-	Mode            string  `json:"mode"`
-	Seed            int64   `json:"seed"`
-	Queries         int     `json:"queries"`
-	Lambda          float64 `json:"lambda"`
-	SurrogateEpochs int     `json:"surrogate_epochs,omitempty"`
-	AttackEps       float64 `json:"attack_eps,omitempty"`
-}
+// maxQueryBatch bounds one batched request; a single unauthenticated
+// request must not be able to make the server materialize an unbounded
+// input slab.
+const maxQueryBatch = 4096
 
-func (s *Service) handleCampaign(w http.ResponseWriter, r *http.Request) {
-	var req campaignWire
-	if err := decodeJSON(r, &req); err != nil {
+func (s *Service) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Session(r.PathValue("id"))
+	if err != nil {
 		writeError(w, err)
 		return
 	}
-	mode, err := oracle.ParseMode(req.Mode)
+	var req api.QueryBatchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Inputs) == 0 {
+		writeError(w, badRequestf("empty query batch"))
+		return
+	}
+	if len(req.Inputs) > maxQueryBatch {
+		writeError(w, badRequestf("batch of %d queries exceeds the limit %d", len(req.Inputs), maxQueryBatch))
+		return
+	}
+	// Validate every input before any budget charge: a malformed batch is
+	// rejected whole, exactly like a malformed single query.
+	for i, u := range req.Inputs {
+		if len(u) != sess.victim.Inputs() {
+			writeError(w, badRequestf("input %d length %d, want %d", i, len(u), sess.victim.Inputs()))
+			return
+		}
+	}
+	resps, err := sess.QueryBatch(req.Inputs)
+	if err != nil && !errors.Is(err, oracle.ErrBudgetExhausted) {
+		writeError(w, err)
+		return
+	}
+	if len(resps) == 0 && err != nil {
+		// Nothing was admitted: the whole batch fails exactly as a single
+		// query against an exhausted session would.
+		writeError(w, err)
+		return
+	}
+	out := api.QueryBatchResponse{
+		Results:   make([]api.QueryOutcome, len(req.Inputs)),
+		Queries:   sess.Queries(),
+		Remaining: sess.Remaining(),
+	}
+	for i := range req.Inputs {
+		if i < len(resps) {
+			out.Results[i] = api.QueryOutcome{
+				Label: resps[i].Label,
+				Raw:   resps[i].Raw,
+				Power: resps[i].Power,
+			}
+		} else {
+			out.Results[i] = api.QueryOutcome{Error: apiError(err)}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var req api.CampaignRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	mode, err := oracle.ParseMode(string(req.Mode))
 	if err != nil {
 		writeError(w, badRequestf("%v", err))
 		return
@@ -252,8 +348,8 @@ func (s *Service) handleCampaign(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleExtract(w http.ResponseWriter, r *http.Request) {
-	var spec ExtractSpec
-	if err := decodeJSON(r, &spec); err != nil {
+	var spec api.ExtractRequest
+	if err := decodeJSON(w, r, &spec); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -270,20 +366,11 @@ func (s *Service) handleExtract(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleExperimentList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Experiments(ExperimentSpec{}))
+	writeJSON(w, http.StatusOK, s.Experiments(api.ExperimentSpec{}))
 }
 
-// jobWire is the JSON shape of an experiment-job snapshot.
-type jobWire struct {
-	ID     string            `json:"id"`
-	Spec   ExperimentSpec    `json:"spec"`
-	Status JobStatus         `json:"status"`
-	Error  string            `json:"error,omitempty"`
-	Result *ExperimentResult `json:"result,omitempty"`
-}
-
-func jobInfo(j *ExperimentJob) jobWire {
-	out := jobWire{ID: j.ID(), Spec: j.Spec()}
+func jobInfo(j *ExperimentJob) api.Job {
+	out := api.Job{ID: j.ID(), Spec: j.Spec()}
 	status, res, err := j.Snapshot()
 	out.Status = status
 	out.Result = res
@@ -294,8 +381,8 @@ func jobInfo(j *ExperimentJob) jobWire {
 }
 
 func (s *Service) handleExperimentLaunch(w http.ResponseWriter, r *http.Request) {
-	var spec ExperimentSpec
-	if err := decodeJSON(r, &spec); err != nil {
+	var spec api.ExperimentSpec
+	if err := decodeJSON(w, r, &spec); err != nil {
 		writeError(w, err)
 		return
 	}

@@ -2,73 +2,70 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"xbarsec/api"
+	"xbarsec/client"
 )
 
-// httpFixture boots a service with one victim behind httptest.
-func httpFixture(t *testing.T) (*httptest.Server, *Victim) {
+// decodeBody decodes one raw HTTP response body.
+func decodeBody(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// The HTTP layer is tested through the client SDK: the tests below
+// exercise the same protocol surface an external consumer uses (typed
+// api structs in, typed api errors out). Raw net/http appears only
+// where the wire itself is the point (unknown-field rejection, CSV
+// export). The SDK's own round-trip suite lives in xbarsec/client.
+
+// httpFixture boots a service with one victim behind httptest and
+// returns an SDK client for it.
+func httpFixture(t *testing.T) (*client.Client, *httptest.Server, *Victim) {
 	t.Helper()
 	v := buildTestVictim(t, "mnist-toy", 11)
 	s := newTestService(t, Config{Seed: 11, Workers: 2}, v)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
-	return ts, v
-}
-
-func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any) {
-	t.Helper()
-	var buf bytes.Buffer
-	if body != nil {
-		if err := json.NewEncoder(&buf).Encode(body); err != nil {
-			t.Fatal(err)
-		}
-	}
-	req, err := http.NewRequest(method, url, &buf)
+	c, err := client.New(ts.URL)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != wantStatus {
-		var e errorBody
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		t.Fatalf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, wantStatus, e.Error)
-	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatal(err)
-		}
-	}
+	return c, ts, v
 }
 
 func TestHTTPSessionLifecycle(t *testing.T) {
-	ts, v := httpFixture(t)
+	c, _, v := httpFixture(t)
+	ctx := context.Background()
 
-	var victims []VictimStats
-	doJSON(t, "GET", ts.URL+"/v1/victims", nil, http.StatusOK, &victims)
+	victims, err := c.Victims(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(victims) != 1 || victims[0].Name != "mnist-toy" || victims[0].Inputs != 100 {
 		t.Fatalf("victims = %+v", victims)
 	}
 
-	var sess sessionWire
-	doJSON(t, "POST", ts.URL+"/v1/sessions", sessionWire{
-		Victim: "mnist-toy", Mode: "raw-output", MeasurePower: true, Budget: 2,
-	}, http.StatusCreated, &sess)
-	if sess.ID == "" || sess.Remaining != 2 {
-		t.Fatalf("session = %+v", sess)
+	sess, err := c.OpenSession(ctx, api.OpenSessionRequest{
+		Victim: "mnist-toy", Mode: api.ModeRawOutput, MeasurePower: true, Budget: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID() == "" || sess.Info().Remaining != 2 || sess.Info().Mode != api.ModeRawOutput {
+		t.Fatalf("session = %+v", sess.Info())
 	}
 
-	queryURL := fmt.Sprintf("%s/v1/sessions/%s/query", ts.URL, sess.ID)
-	var qr responseWire
-	doJSON(t, "POST", queryURL, queryWire{Input: v.test.X.Row(0)}, http.StatusOK, &qr)
+	qr, err := sess.Query(ctx, v.test.X.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(qr.Raw) != 10 || qr.Power <= 0 || qr.Queries != 1 || qr.Remaining != 1 {
 		t.Fatalf("query response = %+v", qr)
 	}
@@ -82,82 +79,134 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 		t.Fatalf("label = %d, want %d", qr.Label, wantLabel)
 	}
 
-	doJSON(t, "POST", queryURL, queryWire{Input: v.test.X.Row(1)}, http.StatusOK, &qr)
-	// Budget exhausted -> 429.
-	doJSON(t, "POST", queryURL, queryWire{Input: v.test.X.Row(2)}, http.StatusTooManyRequests, nil)
+	if _, err := sess.Query(ctx, v.test.X.Row(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Budget exhausted -> typed code, 429 on the wire.
+	if _, err := sess.Query(ctx, v.test.X.Row(2)); api.CodeOf(err) != api.CodeBudgetExhausted {
+		t.Fatalf("exhausted query err = %v, want code %s", err, api.CodeBudgetExhausted)
+	}
 
-	var info sessionWire
-	doJSON(t, "GET", ts.URL+"/v1/sessions/"+sess.ID, nil, http.StatusOK, &info)
+	info, err := sess.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if info.Queries != 2 || info.Remaining != 0 {
 		t.Fatalf("session info = %+v", info)
 	}
 
-	doJSON(t, "DELETE", ts.URL+"/v1/sessions/"+sess.ID, nil, http.StatusOK, nil)
-	doJSON(t, "GET", ts.URL+"/v1/sessions/"+sess.ID, nil, http.StatusNotFound, nil)
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Refresh(ctx); api.CodeOf(err) != api.CodeUnknownSession {
+		t.Fatalf("closed session err = %v, want code %s", err, api.CodeUnknownSession)
+	}
 }
 
 func TestHTTPValidationAndErrors(t *testing.T) {
-	ts, v := httpFixture(t)
+	c, ts, v := httpFixture(t)
+	ctx := context.Background()
 	// Unknown victim.
-	doJSON(t, "POST", ts.URL+"/v1/sessions", sessionWire{Victim: "nope"}, http.StatusNotFound, nil)
+	if _, err := c.OpenSession(ctx, api.OpenSessionRequest{Victim: "nope"}); api.CodeOf(err) != api.CodeUnknownVictim {
+		t.Fatalf("unknown victim err = %v", err)
+	}
 	// Bad mode.
-	doJSON(t, "POST", ts.URL+"/v1/sessions", sessionWire{Victim: "mnist-toy", Mode: "psychic"}, http.StatusBadRequest, nil)
-	// Unknown fields rejected.
+	if _, err := c.OpenSession(ctx, api.OpenSessionRequest{Victim: "mnist-toy", Mode: "psychic"}); api.CodeOf(err) != api.CodeBadRequest {
+		t.Fatalf("bad mode err = %v", err)
+	}
+	// Unknown fields rejected, with the envelope carrying the typed code
+	// and the decoder detail.
 	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json",
 		strings.NewReader(`{"victim":"mnist-toy","surprise":1}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown field: status %d", resp.StatusCode)
+	var envelope api.Error
+	if err := decodeBody(resp, &envelope); err != nil {
+		t.Fatal(err)
 	}
-	// Short input is 400, not 500, and charges nothing.
-	var sess sessionWire
-	doJSON(t, "POST", ts.URL+"/v1/sessions", sessionWire{Victim: "mnist-toy"}, http.StatusCreated, &sess)
-	queryURL := fmt.Sprintf("%s/v1/sessions/%s/query", ts.URL, sess.ID)
-	doJSON(t, "POST", queryURL, queryWire{Input: []float64{1, 2}}, http.StatusBadRequest, nil)
-	var info sessionWire
-	doJSON(t, "GET", ts.URL+"/v1/sessions/"+sess.ID, nil, http.StatusOK, &info)
+	if resp.StatusCode != http.StatusBadRequest || envelope.Code != api.CodeBadRequest || envelope.Detail == "" {
+		t.Fatalf("unknown field: status %d envelope %+v", resp.StatusCode, envelope)
+	}
+	// Short input is a typed bad request, not a 500, and charges nothing.
+	sess, err := c.OpenSession(ctx, api.OpenSessionRequest{Victim: "mnist-toy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Query(ctx, []float64{1, 2}); api.CodeOf(err) != api.CodeBadRequest {
+		t.Fatalf("short input err = %v", err)
+	}
+	info, err := sess.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if info.Queries != 0 {
 		t.Fatalf("malformed query charged budget: %+v", info)
 	}
 	// Campaign validation.
-	doJSON(t, "POST", ts.URL+"/v1/campaigns", campaignWire{Victim: "mnist-toy", Mode: "label-only"}, http.StatusBadRequest, nil)
+	if _, err := c.RunCampaign(ctx, api.CampaignRequest{Victim: "mnist-toy", Mode: api.ModeLabelOnly}); api.CodeOf(err) != api.CodeBadRequest {
+		t.Fatalf("campaign validation err = %v", err)
+	}
 	_ = v
 }
 
+func TestHTTPVersion(t *testing.T) {
+	c, _, _ := httpFixture(t)
+	v, err := c.Version(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Major != api.Major || v.Version != api.VersionString() {
+		t.Fatalf("version = %+v", v)
+	}
+	if v.ExperimentsHash != RegistryHash() || v.Experiments == 0 {
+		t.Fatalf("registry digest = %+v, want hash %s", v, RegistryHash())
+	}
+}
+
 func TestHTTPCampaignAndExtract(t *testing.T) {
-	ts, _ := httpFixture(t)
-	spec := campaignWire{Victim: "mnist-toy", Mode: "label-only", Seed: 5, Queries: 25, SurrogateEpochs: 3}
-	var res CampaignResult
-	doJSON(t, "POST", ts.URL+"/v1/campaigns", spec, http.StatusOK, &res)
-	if res.Cached || res.QueriesCharged != 25 || res.Mode != "label-only" {
+	c, ts, _ := httpFixture(t)
+	ctx := context.Background()
+	spec := api.CampaignRequest{Victim: "mnist-toy", Mode: api.ModeLabelOnly, Seed: 5, Queries: 25, SurrogateEpochs: 3}
+	res, err := c.RunCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached || res.QueriesCharged != 25 || res.Mode != api.ModeLabelOnly {
 		t.Fatalf("campaign = %+v", res)
 	}
-	var again CampaignResult
-	doJSON(t, "POST", ts.URL+"/v1/campaigns", spec, http.StatusOK, &again)
+	again, err := c.RunCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !again.Cached {
 		t.Fatal("replayed campaign must be cached")
 	}
 	again.Cached = res.Cached
-	if again != res {
+	if *again != *res {
 		t.Fatalf("cached campaign differs: %+v vs %+v", again, res)
 	}
 
-	var ex ExtractResult
-	doJSON(t, "POST", ts.URL+"/v1/extract", ExtractSpec{Victim: "mnist-toy"}, http.StatusOK, &ex)
+	ex, err := c.RunExtract(ctx, api.ExtractRequest{Victim: "mnist-toy"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ex.Signals) != 100 || len(ex.Norms) != 100 || ex.ProbeQueries != 100 {
 		t.Fatalf("extract = signals:%d norms:%d queries:%d", len(ex.Signals), len(ex.Norms), ex.ProbeQueries)
 	}
 
-	var st Stats
-	doJSON(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK, &st)
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Campaigns != 2 || st.CacheHits < 1 {
 		t.Fatalf("stats = %+v", st)
 	}
+	if st.CachedArtifactBytes <= 0 {
+		t.Fatalf("artifact byte gauge not populated: %+v", st)
+	}
 
-	// CSV stats export.
+	// CSV stats export (raw wire: the SDK is JSON-only).
 	resp, err := http.Get(ts.URL + "/v1/stats?format=csv")
 	if err != nil {
 		t.Fatal(err)

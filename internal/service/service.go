@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xbarsec/api"
 	"xbarsec/internal/memo"
 	"xbarsec/internal/pool"
 	"xbarsec/internal/rng"
@@ -49,6 +50,12 @@ type Config struct {
 	// MaxCachedArtifacts bounds the artifact cache; the oldest completed
 	// artifacts are evicted FIFO beyond it (0 = 4096).
 	MaxCachedArtifacts int
+	// MaxCachedArtifactBytes bounds the artifact cache's approximate
+	// resident bytes (0 = 256 MiB); the oldest artifacts are evicted
+	// beyond it. The entry bound alone cannot protect the cache from
+	// unevenly sized artifacts — a full-scale experiment render is
+	// megabytes while a campaign result is bytes.
+	MaxCachedArtifactBytes int64
 	// SessionTTL evicts sessions idle longer than this (0 = sessions
 	// never expire). A background janitor sweeps at TTL/4 granularity;
 	// an evicted session behaves exactly like a closed one (lookups
@@ -81,16 +88,37 @@ type Service struct {
 	janitorCh chan struct{} // closed on Close to stop the session janitor
 }
 
+// artifactWeight approximates one cached artifact's resident bytes for
+// the cache's byte budget: the dominant payloads (an experiment's
+// render and JSON, an extraction's signal slices) plus a fixed
+// allowance for the struct itself.
+func artifactWeight(v any) int64 {
+	const base = 256
+	switch a := v.(type) {
+	case *CampaignResult:
+		return base
+	case *ExtractResult:
+		return base + int64(len(a.Signals)+len(a.Norms))*8
+	case *ExperimentResult:
+		return base + int64(len(a.Render)+len(a.Result))
+	default:
+		return base
+	}
+}
+
 // New returns an empty service. When Config.SessionTTL is set, a
 // janitor goroutine reaps idle sessions until Close.
 func New(cfg Config) *Service {
 	if cfg.DefaultSessionBudget <= 0 {
 		cfg.DefaultSessionBudget = 10000
 	}
+	if cfg.MaxCachedArtifactBytes <= 0 {
+		cfg.MaxCachedArtifactBytes = 256 << 20
+	}
 	s := &Service{
 		cfg:       cfg,
 		root:      rng.New(cfg.Seed).Split("service"),
-		cache:     memo.New[any](cfg.MaxCachedArtifacts),
+		cache:     memo.NewWeighted[any](cfg.MaxCachedArtifacts, cfg.MaxCachedArtifactBytes, artifactWeight),
 		gate:      pool.NewGate(cfg.MaxConcurrentJobs),
 		jobs:      newJobTable(cfg.MaxExperimentJobs),
 		janitorCh: make(chan struct{}),
@@ -207,50 +235,23 @@ func (s *Service) Close() {
 
 func (s *Service) isClosed() bool { return s.closed.Load() }
 
-// VictimStats is one victim's serving counters.
-type VictimStats struct {
-	Name    string `json:"name"`
-	Inputs  int    `json:"inputs"`
-	Outputs int    `json:"outputs"`
-	Noisy   bool   `json:"noisy"`
-	// Requests is the number of queries served through the coalescer.
-	Requests int64 `json:"requests"`
-	// Batches is the number of coalesced flushes; Requests/Batches is
-	// the achieved coalescing factor.
-	Batches int64 `json:"batches"`
-	// MaxBatch is the largest single flush.
-	MaxBatch int64 `json:"max_batch"`
-	// OpenSessions counts currently open sessions.
-	OpenSessions int64 `json:"open_sessions"`
-}
+// VictimStats is one victim's serving counters — served verbatim on the
+// wire, so it is defined by the public protocol package.
+type VictimStats = api.VictimStats
 
-// Stats is a point-in-time service snapshot.
-type Stats struct {
-	Victims []VictimStats `json:"victims"`
-	// Sessions counts open sessions across all victims.
-	Sessions int `json:"sessions"`
-	// ReapedSessions counts sessions evicted by the idle-TTL janitor.
-	ReapedSessions int64 `json:"reaped_sessions"`
-	// Campaigns counts campaign jobs served (cached or computed).
-	Campaigns int64 `json:"campaigns"`
-	// ExperimentJobs counts experiment jobs currently tracked (running
-	// or finished, within the job-table bound).
-	ExperimentJobs int `json:"experiment_jobs"`
-	// CacheHits and CacheMisses are artifact-cache counters.
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
-	// CachedArtifacts is the number of distinct artifacts in memory.
-	CachedArtifacts int `json:"cached_artifacts"`
-}
+// Stats is a point-in-time service snapshot (the GET /v1/stats wire
+// type).
+type Stats = api.Stats
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Sessions:        s.sessions.size(),
-		ReapedSessions:  s.reaped.Load(),
-		Campaigns:       s.campaigns.Load(),
-		ExperimentJobs:  s.jobs.size(),
-		CachedArtifacts: s.cache.Size(),
+		Sessions:            s.sessions.size(),
+		ReapedSessions:      s.reaped.Load(),
+		Campaigns:           s.campaigns.Load(),
+		ExperimentJobs:      s.jobs.size(),
+		CachedArtifacts:     s.cache.Size(),
+		CachedArtifactBytes: s.cache.Weight(),
 	}
 	st.CacheHits, st.CacheMisses = s.cache.Stats()
 	for _, name := range s.victims.keys() {

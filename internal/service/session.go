@@ -53,6 +53,43 @@ func (c coalescedHW) ForwardPower(u []float64) ([]float64, float64, error) {
 	return r.y, r.power, nil
 }
 
+// ForwardBatch serves a whole query slice through the coalescer in one
+// submission: the flusher sees the slice contiguously, so a batched
+// client query costs a constant number of array passes instead of
+// len(us) round trips.
+func (c coalescedHW) ForwardBatch(us [][]float64) ([][]float64, error) {
+	rs := make([]*batchRequest, len(us))
+	for i, u := range us {
+		rs[i] = &batchRequest{u: u}
+	}
+	if err := c.v.batcher.submitAll(rs); err != nil {
+		return nil, err
+	}
+	ys := make([][]float64, len(us))
+	for i, r := range rs {
+		ys[i] = r.y
+	}
+	return ys, nil
+}
+
+// ForwardPowerBatch is the fused batched read: both observables for the
+// whole slice in one submission.
+func (c coalescedHW) ForwardPowerBatch(us [][]float64) ([][]float64, []float64, error) {
+	rs := make([]*batchRequest, len(us))
+	for i, u := range us {
+		rs[i] = &batchRequest{u: u, wantPower: true}
+	}
+	if err := c.v.batcher.submitAll(rs); err != nil {
+		return nil, nil, err
+	}
+	ys := make([][]float64, len(us))
+	ps := make([]float64, len(us))
+	for i, r := range rs {
+		ys[i], ps[i] = r.y, r.power
+	}
+	return ys, ps, nil
+}
+
 func (c coalescedHW) Predict(u []float64) (int, error) {
 	y, err := c.Forward(u)
 	if err != nil {
@@ -66,10 +103,12 @@ func (c coalescedHW) Outputs() int                 { return c.v.hw.Outputs() }
 func (c coalescedHW) Crossbar() *crossbar.Crossbar { return c.v.hw.Crossbar() }
 
 // Compile-time checks: the coalescer is oracle hardware with the fused
-// fast path.
+// and batched fast paths.
 var (
-	_ oracle.Hardware       = coalescedHW{}
-	_ oracle.ForwardPowerer = coalescedHW{}
+	_ oracle.Hardware            = coalescedHW{}
+	_ oracle.ForwardPowerer      = coalescedHW{}
+	_ oracle.ForwardBatcher      = coalescedHW{}
+	_ oracle.ForwardPowerBatcher = coalescedHW{}
 )
 
 // SessionConfig controls what one attacker session may observe and spend.
@@ -204,6 +243,16 @@ func (sess *Session) Mode() oracle.Mode { return sess.oracle.Mode() }
 func (sess *Session) Query(u []float64) (oracle.Response, error) {
 	sess.lastUsed.Store(time.Now().UnixNano())
 	return sess.oracle.Query(u)
+}
+
+// QueryBatch runs a whole query slice as one coalesced submission,
+// with per-query budget accounting (prefix admission — see
+// oracle.QueryBatch). Responses are bit-identical to calling Query
+// sequentially with the same inputs, but the victim serves the batch
+// in a constant number of array passes.
+func (sess *Session) QueryBatch(us [][]float64) ([]oracle.Response, error) {
+	sess.lastUsed.Store(time.Now().UnixNano())
+	return sess.oracle.QueryBatch(us)
 }
 
 // Queries returns how many queries the session has been charged.
