@@ -2,7 +2,7 @@ GO ?= go
 BENCH_JSON ?= BENCH_4.json
 COVER_PROFILE ?= cover.out
 
-.PHONY: build test race vet fmt fmt-check bench bench-json cover examples ci
+.PHONY: build test race vet xbarvet lint api-baseline fmt fmt-check bench bench-json cover examples ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,27 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Builds the project vet tool (internal/analyze via cmd/xbarvet): the
+# detrand, rngsplit, hotalloc and apisurface analyzers, run through the
+# standard `go vet -vettool` driver.
+xbarvet:
+	$(GO) build -o bin/xbarvet ./cmd/xbarvet
+
+# Machine-checks the project contracts: no ambient randomness/time/env
+# in deterministic packages, no shared rng.Source captured by pool
+# closures, no allocation in //xbar:hotpath functions, and no breaking
+# change to the api/ wire surface vs api/testdata/surface.json.
+# Suppressions need a written reason: //xbar:allow <reason>.
+lint: xbarvet
+	$(GO) vet -vettool=bin/xbarvet ./...
+
+# Regenerates the committed api-surface baseline. The analyzer refuses
+# to overwrite a baseline recorded at the same version: bump api.Major
+# (breaking) or api.Minor (additive) first, then run this and commit
+# api/testdata/surface.json with the change.
+api-baseline: xbarvet
+	$(GO) vet -vettool=bin/xbarvet -apisurface.write ./api
 
 fmt:
 	gofmt -w .
@@ -74,4 +95,4 @@ cover:
 	$(GO) test -coverprofile=$(COVER_PROFILE) -covermode=atomic ./...
 	$(GO) tool cover -func=$(COVER_PROFILE) | tail -n 1
 
-ci: build vet fmt-check test
+ci: build vet lint fmt-check test

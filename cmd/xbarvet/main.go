@@ -1,0 +1,23 @@
+// Command xbarvet is the project's static-analysis gate: the four
+// analyzers of internal/analyze packaged as a `go vet -vettool`. It is a
+// unitchecker, so the go command drives it one package at a time with
+// full type information and caches clean results:
+//
+//	go build -o bin/xbarvet ./cmd/xbarvet
+//	go vet -vettool=bin/xbarvet ./...
+//
+// `make lint` does exactly that; `make api-baseline` re-runs only the
+// apisurface analyzer with -apisurface.write to regenerate the committed
+// surface snapshot after a version bump. See internal/analyze for the
+// contracts and the //xbar:allow annotation grammar.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"xbarsec/internal/analyze"
+)
+
+func main() {
+	unitchecker.Main(analyze.All()...)
+}

@@ -1,0 +1,92 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// The in-source annotation directives. Both follow the standard Go
+// directive shape (no space after //), which gofmt preserves verbatim.
+const (
+	allowDirective   = "//xbar:allow"
+	hotpathDirective = "//xbar:hotpath"
+)
+
+// newAllowSet scans every comment in the pass's files and records, per
+// file, which lines carry (or sit directly below) an //xbar:allow
+// directive, so analyzers can suppress diagnostics the code has
+// explicitly taken responsibility for. A bare //xbar:allow (no reason)
+// is a finding in its own right — a suppression nobody can audit — and
+// is reported immediately.
+func newAllowSet(pass *analysis.Pass) *allowed {
+	a := &allowed{fset: pass.Fset, lines: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowDirective)
+				if strings.TrimSpace(rest) == "" {
+					pass.Reportf(c.Pos(), "bare %s: a suppression must carry a reason", allowDirective)
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				m := a.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					a.lines[pos.Filename] = m
+				}
+				// The directive covers its own line (trailing comment) and
+				// the line below (comment-above form).
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return a
+}
+
+// allowed is the per-pass suppression index; see newAllowSet.
+type allowed struct {
+	fset  *token.FileSet
+	lines map[string]map[int]bool
+}
+
+// ok reports whether the line holding pos is covered by an //xbar:allow.
+func (a *allowed) ok(pos token.Pos) bool {
+	p := a.fset.Position(pos)
+	return a.lines[p.Filename][p.Line]
+}
+
+// reportf emits a diagnostic unless the position's line is suppressed.
+func (a *allowed) reportf(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	if a.ok(pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// inTestFile reports whether pos sits in a _test.go file. The xbarvet
+// contracts govern production code; tests legitimately use clocks, maps
+// and ambient helpers.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// hasDirective reports whether the function's doc comment carries the
+// given directive, returning the rest of that line (the reason).
+func hasDirective(doc *ast.CommentGroup, directive string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(c.Text, directive)), true
+		}
+	}
+	return "", false
+}

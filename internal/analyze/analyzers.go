@@ -1,0 +1,8 @@
+package analyze
+
+import "golang.org/x/tools/go/analysis"
+
+// All returns the xbarvet analyzer suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{DetRand, RngSplit, HotAlloc, APISurface}
+}

@@ -1,0 +1,252 @@
+// Package analyzertest is a self-contained stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it loads GOPATH-style
+// fixture packages from a testdata/src tree, typechecks them (resolving
+// fixture-local imports from the tree and everything else from source via
+// go/importer), runs an analyzer together with its Requires closure, and
+// compares the diagnostics against `// want "regexp"` comments.
+//
+// The real analysistest depends on go/packages, which the Go toolchain
+// does not vendor; this subset covers what the xbarvet analyzer tests
+// need — positional want-comments plus a programmatic Diagnostics entry
+// point for package-level analyzers like apisurface.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Loader loads and typechecks fixture packages from root (a directory
+// laid out GOPATH-style: root/src/<import path>/*.go). A Loader caches
+// packages, so fixtures may import each other.
+type Loader struct {
+	Fset     *token.FileSet
+	root     string
+	pkgs     map[string]*Package
+	fallback types.Importer
+}
+
+// Package is one loaded fixture package with everything an analysis.Pass
+// needs.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// NewLoader returns a loader rooted at dir (the directory holding "src").
+func NewLoader(dir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:     fset,
+		root:     filepath.Join(dir, "src"),
+		pkgs:     make(map[string]*Package),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer: fixture paths resolve from the
+// testdata tree, everything else (the stdlib) from Go source.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.root, path)); err == nil {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.fallback.Import(path)
+}
+
+// Load parses and typechecks the fixture package at the import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analyzertest: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analyzertest: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	cfg := &types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyzertest: typecheck %s: %w", path, err)
+	}
+	p := &Package{Path: path, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Diagnostics loads the fixture package and runs the analyzer (plus its
+// Requires closure), returning the analyzer's diagnostics and Run error.
+func (l *Loader) Diagnostics(a *analysis.Analyzer, path string) ([]analysis.Diagnostic, error) {
+	pkg, err := l.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	var runOne func(a *analysis.Analyzer, collect bool) error
+	runOne = func(a *analysis.Analyzer, collect bool) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		for _, dep := range a.Requires {
+			if err := runOne(dep, false); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       l.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   results,
+			Report: func(d analysis.Diagnostic) {
+				if collect {
+					diags = append(diags, d)
+				}
+			},
+			ReadFile: os.ReadFile,
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return err
+		}
+		results[a] = res
+		return nil
+	}
+	err = runOne(a, true)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, err
+}
+
+// Run loads each fixture package, runs the analyzer, and asserts that
+// diagnostics exactly match the `// want "regexp"` comments: every
+// diagnostic must land on a line carrying a matching expectation, and
+// every expectation must be matched by exactly one diagnostic.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := NewLoader(dir)
+	for _, path := range paths {
+		diags, err := l.Diagnostics(a, path)
+		if err != nil {
+			t.Errorf("%s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, l, path, diags)
+	}
+}
+
+// expectation is one `// want` pattern at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func checkWants(t *testing.T, l *Loader, path string, diags []analysis.Diagnostic) {
+	t.Helper()
+	pkg := l.pkgs[path]
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := l.Fset.Position(c.Pos())
+				for _, re := range parseWant(t, pos, c.Text) {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// wantRe matches the Go string literals after a `// want` marker.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWant extracts the expectation regexps from a comment, or nil when
+// the comment carries no want marker.
+func parseWant(t *testing.T, pos token.Position, text string) []*regexp.Regexp {
+	t.Helper()
+	i := strings.Index(text, "// want ")
+	if i < 0 {
+		return nil
+	}
+	var out []*regexp.Regexp
+	for _, lit := range wantRe.FindAllString(text[i+len("// want "):], -1) {
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
+		}
+		out = append(out, re)
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: `// want` with no pattern", pos)
+	}
+	return out
+}

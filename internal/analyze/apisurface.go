@@ -1,0 +1,296 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// APISurface turns the api/doc.go versioning policy into CI: the exported
+// surface of package api is recorded in a committed baseline
+// (api/testdata/surface.json) and any removal or change relative to that
+// baseline fails the build unless api.Major was bumped. Additions are
+// fine — the protocol is additive within a major version.
+//
+// With -apisurface.write the analyzer regenerates the baseline instead of
+// diffing, refusing unless Major or Minor changed relative to the
+// committed one (a surface edit without a version bump is exactly the
+// mistake the checker exists to catch).
+var APISurface = &analysis.Analyzer{
+	Name: "apisurface",
+	Doc:  "fail on non-additive changes to the exported api/ surface without an api.Major bump",
+	Run:  runAPISurface,
+}
+
+var (
+	apiPkgFlag      string
+	baselineFlag    string
+	writeSurfaceVar bool
+)
+
+func init() {
+	APISurface.Flags.StringVar(&apiPkgFlag, "pkg", "xbarsec/api",
+		"import path of the versioned protocol package")
+	APISurface.Flags.StringVar(&baselineFlag, "baseline", "",
+		"baseline path (default <pkgdir>/testdata/surface.json)")
+	APISurface.Flags.BoolVar(&writeSurfaceVar, "write", false,
+		"regenerate the baseline (requires a Major or Minor bump)")
+}
+
+// Surface is the recorded shape of the protocol package. Maps marshal
+// with sorted keys, so the JSON form is canonical and diffs are readable.
+type Surface struct {
+	// Major and Minor mirror api.Major/api.Minor at snapshot time.
+	Major int `json:"major"`
+	Minor int `json:"minor"`
+	// Decls maps every exported package-level object to its declaration
+	// string — a coarse net over the whole surface (funcs, consts, vars,
+	// type names). Removing or re-typing any of them is a break.
+	Decls map[string]string `json:"decls"`
+	// Structs refines exported struct types: field name → "type `tag`".
+	// JSON tags are part of the wire protocol, so a tag edit is a break.
+	Structs map[string]map[string]string `json:"structs"`
+	// Codes maps ErrorCode constant names to their wire values.
+	Codes map[string]string `json:"codes"`
+	// Status maps each error-code wire value ("default" for the fallback)
+	// to the HTTP status the server sends with it.
+	Status map[string]int `json:"status"`
+}
+
+func runAPISurface(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() != apiPkgFlag {
+		return nil, nil
+	}
+	cur := extractSurface(pass)
+	path := baselineFlag
+	if path == "" {
+		dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+		path = filepath.Join(dir, "testdata", "surface.json")
+	}
+	if writeSurfaceVar {
+		return nil, writeSurface(cur, path)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		pass.Reportf(pass.Files[0].Pos(),
+			"missing api surface baseline %s (run `make api-baseline`): %v", path, err)
+		return nil, nil
+	}
+	var base Surface
+	if err := json.Unmarshal(raw, &base); err != nil {
+		pass.Reportf(pass.Files[0].Pos(), "corrupt api surface baseline %s: %v", path, err)
+		return nil, nil
+	}
+	if cur.Major != base.Major {
+		// A major bump resets the surface contract; the stale baseline is
+		// refreshed by make api-baseline, which this bump unlocks.
+		return nil, nil
+	}
+	for _, breakage := range diffSurface(base, cur) {
+		pass.Reportf(pass.Files[0].Pos(),
+			"non-additive api change without an api.Major bump: %s (policy: api/doc.go; baseline: %s)",
+			breakage, path)
+	}
+	return nil, nil
+}
+
+// writeSurface regenerates the baseline, refusing when the version is
+// unchanged relative to the existing one.
+func writeSurface(cur Surface, path string) error {
+	if raw, err := os.ReadFile(path); err == nil {
+		var base Surface
+		if err := json.Unmarshal(raw, &base); err == nil &&
+			base.Major == cur.Major && base.Minor == cur.Minor {
+			return fmt.Errorf(
+				"apisurface: refusing to regenerate %s: api.Major/api.Minor still v%d.%d — bump the version the change rides on first (api/doc.go)",
+				path, cur.Major, cur.Minor)
+		}
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(cur, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// diffSurface lists every way cur narrows or mutates base. Additions are
+// never breaks.
+func diffSurface(base, cur Surface) []string {
+	var out []string
+	for _, name := range sortedKeys(base.Decls) {
+		switch got, ok := cur.Decls[name]; {
+		case !ok:
+			out = append(out, fmt.Sprintf("exported declaration %s was removed", name))
+		case got != base.Decls[name]:
+			out = append(out, fmt.Sprintf("exported declaration %s changed: %q -> %q", name, base.Decls[name], got))
+		}
+	}
+	for _, st := range sortedKeys(base.Structs) {
+		curFields, ok := cur.Structs[st]
+		if !ok {
+			continue // the struct removal is already a Decls finding
+		}
+		for _, f := range sortedKeys(base.Structs[st]) {
+			switch got, ok := curFields[f]; {
+			case !ok:
+				out = append(out, fmt.Sprintf("field %s.%s was removed", st, f))
+			case got != base.Structs[st][f]:
+				out = append(out, fmt.Sprintf("field %s.%s changed: %q -> %q", st, f, base.Structs[st][f], got))
+			}
+		}
+	}
+	for _, c := range sortedKeys(base.Codes) {
+		switch got, ok := cur.Codes[c]; {
+		case !ok:
+			out = append(out, fmt.Sprintf("error code %s was removed", c))
+		case got != base.Codes[c]:
+			out = append(out, fmt.Sprintf("error code %s changed wire value: %q -> %q", c, base.Codes[c], got))
+		}
+	}
+	if len(base.Status) > 0 && len(cur.Status) > 0 && !reflect.DeepEqual(base.Status, cur.Status) {
+		for _, code := range sortedKeys(base.Status) {
+			got, ok := cur.Status[code]
+			if ok && got == base.Status[code] {
+				continue
+			}
+			out = append(out, fmt.Sprintf("HTTP status for code %q changed: %d -> %d", code, base.Status[code], got))
+		}
+	}
+	return out
+}
+
+// extractSurface computes the Surface of the package under analysis.
+func extractSurface(pass *analysis.Pass) Surface {
+	s := Surface{
+		Decls:   make(map[string]string),
+		Structs: make(map[string]map[string]string),
+		Codes:   make(map[string]string),
+		Status:  make(map[string]int),
+	}
+	qual := types.RelativeTo(pass.Pkg)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		s.Decls[name] = types.ObjectString(obj, qual)
+		switch obj := obj.(type) {
+		case *types.Const:
+			switch {
+			case name == "Major":
+				v, _ := constant.Int64Val(constant.ToInt(obj.Val()))
+				s.Major = int(v)
+			case name == "Minor":
+				v, _ := constant.Int64Val(constant.ToInt(obj.Val()))
+				s.Minor = int(v)
+			case isErrorCodeType(obj.Type()):
+				s.Codes[name] = constant.StringVal(obj.Val())
+			}
+		case *types.TypeName:
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			fields := make(map[string]string)
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if !f.Exported() {
+					continue
+				}
+				fields[f.Name()] = types.TypeString(f.Type(), qual) + " `" + st.Tag(i) + "`"
+			}
+			s.Structs[name] = fields
+		}
+	}
+	extractStatusMap(pass, &s)
+	return s
+}
+
+// isErrorCodeType matches the package's named ErrorCode string type.
+func isErrorCodeType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "ErrorCode"
+}
+
+// extractStatusMap reads the code→HTTP-status mapping out of the
+// ErrorCode.HTTPStatus switch statement: each case arm's constant code
+// values map to the arm's constant return, the default arm to "default".
+// The mapping is protocol surface — servers and clients both key retry
+// behavior off it — so it is snapshotted like any field.
+func extractStatusMap(pass *analysis.Pass, s *Surface) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "HTTPStatus" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok {
+					return true
+				}
+				for _, stmt := range sw.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					status, ok := caseReturnStatus(pass, cc)
+					if !ok {
+						continue
+					}
+					if cc.List == nil {
+						s.Status["default"] = status
+						continue
+					}
+					for _, e := range cc.List {
+						tv, ok := pass.TypesInfo.Types[e]
+						if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+							continue
+						}
+						s.Status[constant.StringVal(tv.Value)] = status
+					}
+				}
+				return false
+			})
+		}
+	}
+}
+
+// caseReturnStatus extracts the constant integer returned by a case arm.
+func caseReturnStatus(pass *analysis.Pass, cc *ast.CaseClause) (int, bool) {
+	for _, stmt := range cc.Body {
+		ret, ok := stmt.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[ret.Results[0]]
+		if !ok || tv.Value == nil {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+		return int(v), ok
+	}
+	return 0, false
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

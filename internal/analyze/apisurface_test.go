@@ -1,0 +1,223 @@
+package analyze_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xbarsec/internal/analyze"
+	"xbarsec/internal/analyze/analyzertest"
+)
+
+// withSurfaceFlags points apisurface at a test-owned baseline path (and
+// optionally write mode), restoring the defaults afterwards.
+func withSurfaceFlags(t *testing.T, baseline string, write bool) {
+	t.Helper()
+	set := func(name, val string) {
+		t.Helper()
+		if err := analyze.APISurface.Flags.Set(name, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set("baseline", baseline)
+	if write {
+		set("write", "true")
+	}
+	t.Cleanup(func() {
+		_ = analyze.APISurface.Flags.Set("baseline", "")
+		_ = analyze.APISurface.Flags.Set("write", "false")
+	})
+}
+
+// genBaseline snapshots the fixture api package into dir/surface.json via
+// the analyzer's own -write path and returns the path.
+func genBaseline(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "surface.json")
+	withSurfaceFlags(t, path, true)
+	l := analyzertest.NewLoader("testdata")
+	if _, err := l.Diagnostics(analyze.APISurface, "xbarsec/api"); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	if err := analyze.APISurface.Flags.Set("write", "false"); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// mutate rewrites the baseline JSON through fn.
+func mutate(t *testing.T, path string, fn func(s map[string]any)) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s map[string]any
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	fn(s)
+	out, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// check runs apisurface against the fixture package and returns the
+// diagnostic messages.
+func check(t *testing.T, baseline string) []string {
+	t.Helper()
+	withSurfaceFlags(t, baseline, false)
+	l := analyzertest.NewLoader("testdata")
+	diags, err := l.Diagnostics(analyze.APISurface, "xbarsec/api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]string, len(diags))
+	for i, d := range diags {
+		msgs[i] = d.Message
+	}
+	return msgs
+}
+
+func wantOne(t *testing.T, msgs []string, substr string) {
+	t.Helper()
+	if len(msgs) != 1 || !strings.Contains(msgs[0], substr) {
+		t.Fatalf("got %v, want one diagnostic containing %q", msgs, substr)
+	}
+}
+
+// TestAPISurfaceClean: a fresh snapshot diffs clean against itself.
+func TestAPISurfaceClean(t *testing.T) {
+	path := genBaseline(t, t.TempDir())
+	if msgs := check(t, path); len(msgs) != 0 {
+		t.Fatalf("clean surface got diagnostics: %v", msgs)
+	}
+}
+
+// TestAPISurfaceRemovedDecl: deleting an exported declaration (here
+// simulated by a baseline that still records one) is a break.
+func TestAPISurfaceRemovedDecl(t *testing.T) {
+	path := genBaseline(t, t.TempDir())
+	mutate(t, path, func(s map[string]any) {
+		s["decls"].(map[string]any)["Gone"] = "func Gone()"
+	})
+	wantOne(t, check(t, path), "exported declaration Gone was removed")
+}
+
+// TestAPISurfaceFieldRemoved: deleting a struct field is a break even
+// when the struct itself survives.
+func TestAPISurfaceFieldRemoved(t *testing.T) {
+	path := genBaseline(t, t.TempDir())
+	mutate(t, path, func(s map[string]any) {
+		st := s["structs"].(map[string]any)["Error"].(map[string]any)
+		st["Legacy"] = "string `json:\"legacy\"`"
+	})
+	wantOne(t, check(t, path), "field Error.Legacy was removed")
+}
+
+// TestAPISurfaceTagChanged: a JSON tag edit rewires the wire format — a
+// break. The baseline records the old tag; the fixture carries the "new"
+// one.
+func TestAPISurfaceTagChanged(t *testing.T) {
+	path := genBaseline(t, t.TempDir())
+	mutate(t, path, func(s map[string]any) {
+		st := s["structs"].(map[string]any)["Error"].(map[string]any)
+		st["Code"] = "ErrorCode `json:\"error_code\"`"
+	})
+	msgs := check(t, path)
+	wantOne(t, msgs, "field Error.Code changed")
+	if !strings.Contains(msgs[0], "error_code") {
+		t.Fatalf("diagnostic %q should quote the old tag", msgs[0])
+	}
+}
+
+// TestAPISurfaceCodeValueChanged: error-code wire values are frozen.
+func TestAPISurfaceCodeValueChanged(t *testing.T) {
+	path := genBaseline(t, t.TempDir())
+	mutate(t, path, func(s map[string]any) {
+		s["codes"].(map[string]any)["CodeBadRequest"] = "bad_req"
+	})
+	wantOne(t, check(t, path), "error code CodeBadRequest changed wire value")
+}
+
+// TestAPISurfaceStatusChanged: the code→HTTP-status map is protocol.
+func TestAPISurfaceStatusChanged(t *testing.T) {
+	path := genBaseline(t, t.TempDir())
+	mutate(t, path, func(s map[string]any) {
+		s["status"].(map[string]any)["bad_request"] = 418
+	})
+	wantOne(t, check(t, path), `HTTP status for code "bad_request" changed: 418 -> 400`)
+}
+
+// TestAPISurfaceMajorBumpForgives: the same removal passes once the
+// package's Major outruns the baseline's.
+func TestAPISurfaceMajorBumpForgives(t *testing.T) {
+	path := genBaseline(t, t.TempDir())
+	mutate(t, path, func(s map[string]any) {
+		s["decls"].(map[string]any)["Gone"] = "func Gone()"
+		s["major"] = 0 // fixture package is at Major = 1
+	})
+	if msgs := check(t, path); len(msgs) != 0 {
+		t.Fatalf("major bump should forgive the removal, got %v", msgs)
+	}
+}
+
+// TestAPISurfaceAdditionsAllowed: a baseline missing entries the package
+// now has (the additive path) stays clean.
+func TestAPISurfaceAdditionsAllowed(t *testing.T) {
+	path := genBaseline(t, t.TempDir())
+	mutate(t, path, func(s map[string]any) {
+		delete(s["decls"].(map[string]any), "Health")
+		delete(s["structs"].(map[string]any), "Health")
+		delete(s["codes"].(map[string]any), "CodeInternal")
+	})
+	if msgs := check(t, path); len(msgs) != 0 {
+		t.Fatalf("additions must not fail the check, got %v", msgs)
+	}
+}
+
+// TestAPISurfaceMissingBaseline: no baseline is itself a finding, so the
+// gate cannot be silently disarmed by deleting the file.
+func TestAPISurfaceMissingBaseline(t *testing.T) {
+	wantOne(t, check(t, filepath.Join(t.TempDir(), "nope.json")),
+		"missing api surface baseline")
+}
+
+// TestAPISurfaceWriteRefusesWithoutBump: regenerating over a same-version
+// baseline errors — the workflow is bump first, then make api-baseline.
+func TestAPISurfaceWriteRefusesWithoutBump(t *testing.T) {
+	path := genBaseline(t, t.TempDir())
+	withSurfaceFlags(t, path, true)
+	l := analyzertest.NewLoader("testdata")
+	_, err := l.Diagnostics(analyze.APISurface, "xbarsec/api")
+	if err == nil || !strings.Contains(err.Error(), "refusing to regenerate") {
+		t.Fatalf("want refusal error, got %v", err)
+	}
+}
+
+// TestAPISurfaceWriteAfterBump: once the recorded version differs,
+// regeneration succeeds and the new snapshot diffs clean.
+func TestAPISurfaceWriteAfterBump(t *testing.T) {
+	path := genBaseline(t, t.TempDir())
+	mutate(t, path, func(s map[string]any) {
+		s["minor"] = 99
+		s["decls"].(map[string]any)["Gone"] = "func Gone()"
+	})
+	withSurfaceFlags(t, path, true)
+	l := analyzertest.NewLoader("testdata")
+	if _, err := l.Diagnostics(analyze.APISurface, "xbarsec/api"); err != nil {
+		t.Fatalf("regeneration after a bump should succeed: %v", err)
+	}
+	if err := analyze.APISurface.Flags.Set("write", "false"); err != nil {
+		t.Fatal(err)
+	}
+	if msgs := check(t, path); len(msgs) != 0 {
+		t.Fatalf("regenerated baseline should diff clean, got %v", msgs)
+	}
+}

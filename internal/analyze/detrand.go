@@ -1,0 +1,257 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// defaultDetPkgs are the import-path prefixes of the deterministic
+// packages: every experiment result must be a pure function of its spec,
+// so nothing under these prefixes may consult ambient process state.
+// internal/rng is included (it builds seeded streams but must never draw
+// from the global source) and so is internal/service, whose session-TTL
+// clock reads are the sanctioned, //xbar:allow-annotated exception.
+var defaultDetPkgs = []string{
+	"xbarsec/internal/experiment",
+	"xbarsec/internal/crossbar",
+	"xbarsec/internal/nn",
+	"xbarsec/internal/surrogate",
+	"xbarsec/internal/tensor",
+	"xbarsec/internal/oracle",
+	"xbarsec/internal/rng",
+	"xbarsec/internal/service",
+}
+
+// seededRandCtors are the math/rand package-level functions that build
+// explicitly seeded generators rather than drawing from the process-global
+// source; they are deterministic and allowed.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// DetRand is the determinism analyzer; see the package comment.
+var DetRand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid ambient randomness, clocks, env reads and ordered map iteration " +
+		"in the deterministic packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDetRand,
+}
+
+// detPkgsFlag overrides the checked package-prefix list (comma-separated);
+// the analyzer tests point it at their fixture packages.
+var detPkgsFlag string
+
+func init() {
+	DetRand.Flags.StringVar(&detPkgsFlag, "pkgs",
+		strings.Join(defaultDetPkgs, ","),
+		"comma-separated import-path prefixes of deterministic packages")
+}
+
+func runDetRand(pass *analysis.Pass) (any, error) {
+	if !detPkgMatch(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	allow := newAllowSet(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		if inTestFile(pass.Fset, n.Pos()) {
+			return
+		}
+		checkAmbientCall(pass, allow, n.(*ast.CallExpr))
+	})
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || inTestFile(pass.Fset, n.Pos()) {
+			return true
+		}
+		checkMapRange(pass, allow, n.(*ast.RangeStmt), enclosingFuncBody(stack))
+		return true
+	})
+	return nil, nil
+}
+
+// enclosingFuncBody returns the body of the innermost function on the
+// stack, or nil at package scope.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+func detPkgMatch(path string) bool {
+	for _, p := range strings.Split(detPkgsFlag, ",") {
+		p = strings.TrimSpace(p)
+		if p != "" && (path == p || strings.HasPrefix(path, p+"/")) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAmbientCall flags calls that read ambient process state: the
+// global math/rand source, the wall clock, or the environment.
+func checkAmbientCall(pass *analysis.Pass, allow *allowed, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// Only package-level functions matter here; methods on explicitly
+	// constructed values (rand.Rand, time.Time) are deterministic.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if !seededRandCtors[fn.Name()] {
+			allow.reportf(pass, call.Pos(),
+				"%s.%s draws from the process-global source; use an explicit *rng.Source (seeded by the spec) instead",
+				fn.Pkg().Path(), fn.Name())
+		}
+	case "time":
+		if fn.Name() == "Now" {
+			allow.reportf(pass, call.Pos(),
+				"time.Now in a deterministic package: results must be a pure function of the spec")
+		}
+	case "os":
+		if fn.Name() == "Getenv" || fn.Name() == "LookupEnv" {
+			allow.reportf(pass, call.Pos(),
+				"os.%s in a deterministic package: configuration must arrive through the spec, not the environment",
+				fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for ... := range m` over a map when the loop body
+// appends to a slice declared outside the loop: the accumulator's element
+// order then depends on Go's randomized map iteration order, which leaks
+// nondeterminism into anything ordered downstream. The collect-then-sort
+// idiom — the accumulator is passed to sort.*/slices.Sort* later in the
+// same function — is the sanctioned fix and is not flagged.
+func checkMapRange(pass *analysis.Pass, allow *allowed, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			return true
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			return true
+		}
+		// append's first argument names the accumulator; if that variable
+		// was declared before the range statement, its final order is map
+		// iteration order.
+		base := baseIdent(call.Args[0])
+		if base == nil {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(base)
+		if obj == nil || obj.Pos() == 0 {
+			return true
+		}
+		if obj.Pos() < rng.Pos() && !sortedAfter(pass, fnBody, rng, obj) {
+			allow.reportf(pass, call.Pos(),
+				"append to %q inside map iteration feeds map order into an ordered accumulator; sort it afterwards or iterate sorted keys",
+				base.Name)
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether the accumulator obj is passed to a sorting
+// function after the map loop, anywhere in the enclosing function.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	if fnBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || !isSortFunc(fn.Pkg().Path(), fn.Name()) {
+			return true
+		}
+		for _, a := range call.Args {
+			if id := baseIdent(a); id != nil && pass.TypesInfo.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortFunc matches the stdlib sorting entry points.
+func isSortFunc(pkg, name string) bool {
+	switch pkg {
+	case "sort":
+		switch name {
+		case "Strings", "Ints", "Float64s", "Sort", "Stable", "Slice", "SliceStable":
+			return true
+		}
+	case "slices":
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call's static callee, or nil for builtins,
+// function values and type conversions.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// baseIdent walks selector/index/slice expressions down to the root
+// identifier: streams[i] → streams, t.root → t.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

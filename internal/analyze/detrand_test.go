@@ -1,0 +1,48 @@
+package analyze_test
+
+import (
+	"strings"
+	"testing"
+
+	"xbarsec/internal/analyze"
+	"xbarsec/internal/analyze/analyzertest"
+)
+
+func TestDetRand(t *testing.T) {
+	analyzertest.Run(t, "testdata", analyze.DetRand,
+		"xbarsec/internal/experiment/detfix")
+}
+
+// TestDetRandBareAllow: a reason-less //xbar:allow is itself reported and
+// does not suppress the finding beneath it. (Checked programmatically: a
+// want comment cannot share the directive's line without becoming its
+// reason.)
+func TestDetRandBareAllow(t *testing.T) {
+	l := analyzertest.NewLoader("testdata")
+	diags, err := l.Diagnostics(analyze.DetRand, "xbarsec/internal/experiment/barefix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (bare directive + unsuppressed time.Now): %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "bare //xbar:allow") {
+		t.Errorf("first diagnostic = %q, want bare-directive report", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "time.Now") {
+		t.Errorf("second diagnostic = %q, want unsuppressed time.Now report", diags[1].Message)
+	}
+}
+
+// TestDetRandScope: packages outside the deterministic prefixes are not
+// checked.
+func TestDetRandScope(t *testing.T) {
+	l := analyzertest.NewLoader("testdata")
+	diags, err := l.Diagnostics(analyze.DetRand, "xbarsec/internal/report/repfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unlisted package got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,48 @@
+// Package analyze implements xbarvet, the project's static analyzers.
+// They machine-check the contracts every result in this module leans on,
+// so refactors cannot silently erode them:
+//
+//   - detrand: experiment code must be a pure function of its spec. Inside
+//     the deterministic packages (internal/experiment..., internal/crossbar,
+//     internal/nn, internal/surrogate, internal/tensor, internal/oracle,
+//     internal/rng, internal/service) it forbids ambient randomness
+//     (math/rand top-level draws from the process-global source), wall
+//     clocks (time.Now), environment reads (os.Getenv/LookupEnv), and map
+//     iteration feeding an ordered accumulator.
+//
+//   - rngsplit: the worker-invariance contract of internal/pool. A
+//     *rng.Source captured by a closure passed to pool.Do/pool.DoErr may
+//     only be used as the receiver of Split/SplitN — drawing from a shared
+//     stream across work items would make results depend on goroutine
+//     scheduling. Indexing a captured pre-split []*rng.Source is the other
+//     sanctioned pattern and is not flagged.
+//
+//   - hotalloc: functions annotated //xbar:hotpath must not allocate on
+//     their hot path. Flags append (except the x[:0] reuse idiom),
+//     fmt.Sprint*/Errorf, slice/map composite literals, and interface
+//     boxing at call sites. Arguments of panic statements are exempt —
+//     a panicking shape check is by definition not the hot path.
+//
+//   - apisurface: the api/doc.go additive-only policy. The exported
+//     surface of package api (struct fields with JSON tags, ErrorCode
+//     values, the code→HTTP-status map, every exported declaration) is
+//     recorded in api/testdata/surface.json; any removal or change that
+//     is not accompanied by an api.Major bump fails the build. Additions
+//     are allowed within a major version. Regenerate the baseline with
+//     `make api-baseline`, which refuses to run unless Major or Minor
+//     changed.
+//
+// # Annotation grammar
+//
+//	//xbar:hotpath [reason]
+//	    On a function's doc comment: hotalloc checks the body.
+//
+//	//xbar:allow <reason>
+//	    On the flagged line, or alone on the line above it: suppresses
+//	    any xbarvet diagnostic for that line. The reason is mandatory;
+//	    a bare //xbar:allow is itself reported.
+//
+// Run the suite with `make lint`, which builds cmd/xbarvet and drives it
+// through `go vet -vettool`. Test files are not checked: the contracts
+// govern production code, and tests legitimately use clocks and maps.
+package analyze

@@ -1,0 +1,13 @@
+package analyze_test
+
+import (
+	"testing"
+
+	"xbarsec/internal/analyze"
+	"xbarsec/internal/analyze/analyzertest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analyzertest.Run(t, "testdata", analyze.HotAlloc,
+		"xbarsec/internal/tensor/hafix")
+}

@@ -1,0 +1,174 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Import paths of the packages whose types anchor the rngsplit contract.
+// The analyzer tests shadow these with fixture packages of the same path.
+const (
+	rngPkgPath  = "xbarsec/internal/rng"
+	poolPkgPath = "xbarsec/internal/pool"
+)
+
+// RngSplit enforces the worker-invariance contract from internal/pool's
+// package comment: work item i must derive all its randomness from its
+// index via Split/SplitN. A *rng.Source captured by the closure passed to
+// pool.Do/pool.DoErr is therefore only usable as a Split/SplitN receiver;
+// any draw from it would interleave one stream across concurrently
+// scheduled items. Indexing a captured []*rng.Source (a pre-split
+// per-item stream table) is the other sanctioned pattern.
+var RngSplit = &analysis.Analyzer{
+	Name: "rngsplit",
+	Doc: "a *rng.Source captured by a pool.Do/DoErr closure must only be used " +
+		"via Split/SplitN",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runRngSplit,
+}
+
+func runRngSplit(pass *analysis.Pass) (any, error) {
+	allow := newAllowSet(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if inTestFile(pass.Fset, call.Pos()) {
+			return
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != poolPkgPath {
+			return
+		}
+		if fn.Name() != "Do" && fn.Name() != "DoErr" {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+		if !ok {
+			// A named worker function can't capture loop-local sources the
+			// way a literal can; out of scope.
+			return
+		}
+		checkPoolClosure(pass, allow, lit)
+	})
+	return nil, nil
+}
+
+// checkPoolClosure reports every use of a captured *rng.Source inside the
+// worker closure that is not the receiver of a Split/SplitN call.
+func checkPoolClosure(pass *analysis.Pass, allow *allowed, lit *ast.FuncLit) {
+	// Walk with an explicit parent stack so each *rng.Source-typed
+	// expression can be judged by how its parent consumes it.
+	var stack []ast.Node
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		e, ok := n.(ast.Expr)
+		if !ok || !isRngSource(pass, e) {
+			return true
+		}
+		// The Sel identifier of a field selector is judged via its parent
+		// SelectorExpr, not on its own (its object is the field, declared
+		// at the struct definition — always "outside the closure").
+		if len(stack) >= 2 {
+			if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel == n {
+				return true
+			}
+		}
+		if !capturedByClosure(pass, e, lit) {
+			return true
+		}
+		if splitReceiver(pass, e, stack) {
+			return true
+		}
+		allow.reportf(pass, e.Pos(),
+			"*rng.Source %q is shared across pool work items; derive a per-item stream with Split/SplitN (or pre-split a slice outside the pool call)",
+			exprString(e))
+		return true
+	})
+}
+
+// isRngSource reports whether e's static type is *rng.Source, judging
+// only Ident and SelectorExpr nodes: an IndexExpr over a captured
+// []*rng.Source is the sanctioned pre-split table and a call result is a
+// fresh stream, so neither is a shared-source use.
+func isRngSource(pass *analysis.Pass, e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == rngPkgPath && named.Obj().Name() == "Source"
+}
+
+// capturedByClosure reports whether e's root variable is declared outside
+// the closure — a free variable the closure shares with other work items.
+func capturedByClosure(pass *analysis.Pass, e ast.Expr, lit *ast.FuncLit) bool {
+	base := baseIdent(e)
+	if base == nil {
+		return false
+	}
+	// Skip the Sel half of selector expressions: ObjectOf on a field
+	// selector yields the field, whose Pos is the struct definition.
+	if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel == base {
+		return false
+	}
+	obj, ok := pass.TypesInfo.ObjectOf(base).(*types.Var)
+	if !ok {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// splitReceiver reports whether, per the parent stack, e is exactly the
+// receiver of a .Split(...) or .SplitN(...) call.
+func splitReceiver(pass *analysis.Pass, e ast.Expr, stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	sel, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	if !ok || sel.X != e {
+		return false
+	}
+	if sel.Sel.Name != "Split" && sel.Sel.Name != "SplitN" {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && call.Fun == sel
+}
+
+// exprString renders a flagged expression compactly for the diagnostic.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := baseIdent(x); base != nil {
+			return base.Name + "." + x.Sel.Name
+		}
+		return x.Sel.Name
+	}
+	return "source"
+}

@@ -1,0 +1,37 @@
+// Package api is the fixture twin of the real protocol package: enough
+// surface for apisurface to snapshot — version consts, a tagged struct,
+// error codes, and the code→HTTP-status switch.
+package api
+
+const (
+	Major = 1
+	Minor = 0
+)
+
+type ErrorCode string
+
+const (
+	CodeBadRequest ErrorCode = "bad_request"
+	CodeInternal   ErrorCode = "internal"
+)
+
+func (c ErrorCode) HTTPStatus() int {
+	switch c {
+	case CodeBadRequest:
+		return 400
+	default:
+		return 500
+	}
+}
+
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+type Health struct {
+	Status string `json:"status"`
+}
+
+func Version() string { return "v1.0" }

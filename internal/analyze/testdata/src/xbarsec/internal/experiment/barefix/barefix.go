@@ -1,0 +1,12 @@
+// Package barefix holds a bare //xbar:allow — a suppression with no
+// reason — which detrand must report and must NOT honor (the time.Now
+// beneath it is still flagged). Checked programmatically: a want comment
+// cannot share the directive's line without becoming its reason text.
+package barefix
+
+import "time"
+
+func bareAllow() time.Time {
+	//xbar:allow
+	return time.Now()
+}

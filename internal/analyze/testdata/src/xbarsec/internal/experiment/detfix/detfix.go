@@ -1,0 +1,66 @@
+// Package detfix exercises the detrand analyzer: it sits under the
+// deterministic prefix xbarsec/internal/experiment, so ambient state
+// reads must be flagged and the sanctioned idioms must not be.
+package detfix
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func ambient() {
+	_ = rand.Intn(10)        // want `math/rand\.Intn draws from the process-global source`
+	_ = rand.Float64()       // want `math/rand\.Float64 draws from the process-global source`
+	_ = time.Now()           // want `time\.Now in a deterministic package`
+	_ = os.Getenv("HOME")    // want `os\.Getenv in a deterministic package`
+	_, _ = os.LookupEnv("X") // want `os\.LookupEnv in a deterministic package`
+}
+
+// seeded generators are explicitly allowed: they are pure functions of
+// their seed.
+func seeded() {
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(10)
+}
+
+// suppressed carries the escape hatch, reason and all.
+func suppressed() {
+	_ = time.Now() //xbar:allow fixture: demonstrating the annotated exception
+}
+
+// mapOrder feeds map iteration order into an ordered accumulator.
+func mapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside map iteration`
+	}
+	return out
+}
+
+// mapOrderSorted is the sanctioned collect-then-sort idiom.
+func mapOrderSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mapOrderLocal appends to a loop-local accumulator — harmless, the
+// slice dies with the iteration.
+func mapOrderLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var evens []int
+		for _, v := range vs {
+			if v%2 == 0 {
+				evens = append(evens, v)
+			}
+		}
+		total += len(evens)
+	}
+	return total
+}

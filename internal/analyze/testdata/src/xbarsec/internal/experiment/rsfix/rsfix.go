@@ -1,0 +1,89 @@
+// Package rsfix exercises the rngsplit analyzer: every way a
+// *rng.Source can leak across pool work items, next to every sanctioned
+// derivation pattern.
+package rsfix
+
+import (
+	"xbarsec/internal/pool"
+	"xbarsec/internal/rng"
+)
+
+// sharedDraw is the core violation: one stream drawn from by all items.
+func sharedDraw(src *rng.Source, out []float64) {
+	pool.Do(0, len(out), func(i int) {
+		out[i] = src.Float64() // want `\*rng\.Source "src" is shared across pool work items`
+	})
+}
+
+// sharedPassed hands the shared stream to a helper — same violation.
+func sharedPassed(src *rng.Source, out []float64) {
+	pool.Do(0, len(out), func(i int) {
+		out[i] = draw(src) // want `\*rng\.Source "src" is shared across pool work items`
+	})
+}
+
+// sharedField reaches the stream through a captured struct.
+type runCtx struct {
+	Root *rng.Source
+}
+
+func sharedField(t *runCtx, out []float64) {
+	_ = pool.DoErr(0, len(out), func(i int) error {
+		out[i] = t.Root.Float64() // want `\*rng\.Source "t.Root" is shared across pool work items`
+		return nil
+	})
+}
+
+// perItemSplit derives a per-item stream inside the closure — the
+// contract's canonical form (engine.go, fig4.go).
+func perItemSplit(src *rng.Source, out []float64) {
+	pool.Do(0, len(out), func(i int) {
+		out[i] = src.SplitN("item", i).Float64()
+	})
+}
+
+// fieldSplit splits a captured struct field per item.
+func fieldSplit(t *runCtx, out []float64) {
+	_ = pool.DoErr(0, len(out), func(i int) error {
+		out[i] = t.Root.SplitN("cell", i).Float64()
+		return nil
+	})
+}
+
+// preSplit indexes a pre-split per-item stream table — the other
+// sanctioned pattern.
+func preSplit(src *rng.Source, out []float64) {
+	streams := make([]*rng.Source, len(out))
+	for i := range streams {
+		streams[i] = src.SplitN("item", i)
+	}
+	pool.Do(0, len(out), func(i int) {
+		out[i] = streams[i].Float64()
+	})
+}
+
+// localStream builds a stream inside the item from plain captured data;
+// nothing is shared.
+func localStream(seed int64, out []float64) {
+	pool.Do(0, len(out), func(i int) {
+		src := rng.New(seed + int64(i))
+		out[i] = src.Float64()
+	})
+}
+
+// outsidePool draws from a shared stream sequentially — fine, the
+// contract only governs pool closures.
+func outsidePool(src *rng.Source, out []float64) {
+	for i := range out {
+		out[i] = src.Float64()
+	}
+}
+
+// suppressed documents a deliberate exception.
+func suppressed(src *rng.Source, out []float64) {
+	pool.Do(1, len(out), func(i int) {
+		out[i] = src.Float64() //xbar:allow fixture: workers pinned to 1, serial by construction
+	})
+}
+
+func draw(s *rng.Source) float64 { return s.Float64() }

@@ -1,0 +1,17 @@
+// Package pool is the fixture twin of the real xbarsec/internal/pool.
+package pool
+
+func Do(workers, n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func DoErr(workers, n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

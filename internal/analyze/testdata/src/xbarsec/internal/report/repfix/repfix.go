@@ -1,0 +1,7 @@
+// Package repfix sits outside the deterministic prefixes: detrand must
+// leave its ambient-state reads alone.
+package repfix
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }

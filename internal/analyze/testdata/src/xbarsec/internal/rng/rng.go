@@ -1,0 +1,13 @@
+// Package rng is the fixture twin of the real xbarsec/internal/rng: the
+// analyzers match on the import path and the Source/Split/SplitN names,
+// so this stub only needs the shape.
+package rng
+
+type Source struct{ seed int64 }
+
+func New(seed int64) *Source { return &Source{seed: seed} }
+
+func (s *Source) Split(label string) *Source         { return &Source{seed: s.seed + 1} }
+func (s *Source) SplitN(label string, n int) *Source { return &Source{seed: s.seed + int64(n)} }
+func (s *Source) Float64() float64                   { return 0.5 }
+func (s *Source) Intn(n int) int                     { return 0 }

@@ -1,0 +1,83 @@
+// Package hafix exercises the hotalloc analyzer: allocating constructs
+// inside //xbar:hotpath functions, next to the exempt idioms (scratch
+// reuse, panic arguments) and an unannotated twin that must stay silent.
+package hafix
+
+import "fmt"
+
+type scratch struct {
+	buf []float64
+}
+
+//xbar:hotpath
+func growingAppend(dst []float64, xs []float64) []float64 {
+	for _, x := range xs {
+		dst = append(dst, x) // want `append in a //xbar:hotpath function may grow the backing array`
+	}
+	return dst
+}
+
+//xbar:hotpath
+func reuseAppend(sc *scratch, xs []float64) {
+	buf := sc.buf[:0]
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	sc.buf = buf
+}
+
+//xbar:hotpath
+func directReuseAppend(sc *scratch, x float64) {
+	sc.buf = append(sc.buf[:0], x)
+}
+
+//xbar:hotpath
+func formatting(n int) {
+	_ = fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf allocates`
+	_ = fmt.Sprint(n)          // want `fmt\.Sprint allocates`
+	_ = fmt.Errorf("n=%d", n)  // want `fmt\.Errorf allocates`
+}
+
+//xbar:hotpath
+func coldPanic(rows, cols int) {
+	if rows != cols {
+		panic(fmt.Sprintf("hafix: %dx%d not square", rows, cols))
+	}
+}
+
+//xbar:hotpath
+func sliceLiteral() []float64 {
+	return []float64{1, 2, 3} // want `slice literal allocates in a //xbar:hotpath function`
+}
+
+//xbar:hotpath
+func mapLiteral() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates in a //xbar:hotpath function`
+}
+
+func box(v any) any { return v }
+
+//xbar:hotpath
+func boxing(n int) any {
+	return box(n) // want `boxes a concrete int into an interface`
+}
+
+//xbar:hotpath
+func noBoxing(v any) any {
+	return box(v) // interface to interface: the box already exists
+}
+
+//xbar:hotpath
+func suppressedAppend(dst []float64, x float64) []float64 {
+	return append(dst, x) //xbar:allow fixture: amortized growth measured harmless
+}
+
+// unannotated may allocate freely: hotalloc only reads //xbar:hotpath
+// bodies.
+func unannotated(n int) []string {
+	out := []string{}
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("%d", i))
+	}
+	return out
+}

@@ -216,6 +216,8 @@ func (n *Network) Noisy() bool { return n.xbar.Noisy() }
 // array that sequential pair IS the implementation (two reads per input,
 // in that order), preserving the noise-stream consumption order of the
 // scalar query path.
+//
+//xbar:hotpath
 func (x *Crossbar) OutputTotalCurrentBatch(us [][]float64) ([][]float64, []float64, error) {
 	if err := validateBatch(us, x.cols); err != nil {
 		return nil, nil, err

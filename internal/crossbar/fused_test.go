@@ -116,6 +116,41 @@ func TestForwardPowerBatchMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestOutputTotalCurrentBatchAllocsBounded pins the hot-path contract on
+// the fused serving kernel: once the effective-conductance cache is warm,
+// a noise-free batch costs a constant number of allocations — the two
+// result headers plus the one backing slab — independent of batch size.
+func TestOutputTotalCurrentBatchAllocsBounded(t *testing.T) {
+	w, us := batchTestWeights(t, 9, 17)
+	for name, cfg := range map[string]DeviceConfig{
+		"default":   DefaultDeviceConfig(),
+		"non-ideal": nonIdealNoNoiseConfig(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			xb, err := Program(w, cfg, rng.New(79))
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(batch [][]float64) float64 {
+				return testing.AllocsPerRun(20, func() {
+					if _, _, err := xb.OutputTotalCurrentBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			run(us) // warm the effective-conductance cache
+			small, full := run(us[:2]), run(us)
+			if small != full {
+				t.Errorf("allocations scale with batch size: %v for 2 inputs, %v for %d",
+					small, full, len(us))
+			}
+			if full > 3 {
+				t.Errorf("fused batch costs %v allocations, want at most 3 (outs+totals+slab)", full)
+			}
+		})
+	}
+}
+
 func TestNoisyReporting(t *testing.T) {
 	w, _ := batchTestWeights(t, 4, 6)
 	quiet, err := Program(w, DefaultDeviceConfig(), nil)

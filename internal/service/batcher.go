@@ -144,6 +144,8 @@ func (b *batcher) close() {
 // else arrived and serves the whole set as one batch. Queries arriving
 // during a flush buffer in the channel and form the next batch — the
 // combining that makes throughput scale with the batch engine.
+//
+//xbar:hotpath
 func (b *batcher) loop() {
 	defer close(b.exit)
 	// Flusher-private scratch, reused across flushes (the flusher is the
@@ -190,6 +192,8 @@ type flushScratch struct {
 
 // flush serves one coalesced batch: fused forward+power for the
 // power-measuring requests, plain forward for the rest.
+//
+//xbar:hotpath
 func (b *batcher) flush(batch []*batchRequest, sc *flushScratch) {
 	b.batches.Add(1)
 	b.requests.Add(int64(len(batch)))

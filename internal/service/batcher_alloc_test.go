@@ -1,0 +1,82 @@
+package service
+
+import (
+	"testing"
+
+	"xbarsec/internal/crossbar"
+	"xbarsec/internal/nn"
+	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
+)
+
+// TestFlushReusesScratch pins the hot-path contract on the coalescer's
+// flush: in steady state (scratch buffers and the array's
+// effective-conductance cache warm) a flush adds no allocations of its
+// own on top of the underlying batched kernels — the partition and input
+// buffers all come from flushScratch. The flusher goroutine is not
+// involved: flush is driven directly on a hand-built batcher.
+func TestFlushReusesScratch(t *testing.T) {
+	src := rng.New(33)
+	w := tensor.New(5, 9)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 9; j++ {
+			w.Set(i, j, src.Uniform(-1, 1))
+		}
+	}
+	net := &nn.Network{W: w, Act: nn.ActLinear}
+	hw, err := crossbar.NewNetwork(net, crossbar.DefaultDeviceConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &batcher{hw: hw}
+	batch := make([]*batchRequest, 8)
+	for i := range batch {
+		u := make([]float64, 9)
+		for j := range u {
+			u[j] = src.Float64()
+		}
+		// Mixed batch so both the plain and the fused partition run.
+		batch[i] = &batchRequest{u: u, wantPower: i%3 == 0}
+	}
+	var sc flushScratch
+	run := func() {
+		for _, r := range batch {
+			r.done.Add(1) // flush calls Done; re-arm for the next run
+		}
+		b.flush(batch, &sc)
+	}
+	run() // warm scratch and the effective-conductance cache
+
+	// Baseline: the two batched kernels on the same partition, without
+	// the coalescer around them.
+	var plainUs, fusedUs [][]float64
+	for _, r := range batch {
+		if r.wantPower {
+			fusedUs = append(fusedUs, r.u)
+		} else {
+			plainUs = append(plainUs, r.u)
+		}
+	}
+	kernels := testing.AllocsPerRun(20, func() {
+		if _, err := hw.ForwardBatch(plainUs); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := hw.ForwardPowerBatch(fusedUs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	flush := testing.AllocsPerRun(20, run)
+	if flush > kernels+1 {
+		t.Errorf("flush allocates %v per run, underlying kernels %v: scratch is not being reused",
+			flush, kernels)
+	}
+	// The batch's results must actually have been served.
+	for _, r := range batch {
+		if r.err != nil {
+			t.Fatalf("flush left request error: %v", r.err)
+		}
+		if len(r.y) != 5 {
+			t.Fatalf("flush left result length %d, want 5", len(r.y))
+		}
+	}
+}

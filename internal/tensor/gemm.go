@@ -33,6 +33,8 @@ const gemmBlock = 256
 // Gemm computes dst = a·b, overwriting dst. It panics on shape mismatch
 // (dst must be a.Rows() x b.Cols() and a.Cols() == b.Rows()). The result
 // is bit-identical to a.MatMul(b).
+//
+//xbar:hotpath
 func Gemm(dst, a, b *Matrix) {
 	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
 		panic(fmt.Sprintf("tensor: Gemm shape %dx%d by %dx%d into %dx%d",
@@ -69,6 +71,8 @@ func Gemm(dst, a, b *Matrix) {
 // and b, accumulated in increasing order — exactly the order in which a
 // per-sample loop sums outer products δ_k·u_kᵀ over a mini-batch, so a
 // whole batch-gradient sum is one GemmTA call.
+//
+//xbar:hotpath
 func GemmTA(dst, a, b *Matrix) {
 	if a.rows != b.rows || dst.rows != a.cols || dst.cols != b.cols {
 		panic(fmt.Sprintf("tensor: GemmTA shape %dx%d by %dx%d into %dx%d",
@@ -139,6 +143,8 @@ func GemmTA(dst, a, b *Matrix) {
 // four independent accumulator chains instead of MatVec's single
 // latency-bound chain (a single element's chain cannot be split without
 // changing the result).
+//
+//xbar:hotpath
 func GemmTB(dst, a, b *Matrix) {
 	if a.cols != b.cols || dst.rows != a.rows || dst.cols != b.rows {
 		panic(fmt.Sprintf("tensor: GemmTB shape %dx%d by %dx%d into %dx%d",
@@ -191,6 +197,8 @@ func GemmTB(dst, a, b *Matrix) {
 
 // MatVecInto computes dst = m·x without allocating; bit-identical to
 // MatVec. dst and x must not alias. It panics on length mismatch.
+//
+//xbar:hotpath
 func MatVecInto(dst []float64, m *Matrix, x []float64) {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic(fmt.Sprintf("tensor: MatVecInto %dx%d by %d into %d", m.rows, m.cols, len(x), len(dst)))
@@ -207,6 +215,8 @@ func MatVecInto(dst []float64, m *Matrix, x []float64) {
 
 // VecMatInto computes dst = xᵀ·m without allocating; bit-identical to
 // VecMat. dst and x must not alias. It panics on length mismatch.
+//
+//xbar:hotpath
 func VecMatInto(dst []float64, x []float64, m *Matrix) {
 	if len(x) != m.rows || len(dst) != m.cols {
 		panic(fmt.Sprintf("tensor: VecMatInto %d by %dx%d into %d", len(x), m.rows, m.cols, len(dst)))
@@ -228,6 +238,8 @@ func VecMatInto(dst []float64, x []float64, m *Matrix) {
 
 // AddOuterInto accumulates the outer product dst += x·yᵀ in place, the
 // single-sample weight-gradient update. dst must be len(x) x len(y).
+//
+//xbar:hotpath
 func AddOuterInto(dst *Matrix, x, y []float64) {
 	if dst.rows != len(x) || dst.cols != len(y) {
 		panic(fmt.Sprintf("tensor: AddOuterInto %dx%d by %d outer %d", dst.rows, dst.cols, len(x), len(y)))
@@ -248,6 +260,8 @@ func AddOuterInto(dst *Matrix, x, y []float64) {
 // per-element operation sequence is exactly Scale + AddScaled (+
 // AddScaled) + AddMatrix — elements are independent, so fusing the four
 // passes into one changes memory traffic only, never a bit of the result.
+//
+//xbar:hotpath
 func SGDMomentumStep(w, v, g *Matrix, mu, gs float64, decay bool, ws float64) {
 	w.sameShape(v, "SGDMomentumStep")
 	w.sameShape(g, "SGDMomentumStep")

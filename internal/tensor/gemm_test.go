@@ -195,6 +195,8 @@ func TestKernelsAllocationFree(t *testing.T) {
 	x := make([]float64, 300)
 	mv := make([]float64, 16)
 	vm := make([]float64, 300)
+	vel := New(16, 10)
+	gsg := New(16, 10)
 	for name, f := range map[string]func(){
 		"Gemm":         func() { Gemm(dst, a, bt) },
 		"GemmTA":       func() { GemmTA(dstTA, a, a) },
@@ -202,6 +204,9 @@ func TestKernelsAllocationFree(t *testing.T) {
 		"MatVecInto":   func() { MatVecInto(vm, dstTA, x) },
 		"VecMatInto":   func() { VecMatInto(vm, mv, a) },
 		"AddOuterInto": func() { AddOuterInto(dst, mv, bt.Row(0)) },
+		"SGDMomentumStep": func() {
+			SGDMomentumStep(dst, vel, gsg, 0.9, -0.01, true, -0.001)
+		},
 	} {
 		f() // warm up
 		if n := testing.AllocsPerRun(10, f); n != 0 {
