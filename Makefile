@@ -1,8 +1,8 @@
 GO ?= go
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_7.json
 COVER_PROFILE ?= cover.out
 
-.PHONY: build test race vet xbarvet lint api-baseline fmt fmt-check bench bench-json cover examples ci
+.PHONY: build test race vet xbarvet lint api-baseline fmt fmt-check bench bench-json chaos cover examples ci
 
 build:
 	$(GO) build ./...
@@ -71,9 +71,21 @@ bench:
 bench-json:
 	$(GO) test -run XXX -bench 'GemmTA$$|GemmTB$$|TrainEpoch|CrossbarMVM|CrossbarPower|NormExtraction|FGSM$$' -benchtime 200x . > /tmp/xbarsec-bench-micro.txt
 	$(GO) test -run XXX -bench 'SurrogateTrain|Table1$$' -benchtime 3x . > /tmp/xbarsec-bench-macro.txt
-	$(GO) test -run XXX -bench 'VictimStoreColdFig3$$|VictimStoreWarmFig3$$' -benchtime 3x . > /tmp/xbarsec-bench-store.txt
+	$(GO) test -run XXX -bench 'VictimStoreColdFig3$$|VictimStoreWarmFig3$$|ServiceColdRestart$$' -benchtime 3x . > /tmp/xbarsec-bench-store.txt
 	cat /tmp/xbarsec-bench-micro.txt /tmp/xbarsec-bench-macro.txt /tmp/xbarsec-bench-store.txt | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@cat $(BENCH_JSON)
+
+# Fault-injection chaos suite under the race detector: the WAL and
+# fault-injection packages in full, the spill store, the service
+# durability tests (kill-and-restart bit-identity, torn journal tail,
+# corrupt spill quarantine, journal-full refusal, panicking job), and
+# the SDK retry taxonomy/WaitJob-through-503 tests. Everything here
+# exercises crash paths the plain suite only touches incidentally; CI
+# runs it as its own job.
+chaos:
+	$(GO) test -race -timeout 10m ./internal/wal/ ./internal/faultinject/ ./internal/memo/
+	$(GO) test -race -timeout 10m -run 'TestChaos' ./internal/service/
+	$(GO) test -race -timeout 10m -run 'TestRetry|TestWaitJob|TestBackoff' ./client/
 
 # Builds and RUNS every example end to end (each takes a second or two;
 # the campaign example boots the HTTP service and drives it through the

@@ -38,6 +38,11 @@ const (
 	CodeServiceClosed ErrorCode = "service_closed"
 	// CodeVictimClosed: the victim's serving pipeline has been shut down.
 	CodeVictimClosed ErrorCode = "victim_closed"
+	// CodeUnavailable: the server cannot durably accept the work right
+	// now (journal full, spill disk full, shutting down mid-flush) but
+	// expects to recover; retry after Error.RetryAfter seconds. Unlike
+	// CodeServiceClosed this is a transient condition, not a goodbye.
+	CodeUnavailable ErrorCode = "unavailable"
 	// CodeVersionMismatch: the client and server speak different major
 	// protocol versions. Synthesized client-side by the SDK's version
 	// handshake; never emitted by a server.
@@ -56,7 +61,7 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusNotFound
 	case CodeBudgetExhausted, CodeSessionLimit, CodeJobLimit:
 		return http.StatusTooManyRequests
-	case CodeServiceClosed, CodeVictimClosed:
+	case CodeServiceClosed, CodeVictimClosed, CodeUnavailable:
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -74,6 +79,11 @@ type Error struct {
 	// Detail optionally carries underlying-cause context (a decoder
 	// error, the offending value). Not stable — do not parse.
 	Detail string `json:"detail,omitempty"`
+	// RetryAfter, when positive, is the server's backoff hint in
+	// seconds: how long to wait before retrying. Servers mirror it in
+	// the Retry-After response header; the SDK's retry policy honors it
+	// over its own exponential schedule.
+	RetryAfter int `json:"retry_after,omitempty"`
 }
 
 // Error renders the envelope as a conventional error string.

@@ -340,4 +340,18 @@ type Stats struct {
 	// bounded by the server's artifact-cache byte budget).
 	CachedArtifacts     int   `json:"cached_artifacts"`
 	CachedArtifactBytes int64 `json:"cached_artifact_bytes"`
+	// FailedJobs counts experiment jobs that finished in error (panics
+	// included — a panicking job is recovered and marked failed, never
+	// left running forever).
+	FailedJobs int64 `json:"failed_jobs"`
+	// ReplayedJobs counts jobs restored from the job journal at the last
+	// startup — the observable trace of crash recovery.
+	ReplayedJobs int64 `json:"replayed_jobs"`
+	// SpilledArtifacts / SpilledArtifactBytes describe the on-disk spill
+	// store behind the in-memory cache (0 when the server runs without a
+	// data directory); SpillHits counts artifacts served from disk
+	// instead of recomputed.
+	SpilledArtifacts     int64 `json:"spilled_artifacts"`
+	SpilledArtifactBytes int64 `json:"spilled_artifact_bytes"`
+	SpillHits            int64 `json:"spill_hits"`
 }

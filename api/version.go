@@ -7,7 +7,10 @@ import "fmt"
 // counts additive changes within it.
 const (
 	Major = 1
-	Minor = 0
+	// Minor 1: durability additions — the "unavailable" error code with
+	// Retry-After semantics (Error.RetryAfter + the Retry-After header)
+	// and the recovery/spill counter block in Stats.
+	Minor = 1
 )
 
 // VersionString renders the package's protocol version, e.g. "v1.0".

@@ -17,6 +17,7 @@ import (
 	"xbarsec/internal/nn"
 	"xbarsec/internal/oracle"
 	"xbarsec/internal/rng"
+	"xbarsec/internal/service"
 	"xbarsec/internal/sidechannel"
 	"xbarsec/internal/surrogate"
 	"xbarsec/internal/tensor"
@@ -222,6 +223,58 @@ func BenchmarkVictimStoreWarmFig3(b *testing.B) {
 	b.StopTimer()
 	if d := experiment.StoreStats().Trainings - warm; d != 0 {
 		b.Fatalf("warm benchmark trained %d victims", d)
+	}
+}
+
+// --- durability --------------------------------------------------------
+
+// BenchmarkServiceColdRestart measures the crash-recovery boot path:
+// each iteration reopens a state directory left behind by a server that
+// journaled and completed one reduced-scale experiment, replays the job
+// journal, inventories the artifact spill, and serves the finished
+// result from disk without recomputing it. The open/serve/close cycle
+// is the cold-start-after-restart number BENCH_7.json records; compare
+// against VictimStoreColdFig3-style recompute times to see the spill
+// win.
+func BenchmarkServiceColdRestart(b *testing.B) {
+	cfg := service.Config{
+		Seed: 1, Workers: 1,
+		StateDir: b.TempDir(), JournalFsync: true,
+	}
+	spec := service.ExperimentSpec{Name: "ablate-trace", Seed: 1, Scale: 0.01}
+	svc, _, err := service.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Launch (not RunExperiment): launched jobs are the journaled ones,
+	// so the restart below has a record to replay.
+	job, err := svc.LaunchExperiment(spec)
+	if err != nil {
+		svc.Close()
+		b.Fatal(err)
+	}
+	<-job.Done()
+	if _, _, err := job.Snapshot(); err != nil {
+		svc.Close()
+		b.Fatal(err)
+	}
+	svc.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc, rec, err := service.Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := svc.RunExperiment(spec)
+		if err != nil {
+			svc.Close()
+			b.Fatal(err)
+		}
+		if rec.ReplayedJobs != 1 || !res.Cached {
+			svc.Close()
+			b.Fatalf("restart recomputed: replayed %d job(s), cached=%v", rec.ReplayedJobs, res.Cached)
+		}
+		svc.Close()
 	}
 }
 

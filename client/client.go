@@ -31,6 +31,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -48,6 +49,7 @@ type Client struct {
 	base         string
 	hc           *http.Client
 	checkVersion bool
+	retry        *retrier // nil = single attempt per call
 
 	mu         sync.Mutex
 	checked    bool // version handshake reached a verdict
@@ -102,7 +104,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 // sense against any server version.
 func (c *Client) Version(ctx context.Context) (api.VersionInfo, error) {
 	var v api.VersionInfo
-	err := c.do(ctx, http.MethodGet, "/v1/version", nil, &v)
+	err := c.doRetry(ctx, http.MethodGet, "/v1/version", nil, &v)
 	return v, err
 }
 
@@ -119,8 +121,11 @@ func (c *Client) ensureCompatible(ctx context.Context) error {
 	if c.checked {
 		return c.versionErr
 	}
+	// The handshake is an idempotent read, so it rides the retry policy
+	// like any other GET — a transport blip on the very first call must
+	// not fail what a later poll would have survived.
 	var v api.VersionInfo
-	err := c.do(ctx, http.MethodGet, "/v1/version", nil, &v)
+	err := c.doRetry(ctx, http.MethodGet, "/v1/version", nil, &v)
 	if err != nil {
 		var se *statusError
 		if errors.As(err, &se) && se.status == http.StatusNotFound {
@@ -150,12 +155,13 @@ func (c *Client) ensureCompatible(ctx context.Context) error {
 }
 
 // call is the checked request path every endpoint method uses: version
-// handshake, then one JSON round trip.
+// handshake, then one JSON round trip — retried under the client's
+// retry policy when one is configured (WithRetry).
 func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
 	if err := c.ensureCompatible(ctx); err != nil {
 		return err
 	}
-	return c.do(ctx, method, path, in, out)
+	return c.doRetry(ctx, method, path, in, out)
 }
 
 // do performs one JSON round trip. Non-2xx responses decode into the
@@ -188,16 +194,27 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return fmt.Errorf("client: reading %s %s response: %w", method, path, err)
 	}
 	if resp.StatusCode >= 400 {
+		// The Retry-After header is protocol (mirrored from the envelope's
+		// retry_after); fold it back in so retry logic sees one hint even
+		// when only the header carries it (a proxy-injected 429, say).
+		retryAfter := 0
+		if ra, convErr := strconv.Atoi(resp.Header.Get("Retry-After")); convErr == nil && ra > 0 {
+			retryAfter = ra
+		}
 		var e api.Error
 		if json.Unmarshal(data, &e) == nil && e.Code != "" {
+			if e.RetryAfter == 0 {
+				e.RetryAfter = retryAfter
+			}
 			return &e
 		}
 		return &statusError{
 			status: resp.StatusCode,
 			e: &api.Error{
-				Code:    api.CodeInternal,
-				Message: fmt.Sprintf("%s %s: HTTP %d", method, path, resp.StatusCode),
-				Detail:  truncate(string(data), 200),
+				Code:       api.CodeInternal,
+				Message:    fmt.Sprintf("%s %s: HTTP %d", method, path, resp.StatusCode),
+				Detail:     truncate(string(data), 200),
+				RetryAfter: retryAfter,
 			},
 		}
 	}

@@ -46,6 +46,14 @@ func (c *Client) RunExperiment(ctx context.Context, spec api.ExperimentSpec) (*a
 // WaitJob polls an experiment job until it finishes (or ctx expires),
 // returning the finished job. poll <= 0 selects 250ms. A failed job is
 // returned alongside a non-nil error.
+//
+// The wait survives transient trouble: a 503 (restarting or overloaded
+// server) or a transport hiccup keeps the poll loop alive instead of
+// failing the wait — against a journaling server (xbarserve -data-dir)
+// the job id remains valid across a bounce, so waiting through it is
+// correct. Permanent refusals (unknown job, version mismatch) still
+// fail immediately; ctx bounds how long the client is willing to ride
+// out an outage.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (api.Job, error) {
 	if poll <= 0 {
 		poll = 250 * time.Millisecond
@@ -55,9 +63,11 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (ap
 	for {
 		job, err := c.ExperimentJob(ctx, id)
 		if err != nil {
-			return job, err
-		}
-		if job.Status != api.JobRunning {
+			if transient, _ := retryDecision(err, http.MethodGet); !transient || ctx.Err() != nil {
+				return job, err
+			}
+			// Transient: fall through to the tick and poll again.
+		} else if job.Status != api.JobRunning {
 			if job.Status == api.JobFailed {
 				return job, fmt.Errorf("client: experiment job %s failed: %s", job.ID, job.Error)
 			}

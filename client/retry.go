@@ -1,0 +1,172 @@
+package client
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+
+	"xbarsec/api"
+)
+
+// RetryPolicy configures automatic retry of transient failures
+// (WithRetry). The policy is deliberately conservative about what it
+// replays — see retryDecision: a request is only ever re-sent when the
+// failure proves the server did not execute it, or when the request is
+// an idempotent read. Budget-charging queries are never silently
+// retried after a transport failure: the query may have executed and
+// charged, and only the caller can decide whether to spend again.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts including the first (0 = 4).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (0 = 100ms); step k waits
+	// roughly BaseDelay·2^k, jittered, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff step (0 = 5s). A server Retry-After
+	// hint overrides the computed step, not the cap.
+	MaxDelay time.Duration
+	// PerTryTimeout bounds each attempt (0 = none; the caller's context
+	// still bounds the whole call). A timed-out attempt counts as a
+	// transport failure: replayed only for idempotent reads.
+	PerTryTimeout time.Duration
+	// Seed roots the jitter stream; 0 draws a random seed once at
+	// client construction (tests pin it for reproducible schedules).
+	Seed int64
+}
+
+// WithRetry enables automatic retry with the given policy.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = newRetrier(p) }
+}
+
+// retrier holds the resolved policy and its jitter stream.
+type retrier struct {
+	p RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newRetrier(p RetryPolicy) *retrier {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	seed := uint64(p.Seed)
+	if p.Seed == 0 {
+		// Decorrelate unseeded clients so a fleet retrying the same
+		// outage doesn't thunder in lockstep. crypto/rand, not the wall
+		// clock: the SDK stays free of ambient time reads.
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err == nil {
+			seed = binary.LittleEndian.Uint64(b[:])
+		}
+	}
+	return &retrier{p: p, rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// backoff computes the wait before attempt+2: the server's Retry-After
+// hint when present (it knows its own recovery horizon), otherwise
+// jittered exponential on the policy's schedule.
+func (r *retrier) backoff(attempt, retryAfterSeconds int) time.Duration {
+	if retryAfterSeconds > 0 {
+		return time.Duration(retryAfterSeconds) * time.Second
+	}
+	d := r.p.BaseDelay << attempt
+	if d <= 0 || d > r.p.MaxDelay {
+		d = r.p.MaxDelay
+	}
+	// Full jitter on the upper half: [d/2, d).
+	r.mu.Lock()
+	j := d/2 + time.Duration(r.rng.Int64N(int64(d/2)+1))
+	r.mu.Unlock()
+	return j
+}
+
+// retryDecision classifies one failed request: may it be re-sent, and
+// did the server hint a backoff? The taxonomy:
+//
+//   - A typed protocol envelope with a transient code (unavailable,
+//     job/session limits, shutdown): the server received, refused and
+//     did not execute the request — replaying is safe for ANY method,
+//     including budget-charging queries, because refusal precedes any
+//     charge.
+//   - A non-envelope 429: same refusal semantics, status-only proof.
+//   - A non-envelope 5xx or a transport failure (connection refused,
+//     dropped response, per-attempt timeout): the request MAY have
+//     executed server-side. Only idempotent reads (GET) are replayed;
+//     a POST query could otherwise charge the session budget twice for
+//     one answer.
+func retryDecision(err error, method string) (retryable bool, retryAfterSeconds int) {
+	var se *statusError
+	if errors.As(err, &se) {
+		ra := 0
+		var ae *api.Error
+		if errors.As(err, &ae) {
+			ra = ae.RetryAfter
+		}
+		if se.status == http.StatusTooManyRequests {
+			return true, ra
+		}
+		if se.status >= 500 {
+			return method == http.MethodGet, ra
+		}
+		return false, 0
+	}
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		switch ae.Code {
+		case api.CodeUnavailable, api.CodeJobLimit, api.CodeSessionLimit,
+			api.CodeServiceClosed, api.CodeVictimClosed:
+			return true, ae.RetryAfter
+		}
+		return false, 0
+	}
+	// No response decoded at all: transport-level failure.
+	return method == http.MethodGet, 0
+}
+
+// doRetry is do under the client's retry policy (a plain single attempt
+// when none is configured).
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) error {
+	r := c.retry
+	if r == nil {
+		return c.do(ctx, method, path, in, out)
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if r.p.PerTryTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.p.PerTryTimeout)
+		}
+		err = c.do(actx, method, path, in, out)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller's deadline, not the attempt's: stop retrying.
+			return err
+		}
+		ok, ra := retryDecision(err, method)
+		if !ok || attempt >= r.p.MaxAttempts-1 {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(r.backoff(attempt, ra)):
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package client
+
+// White-box retry tests: the decision taxonomy and the backoff
+// schedule, pinned deterministically — no servers, no sleeps.
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"xbarsec/api"
+)
+
+func TestRetryDecisionTaxonomy(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		method string
+		want   bool
+		wantRA int
+	}{
+		// Typed transient envelopes prove the server refused before
+		// executing: replayable for any method, hint passed through.
+		{"unavailable POST", &api.Error{Code: api.CodeUnavailable, RetryAfter: 5}, http.MethodPost, true, 5},
+		{"job_limit POST", &api.Error{Code: api.CodeJobLimit}, http.MethodPost, true, 0},
+		{"session_limit POST", &api.Error{Code: api.CodeSessionLimit}, http.MethodPost, true, 0},
+		{"service_closed POST", &api.Error{Code: api.CodeServiceClosed}, http.MethodPost, true, 0},
+		{"victim_closed POST", &api.Error{Code: api.CodeVictimClosed}, http.MethodPost, true, 0},
+		// Permanent typed refusals never retry.
+		{"budget_exhausted GET", &api.Error{Code: api.CodeBudgetExhausted}, http.MethodGet, false, 0},
+		{"bad_request POST", &api.Error{Code: api.CodeBadRequest}, http.MethodPost, false, 0},
+		{"version_mismatch GET", &api.Error{Code: api.CodeVersionMismatch}, http.MethodGet, false, 0},
+		// Non-envelope statuses: 429 is a refusal (safe for any method);
+		// 5xx may have executed — idempotent reads only.
+		{"bare 429 POST", &statusError{status: http.StatusTooManyRequests, e: &api.Error{Code: api.CodeInternal, RetryAfter: 2}}, http.MethodPost, true, 2},
+		{"bare 500 GET", &statusError{status: http.StatusInternalServerError, e: &api.Error{Code: api.CodeInternal}}, http.MethodGet, true, 0},
+		{"bare 500 POST", &statusError{status: http.StatusInternalServerError, e: &api.Error{Code: api.CodeInternal}}, http.MethodPost, false, 0},
+		{"bare 404 GET", &statusError{status: http.StatusNotFound, e: &api.Error{Code: api.CodeInternal}}, http.MethodGet, false, 0},
+		// Transport failures (no response at all): the request may have
+		// executed — idempotent reads only.
+		{"transport GET", errors.New("dial tcp: connection refused"), http.MethodGet, true, 0},
+		{"transport POST", errors.New("dial tcp: connection refused"), http.MethodPost, false, 0},
+	}
+	for _, tc := range cases {
+		got, ra := retryDecision(tc.err, tc.method)
+		if got != tc.want || ra != tc.wantRA {
+			t.Errorf("%s: retryDecision = (%v, %d), want (%v, %d)", tc.name, got, ra, tc.want, tc.wantRA)
+		}
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	r := newRetrier(RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Seed: 7})
+	// A server Retry-After hint overrides the computed schedule.
+	if d := r.backoff(0, 3); d != 3*time.Second {
+		t.Fatalf("Retry-After backoff = %v, want 3s", d)
+	}
+	// Exponential with full jitter on the upper half: step k in
+	// [base·2^k/2, base·2^k], capped at MaxDelay.
+	for attempt := 0; attempt < 8; attempt++ {
+		step := 100 * time.Millisecond << attempt
+		if step <= 0 || step > time.Second {
+			step = time.Second
+		}
+		for i := 0; i < 16; i++ {
+			if d := r.backoff(attempt, 0); d < step/2 || d > step {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, step/2, step)
+			}
+		}
+	}
+	// Same seed, same schedule — the jitter stream is deterministic.
+	a, b := newRetrier(RetryPolicy{Seed: 9}), newRetrier(RetryPolicy{Seed: 9})
+	for i := 0; i < 32; i++ {
+		if da, db := a.backoff(i%4, 0), b.backoff(i%4, 0); da != db {
+			t.Fatalf("draw %d: seeded schedules diverge (%v vs %v)", i, da, db)
+		}
+	}
+}

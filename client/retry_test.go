@@ -1,0 +1,221 @@
+package client_test
+
+// Retry-policy tests: what the SDK replays, what it refuses to replay,
+// and how WaitJob rides out a server bounce. The budget-charging query
+// test runs against the real service stack with a fault-injecting
+// transport — the charge counter is the proof that a dropped response
+// never turns into a silent double spend.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xbarsec/api"
+	"xbarsec/client"
+	"xbarsec/internal/faultinject"
+	"xbarsec/internal/service"
+)
+
+// versionOK answers the handshake for fake-server tests.
+func versionOK(w http.ResponseWriter) {
+	_ = json.NewEncoder(w).Encode(api.VersionInfo{Version: api.VersionString(), Major: api.Major})
+}
+
+// fastRetry keeps test backoff in the milliseconds.
+func fastRetry() client.RetryPolicy {
+	return client.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 1}
+}
+
+// TestWaitJobSurvivesTransient503 pins the restart-safe wait: a polling
+// client must ride out a server bounce — both a typed "unavailable"
+// envelope and a bare proxy-style 503 — and deliver the finished job
+// once the server is back.
+func TestWaitJobSurvivesTransient503(t *testing.T) {
+	var polls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/version":
+			versionOK(w)
+		case "/v1/experiments/jobs/job-1":
+			switch polls.Add(1) {
+			case 1:
+				// A bare 503 (reverse proxy, no envelope).
+				http.Error(w, "upstream restarting", http.StatusServiceUnavailable)
+			case 2:
+				// The server's own typed refusal.
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_ = json.NewEncoder(w).Encode(&api.Error{Code: api.CodeUnavailable, Message: "journal full", RetryAfter: 1})
+			default:
+				_ = json.NewEncoder(w).Encode(api.Job{ID: "job-1", Status: api.JobDone, Result: &api.ExperimentResult{Name: "x"}})
+			}
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	c, err := client.New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	job, err := c.WaitJob(ctx, "job-1", time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait through transient 503s: %v", err)
+	}
+	if job.Status != api.JobDone || polls.Load() < 3 {
+		t.Fatalf("job = %+v after %d polls", job, polls.Load())
+	}
+
+	// A permanent refusal still fails immediately — no blind spinning on
+	// an unknown job.
+	var polls2 atomic.Int64
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/version" {
+			versionOK(w)
+			return
+		}
+		polls2.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(&api.Error{Code: api.CodeUnknownJob, Message: "no such job"})
+	}))
+	defer srv2.Close()
+	c2, err := client.New(srv2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.WaitJob(ctx, "job-9", time.Millisecond); api.CodeOf(err) != api.CodeUnknownJob {
+		t.Fatalf("unknown job wait = %v, want typed unknown_job", err)
+	}
+	if polls2.Load() != 1 {
+		t.Fatalf("permanent refusal polled %d times, want 1", polls2.Load())
+	}
+}
+
+// TestRetryReplaysTypedRefusals pins the safe half of the taxonomy: a
+// typed transient envelope proves the server refused before executing,
+// so even a POST is replayed — and the call succeeds once the server
+// recovers.
+func TestRetryReplaysTypedRefusals(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/version":
+			versionOK(w)
+		case "/v1/campaigns":
+			if hits.Add(1) <= 2 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_ = json.NewEncoder(w).Encode(&api.Error{Code: api.CodeUnavailable, Message: "journal full"})
+				return
+			}
+			_ = json.NewEncoder(w).Encode(api.CampaignResult{Victim: "toy", QueriesCharged: 5})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	c, err := client.New(srv.URL, client.WithRetry(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunCampaign(context.Background(), api.CampaignRequest{Victim: "toy", Mode: api.ModeLabelOnly, Queries: 5})
+	if err != nil {
+		t.Fatalf("campaign through typed refusals: %v", err)
+	}
+	if res.QueriesCharged != 5 || hits.Load() != 3 {
+		t.Fatalf("result = %+v after %d attempts, want success on the third", res, hits.Load())
+	}
+}
+
+// TestRetryNeverReplaysQueries is the charge-counting acceptance test:
+// against the real service stack, a dropped response on a budget-
+// charging query surfaces as an error after exactly one execution —
+// the retry layer must not spend the session budget twice for one
+// answer the client never saw.
+func TestRetryNeverReplaysQueries(t *testing.T) {
+	v := buildVictim(t, "toy", 17)
+	svc := service.New(service.Config{Seed: 17, Workers: 2})
+	if err := svc.Register(v); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	var queryHits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/query") {
+			queryHits.Add(1)
+		}
+		svc.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	// Round trips through the faulted transport: 1 = version handshake,
+	// 2 = open session, 3 = the query — executed server-side, response
+	// dropped. FailAfter pins the schedule deterministically.
+	tr := faultinject.NewTransport(nil, faultinject.TransportConfig{
+		Seed:         5,
+		RoundTrips:   faultinject.Plan{FailAfter: 2},
+		DropResponse: true,
+	})
+	c, err := client.New(ts.URL,
+		client.WithHTTPClient(&http.Client{Transport: tr}),
+		client.WithRetry(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, err := c.OpenSession(ctx, api.OpenSessionRequest{Victim: "toy", Mode: api.ModeRawOutput, Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Query(ctx, v.Test().X.Row(0)); err == nil {
+		t.Fatal("dropped-response query must surface an error")
+	}
+	if got := queryHits.Load(); got != 1 {
+		t.Fatalf("server executed the query %d times, want exactly 1 (no silent replay)", got)
+	}
+	if faults := tr.Faults(); faults != 1 {
+		t.Fatalf("transport injected %d faults, want 1 — the query was re-sent", faults)
+	}
+
+	// The ground truth: the session was charged exactly once. A clean
+	// client reads the accounting.
+	c2, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c2.SessionByID(sess.ID()).Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Queries != 1 {
+		t.Fatalf("session charged %d queries, want 1", info.Queries)
+	}
+
+	// Contrast: the same dropped-response failure on an idempotent read
+	// is replayed and succeeds.
+	tr2 := faultinject.NewTransport(nil, faultinject.TransportConfig{
+		Seed:         5,
+		RoundTrips:   faultinject.Plan{ErrorRate: 0.5},
+		DropResponse: true,
+	})
+	c3, err := client.New(ts.URL,
+		client.WithHTTPClient(&http.Client{Transport: tr2}),
+		client.WithRetry(client.RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c3.Stats(ctx); err != nil {
+			t.Fatalf("stats read %d not replayed through transport faults: %v", i, err)
+		}
+	}
+	if tr2.Faults() == 0 {
+		t.Fatal("fault schedule degenerate: no round trips were dropped")
+	}
+}

@@ -23,6 +23,17 @@
 //	-workers  int     per-job fan-out (0 = all CPUs)
 //	-jobs     int     max concurrent campaign/experiment jobs (0 = all CPUs)
 //	-data     string  directory with real MNIST/CIFAR files (optional)
+//	-data-dir string  durable state directory (job journal + artifact
+//	                  spill); when set the server journals every
+//	                  accepted experiment job before launch, replays
+//	                  incomplete jobs on restart, and serves completed
+//	                  artifacts from the on-disk spill store
+//	                  (empty = memory-only)
+//	-journal-fsync  bool  fsync every journal append before accepting
+//	                      the job (default true; disable only when the
+//	                      filesystem's write cache is trusted)
+//	-journal-mb     int   job-journal byte budget in MiB between
+//	                      compactions (0 = 64)
 //	-session-ttl       duration  evict sessions idle longer than this
 //	                             (0 = never; e.g. 10m)
 //	-max-sessions      int       cap concurrently open sessions per victim
@@ -102,6 +113,9 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "per-job fan-out (0 = all CPUs)")
 	jobs := fs.Int("jobs", 0, "max concurrent campaign/experiment jobs (0 = all CPUs)")
 	dataDir := fs.String("data", "", "directory with real MNIST/CIFAR-10 files")
+	stateDir := fs.String("data-dir", "", "durable state directory (job journal + artifact spill); empty = memory-only")
+	journalFsync := fs.Bool("journal-fsync", true, "fsync every journal append before accepting the job")
+	journalMB := fs.Int("journal-mb", 0, "job-journal byte budget in MiB between compactions (0 = 64)")
 	sessionTTL := fs.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = never)")
 	maxSessions := fs.Int("max-sessions", 0, "cap concurrently open sessions per victim (0 = unlimited)")
 	artifactMB := fs.Int("artifact-cache-mb", 0, "artifact-cache byte budget in MiB (0 = 256)")
@@ -114,7 +128,7 @@ func run(args []string) error {
 	if *victimMB > 0 {
 		experiment.ConfigureVictimStore(0, int64(*victimMB)<<20)
 	}
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Seed:                   *seed,
 		Workers:                *workers,
 		MaxConcurrentJobs:      *jobs,
@@ -123,7 +137,26 @@ func run(args []string) error {
 		MaxSessionsPerVictim:   *maxSessions,
 		MaxCachedArtifactBytes: int64(*artifactMB) << 20,
 		DataDir:                *dataDir,
-	})
+		StateDir:               *stateDir,
+		JournalFsync:           *journalFsync,
+		MaxJournalBytes:        int64(*journalMB) << 20,
+	}
+	var svc *service.Service
+	if *stateDir != "" {
+		var rec *service.Recovery
+		var err error
+		svc, rec, err = service.Open(cfg)
+		if err != nil {
+			return err
+		}
+		if rec.TornJournalTail {
+			fmt.Fprintln(os.Stderr, "xbarserve: journal had a torn tail (crash mid-append); intact records recovered")
+		}
+		fmt.Fprintf(os.Stderr, "xbarserve: recovered %d job(s) from %s (%d re-launched, %d failed, %d spilled artifact(s))\n",
+			rec.ReplayedJobs, *stateDir, rec.Relaunched, rec.FailedJobs, rec.SpilledArtifacts)
+	} else {
+		svc = service.New(cfg)
+	}
 	defer svc.Close()
 
 	for _, name := range strings.Split(*victims, ",") {

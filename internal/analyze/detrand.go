@@ -15,7 +15,11 @@ import (
 // so nothing under these prefixes may consult ambient process state.
 // internal/rng is included (it builds seeded streams but must never draw
 // from the global source) and so is internal/service, whose session-TTL
-// clock reads are the sanctioned, //xbar:allow-annotated exception.
+// clock reads are the sanctioned, //xbar:allow-annotated exception. The
+// durability layer (wal, faultinject) and the SDK (client) are held to
+// the same bar: fault schedules and retry jitter come from seeded
+// streams, and the few wall-clock reads (backoff sleeps) carry
+// annotations.
 var defaultDetPkgs = []string{
 	"xbarsec/internal/experiment",
 	"xbarsec/internal/crossbar",
@@ -25,6 +29,9 @@ var defaultDetPkgs = []string{
 	"xbarsec/internal/oracle",
 	"xbarsec/internal/rng",
 	"xbarsec/internal/service",
+	"xbarsec/internal/wal",
+	"xbarsec/internal/faultinject",
+	"xbarsec/client",
 }
 
 // seededRandCtors are the math/rand package-level functions that build

@@ -7,6 +7,7 @@
 package memo
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -29,10 +30,25 @@ type Cache[V any] struct {
 	maxWeight  int64
 	weigh      func(V) int64
 	weight     int64 // total weight of completed, retained entries
+	onEvict    func(key string, val V)
 
 	hits   atomic.Int64
 	misses atomic.Int64
 }
+
+// PanicError is the error waiters and the panicking caller itself
+// receive when a Do computation panics. Without it a panic would unwind
+// past the close of the entry's ready channel and every joined waiter
+// would block forever; with it a panic is just a failed computation —
+// not cached, retryable, and attributable (the service layer maps it to
+// a typed internal error on the job).
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error renders the recovered panic.
+func (p *PanicError) Error() string { return fmt.Sprintf("memo: compute panicked: %v", p.Value) }
 
 type entry[V any] struct {
 	ready  chan struct{}
@@ -70,6 +86,15 @@ func NewWeighted[V any](maxEntries int, maxWeight int64, weigh func(V) int64) *C
 	}
 }
 
+// SetOnEvict installs a hook called with each completed value as it is
+// evicted by the size or weight bound — the seam the service layer's
+// disk spill hangs off: evicted artifacts leave memory but stay
+// servable. The hook runs outside the cache lock (it may do I/O) and is
+// not called on Reset, which models a cold process start, not eviction.
+// Install before the cache is shared; the field is not synchronized
+// against concurrent Do calls.
+func (c *Cache[V]) SetOnEvict(fn func(key string, val V)) { c.onEvict = fn }
+
 // Do returns the cached value for key, computing it with compute on a
 // miss. Concurrent callers with the same key wait for the one in-flight
 // computation instead of duplicating it. Failed computations are not
@@ -92,7 +117,18 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (val V, cached bool
 	c.order = append(c.order, key)
 	c.mu.Unlock()
 	c.misses.Add(1)
-	e.val, e.err = compute()
+	func() {
+		// A panicking compute must not unwind past the bookkeeping below:
+		// the ready channel would never close and every joined waiter
+		// would block forever. Recover it into a typed error instead —
+		// the flight fails like any other and is not cached.
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = &PanicError{Value: r}
+			}
+		}()
+		e.val, e.err = compute()
+	}()
 	if e.err == nil && c.weigh != nil {
 		e.weight = c.weigh(e.val)
 	}
@@ -109,10 +145,22 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (val V, cached bool
 			c.weight += e.weight
 		}
 	}
-	c.evictLocked()
+	evicted := c.evictLocked()
 	c.mu.Unlock()
 	close(e.ready)
+	if c.onEvict != nil {
+		for _, ev := range evicted {
+			c.onEvict(ev.key, ev.val)
+		}
+	}
 	return e.val, false, e.err
+}
+
+// evicted is one (key, value) pair leaving the cache, handed to the
+// OnEvict hook outside the lock.
+type evicted[V any] struct {
+	key string
+	val V
 }
 
 // removeFromOrderLocked drops key's entry from the eviction queue when
@@ -129,26 +177,32 @@ func (c *Cache[V]) removeFromOrderLocked(key string) {
 }
 
 // evictLocked drops the oldest completed values until the cache fits
-// both its entry bound and (when configured) its weight bound.
+// both its entry bound and (when configured) its weight bound, and
+// returns them so the caller can run the OnEvict hook outside the lock.
 // In-flight entries are never evicted (their waiters hold the entry
 // anyway), and failed entries never linger in the queue (Do removes
 // them), so the queue tracks the map exactly.
-func (c *Cache[V]) evictLocked() {
+func (c *Cache[V]) evictLocked() []evicted[V] {
 	over := func() bool {
 		return len(c.entries) > c.maxEntries ||
 			(c.maxWeight > 0 && c.weight > c.maxWeight)
 	}
+	var out []evicted[V]
 	for over() && len(c.order) > 0 {
 		k := c.order[0]
 		if e, ok := c.entries[k]; ok {
 			if !e.done {
-				return
+				return out
 			}
 			c.weight -= e.weight
 			delete(c.entries, k)
+			if c.onEvict != nil {
+				out = append(out, evicted[V]{key: k, val: e.val})
+			}
 		}
 		c.order = c.order[1:]
 	}
+	return out
 }
 
 // Stats returns cumulative hit/miss counters.

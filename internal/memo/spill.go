@@ -1,0 +1,214 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"xbarsec/internal/wal"
+)
+
+// SpillStore is the content-addressed on-disk tier behind the in-memory
+// artifact cache: values evicted by the byte-weight bound (and every
+// completed job's artifact, written through at completion) land here and
+// are served on later misses, so a process restart goes warm instead of
+// recomputing hours of campaign work.
+//
+// Addressing: each artifact is one file named hex(sha256(key)) — keys
+// are the same deterministic spec keys the cache uses, so the same spec
+// always maps to the same file across restarts. Integrity: the file
+// embeds the sha256 of its payload; Get verifies it before serving, and
+// a mismatch (bit rot, a torn write that survived rename — anything)
+// quarantines the file rather than serving a wrong artifact. Writes are
+// tmp+rename atomic, so a crash mid-Put leaves either the previous
+// content or nothing, never a half-written artifact at the live name.
+//
+// File layout: [32-byte sha256 of payload][payload].
+type SpillStore struct {
+	fsys wal.FS
+	dir  string
+
+	// putMu serializes writers of distinct keys only for the counter
+	// updates' benefit; same-key writers are already collapsed upstream
+	// by the cache's singleflight.
+	putMu sync.Mutex
+
+	artifacts atomic.Int64 // live artifact files
+	bytes     atomic.Int64 // their total payload bytes
+	hits      atomic.Int64
+	misses    atomic.Int64
+	puts      atomic.Int64
+	corrupt   atomic.Int64 // files quarantined by failed verification
+}
+
+const (
+	spillHashSize   = sha256.Size
+	spillTmpSuffix  = ".tmp"
+	spillQuarSuffix = ".quarantine"
+)
+
+// SpillStats is a snapshot of the store's counters for GET /v1/stats.
+type SpillStats struct {
+	// Artifacts and Bytes describe what is on disk now (preexisting
+	// files from earlier runs included).
+	Artifacts int64
+	Bytes     int64
+	// Hits, Misses, Puts and Corrupt count this process's activity:
+	// verified reloads, absent keys, artifacts written, and files
+	// quarantined by failed integrity checks.
+	Hits, Misses, Puts, Corrupt int64
+}
+
+// OpenSpill opens (creating if needed) a spill store rooted at dir. It
+// scans the directory to seed the artifact/byte counters with what
+// earlier runs left behind — that inventory is what makes a restart
+// warm — and sweeps stale temporary files from crashed Puts.
+func OpenSpill(fsys wal.FS, dir string) (*SpillStore, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("memo: creating spill dir %s: %w", dir, err)
+	}
+	s := &SpillStore{fsys: fsys, dir: dir}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("memo: scanning spill dir %s: %w", dir, err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, spillTmpSuffix) {
+			// A crash between create and rename; the live name never saw it.
+			_ = fsys.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if strings.HasSuffix(name, spillQuarSuffix) {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		s.artifacts.Add(1)
+		if n := info.Size() - spillHashSize; n > 0 {
+			s.bytes.Add(n)
+		}
+	}
+	return s, nil
+}
+
+// path maps a cache key to its content-addressed file.
+func (s *SpillStore) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:]))
+}
+
+// Put spills one artifact, atomically. A key already on disk is left
+// alone: keys are deterministic spec hashes, so the bytes would be
+// identical. Failure leaves no partial file at the live name.
+func (s *SpillStore) Put(key string, payload []byte) error {
+	s.putMu.Lock()
+	defer s.putMu.Unlock()
+	path := s.path(key)
+	if _, err := s.fsys.Stat(path); err == nil {
+		return nil
+	}
+	tmp := path + spillTmpSuffix
+	f, err := s.fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("memo: spill create: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	buf := make([]byte, 0, spillHashSize+len(payload))
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload...)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		_ = s.fsys.Remove(tmp)
+		return fmt.Errorf("memo: spill write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = s.fsys.Remove(tmp)
+		return fmt.Errorf("memo: spill sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = s.fsys.Remove(tmp)
+		return fmt.Errorf("memo: spill close: %w", err)
+	}
+	if err := s.fsys.Rename(tmp, path); err != nil {
+		_ = s.fsys.Remove(tmp)
+		return fmt.Errorf("memo: spill rename: %w", err)
+	}
+	s.puts.Add(1)
+	s.artifacts.Add(1)
+	s.bytes.Add(int64(len(payload)))
+	return nil
+}
+
+// Get reloads one artifact, verifying its embedded payload hash. A
+// missing key is (nil, false, nil). A file that fails verification —
+// truncated, bit-flipped, torn — is quarantined (renamed aside, kept
+// for inspection) and reported as a miss: the store never serves bytes
+// it cannot prove are the artifact that was written.
+func (s *SpillStore) Get(key string) ([]byte, bool, error) {
+	path := s.path(key)
+	f, err := s.fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.misses.Add(1)
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("memo: spill open: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return nil, false, fmt.Errorf("memo: spill read: %w", err)
+	}
+	if len(data) < spillHashSize {
+		s.quarantine(path, int64(0))
+		return nil, false, nil
+	}
+	payload := data[spillHashSize:]
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(data[:spillHashSize]) {
+		s.quarantine(path, int64(len(payload)))
+		return nil, false, nil
+	}
+	s.hits.Add(1)
+	return payload, true, nil
+}
+
+// quarantine moves a failed file aside and fixes the counters.
+func (s *SpillStore) quarantine(path string, payloadBytes int64) {
+	s.corrupt.Add(1)
+	s.misses.Add(1)
+	s.artifacts.Add(-1)
+	s.bytes.Add(-payloadBytes)
+	if err := s.fsys.Rename(path, path+spillQuarSuffix); err != nil {
+		// Renaming aside failed (crashed FS, permissions); removing is the
+		// fallback that still stops the corrupt bytes from being served.
+		_ = s.fsys.Remove(path)
+	}
+}
+
+// Stats snapshots the counters.
+func (s *SpillStore) Stats() SpillStats {
+	return SpillStats{
+		Artifacts: s.artifacts.Load(),
+		Bytes:     s.bytes.Load(),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		Corrupt:   s.corrupt.Load(),
+	}
+}

@@ -106,12 +106,24 @@ func (s *Service) RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 		s.campaigns.Add(1)
 		return res, nil
 	}
-	val, cached, err := s.cache.Do(spec.key(), func() (any, error) { return compute() })
+	key := spec.key()
+	var fromSpill bool
+	val, cached, err := s.cache.Do(key, func() (any, error) {
+		if res := spillLoad[CampaignResult](s, key); res != nil {
+			fromSpill = true
+			return res, nil
+		}
+		res, err := compute()
+		if err == nil {
+			s.spillArtifact(key, res)
+		}
+		return res, err
+	})
 	if err != nil {
 		return nil, err
 	}
 	res := *(val.(*CampaignResult)) // copy so Cached can differ per caller
-	res.Cached = cached
+	res.Cached = cached || fromSpill
 	s.campaigns.Add(1)
 	return &res, nil
 }
@@ -269,7 +281,19 @@ func (s *Service) RunExtract(spec ExtractSpec) (*ExtractResult, error) {
 		// Not a function of the spec (see RunCampaign) — never cached.
 		return compute()
 	}
-	val, cached, err := s.cache.Do(extractKey(spec), func() (any, error) { return compute() })
+	key := extractKey(spec)
+	var fromSpill bool
+	val, cached, err := s.cache.Do(key, func() (any, error) {
+		if res := spillLoad[ExtractResult](s, key); res != nil {
+			fromSpill = true
+			return res, nil
+		}
+		res, err := compute()
+		if err == nil {
+			s.spillArtifact(key, res)
+		}
+		return res, err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +304,7 @@ func (s *Service) RunExtract(spec ExtractSpec) (*ExtractResult, error) {
 	// same ownership bug class Response.Raw had.
 	res.Signals = append([]float64(nil), res.Signals...)
 	res.Norms = append([]float64(nil), res.Norms...)
-	res.Cached = cached
+	res.Cached = cached || fromSpill
 	return &res, nil
 }
 

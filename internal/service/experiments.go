@@ -202,7 +202,17 @@ func (s *Service) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) 
 		return nil, err
 	}
 	run := runnerFor(exp, spec)
+	key := specKey(spec)
+	// fromSpill is only written by the one computing flight (cache.Do is
+	// singleflight) and only read after Do returns in that same caller.
+	var fromSpill bool
 	compute := func() (any, error) {
+		// Read-through: a previous process may have finished this exact
+		// spec — serve its verified artifact instead of recomputing.
+		if res := spillLoad[ExperimentResult](s, key); res != nil {
+			fromSpill = true
+			return res, nil
+		}
 		var res *ExperimentResult
 		err := s.gate.RunErr(func() error {
 			out, err := run(s.options(spec))
@@ -213,22 +223,36 @@ func (s *Service) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) 
 			if err := out.WriteJSON(&buf); err != nil {
 				return err
 			}
+			// Compact to the canonical artifact form: a JSON round trip
+			// through the spill store compacts embedded RawMessage, so
+			// storing compact bytes from the start keeps results
+			// bit-identical whether served from memory, from disk, or
+			// from a post-restart replay.
+			var compact bytes.Buffer
+			if err := json.Compact(&compact, buf.Bytes()); err != nil {
+				return err
+			}
 			res = &ExperimentResult{
 				Name: spec.Name, Seed: spec.Seed, Scale: spec.Scale, Runs: spec.Runs,
 				Options: spec.Options,
 				Render:  out.Render(),
-				Result:  json.RawMessage(buf.Bytes()),
+				Result:  json.RawMessage(compact.Bytes()),
 			}
 			return nil
 		})
+		if err == nil {
+			// Write-through: completion is durable the moment it exists, so
+			// a crash right after never forces this spec to recompute.
+			s.spillArtifact(key, res)
+		}
 		return res, err
 	}
-	val, cached, err := s.cache.Do(specKey(spec), compute)
+	val, cached, err := s.cache.Do(key, compute)
 	if err != nil {
 		return nil, err
 	}
 	res := *(val.(*ExperimentResult)) // copy so Cached can differ per caller
-	res.Cached = cached
+	res.Cached = cached || fromSpill
 	return &res, nil
 }
 
@@ -298,14 +322,42 @@ func (s *Service) LaunchExperiment(spec ExperimentSpec) (*ExperimentJob, error) 
 	if err := s.jobs.add(job); err != nil {
 		return nil, err
 	}
+	// Journal before launch: a job the journal cannot record is refused
+	// (typed unavailable), never accepted without restart safety.
+	if err := s.journalLaunch(job); err != nil {
+		s.jobs.remove(job.id)
+		return nil, err
+	}
+	s.runJob(job)
+	return job, nil
+}
+
+// runJob runs one accepted job to completion in the background. A
+// panicking run — inside the compute (recovered by the cache into a
+// typed memo.PanicError) or anywhere else in the runner (recovered
+// here) — marks the job failed instead of leaving it running forever
+// with its done channel never closed.
+func (s *Service) runJob(job *ExperimentJob) {
 	go func() {
-		res, err := s.RunExperiment(spec)
+		var res *ExperimentResult
+		var err error
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("service: job runner panicked: %v", r)
+				}
+			}()
+			res, err = s.RunExperiment(job.spec)
+		}()
 		job.mu.Lock()
 		job.result, job.err = res, err
 		job.mu.Unlock()
 		close(job.done)
+		if err != nil {
+			s.failedJobs.Add(1)
+		}
+		s.journalFinish(job.id, err)
 	}()
-	return job, nil
 }
 
 // ExperimentJobByID returns a tracked job.
@@ -379,6 +431,38 @@ func (t *jobTable) add(j *ExperimentJob) error {
 	t.jobs[j.id] = j
 	t.order = append(t.order, j.id)
 	return nil
+}
+
+// addExisting registers a restored job under its original id (journal
+// recovery), advancing the sequence past it so freshly assigned ids
+// never collide with replayed ones.
+func (t *jobTable) addExisting(j *ExperimentJob) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.jobs[j.id]; ok {
+		return fmt.Errorf("service: job %q already tracked", j.id)
+	}
+	var n int64
+	if _, err := fmt.Sscanf(j.id, "job-%d", &n); err == nil && n > t.seq {
+		t.seq = n
+	}
+	t.jobs[j.id] = j
+	t.order = append(t.order, j.id)
+	return nil
+}
+
+// remove untracks a job whose acceptance was rolled back (journal
+// refusal). Scans order from the tail: the job was just added.
+func (t *jobTable) remove(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.jobs, id)
+	for i := len(t.order) - 1; i >= 0; i-- {
+		if t.order[i] == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			return
+		}
+	}
 }
 
 func (t *jobTable) get(id string) (*ExperimentJob, bool) {

@@ -7,10 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"xbarsec/api"
 	"xbarsec/internal/experiment/engine"
+	"xbarsec/internal/memo"
 	"xbarsec/internal/oracle"
 	"xbarsec/internal/report"
 )
@@ -85,6 +87,8 @@ func errorCode(err error) api.ErrorCode {
 		return api.CodeSessionLimit
 	case errors.Is(err, ErrJobLimit):
 		return api.CodeJobLimit
+	case errors.Is(err, ErrUnavailable):
+		return api.CodeUnavailable
 	case errors.Is(err, ErrServiceClosed):
 		return api.CodeServiceClosed
 	case errors.Is(err, ErrVictimClosed):
@@ -104,13 +108,32 @@ func apiError(err error) *api.Error {
 	if errors.As(err, &e) {
 		return e
 	}
-	return &api.Error{Code: errorCode(err), Message: err.Error()}
+	var pe *memo.PanicError
+	if errors.As(err, &pe) {
+		// A recovered job panic: the code says "internal", the detail
+		// says what blew up — visible through GET jobs/{id}, no log dig.
+		return &api.Error{
+			Code:    api.CodeInternal,
+			Message: "experiment job panicked",
+			Detail:  fmt.Sprint(pe.Value),
+		}
+	}
+	out := &api.Error{Code: errorCode(err), Message: err.Error()}
+	var ue *UnavailableError
+	if errors.As(err, &ue) {
+		out.RetryAfter = ue.RetryAfter
+	}
+	return out
 }
 
 // writeError emits the uniform machine-readable error envelope with the
-// status its code implies.
+// status its code implies, mirroring any RetryAfter hint into the
+// standard Retry-After header (the mapping is part of the protocol).
 func writeError(w http.ResponseWriter, err error) {
 	e := apiError(err)
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
 	writeJSON(w, e.Code.HTTPStatus(), e)
 }
 

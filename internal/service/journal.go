@@ -1,0 +1,332 @@
+package service
+
+// The durability layer: a write-ahead job journal plus the disk spill
+// tier behind the artifact cache. Every accepted experiment job is
+// journaled before its goroutine launches and marked on completion; on
+// startup Open replays the journal, restores every journaled job under
+// its original id, and re-launches the unfinished ones — which is cheap
+// for jobs that had completed, because their artifacts are served from
+// the content-addressed spill store instead of recomputed. The jobs are
+// pure functions of their specs (the repository's core determinism
+// contract), which is what makes "re-launch" a correct recovery
+// strategy: a job interrupted mid-run produces bit-identical results
+// when run again.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"xbarsec/internal/memo"
+	"xbarsec/internal/wal"
+)
+
+// ErrUnavailable marks transient refusals: the server cannot durably
+// accept the work right now (journal full or unwritable, disk full) but
+// expects to recover. The HTTP layer maps it to the protocol's
+// "unavailable" code with a Retry-After hint.
+var ErrUnavailable = errors.New("service: temporarily unavailable")
+
+// UnavailableError carries the refusal reason and the backoff hint.
+type UnavailableError struct {
+	// Reason says what the server cannot do.
+	Reason string
+	// RetryAfter is the suggested backoff in seconds.
+	RetryAfter int
+}
+
+// Error renders the refusal.
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("service: %s (retry after %ds)", e.Reason, e.RetryAfter)
+}
+
+// Unwrap ties the type to the ErrUnavailable sentinel for errors.Is.
+func (e *UnavailableError) Unwrap() error { return ErrUnavailable }
+
+// Journal record ops. A job's journal life is one "launch" record
+// (carrying the spec) followed by at most one completion mark.
+const (
+	opLaunch = "launch"
+	opDone   = "done"
+	opFailed = "failed"
+)
+
+// journalRecord is the JSON payload of one WAL frame.
+type journalRecord struct {
+	Op   string          `json:"op"`
+	ID   string          `json:"id"`
+	Spec *ExperimentSpec `json:"spec,omitempty"` // launch only
+	Err  string          `json:"err,omitempty"`  // failed only
+}
+
+// jobJournal serializes appends to the WAL (launches and completions
+// race from many goroutines).
+type jobJournal struct {
+	mu sync.Mutex
+	w  *wal.AtomicWriter
+}
+
+func (jn *jobJournal) append(rec journalRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: encoding journal record: %w", err)
+	}
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	return jn.w.Append(payload)
+}
+
+func (jn *jobJournal) close() error {
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	return jn.w.Close()
+}
+
+// Recovery reports what Open restored, so operators (and the kill-and-
+// restart test) can see recovery happen without reading logs.
+type Recovery struct {
+	// TornJournalTail reports a torn/corrupt journal tail — the signature
+	// of a crash mid-append. Records before the tear were recovered.
+	TornJournalTail bool
+	// ReplayedJobs is how many journaled jobs were restored under their
+	// original ids.
+	ReplayedJobs int
+	// Relaunched is how many restored jobs were re-run through the
+	// compute path (completed ones are served from spill, not recomputed).
+	Relaunched int
+	// FailedJobs is how many restored jobs had already failed and were
+	// restored directly into the failed state.
+	FailedJobs int
+	// SpilledArtifacts is the on-disk artifact inventory found at open.
+	SpilledArtifacts int64
+}
+
+const defaultMaxJournalBytes = 64 << 20
+
+// Open is New plus durability: it roots the job journal and the
+// artifact spill store in Config.StateDir, replays any journal a
+// previous process left (restoring its jobs), compacts it into a fresh
+// generation, and wires artifact-cache eviction to spill to disk.
+// The returned Recovery describes what was restored.
+func Open(cfg Config) (*Service, *Recovery, error) {
+	if cfg.StateDir == "" {
+		return nil, nil, errors.New("service: Open requires Config.StateDir")
+	}
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = wal.OSFS{}
+	}
+	if err := fsys.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("service: creating state dir: %w", err)
+	}
+	spill, err := memo.OpenSpill(fsys, filepath.Join(cfg.StateDir, "spill"))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Replay the previous generation. Completion marks fold into their
+	// launch records; unparseable payloads (a future schema) are skipped,
+	// not fatal — losing one job record must not brick the server.
+	type jobState struct {
+		spec   ExperimentSpec
+		done   bool
+		failed bool
+		errMsg string
+	}
+	states := map[string]*jobState{}
+	var order []string
+	jpath := filepath.Join(cfg.StateDir, "jobs.wal")
+	st, err := wal.Replay(fsys, jpath, func(b []byte) error {
+		var rec journalRecord
+		if json.Unmarshal(b, &rec) != nil || rec.ID == "" {
+			return nil
+		}
+		switch rec.Op {
+		case opLaunch:
+			if _, ok := states[rec.ID]; !ok && rec.Spec != nil {
+				states[rec.ID] = &jobState{spec: *rec.Spec}
+				order = append(order, rec.ID)
+			}
+		case opDone:
+			if js, ok := states[rec.ID]; ok {
+				js.done = true
+			}
+		case opFailed:
+			if js, ok := states[rec.ID]; ok {
+				js.failed, js.errMsg = true, rec.Err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	s := New(cfg)
+	s.fsys = fsys
+	s.spill = spill
+	// Evicted artifacts leave memory but stay servable from disk; write-
+	// through at compute time already persisted most, so this mainly
+	// catches artifacts computed before the spill dir had space.
+	s.cache.SetOnEvict(s.spillArtifact)
+
+	// Restore at most the job-table bound, newest first — the same FIFO
+	// discipline the live table applies. Dropped jobs lose their poll
+	// handle but not their artifacts (spec-addressed in spill).
+	if len(order) > s.jobs.bound {
+		order = order[len(order)-s.jobs.bound:]
+	}
+
+	// Compact into the next journal generation: one launch record per
+	// restored job plus its completion mark, atomically replacing the
+	// old log. The handle stays open — this is the live journal now.
+	aw, err := wal.CreateAtomic(fsys, jpath, wal.Options{
+		Fsync:    cfg.JournalFsync,
+		MaxBytes: cfg.maxJournalBytes(),
+	})
+	if err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	writeRec := func(rec journalRecord) error {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		return aw.Append(payload)
+	}
+	for _, id := range order {
+		js := states[id]
+		if err := writeRec(journalRecord{Op: opLaunch, ID: id, Spec: &js.spec}); err != nil {
+			_ = aw.Abort()
+			s.Close()
+			return nil, nil, fmt.Errorf("service: compacting journal: %w", err)
+		}
+		switch {
+		case js.failed:
+			err = writeRec(journalRecord{Op: opFailed, ID: id, Err: js.errMsg})
+		case js.done:
+			err = writeRec(journalRecord{Op: opDone, ID: id})
+		}
+		if err != nil {
+			_ = aw.Abort()
+			s.Close()
+			return nil, nil, fmt.Errorf("service: compacting journal: %w", err)
+		}
+	}
+	if err := aw.Commit(); err != nil {
+		_ = aw.Abort()
+		s.Close()
+		return nil, nil, err
+	}
+	s.journal = &jobJournal{w: aw}
+
+	// Restore the jobs. Failed ones are restored failed; everything else
+	// — unfinished or done — re-runs through the normal compute path,
+	// where completed specs hit the spill store instead of recomputing.
+	rec := &Recovery{
+		TornJournalTail:  st.Torn,
+		SpilledArtifacts: spill.Stats().Artifacts,
+	}
+	for _, id := range order {
+		js := states[id]
+		job := &ExperimentJob{id: id, spec: js.spec, done: make(chan struct{})}
+		if err := s.jobs.addExisting(job); err != nil {
+			continue
+		}
+		s.replayedJobs.Add(1)
+		rec.ReplayedJobs++
+		if js.failed {
+			msg := js.errMsg
+			if msg == "" {
+				msg = "job failed before restart"
+			}
+			job.err = errors.New(msg)
+			close(job.done)
+			s.failedJobs.Add(1)
+			rec.FailedJobs++
+			continue
+		}
+		rec.Relaunched++
+		s.runJob(job)
+	}
+	return s, rec, nil
+}
+
+func (c Config) maxJournalBytes() int64 {
+	if c.MaxJournalBytes > 0 {
+		return c.MaxJournalBytes
+	}
+	return defaultMaxJournalBytes
+}
+
+// journalLaunch persists a job acceptance before its goroutine exists.
+// Failure refuses the work: accepting a job the journal cannot record
+// would silently break the restart-safety contract.
+func (s *Service) journalLaunch(job *ExperimentJob) error {
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.append(journalRecord{Op: opLaunch, ID: job.id, Spec: &job.spec})
+	if err == nil {
+		return nil
+	}
+	reason := "job journal unwritable"
+	retry := 10
+	if errors.Is(err, wal.ErrFull) {
+		// The journal compacts at restart; until then the table is the
+		// bound that has been hit, so back off longer.
+		reason = "job journal full"
+		retry = 30
+	}
+	return fmt.Errorf("%w: %w", &UnavailableError{Reason: reason, RetryAfter: retry}, err)
+}
+
+// journalFinish records a job's completion mark. Errors are swallowed:
+// a lost completion mark only means the job is re-launched on the next
+// restart, where it is served from spill — re-deriving the mark is
+// strictly cheaper than failing completed work retroactively.
+func (s *Service) journalFinish(id string, jobErr error) {
+	if s.journal == nil {
+		return
+	}
+	rec := journalRecord{Op: opDone, ID: id}
+	if jobErr != nil {
+		rec.Op, rec.Err = opFailed, jobErr.Error()
+	}
+	_ = s.journal.append(rec)
+}
+
+// spillArtifact persists one artifact to the spill store, best-effort:
+// a full disk degrades the server to memory-only caching rather than
+// failing the computation that produced the artifact.
+func (s *Service) spillArtifact(key string, val any) {
+	if s.spill == nil {
+		return
+	}
+	payload, err := json.Marshal(val)
+	if err != nil {
+		return
+	}
+	_ = s.spill.Put(key, payload)
+}
+
+// spillLoad reloads a typed artifact from the spill store; nil on any
+// miss, corruption (quarantined inside the store) or decode failure —
+// every failure path degrades to recomputation, never a wrong result.
+func spillLoad[T any](s *Service, key string) *T {
+	if s.spill == nil {
+		return nil
+	}
+	payload, ok, err := s.spill.Get(key)
+	if err != nil || !ok {
+		return nil
+	}
+	var v T
+	if json.Unmarshal(payload, &v) != nil {
+		return nil
+	}
+	return &v
+}

@@ -27,6 +27,7 @@ import (
 	"xbarsec/internal/memo"
 	"xbarsec/internal/pool"
 	"xbarsec/internal/rng"
+	"xbarsec/internal/wal"
 )
 
 // ErrServiceClosed indicates an operation on a closed service.
@@ -70,6 +71,23 @@ type Config struct {
 	// MaxExperimentJobs bounds the experiment-job table; the oldest
 	// finished jobs are evicted beyond it (0 = 1024).
 	MaxExperimentJobs int
+	// StateDir, when set, roots the durable state (job journal +
+	// artifact spill store). Only Open uses it; New ignores it and runs
+	// memory-only.
+	StateDir string
+	// JournalFsync makes every journal append durable before the job is
+	// accepted. cmd/xbarserve defaults it on; off trades the journal
+	// tail on power loss for accept latency (kill -9 recovery is
+	// unaffected — the page cache survives the process).
+	JournalFsync bool
+	// MaxJournalBytes bounds the job journal between compactions
+	// (0 = 64 MiB); launches beyond it are refused with a typed
+	// "unavailable" rather than accepted without durability.
+	MaxJournalBytes int64
+	// FS overrides the filesystem under the journal and spill store
+	// (nil = the real one). The fault-injection harness uses it to
+	// drive recovery paths with deterministic torn writes and crashes.
+	FS wal.FS
 }
 
 // Service hosts victims, sessions, campaign jobs and experiment jobs.
@@ -82,10 +100,17 @@ type Service struct {
 	gate     *pool.Gate
 	jobs     *jobTable
 
-	campaigns atomic.Int64
-	reaped    atomic.Int64
-	closed    atomic.Bool
-	janitorCh chan struct{} // closed on Close to stop the session janitor
+	// Durable-mode state, nil/zero under New (memory-only). See Open.
+	fsys    wal.FS
+	journal *jobJournal
+	spill   *memo.SpillStore
+
+	campaigns    atomic.Int64
+	reaped       atomic.Int64
+	failedJobs   atomic.Int64
+	replayedJobs atomic.Int64
+	closed       atomic.Bool
+	janitorCh    chan struct{} // closed on Close to stop the session janitor
 }
 
 // artifactWeight approximates one cached artifact's resident bytes for
@@ -223,14 +248,20 @@ func (s *Service) Victim(name string) (*Victim, error) {
 func (s *Service) VictimNames() []string { return s.victims.keys() }
 
 // Close shuts the service down: coalescers stop after draining, queued
-// queries fail with ErrVictimClosed, the session janitor stops, and new
-// work is refused.
+// queries fail with ErrVictimClosed, the session janitor stops, new
+// work is refused, and (in durable mode) the job journal is flushed and
+// closed. Jobs still in flight keep running; their completion marks are
+// simply not journaled anymore, which recovery treats as "unfinished" —
+// re-launched and served from spill.
 func (s *Service) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
 	close(s.janitorCh)
 	s.victims.each(func(_ string, v *Victim) { v.batcher.close() })
+	if s.journal != nil {
+		_ = s.journal.close()
+	}
 }
 
 func (s *Service) isClosed() bool { return s.closed.Load() }
@@ -254,6 +285,14 @@ func (s *Service) Stats() Stats {
 		CachedArtifactBytes: s.cache.Weight(),
 	}
 	st.CacheHits, st.CacheMisses = s.cache.Stats()
+	st.FailedJobs = s.failedJobs.Load()
+	st.ReplayedJobs = s.replayedJobs.Load()
+	if s.spill != nil {
+		sp := s.spill.Stats()
+		st.SpilledArtifacts = sp.Artifacts
+		st.SpilledArtifactBytes = sp.Bytes
+		st.SpillHits = sp.Hits
+	}
 	for _, name := range s.victims.keys() {
 		v, ok := s.victims.get(name)
 		if !ok {

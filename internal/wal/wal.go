@@ -1,0 +1,322 @@
+// Package wal implements the crash-safe append-only log under the
+// service layer's job journal: length-prefixed, CRC-framed records on an
+// fsync'd file. The format is deliberately dumb — one file, sequential
+// frames, no index — because the journal is replayed in full at startup
+// and rewritten compacted afterwards; durability and torn-write
+// detection are the whole job.
+//
+// Frame format (little-endian):
+//
+//	[4 bytes payload length][4 bytes CRC-32C of payload][payload]
+//
+// A crash can tear the final frame (a prefix of it reached the disk);
+// Replay detects this — a short header, short payload, or CRC mismatch
+// at the tail — stops cleanly, and reports the torn tail so the caller
+// can count it. Every frame before the tear is intact by construction:
+// frames are appended by a single writer and (with Options.Fsync) each
+// append is durable before Append returns.
+//
+// All filesystem access goes through the FS interface so the
+// fault-injection harness (internal/faultinject) can drive the recovery
+// paths with deterministic torn writes and disk errors.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem surface the log (and the artifact spill store)
+// uses. OSFS is the real implementation; faultinject.FS wraps any FS
+// with deterministic injected faults.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// Stat describes a file.
+	Stat(name string) (os.FileInfo, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// File is one open file handle.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage.
+	Sync() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// OpenFile opens a real file.
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Rename renames a real file.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove deletes a real file.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll creates a real directory tree.
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Stat stats a real file.
+func (OSFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+// ReadDir lists a real directory.
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+// castagnoli is the CRC-32C table; CRC-32C is the storage-stack
+// convention (iSCSI, ext4, Btrfs) and detects torn frames just as well
+// as anything stronger would at a fraction of the cost.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const headerSize = 8
+
+// ErrFull indicates an append would grow the log past Options.MaxBytes;
+// the caller must shed the work (the service maps this to a typed
+// "unavailable" with Retry-After) rather than accept what it cannot
+// persist.
+var ErrFull = errors.New("wal: log full")
+
+// ErrClosed indicates an append on a closed writer.
+var ErrClosed = errors.New("wal: writer closed")
+
+// ErrTooLarge indicates a single record larger than MaxRecordBytes.
+var ErrTooLarge = errors.New("wal: record too large")
+
+// MaxRecordBytes bounds one record's payload — far above any job spec,
+// and the replay-side allocation guard: a corrupt length prefix must
+// not make Replay allocate gigabytes.
+const MaxRecordBytes = 16 << 20
+
+// Options configures a Writer.
+type Options struct {
+	// Fsync makes every Append durable before it returns. On by
+	// default in the service (it is the point of a write-ahead log);
+	// disabling trades the tail of the journal on power loss for
+	// append latency.
+	Fsync bool
+	// MaxBytes bounds the log file size; appends beyond it fail with
+	// ErrFull. 0 means unbounded.
+	MaxBytes int64
+}
+
+// Writer appends CRC-framed records to one log file. Not safe for
+// concurrent use — callers serialize (the job journal holds a mutex).
+type Writer struct {
+	fs     FS
+	f      File
+	opts   Options
+	size   int64
+	closed bool
+	// buf is the reusable frame assembly buffer: header and payload are
+	// written with a single Write call so a torn write is always a
+	// contiguous prefix of one frame, never an interleaving.
+	buf []byte
+}
+
+// Create opens a fresh log at path, truncating anything there. The
+// usual lifecycle is Replay (read the previous generation) then Create
+// (start the compacted next one, via CreateAtomic).
+func Create(fsys FS, path string, opts Options) (*Writer, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", path, err)
+	}
+	return &Writer{fs: fsys, f: f, opts: opts}, nil
+}
+
+// Append frames and writes one record, fsyncing when configured. The
+// payload is owned by the caller and copied into the frame buffer
+// before any I/O.
+func (w *Writer) Append(payload []byte) error {
+	if w.closed {
+		return ErrClosed
+	}
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: %d-byte record: %w", len(payload), ErrTooLarge)
+	}
+	frame := int64(headerSize + len(payload))
+	if w.opts.MaxBytes > 0 && w.size+frame > w.opts.MaxBytes {
+		return fmt.Errorf("wal: %d+%d bytes exceeds bound %d: %w", w.size, frame, w.opts.MaxBytes, ErrFull)
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(payload)))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.Checksum(payload, castagnoli))
+	w.buf = append(w.buf, payload...)
+	n, err := w.f.Write(w.buf)
+	// Whatever prefix reached the file is there to stay; account for it
+	// so the size bound keeps meaning "bytes in the file" even after a
+	// torn write.
+	w.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if w.opts.Fsync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Size returns the bytes written so far (including any torn prefix from
+// a failed append).
+func (w *Writer) Size() int64 { return w.size }
+
+// Sync flushes the log to stable storage.
+func (w *Writer) Sync() error {
+	if w.closed {
+		return ErrClosed
+	}
+	return w.f.Sync()
+}
+
+// Close syncs and closes the log. Idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	syncErr := w.f.Sync()
+	closeErr := w.f.Close()
+	if syncErr != nil {
+		return fmt.Errorf("wal: close sync: %w", syncErr)
+	}
+	return closeErr
+}
+
+// ReplayStats reports what Replay found.
+type ReplayStats struct {
+	// Records is the number of intact records delivered.
+	Records int
+	// Torn reports a torn or corrupt tail: a trailing partial frame (the
+	// signature of a crash mid-append) or a CRC mismatch. Everything
+	// before it was delivered; everything after it is unreachable and
+	// lost by design.
+	Torn bool
+}
+
+// Replay reads every intact record of the log at path in append order,
+// calling fn for each. The record slice is reused between calls — fn
+// must not retain it. A missing file is an empty log, not an error. A
+// torn or corrupt tail stops replay cleanly (see ReplayStats.Torn); an
+// error from fn aborts replay and is returned.
+func Replay(fsys FS, path string, fn func(record []byte) error) (ReplayStats, error) {
+	var st ReplayStats
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return st, nil
+		}
+		return st, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	var header [headerSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return st, nil // clean end of log
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				st.Torn = true
+				return st, nil
+			}
+			return st, fmt.Errorf("wal: reading %s: %w", path, err)
+		}
+		n := binary.LittleEndian.Uint32(header[:4])
+		sum := binary.LittleEndian.Uint32(header[4:])
+		if n > MaxRecordBytes {
+			// A length this absurd is a corrupt header, not a record.
+			st.Torn = true
+			return st, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				st.Torn = true
+				return st, nil
+			}
+			return st, fmt.Errorf("wal: reading %s: %w", path, err)
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			st.Torn = true
+			return st, nil
+		}
+		if err := fn(payload); err != nil {
+			return st, err
+		}
+		st.Records++
+	}
+}
+
+// AtomicWriter is a new log generation that replaces path only on
+// Commit: records append to path+".tmp", and Commit fsyncs and renames
+// it over path — keeping the handle open, so the caller continues
+// appending to the committed file. A crash before Commit leaves the
+// previous generation intact; a crash after leaves the new one — never
+// a half-written mix. This is how the journal compacts at recovery:
+// replay the old generation, write the still-live records to the next,
+// commit, keep journaling.
+type AtomicWriter struct {
+	*Writer
+	fsys      FS
+	path      string
+	committed bool
+}
+
+// CreateAtomic opens the temporary next generation of the log at path.
+func CreateAtomic(fsys FS, path string, opts Options) (*AtomicWriter, error) {
+	w, err := Create(fsys, path+".tmp", opts)
+	if err != nil {
+		return nil, err
+	}
+	return &AtomicWriter{Writer: w, fsys: fsys, path: path}, nil
+}
+
+// Commit makes the new generation live: sync, then rename over the
+// previous log. The handle stays open (the rename redirects the path,
+// not the open file), so Append keeps working on the committed file.
+func (a *AtomicWriter) Commit() error {
+	if a.committed {
+		return nil
+	}
+	if err := a.Writer.Sync(); err != nil {
+		return fmt.Errorf("wal: commit sync: %w", err)
+	}
+	if err := a.fsys.Rename(a.path+".tmp", a.path); err != nil {
+		return fmt.Errorf("wal: committing %s: %w", a.path, err)
+	}
+	a.committed = true
+	return nil
+}
+
+// Abort discards an uncommitted generation: close and remove the
+// temporary file. After Commit it is a no-op (the generation is live).
+func (a *AtomicWriter) Abort() error {
+	if a.committed {
+		return nil
+	}
+	_ = a.Writer.Close()
+	return a.fsys.Remove(a.path + ".tmp")
+}
