@@ -1,8 +1,8 @@
 GO ?= go
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
 COVER_PROFILE ?= cover.out
 
-.PHONY: build test race vet xbarvet lint api-baseline fmt fmt-check bench bench-json chaos cover examples ci
+.PHONY: build test race vet xbarvet lint api-baseline goldens goldens-check fmt fmt-check bench bench-json chaos cover examples ci
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ xbarvet:
 # closures, no allocation in //xbar:hotpath functions, and no breaking
 # change to the api/ wire surface vs api/testdata/surface.json.
 # Suppressions need a written reason: //xbar:allow <reason>.
-lint: xbarvet
+lint: xbarvet goldens-check
 	$(GO) vet -vettool=bin/xbarvet ./...
 
 # Regenerates the committed api-surface baseline. The analyzer refuses
@@ -44,6 +44,22 @@ lint: xbarvet
 # api/testdata/surface.json with the change.
 api-baseline: xbarvet
 	$(GO) vet -vettool=bin/xbarvet -apisurface.write ./api
+
+# Regenerates testdata/golden/*.txt from the current runners — the only
+# sanctioned way to change a golden (replays the whole registry at
+# goldenOpts, deterministic at any worker count). Run it when an
+# experiment's published numbers deliberately change, then commit the
+# diff alongside the change that caused it.
+goldens:
+	$(GO) test ./internal/experiment/ -run TestGoldenBitIdentity -update-goldens -count=1
+
+# Proves the committed goldens are exactly what `make goldens` produces
+# today: regenerates in place and fails on any diff. Part of `make
+# lint`, so CI rejects a golden edited by hand or left stale after a
+# runner change.
+goldens-check:
+	$(GO) test ./internal/experiment/ -run TestGoldenBitIdentity -update-goldens -count=1
+	git diff --exit-code -- internal/experiment/testdata/golden
 
 fmt:
 	gofmt -w .
@@ -71,7 +87,7 @@ bench:
 bench-json:
 	$(GO) test -run XXX -bench 'GemmTA$$|GemmTB$$|TrainEpoch|CrossbarMVM|CrossbarPower|NormExtraction|FGSM$$' -benchtime 200x . > /tmp/xbarsec-bench-micro.txt
 	$(GO) test -run XXX -bench 'SurrogateTrain|Table1$$' -benchtime 3x . > /tmp/xbarsec-bench-macro.txt
-	$(GO) test -run XXX -bench 'VictimStoreColdFig3$$|VictimStoreWarmFig3$$|ServiceColdRestart$$' -benchtime 3x . > /tmp/xbarsec-bench-store.txt
+	$(GO) test -run XXX -bench 'VictimStoreColdFig3$$|VictimStoreWarmFig3$$|VictimStoreCrossRunnerCold$$|VictimStoreCrossRunnerWarm$$|RegistryReplayWarm$$|ServiceColdRestart$$' -benchtime 3x . > /tmp/xbarsec-bench-store.txt
 	cat /tmp/xbarsec-bench-micro.txt /tmp/xbarsec-bench-macro.txt /tmp/xbarsec-bench-store.txt | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@cat $(BENCH_JSON)
 

@@ -2,28 +2,28 @@
 // attack-campaign service: every request and response body exchanged
 // with an xbarserve instance is one of the typed structs in this
 // package, every error response is the uniform Error envelope, and the
-// protocol version is negotiated through GET /v1/version. The package
+// protocol version is negotiated through GET /v2/version. The package
 // has no dependencies beyond the standard library, so any Go client —
 // the bundled client SDK (xbarsec/client), the CLI's remote paths, or
 // third-party tooling — can speak the protocol by importing it alone.
 //
-// # Endpoints (protocol v1)
+// # Endpoints (protocol v2)
 //
 //	GET    /healthz                    Health
-//	GET    /v1/version                 VersionInfo
-//	GET    /v1/victims                 []VictimStats
-//	POST   /v1/sessions                OpenSessionRequest  -> Session
-//	GET    /v1/sessions/{id}           Session
-//	DELETE /v1/sessions/{id}           SessionClosed
-//	POST   /v1/sessions/{id}/query     QueryRequest        -> QueryResponse
-//	POST   /v1/sessions/{id}/queries   QueryBatchRequest   -> QueryBatchResponse
-//	POST   /v1/campaigns               CampaignRequest     -> CampaignResult
-//	POST   /v1/extract                 ExtractRequest      -> ExtractResult
-//	GET    /v1/experiments             []ExperimentInfo
-//	POST   /v1/experiments             ExperimentSpec      -> Job
+//	GET    /v2/version                 VersionInfo
+//	GET    /v2/victims                 []VictimStats
+//	POST   /v2/sessions                OpenSessionRequest  -> Session
+//	GET    /v2/sessions/{id}           Session
+//	DELETE /v2/sessions/{id}           SessionClosed
+//	POST   /v2/sessions/{id}/query     QueryRequest        -> QueryResponse
+//	POST   /v2/sessions/{id}/queries   QueryBatchRequest   -> QueryBatchResponse
+//	POST   /v2/campaigns               CampaignRequest     -> CampaignResult
+//	POST   /v2/extract                 ExtractRequest      -> ExtractResult
+//	GET    /v2/experiments             []ExperimentInfo
+//	POST   /v2/experiments             ExperimentSpec      -> Job
 //	                                   (?wait=1 blocks for the result)
-//	GET    /v1/experiments/jobs/{id}   Job
-//	GET    /v1/stats                   Stats (?format=csv for CSV)
+//	GET    /v2/experiments/jobs/{id}   Job
+//	GET    /v2/stats                   Stats (?format=csv for CSV)
 //
 // # Versioning policy
 //
@@ -32,9 +32,15 @@
 // accept new optional request fields — they never rename or remove
 // fields, change a field's type, or change an endpoint's meaning.
 // Clients must therefore tolerate unknown response fields. Anything
-// incompatible increments Major (and the /v1/ path prefix), and the
-// client SDK refuses to talk to a server whose major version differs
-// from its own (ErrorCode "version_mismatch").
+// incompatible increments Major (and the versioned path prefix, see
+// PathPrefix), and the client SDK refuses to talk to a server whose
+// major version differs from its own (ErrorCode "version_mismatch").
+//
+// Protocol v2 is exactly such a break: the server's victim derivation
+// changed (one canonical RNG stream per model config, shared by every
+// runner), so campaign, extraction and experiment responses carry
+// different numbers than a v1 server would return for the same request
+// — an endpoint-meaning change, not a schema change. See version.go.
 //
 // # Errors
 //

@@ -21,7 +21,7 @@ const (
 	// existed.
 	CodeUnknownSession ErrorCode = "unknown_session"
 	// CodeUnknownExperiment: the experiment name is not in the server's
-	// registry (list GET /v1/experiments).
+	// registry (list GET /v2/experiments).
 	CodeUnknownExperiment ErrorCode = "unknown_experiment"
 	// CodeUnknownJob: the experiment job id is unknown or was evicted.
 	CodeUnknownJob ErrorCode = "unknown_job"

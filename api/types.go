@@ -19,7 +19,7 @@ type Health struct {
 	Status string `json:"status"`
 }
 
-// VersionInfo is the GET /v1/version body: the server's protocol
+// VersionInfo is the GET /v2/version body: the server's protocol
 // version plus a digest of its experiment registry, so clients can
 // detect both incompatible protocols and diverging experiment sets
 // before spending any budget.
@@ -39,10 +39,10 @@ type VersionInfo struct {
 	ExperimentsHash string `json:"experiments_hash"`
 }
 
-// OpenSessionRequest is the POST /v1/sessions body: what one attacker
+// OpenSessionRequest is the POST /v2/sessions body: what one attacker
 // session may observe and spend.
 type OpenSessionRequest struct {
-	// Victim names the registered victim to attack (GET /v1/victims).
+	// Victim names the registered victim to attack (GET /v2/victims).
 	Victim string `json:"victim"`
 	// Mode selects label-only or raw-output disclosure ("" = label-only).
 	Mode Mode `json:"mode,omitempty"`
@@ -55,8 +55,8 @@ type OpenSessionRequest struct {
 	Budget int `json:"budget,omitempty"`
 }
 
-// Session is a session snapshot: the POST /v1/sessions and
-// GET /v1/sessions/{id} body.
+// Session is a session snapshot: the POST /v2/sessions and
+// GET /v2/sessions/{id} body.
 type Session struct {
 	// ID is the session handle — and its only credential: anyone holding
 	// it can spend the budget or close the session.
@@ -73,12 +73,12 @@ type Session struct {
 	Remaining int `json:"remaining"`
 }
 
-// SessionClosed is the DELETE /v1/sessions/{id} body.
+// SessionClosed is the DELETE /v2/sessions/{id} body.
 type SessionClosed struct {
 	Status string `json:"status"`
 }
 
-// QueryRequest is the POST /v1/sessions/{id}/query body: one oracle
+// QueryRequest is the POST /v2/sessions/{id}/query body: one oracle
 // query.
 type QueryRequest struct {
 	// Input is the query vector; its length must equal the victim's
@@ -101,7 +101,7 @@ type QueryResponse struct {
 	Remaining int `json:"remaining"`
 }
 
-// QueryBatchRequest is the POST /v1/sessions/{id}/queries body: a slice
+// QueryBatchRequest is the POST /v2/sessions/{id}/queries body: a slice
 // of oracle queries served as one batched array read. Budget accounting
 // is per query and order-faithful — the batch behaves exactly like
 // submitting the inputs one by one, but costs one round trip and one
@@ -132,7 +132,7 @@ type QueryBatchResponse struct {
 	Remaining int            `json:"remaining"`
 }
 
-// CampaignRequest is the POST /v1/campaigns body: one model-extraction-
+// CampaignRequest is the POST /v2/campaigns body: one model-extraction-
 // plus-evasion campaign (collect a budgeted query set, train a
 // power-regularized surrogate, craft FGSM examples, measure oracle
 // accuracy on them). Deterministic given the spec against a noise-free
@@ -176,7 +176,7 @@ type CampaignResult struct {
 	Cached bool `json:"cached"`
 }
 
-// ExtractRequest is the POST /v1/extract body: one power-side-channel
+// ExtractRequest is the POST /v2/extract body: one power-side-channel
 // extraction job (basis queries through a measurement probe).
 type ExtractRequest struct {
 	// Victim names the registered victim to probe.
@@ -205,12 +205,12 @@ type ExtractResult struct {
 	Cached bool `json:"cached"`
 }
 
-// ExperimentSpec is the POST /v1/experiments body: one experiment job,
+// ExperimentSpec is the POST /v2/experiments body: one experiment job,
 // fully determined by (name, seed, scale, runs, options) plus the
 // server's data directory — so the spec doubles as the server's
 // artifact-cache key and identical launches are served from cache.
 type ExperimentSpec struct {
-	// Name is the registry name, e.g. "table1" (GET /v1/experiments).
+	// Name is the registry name, e.g. "table1" (GET /v2/experiments).
 	Name string `json:"name"`
 	// Seed roots every random choice of the experiment.
 	Seed int64 `json:"seed"`
@@ -254,7 +254,7 @@ type Axis struct {
 }
 
 // ExperimentInfo describes one registry entry: an element of the
-// GET /v1/experiments listing.
+// GET /v2/experiments listing.
 type ExperimentInfo struct {
 	Name  string `json:"name"`
 	Title string `json:"title"`
@@ -287,8 +287,8 @@ const (
 	JobFailed  JobStatus = "failed"
 )
 
-// Job is an experiment-job snapshot: the POST /v1/experiments and
-// GET /v1/experiments/jobs/{id} body.
+// Job is an experiment-job snapshot: the POST /v2/experiments and
+// GET /v2/experiments/jobs/{id} body.
 type Job struct {
 	// ID is the poll handle.
 	ID   string         `json:"id"`
@@ -302,7 +302,7 @@ type Job struct {
 }
 
 // VictimStats is one victim's serving counters: an element of the
-// GET /v1/victims listing and of Stats.
+// GET /v2/victims listing and of Stats.
 type VictimStats struct {
 	Name    string `json:"name"`
 	Inputs  int    `json:"inputs"`
@@ -316,11 +316,15 @@ type VictimStats struct {
 	Batches int64 `json:"batches"`
 	// MaxBatch is the largest single flush.
 	MaxBatch int64 `json:"max_batch"`
+	// QueueDepthPeak is the deepest the victim's coalescing queue has
+	// ever been at submit time — the high-water mark of batching
+	// pressure.
+	QueueDepthPeak int64 `json:"queue_depth_peak"`
 	// OpenSessions counts currently open sessions.
 	OpenSessions int64 `json:"open_sessions"`
 }
 
-// Stats is the GET /v1/stats body: a point-in-time service snapshot.
+// Stats is the GET /v2/stats body: a point-in-time service snapshot.
 type Stats struct {
 	Victims []VictimStats `json:"victims"`
 	// Sessions counts open sessions across all victims.
@@ -354,4 +358,14 @@ type Stats struct {
 	SpilledArtifacts     int64 `json:"spilled_artifacts"`
 	SpilledArtifactBytes int64 `json:"spilled_artifact_bytes"`
 	SpillHits            int64 `json:"spill_hits"`
+	// Batcher observability, aggregated across victims (additive in
+	// v2.0). BatchFlushes counts coalesced array reads; BatchedQueries
+	// counts the queries they served, so BatchedQueries/BatchFlushes is
+	// the service-wide coalescing factor. MaxBatch is the largest single
+	// flush anywhere; QueueDepthPeak the deepest any victim's queue has
+	// been at submit time.
+	BatchFlushes   int64 `json:"batch_flushes"`
+	BatchedQueries int64 `json:"batched_queries"`
+	MaxBatch       int64 `json:"max_batch"`
+	QueueDepthPeak int64 `json:"queue_depth_peak"`
 }

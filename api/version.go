@@ -6,15 +6,25 @@ import "fmt"
 // compatibility (see the package comment's versioning policy); Minor
 // counts additive changes within it.
 const (
-	Major = 1
-	// Minor 1: durability additions — the "unavailable" error code with
-	// Retry-After semantics (Error.RetryAfter + the Retry-After header)
-	// and the recovery/spill counter block in Stats.
-	Minor = 1
+	// Major 2: the victim-derivation break. Servers now train every
+	// victim from one canonical stream per config
+	// (rng.New(seed).Split("victim").Split(config)), so campaign,
+	// extraction and experiment outputs differ bit-for-bit from any v1
+	// server at the same request — same endpoints, same schemas,
+	// different numbers. Changing an endpoint's meaning is incompatible
+	// under the versioning policy, hence the major bump and the move of
+	// every versioned path from /v1 to /v2.
+	Major = 2
+	// Minor 0 additionally carries the additive batcher-observability
+	// counters in Stats (batch_flushes, batched_queries, max_batch,
+	// queue_depth_peak).
+	Minor = 0
 )
 
-// VersionString renders the package's protocol version, e.g. "v1.0".
+// VersionString renders the package's protocol version, e.g. "v2.0".
 func VersionString() string { return fmt.Sprintf("v%d.%d", Major, Minor) }
 
-// PathPrefix is the URL prefix of every versioned endpoint.
-const PathPrefix = "/v1"
+// PathPrefix is the URL prefix of every versioned endpoint. It tracks
+// Major: a v1 client hitting a v2 server 404s before it can misread
+// renumbered results.
+const PathPrefix = "/v2"

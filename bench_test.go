@@ -14,6 +14,7 @@ import (
 	"xbarsec/internal/crossbar"
 	"xbarsec/internal/dataset"
 	"xbarsec/internal/experiment"
+	"xbarsec/internal/experiment/engine"
 	"xbarsec/internal/nn"
 	"xbarsec/internal/oracle"
 	"xbarsec/internal/rng"
@@ -223,6 +224,83 @@ func BenchmarkVictimStoreWarmFig3(b *testing.B) {
 	b.StopTimer()
 	if d := experiment.StoreStats().Trainings - warm; d != 0 {
 		b.Fatalf("warm benchmark trained %d victims", d)
+	}
+}
+
+// crossRunnerSuite runs the three runners that draw on the four shared
+// paper configurations (Table I, Figure 3, Figure 4) back to back — the
+// sequence a CLI user replays most often. Under the config-rooted victim
+// streams every runner derives the same victim for the same config, so
+// after the first runner the other two hit the store for every victim.
+func crossRunnerSuite(b *testing.B, opts experiment.Options) {
+	b.Helper()
+	if _, err := experiment.RunFig3(opts); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiment.RunTable1(opts); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiment.RunFig4(opts); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkVictimStoreCrossRunnerCold measures the fig3+table1+fig4
+// sequence from an empty store each iteration: four victim trainings
+// amortized across three runners (pre-refactor, table1 and fig4 would
+// each have retrained their own copies).
+func BenchmarkVictimStoreCrossRunnerCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
+		crossRunnerSuite(b, benchOpts())
+	}
+}
+
+// BenchmarkVictimStoreCrossRunnerWarm measures the same sequence with
+// all four victims already stored. The cold/warm gap is the training
+// cost the config-rooted streams dedupe; BENCH_8.json records both.
+func BenchmarkVictimStoreCrossRunnerWarm(b *testing.B) {
+	experiment.ResetVictimStore()
+	crossRunnerSuite(b, benchOpts())
+	trained := experiment.StoreStats().Trainings
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		crossRunnerSuite(b, benchOpts())
+	}
+	b.StopTimer()
+	if d := experiment.StoreStats().Trainings - trained; d != 0 {
+		b.Fatalf("warm cross-runner suite trained %d victims", d)
+	}
+}
+
+// BenchmarkRegistryReplayWarm measures a registry-wide replay — every
+// experiment `xbarattack all` runs, in paper order — with the victim
+// store already primed by one full pass. This is the steady state of a
+// long-lived xbarserve process re-serving the whole paper at a known
+// seed; the warm pass must train zero victims.
+func BenchmarkRegistryReplayWarm(b *testing.B) {
+	opts := experiment.Options{Seed: 1, Scale: 0.01, Runs: 1, Workers: 1}
+	runAll := func() {
+		for _, name := range experiment.PaperOrder() {
+			e, ok := engine.Lookup(name)
+			if !ok {
+				b.Fatalf("experiment %q not registered", name)
+			}
+			if _, err := e.Run(opts); err != nil {
+				b.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+	experiment.ResetVictimStore()
+	runAll()
+	trained := experiment.StoreStats().Trainings
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runAll()
+	}
+	b.StopTimer()
+	if d := experiment.StoreStats().Trainings - trained; d != 0 {
+		b.Fatalf("warm registry replay trained %d victims", d)
 	}
 }
 

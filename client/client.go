@@ -17,7 +17,7 @@
 //	if api.CodeOf(err) == api.CodeBudgetExhausted { ... }
 //
 // The first call on a Client performs a one-time version handshake
-// (GET /v1/version) and refuses to proceed — with code
+// (GET <PathPrefix>/version) and refuses to proceed — with code
 // "version_mismatch" — when the server speaks a different major
 // protocol version.
 package client
@@ -43,8 +43,9 @@ import (
 // but a misbehaving endpoint must not OOM the client.
 const maxResponseBody = 64 << 20
 
-// Client speaks protocol v1 to one server. It is safe for concurrent
-// use by multiple goroutines.
+// Client speaks the protocol version of the api package it was built
+// against (api.Major) to one server. It is safe for concurrent use by
+// multiple goroutines.
 type Client struct {
 	base         string
 	hc           *http.Client
@@ -104,7 +105,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 // sense against any server version.
 func (c *Client) Version(ctx context.Context) (api.VersionInfo, error) {
 	var v api.VersionInfo
-	err := c.doRetry(ctx, http.MethodGet, "/v1/version", nil, &v)
+	err := c.doRetry(ctx, http.MethodGet, api.PathPrefix+"/version", nil, &v)
 	return v, err
 }
 
@@ -125,7 +126,7 @@ func (c *Client) ensureCompatible(ctx context.Context) error {
 	// like any other GET — a transport blip on the very first call must
 	// not fail what a later poll would have survived.
 	var v api.VersionInfo
-	err := c.doRetry(ctx, http.MethodGet, "/v1/version", nil, &v)
+	err := c.doRetry(ctx, http.MethodGet, api.PathPrefix+"/version", nil, &v)
 	if err != nil {
 		var se *statusError
 		if errors.As(err, &se) && se.status == http.StatusNotFound {
@@ -134,7 +135,7 @@ func (c *Client) ensureCompatible(ctx context.Context) error {
 			c.checked = true
 			c.versionErr = &api.Error{
 				Code:    api.CodeVersionMismatch,
-				Message: "server exposes no /v1/version endpoint",
+				Message: "server exposes no " + api.PathPrefix + "/version endpoint",
 				Detail:  "client speaks " + api.VersionString(),
 			}
 			return c.versionErr
@@ -256,14 +257,14 @@ func (c *Client) Health(ctx context.Context) error {
 // Victims lists the server's registered victims with serving stats.
 func (c *Client) Victims(ctx context.Context) ([]api.VictimStats, error) {
 	var out []api.VictimStats
-	err := c.call(ctx, http.MethodGet, "/v1/victims", nil, &out)
+	err := c.call(ctx, http.MethodGet, api.PathPrefix+"/victims", nil, &out)
 	return out, err
 }
 
 // Stats fetches a point-in-time service snapshot.
 func (c *Client) Stats(ctx context.Context) (api.Stats, error) {
 	var out api.Stats
-	err := c.call(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	err := c.call(ctx, http.MethodGet, api.PathPrefix+"/stats", nil, &out)
 	return out, err
 }
 
@@ -271,7 +272,7 @@ func (c *Client) Stats(ctx context.Context) (api.Stats, error) {
 // extraction/evasion campaign.
 func (c *Client) RunCampaign(ctx context.Context, req api.CampaignRequest) (*api.CampaignResult, error) {
 	var out api.CampaignResult
-	if err := c.call(ctx, http.MethodPost, "/v1/campaigns", req, &out); err != nil {
+	if err := c.call(ctx, http.MethodPost, api.PathPrefix+"/campaigns", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -281,7 +282,7 @@ func (c *Client) RunCampaign(ctx context.Context, req api.CampaignRequest) (*api
 // power-side-channel extraction job.
 func (c *Client) RunExtract(ctx context.Context, req api.ExtractRequest) (*api.ExtractResult, error) {
 	var out api.ExtractResult
-	if err := c.call(ctx, http.MethodPost, "/v1/extract", req, &out); err != nil {
+	if err := c.call(ctx, http.MethodPost, api.PathPrefix+"/extract", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

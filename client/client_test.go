@@ -106,7 +106,7 @@ func TestVersionMismatchRefusal(t *testing.T) {
 	// A server speaking a different major version: every SDK call is
 	// refused with the typed code before any request fires.
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/v1/version" {
+		if r.URL.Path == api.PathPrefix+"/version" {
 			_ = json.NewEncoder(w).Encode(api.VersionInfo{Version: "v99.0", Major: 99})
 			return
 		}
@@ -129,7 +129,7 @@ func TestVersionMismatchRefusal(t *testing.T) {
 }
 
 func TestVersionMissingEndpointRefusal(t *testing.T) {
-	// A pre-versioning server (no /v1/version at all) is permanently
+	// A pre-versioning server (no versioned endpoints at all) is permanently
 	// incompatible.
 	srv := httptest.NewServer(http.HandlerFunc(http.NotFound))
 	defer srv.Close()
@@ -145,7 +145,7 @@ func TestVersionMissingEndpointRefusal(t *testing.T) {
 func TestWithoutVersionCheck(t *testing.T) {
 	// The escape hatch talks to anything.
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/v1/stats" {
+		if r.URL.Path == api.PathPrefix+"/stats" {
 			_ = json.NewEncoder(w).Encode(api.Stats{Sessions: 7})
 			return
 		}
@@ -165,7 +165,7 @@ func TestWithoutVersionCheck(t *testing.T) {
 func TestNonEnvelopeErrorSynthesized(t *testing.T) {
 	// A non-JSON 500 still comes back as a typed *api.Error.
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/v1/version" {
+		if r.URL.Path == api.PathPrefix+"/version" {
 			_ = json.NewEncoder(w).Encode(api.VersionInfo{Version: api.VersionString(), Major: api.Major})
 			return
 		}

@@ -12,7 +12,7 @@ import (
 // Experiments lists the server's experiment registry with grid axes.
 func (c *Client) Experiments(ctx context.Context) ([]api.ExperimentInfo, error) {
 	var out []api.ExperimentInfo
-	err := c.call(ctx, http.MethodGet, "/v1/experiments", nil, &out)
+	err := c.call(ctx, http.MethodGet, api.PathPrefix+"/experiments", nil, &out)
 	return out, err
 }
 
@@ -20,14 +20,14 @@ func (c *Client) Experiments(ctx context.Context) ([]api.ExperimentInfo, error) 
 // its poll handle (combine with WaitJob, or poll ExperimentJob).
 func (c *Client) LaunchExperiment(ctx context.Context, spec api.ExperimentSpec) (api.Job, error) {
 	var job api.Job
-	err := c.call(ctx, http.MethodPost, "/v1/experiments", spec, &job)
+	err := c.call(ctx, http.MethodPost, api.PathPrefix+"/experiments", spec, &job)
 	return job, err
 }
 
 // ExperimentJob polls one experiment job.
 func (c *Client) ExperimentJob(ctx context.Context, id string) (api.Job, error) {
 	var job api.Job
-	err := c.call(ctx, http.MethodGet, "/v1/experiments/jobs/"+id, nil, &job)
+	err := c.call(ctx, http.MethodGet, api.PathPrefix+"/experiments/jobs/"+id, nil, &job)
 	return job, err
 }
 
@@ -37,7 +37,7 @@ func (c *Client) ExperimentJob(ctx context.Context, id string) (api.Job, error) 
 // bounded only by ctx.
 func (c *Client) RunExperiment(ctx context.Context, spec api.ExperimentSpec) (*api.ExperimentResult, error) {
 	var job api.Job
-	if err := c.call(ctx, http.MethodPost, "/v1/experiments?wait=1", spec, &job); err != nil {
+	if err := c.call(ctx, http.MethodPost, api.PathPrefix+"/experiments?wait=1", spec, &job); err != nil {
 		return nil, err
 	}
 	return jobResult(job)

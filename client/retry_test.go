@@ -40,9 +40,9 @@ func TestWaitJobSurvivesTransient503(t *testing.T) {
 	var polls atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
-		case "/v1/version":
+		case api.PathPrefix + "/version":
 			versionOK(w)
-		case "/v1/experiments/jobs/job-1":
+		case api.PathPrefix + "/experiments/jobs/job-1":
 			switch polls.Add(1) {
 			case 1:
 				// A bare 503 (reverse proxy, no envelope).
@@ -77,7 +77,7 @@ func TestWaitJobSurvivesTransient503(t *testing.T) {
 	// an unknown job.
 	var polls2 atomic.Int64
 	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/v1/version" {
+		if r.URL.Path == api.PathPrefix+"/version" {
 			versionOK(w)
 			return
 		}
@@ -106,9 +106,9 @@ func TestRetryReplaysTypedRefusals(t *testing.T) {
 	var hits atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
-		case "/v1/version":
+		case api.PathPrefix + "/version":
 			versionOK(w)
-		case "/v1/campaigns":
+		case api.PathPrefix + "/campaigns":
 			if hits.Add(1) <= 2 {
 				w.WriteHeader(http.StatusServiceUnavailable)
 				_ = json.NewEncoder(w).Encode(&api.Error{Code: api.CodeUnavailable, Message: "journal full"})

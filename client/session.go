@@ -19,7 +19,7 @@ type Session struct {
 // OpenSession opens an attacker session against a registered victim.
 func (c *Client) OpenSession(ctx context.Context, req api.OpenSessionRequest) (*Session, error) {
 	var info api.Session
-	if err := c.call(ctx, http.MethodPost, "/v1/sessions", req, &info); err != nil {
+	if err := c.call(ctx, http.MethodPost, api.PathPrefix+"/sessions", req, &info); err != nil {
 		return nil, err
 	}
 	return &Session{c: c, info: info}, nil
@@ -44,7 +44,7 @@ func (s *Session) Info() api.Session { return s.info }
 // Refresh fetches the session's current accounting.
 func (s *Session) Refresh(ctx context.Context) (api.Session, error) {
 	var info api.Session
-	if err := s.c.call(ctx, http.MethodGet, "/v1/sessions/"+s.info.ID, nil, &info); err != nil {
+	if err := s.c.call(ctx, http.MethodGet, api.PathPrefix+"/sessions/"+s.info.ID, nil, &info); err != nil {
 		return api.Session{}, err
 	}
 	return info, nil
@@ -54,7 +54,7 @@ func (s *Session) Refresh(ctx context.Context) (api.Session, error) {
 // iff a response is delivered.
 func (s *Session) Query(ctx context.Context, input []float64) (api.QueryResponse, error) {
 	var out api.QueryResponse
-	err := s.c.call(ctx, http.MethodPost, "/v1/sessions/"+s.info.ID+"/query", api.QueryRequest{Input: input}, &out)
+	err := s.c.call(ctx, http.MethodPost, api.PathPrefix+"/sessions/"+s.info.ID+"/query", api.QueryRequest{Input: input}, &out)
 	return out, err
 }
 
@@ -68,12 +68,12 @@ func (s *Session) Query(ctx context.Context, input []float64) (api.QueryResponse
 // latency.
 func (s *Session) QueryBatch(ctx context.Context, inputs [][]float64) (api.QueryBatchResponse, error) {
 	var out api.QueryBatchResponse
-	err := s.c.call(ctx, http.MethodPost, "/v1/sessions/"+s.info.ID+"/queries", api.QueryBatchRequest{Inputs: inputs}, &out)
+	err := s.c.call(ctx, http.MethodPost, api.PathPrefix+"/sessions/"+s.info.ID+"/queries", api.QueryBatchRequest{Inputs: inputs}, &out)
 	return out, err
 }
 
 // Close closes the session; its remaining budget is forfeited.
 func (s *Session) Close(ctx context.Context) error {
 	var out api.SessionClosed
-	return s.c.call(ctx, http.MethodDelete, "/v1/sessions/"+s.info.ID, nil, &out)
+	return s.c.call(ctx, http.MethodDelete, api.PathPrefix+"/sessions/"+s.info.ID, nil, &out)
 }

@@ -31,7 +31,7 @@
 //     service (internal/service): multi-tenant victim registry, budgeted
 //     attacker sessions (idle-TTL eviction, per-victim caps), coalesced
 //     batched serving, cached campaign jobs, and server-side experiment
-//     jobs (/v1/experiments); -smoke self-checks through the SDK
+//     jobs (/v2/experiments); -smoke self-checks through the SDK
 //   - examples/      — runnable walkthroughs of the public workflow
 //   - bench_test.go  — one benchmark per table/figure plus victim-store
 //     and kernel microbenchmarks, serial and parallel

@@ -90,7 +90,7 @@ var noiseGrid = &engine.Grid[noiseEnv, noiseGridPoint, NoiseAblationPoint, *Nois
 	},
 	Setup: func(t *engine.T) (noiseEnv, error) {
 		cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
-		v, err := getVictim(cfg, t.Opts, t.Root.Split("victim"))
+		v, err := victimFor(t, cfg)
 		if err != nil {
 			return noiseEnv{}, err
 		}
@@ -199,7 +199,7 @@ var searchGrid = &engine.Grid[struct{}, ModelConfig, SearchAblationRow, *SearchA
 		return t.Root.Split(cfg.Name())
 	},
 	Job: func(t *engine.T, _ struct{}, cfg ModelConfig, src *rng.Source) (SearchAblationRow, error) {
-		v, err := getVictim(cfg, t.Opts, src)
+		v, err := victimFor(t, cfg)
 		if err != nil {
 			return SearchAblationRow{}, err
 		}
@@ -300,7 +300,7 @@ var multiPixelGrid = &engine.Grid[*victim, int, MultiPixelPoint, *MultiPixelResu
 	},
 	Setup: func(t *engine.T) (*victim, error) {
 		cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
-		return getVictim(cfg, t.Opts, t.Root.Split("victim"))
+		return victimFor(t, cfg)
 	},
 	Cells: func(t *engine.T, _ *victim) ([]int, error) {
 		return multiPixelKs(), nil

@@ -37,11 +37,8 @@ var calibrateGrid = &engine.Grid[struct{}, ModelConfig, CalibrationRow, *Calibra
 	Cells: func(t *engine.T, _ struct{}) ([]ModelConfig, error) {
 		return FourConfigs(), nil
 	},
-	Src: func(t *engine.T, cfg ModelConfig, _ int) *rng.Source {
-		return t.Root.Split(cfg.Name())
-	},
-	Job: func(t *engine.T, _ struct{}, cfg ModelConfig, src *rng.Source) (CalibrationRow, error) {
-		v, err := getVictim(cfg, t.Opts, src)
+	Job: func(t *engine.T, _ struct{}, cfg ModelConfig, _ *rng.Source) (CalibrationRow, error) {
+		v, err := victimFor(t, cfg)
 		if err != nil {
 			return CalibrationRow{}, err
 		}

@@ -3,9 +3,11 @@
 // runner is a declarative grid spec on the deterministic engine in
 // internal/experiment/engine: cells fan across Options.Workers with
 // bit-identical results at any worker count, victims are trained at
-// most once per (config, stream, scale) through the process-wide victim
-// store, and every experiment registers itself by name so the CLI, the
-// service layer and the HTTP API dispatch uniformly (see registry.go).
+// most once per (config, seed, scale, data dir) through the
+// process-wide victim store — every runner obtains them through
+// victimFor, which derives one canonical stream per config — and every
+// experiment registers itself by name so the CLI, the service layer
+// and the HTTP API dispatch uniformly (see registry.go).
 package experiment
 
 import (
@@ -132,8 +134,8 @@ func trainCfgFor(cfg ModelConfig) nn.TrainConfig {
 // buildVictim trains the model for cfg, programs it onto an ideal
 // crossbar, and extracts the power-channel column signals with basis
 // queries, reproducing the attacker's Section III measurement procedure.
-// Runners call getVictim instead, which memoizes this through the
-// process-wide victim store.
+// Runners call victimFor instead, which memoizes this through the
+// process-wide victim store from the canonical config-rooted stream.
 func buildVictim(cfg ModelConfig, opts Options, src *rng.Source) (*victim, error) {
 	train, test, err := loadData(cfg, opts, src.Split("data"))
 	if err != nil {

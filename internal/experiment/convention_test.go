@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGetVictimConvention enforces the victim-derivation contract
+// documented in victimstore.go: runners obtain victims exclusively
+// through victimFor. Direct getVictim and buildVictim calls are the
+// store's own business — any other non-test file in this package that
+// touches them is reintroducing a per-runner victim stream, exactly the
+// divergence the protocol-v2 unification removed.
+func TestGetVictimConvention(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if name == "victimstore.go" {
+			continue // the store implements getVictim in terms of buildVictim
+		}
+		f, err := parser.ParseFile(fset, filepath.Clean(name), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch id.Name {
+			case "getVictim", "buildVictim":
+				// common.go defines buildVictim; its declaration is not a
+				// call, so reaching here means an actual invocation.
+				t.Errorf("%s: %s called directly; runners must use victimFor",
+					fset.Position(call.Pos()), id.Name)
+			}
+			return true
+		})
+	}
+}

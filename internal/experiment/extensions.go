@@ -228,7 +228,7 @@ var maskingGrid = &engine.Grid[*maskingEnv, maskingCell, float64, *MaskingAblati
 	},
 	Setup: func(t *engine.T) (*maskingEnv, error) {
 		cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
-		v, err := getVictim(cfg, t.Opts, t.Root.Split("victim"))
+		v, err := victimFor(t, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -46,11 +46,8 @@ var fig3Grid = &engine.Grid[struct{}, ModelConfig, Fig3Panel, *Fig3Result]{
 	Cells: func(t *engine.T, _ struct{}) ([]ModelConfig, error) {
 		return FourConfigs(), nil
 	},
-	Src: func(t *engine.T, cfg ModelConfig, _ int) *rng.Source {
-		return t.Root.Split(cfg.Name())
-	},
-	Job: func(t *engine.T, _ struct{}, cfg ModelConfig, src *rng.Source) (Fig3Panel, error) {
-		v, err := getVictim(cfg, t.Opts, src)
+	Job: func(t *engine.T, _ struct{}, cfg ModelConfig, _ *rng.Source) (Fig3Panel, error) {
+		v, err := victimFor(t, cfg)
 		if err != nil {
 			return Fig3Panel{}, err
 		}

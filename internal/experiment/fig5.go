@@ -179,10 +179,10 @@ func fig5GridFor(x Fig5Options) *engine.Grid[[]fig5RowEnv, fig5Cell, [][]fig5Cel
 			envs := make([]fig5RowEnv, len(specs))
 			err := pool.DoErr(t.Opts.Workers, len(specs), func(ri int) error {
 				rs := specs[ri]
-				src := t.Root.Split(rs.label())
-				// Case 2 uses linear victims only (paper §IV).
+				// Case 2 uses linear victims only (paper §IV), so the four
+				// rows share two canonical victims (one per dataset).
 				cfg := ModelConfig{Kind: rs.kind, Act: nn.ActLinear, Crit: nn.LossMSE}
-				v, err := getVictim(cfg, t.Opts, src.Split("victim"))
+				v, err := victimFor(t, cfg)
 				if err != nil {
 					return err
 				}

@@ -56,13 +56,14 @@ var traceGrid = &engine.Grid[struct{}, struct{}, *TraceAblationResult, *TraceAbl
 		return []struct{}{{}}, nil
 	},
 	Src: func(t *engine.T, _ struct{}, _ int) *rng.Source {
-		// The sequential protocol derives every stream from the run root
-		// itself, as the pre-engine runner did.
+		// The sequential protocol derives its measurement-input streams
+		// from the run root itself; the victim comes from the canonical
+		// config-rooted stream via victimFor.
 		return t.Root
 	},
 	Job: func(t *engine.T, _ struct{}, _ struct{}, root *rng.Source) (*TraceAblationResult, error) {
 		cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
-		v, err := getVictim(cfg, t.Opts, root.Split("victim"))
+		v, err := victimFor(t, cfg)
 		if err != nil {
 			return nil, err
 		}

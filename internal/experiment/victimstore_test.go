@@ -7,7 +7,6 @@ import (
 
 	"xbarsec/internal/dataset"
 	"xbarsec/internal/nn"
-	"xbarsec/internal/rng"
 )
 
 // storeDelta runs fn and returns how many victim trainings it caused.
@@ -20,20 +19,27 @@ func storeDelta(t *testing.T, fn func()) int64 {
 	return StoreStats().Trainings - before
 }
 
+// seedOpts is tinyOpts at an explicit run seed — the only store-key
+// dimension these tests vary.
+func seedOpts(seed int64) Options {
+	o := tinyOpts()
+	o.Seed = seed
+	return o.Normalized()
+}
+
 // TestVictimStoreByteBudget pins the size-aware bound: with a byte
 // budget smaller than two victims, the older one is evicted and
 // retrains on the next request, while the store's byte gauge tracks
 // what is retained.
 func TestVictimStoreByteBudget(t *testing.T) {
-	opts := tinyOpts().Normalized()
 	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
-	srcA := rng.New(501).Split("budget-test")
-	srcB := rng.New(502).Split("budget-test")
+	optsA := seedOpts(501)
+	optsB := seedOpts(502)
 
 	// Measure one victim's weight with an ample budget.
 	ConfigureVictimStore(0, 0)
 	defer func() { ConfigureVictimStore(0, 0); ResetVictimStore() }()
-	if _, err := getVictim(cfg, opts, srcA); err != nil {
+	if _, err := getVictim(cfg, optsA); err != nil {
 		t.Fatal(err)
 	}
 	one := StoreStats().Bytes
@@ -43,10 +49,10 @@ func TestVictimStoreByteBudget(t *testing.T) {
 
 	// Budget for ~1.5 victims: the second insert evicts the first.
 	ConfigureVictimStore(0, one+one/2)
-	if _, err := getVictim(cfg, opts, srcA); err != nil {
+	if _, err := getVictim(cfg, optsA); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := getVictim(cfg, opts, srcB); err != nil {
+	if _, err := getVictim(cfg, optsB); err != nil {
 		t.Fatal(err)
 	}
 	st := StoreStats()
@@ -55,14 +61,14 @@ func TestVictimStoreByteBudget(t *testing.T) {
 	}
 	// The evicted victim retrains; the retained one does not.
 	if d := storeDelta(t, func() {
-		if _, err := getVictim(cfg, opts, srcB); err != nil {
+		if _, err := getVictim(cfg, optsB); err != nil {
 			t.Fatal(err)
 		}
 	}); d != 0 {
 		t.Fatalf("retained victim retrained %d times", d)
 	}
 	if d := storeDelta(t, func() {
-		if _, err := getVictim(cfg, opts, srcA); err != nil {
+		if _, err := getVictim(cfg, optsA); err != nil {
 			t.Fatal(err)
 		}
 	}); d != 1 {
@@ -71,13 +77,12 @@ func TestVictimStoreByteBudget(t *testing.T) {
 }
 
 func TestVictimStoreTrainsOncePerKey(t *testing.T) {
-	opts := tinyOpts().Normalized()
 	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
-	src := rng.New(101).Split("store-test")
+	opts := seedOpts(101)
 	var first, second *victim
 	d := storeDelta(t, func() {
 		var err error
-		if first, err = getVictim(cfg, opts, src); err != nil {
+		if first, err = getVictim(cfg, opts); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -86,7 +91,7 @@ func TestVictimStoreTrainsOncePerKey(t *testing.T) {
 	}
 	d = storeDelta(t, func() {
 		var err error
-		if second, err = getVictim(cfg, opts, src); err != nil {
+		if second, err = getVictim(cfg, opts); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -96,29 +101,32 @@ func TestVictimStoreTrainsOncePerKey(t *testing.T) {
 	if first != second {
 		t.Fatal("identical requests must share one victim instance")
 	}
-	// A different stream is a different victim.
+	// A different run seed is a different victim.
 	d = storeDelta(t, func() {
-		other, err := getVictim(cfg, opts, rng.New(102).Split("store-test"))
+		other, err := getVictim(cfg, seedOpts(102))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if other == first {
-			t.Fatal("different streams must not share a victim")
+			t.Fatal("different seeds must not share a victim")
 		}
 	})
 	if d != 1 {
-		t.Fatalf("distinct stream trained %d times, want 1", d)
+		t.Fatalf("distinct seed trained %d times, want 1", d)
 	}
 }
 
+// TestVictimStoreMatchesDirectBuild pins the canonical-stream contract:
+// a stored victim is bit-identical to building directly from
+// victimStream(cfg, opts).
 func TestVictimStoreMatchesDirectBuild(t *testing.T) {
-	opts := tinyOpts().Normalized()
 	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActSoftmax, Crit: nn.LossCrossEntropy}
-	stored, err := getVictim(cfg, opts, rng.New(103).Split("equiv"))
+	opts := seedOpts(103)
+	stored, err := getVictim(cfg, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := buildVictim(cfg, opts, rng.New(103).Split("equiv"))
+	direct, err := buildVictim(cfg, opts, victimStream(cfg, opts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +151,11 @@ func TestVictimStoreSingleflightUnderConcurrentRunners(t *testing.T) {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
-				// Every runner requests the same four victims (fig3's
-				// streams at this seed).
-				root := rng.New(opts.Seed).Split("fig3")
+				// Every runner requests the paper's four victims at the
+				// same options — the canonical stream makes these the
+				// same four store entries regardless of which runner asks.
 				for _, cfg := range FourConfigs() {
-					if _, err := getVictim(cfg, opts, root.Split(cfg.Name())); err != nil {
+					if _, err := getVictim(cfg, opts); err != nil {
 						errs[r] = err
 						return
 					}
@@ -164,6 +172,57 @@ func TestVictimStoreSingleflightUnderConcurrentRunners(t *testing.T) {
 	if d != int64(len(FourConfigs())) {
 		t.Fatalf("%d concurrent runners trained %d victims, want exactly %d",
 			runners, d, len(FourConfigs()))
+	}
+}
+
+// TestCrossRunnerVictimSharing pins the tentpole guarantee of the
+// unified derivation: fig3, table1 and fig4 at the same options train
+// each of the paper's four configs exactly once between them, and all
+// three runners see the same victim instances (hence bit-identical
+// weights and signals).
+func TestCrossRunnerVictimSharing(t *testing.T) {
+	opts := Options{Seed: 90210, Scale: 0.01, Runs: 2}
+	norm := opts.Normalized()
+
+	// Pre-resolve the victim pointers the runners should share.
+	before := make(map[string]*victim)
+	prime := storeDelta(t, func() {
+		for _, cfg := range FourConfigs() {
+			v, err := getVictim(cfg, norm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before[cfg.Name()] = v
+		}
+	})
+	if prime != int64(len(FourConfigs())) {
+		t.Fatalf("priming trained %d victims, want %d", prime, len(FourConfigs()))
+	}
+
+	// All three runners ride the already-trained victims: zero new
+	// trainings across fig3 + table1 (Runs=2) + fig4.
+	d := storeDelta(t, func() {
+		if _, err := RunFig3(opts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunTable1(opts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunFig4(opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if d != 0 {
+		t.Fatalf("fig3+table1+fig4 trained %d extra victims, want 0 (one victim per config)", d)
+	}
+	for _, cfg := range FourConfigs() {
+		v, err := getVictim(cfg, norm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != before[cfg.Name()] {
+			t.Fatalf("%s: runners did not share the canonical victim instance", cfg.Name())
+		}
 	}
 }
 
@@ -191,9 +250,8 @@ func TestRunnerReuseTrainsAtMostOncePerVictim(t *testing.T) {
 }
 
 func TestResetVictimStore(t *testing.T) {
-	opts := tinyOpts().Normalized()
 	cfg := ModelConfig{Kind: dataset.MNIST, Act: nn.ActLinear, Crit: nn.LossMSE}
-	if _, err := getVictim(cfg, opts, rng.New(104).Split("reset")); err != nil {
+	if _, err := getVictim(cfg, seedOpts(104)); err != nil {
 		t.Fatal(err)
 	}
 	ResetVictimStore()
@@ -202,7 +260,7 @@ func TestResetVictimStore(t *testing.T) {
 		t.Fatalf("store not empty after reset: %+v", st)
 	}
 	d := storeDelta(t, func() {
-		if _, err := getVictim(cfg, opts, rng.New(104).Split("reset")); err != nil {
+		if _, err := getVictim(cfg, seedOpts(104)); err != nil {
 			t.Fatal(err)
 		}
 	})

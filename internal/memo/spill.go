@@ -55,7 +55,7 @@ const (
 	spillQuarSuffix = ".quarantine"
 )
 
-// SpillStats is a snapshot of the store's counters for GET /v1/stats.
+// SpillStats is a snapshot of the store's counters for GET /v2/stats.
 type SpillStats struct {
 	// Artifacts and Bytes describe what is on disk now (preexisting
 	// files from earlier runs included).

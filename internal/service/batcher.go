@@ -52,6 +52,21 @@ type batcher struct {
 	requests atomic.Int64
 	batches  atomic.Int64
 	maxBatch atomic.Int64
+	// queueDepthPeak is the deepest the request channel has been at
+	// submit time — how close the coalescer has come to exerting
+	// backpressure (the channel's capacity bounds it).
+	queueDepthPeak atomic.Int64
+}
+
+// notePeak raises queueDepthPeak to depth if it exceeds the recorded
+// high-water mark.
+func (b *batcher) notePeak(depth int64) {
+	for {
+		m := b.queueDepthPeak.Load()
+		if depth <= m || b.queueDepthPeak.CompareAndSwap(m, depth) {
+			return
+		}
+	}
 }
 
 // newBatcher starts the flusher for hw. depth bounds how many requests
@@ -87,6 +102,7 @@ func (b *batcher) submit(r *batchRequest) error {
 		return ErrVictimClosed
 	}
 	b.reqs <- r
+	b.notePeak(int64(len(b.reqs)))
 	b.sendMu.RUnlock()
 	r.done.Wait()
 	return r.err
@@ -115,6 +131,7 @@ func (b *batcher) submitAll(rs []*batchRequest) error {
 		r.done.Add(1)
 		b.reqs <- r
 	}
+	b.notePeak(int64(len(b.reqs)))
 	b.sendMu.RUnlock()
 	var err error
 	for _, r := range rs {

@@ -113,10 +113,18 @@ func (s *Service) RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 			fromSpill = true
 			return res, nil
 		}
+		// Journal the launch before computing, exactly like an experiment
+		// job: a crash mid-campaign replays the spec at the next Open
+		// (once the victim registers) instead of losing the work. The key
+		// doubles as the journal id — sync jobs have no poll handle.
+		if err := s.journalLaunch(journalRecord{Op: opLaunch, ID: key, Campaign: &spec}); err != nil {
+			return nil, err
+		}
 		res, err := compute()
 		if err == nil {
 			s.spillArtifact(key, res)
 		}
+		s.journalFinish(key, err)
 		return res, err
 	})
 	if err != nil {
@@ -288,10 +296,16 @@ func (s *Service) RunExtract(spec ExtractSpec) (*ExtractResult, error) {
 			fromSpill = true
 			return res, nil
 		}
+		// Same restart-safety contract as campaigns: launch journaled
+		// before compute, completion marked after (see RunCampaign).
+		if err := s.journalLaunch(journalRecord{Op: opLaunch, ID: key, Extract: &spec}); err != nil {
+			return nil, err
+		}
 		res, err := compute()
 		if err == nil {
 			s.spillArtifact(key, res)
 		}
+		s.journalFinish(key, err)
 		return res, err
 	})
 	if err != nil {

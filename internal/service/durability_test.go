@@ -18,6 +18,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -27,6 +28,7 @@ import (
 	"xbarsec/internal/experiment/engine"
 	"xbarsec/internal/faultinject"
 	"xbarsec/internal/memo"
+	"xbarsec/internal/oracle"
 	"xbarsec/internal/report"
 	"xbarsec/internal/rng"
 	"xbarsec/internal/wal"
@@ -200,6 +202,116 @@ func TestChaosKillAndRestart(t *testing.T) {
 		if !res.Cached {
 			t.Errorf("job %s not marked cached — recomputed instead of spill-served", id)
 		}
+	}
+}
+
+// TestChaosCampaignKillAndRestart pins restart safety for the
+// synchronous job family: a campaign (and an extraction) whose launch
+// record is journaled but whose completion mark never lands — the exact
+// bytes a SIGKILL mid-compute leaves behind — is replayed at the next
+// Open as soon as its victim registers, lands its artifact in spill
+// bit-identical to an uninterrupted run, and disappears from the
+// journal once its completion mark folds at the following compaction.
+func TestChaosCampaignKillAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Seed: 11, Workers: 2, StateDir: dir, JournalFsync: true}
+	specA := CampaignSpec{Victim: "m", Mode: oracle.RawOutput, Seed: 3, Queries: 40, Lambda: 0.1}
+	specB := CampaignSpec{Victim: "m", Mode: oracle.LabelOnly, Seed: 4, Queries: 40}
+	specE := ExtractSpec{Victim: "m", Seed: 5}
+
+	// Reference results from an uninterrupted memory-only run: campaigns
+	// and extractions are pure functions of (spec, victim), so recovery
+	// must reproduce these bit-for-bit.
+	ref := newTestService(t, Config{Seed: 11, Workers: 2}, buildTestVictim(t, "m", 5))
+	wantB, err := ref.RunCampaign(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantE, err := ref.RunExtract(specE)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1, rec, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ReplayedCampaigns != 0 || rec.ReplayedExtracts != 0 {
+		t.Fatalf("fresh open recovery = %+v", rec)
+	}
+	if err := s1.Register(buildTestVictim(t, "m", 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Campaign A completes before the crash: launch + done journaled,
+	// artifact spilled.
+	if _, err := s1.RunCampaign(specA); err != nil {
+		t.Fatal(err)
+	}
+	// The crash signature for B and E: a launch record with no completion
+	// mark (RunCampaign journals the defaulted spec, so mirror that).
+	bd := specB.withDefaults()
+	if err := s1.journalLaunch(journalRecord{Op: opLaunch, ID: bd.key(), Campaign: &bd}); err != nil {
+		t.Fatal(err)
+	}
+	ed := extractDefaults(specE)
+	if err := s1.journalLaunch(journalRecord{Op: opLaunch, ID: extractKey(ed), Extract: &ed}); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	s2, rec2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.ReplayedCampaigns != 1 || rec2.ReplayedExtracts != 1 {
+		t.Fatalf("recovery = %+v, want 1 replayed campaign and 1 replayed extract", rec2)
+	}
+	// The replays wait for their victim; registering it triggers the
+	// drain, which recomputes both jobs and writes them through to spill
+	// (A's artifact + B + E = 3).
+	if err := s2.Register(buildTestVictim(t, "m", 5)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for s2.Stats().SpilledArtifacts < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replayed jobs never reached spill: %d artifacts", s2.Stats().SpilledArtifacts)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The crashed client's retry is served from the artifact store.
+	resB, err := s2.RunCampaign(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resB.Cached {
+		t.Error("recovered campaign recomputed instead of served from the artifact store")
+	}
+	if resB.CleanAccuracy != wantB.CleanAccuracy || resB.SurrogateAccuracy != wantB.SurrogateAccuracy ||
+		resB.AdvAccuracy != wantB.AdvAccuracy || resB.QueriesCharged != wantB.QueriesCharged {
+		t.Fatalf("recovered campaign differs from the uninterrupted run:\n%+v\nvs\n%+v", resB, wantB)
+	}
+	resE, err := s2.RunExtract(specE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resE.Cached {
+		t.Error("recovered extraction recomputed instead of served from the artifact store")
+	}
+	if !reflect.DeepEqual(resE.Signals, wantE.Signals) || !reflect.DeepEqual(resE.Norms, wantE.Norms) {
+		t.Fatal("recovered extraction signals differ from the uninterrupted run")
+	}
+	s2.Close()
+
+	// The completion marks fold at the next compaction: nothing left to
+	// replay.
+	s3, rec3, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if rec3.ReplayedCampaigns != 0 || rec3.ReplayedExtracts != 0 {
+		t.Fatalf("third open still replays sync jobs: %+v", rec3)
 	}
 }
 
@@ -409,7 +521,7 @@ func TestChaosJournalFull(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	body, _ := json.Marshal(api.ExperimentSpec{Name: "svc-test-quick", Seed: 999})
-	resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(ts.URL+api.PathPrefix+"/experiments", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -324,7 +324,7 @@ func (s *Service) LaunchExperiment(spec ExperimentSpec) (*ExperimentJob, error) 
 	}
 	// Journal before launch: a job the journal cannot record is refused
 	// (typed unavailable), never accepted without restart safety.
-	if err := s.journalLaunch(job); err != nil {
+	if err := s.journalLaunch(journalRecord{Op: opLaunch, ID: job.id, Spec: &job.spec}); err != nil {
 		s.jobs.remove(job.id)
 		return nil, err
 	}

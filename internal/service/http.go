@@ -17,26 +17,27 @@ import (
 	"xbarsec/internal/report"
 )
 
-// Handler returns the service's HTTP JSON API — protocol v1, with every
+// Handler returns the service's HTTP JSON API — protocol v2, with every
 // request/response body and error envelope defined by the public
 // xbarsec/api package (see its package comment for the endpoint table
-// and versioning policy):
+// and versioning policy). Every versioned route hangs off
+// api.PathPrefix, so a protocol bump moves the whole surface at once:
 //
 //	GET    /healthz                    liveness probe
-//	GET    /v1/version                 protocol version + registry hash
-//	GET    /v1/victims                 registered victims with serving stats
-//	POST   /v1/sessions                open an attacker session
-//	GET    /v1/sessions/{id}           session accounting
-//	DELETE /v1/sessions/{id}           close a session
-//	POST   /v1/sessions/{id}/query     one oracle query
-//	POST   /v1/sessions/{id}/queries   a batched slice of oracle queries
-//	POST   /v1/campaigns               run (or fetch cached) campaign job
-//	POST   /v1/extract                 run (or fetch cached) extraction job
-//	GET    /v1/experiments             registered experiments with axes
-//	POST   /v1/experiments             launch an experiment job (async;
+//	GET    /v2/version                 protocol version + registry hash
+//	GET    /v2/victims                 registered victims with serving stats
+//	POST   /v2/sessions                open an attacker session
+//	GET    /v2/sessions/{id}           session accounting
+//	DELETE /v2/sessions/{id}           close a session
+//	POST   /v2/sessions/{id}/query     one oracle query
+//	POST   /v2/sessions/{id}/queries   a batched slice of oracle queries
+//	POST   /v2/campaigns               run (or fetch cached) campaign job
+//	POST   /v2/extract                 run (or fetch cached) extraction job
+//	GET    /v2/experiments             registered experiments with axes
+//	POST   /v2/experiments             launch an experiment job (async;
 //	                                   ?wait=1 blocks for the result)
-//	GET    /v1/experiments/jobs/{id}   poll an experiment job
-//	GET    /v1/stats                   service snapshot (?format=csv for CSV)
+//	GET    /v2/experiments/jobs/{id}   poll an experiment job
+//	GET    /v2/stats                   service snapshot (?format=csv for CSV)
 //
 // Every handler is safe for concurrent use — the service layer does the
 // synchronization, the handlers only translate between api types and
@@ -46,19 +47,20 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, api.Health{Status: "ok"})
 	})
-	mux.HandleFunc("GET /v1/version", s.handleVersion)
-	mux.HandleFunc("GET /v1/victims", s.handleVictims)
-	mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
-	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
-	mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/sessions/{id}/queries", s.handleQueryBatch)
-	mux.HandleFunc("POST /v1/campaigns", s.handleCampaign)
-	mux.HandleFunc("POST /v1/extract", s.handleExtract)
-	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
-	mux.HandleFunc("POST /v1/experiments", s.handleExperimentLaunch)
-	mux.HandleFunc("GET /v1/experiments/jobs/{id}", s.handleExperimentJob)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	p := api.PathPrefix
+	mux.HandleFunc("GET "+p+"/version", s.handleVersion)
+	mux.HandleFunc("GET "+p+"/victims", s.handleVictims)
+	mux.HandleFunc("POST "+p+"/sessions", s.handleOpenSession)
+	mux.HandleFunc("GET "+p+"/sessions/{id}", s.handleSessionInfo)
+	mux.HandleFunc("DELETE "+p+"/sessions/{id}", s.handleCloseSession)
+	mux.HandleFunc("POST "+p+"/sessions/{id}/query", s.handleQuery)
+	mux.HandleFunc("POST "+p+"/sessions/{id}/queries", s.handleQueryBatch)
+	mux.HandleFunc("POST "+p+"/campaigns", s.handleCampaign)
+	mux.HandleFunc("POST "+p+"/extract", s.handleExtract)
+	mux.HandleFunc("GET "+p+"/experiments", s.handleExperimentList)
+	mux.HandleFunc("POST "+p+"/experiments", s.handleExperimentLaunch)
+	mux.HandleFunc("GET "+p+"/experiments/jobs/{id}", s.handleExperimentJob)
+	mux.HandleFunc("GET "+p+"/stats", s.handleStats)
 	return mux
 }
 
@@ -444,13 +446,13 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tbl := &report.Table{
-		Header: []string{"victim", "inputs", "outputs", "noisy", "requests", "batches", "max_batch", "open_sessions"},
+		Header: []string{"victim", "inputs", "outputs", "noisy", "requests", "batches", "max_batch", "queue_depth_peak", "open_sessions"},
 	}
 	for _, v := range st.Victims {
 		tbl.AddRow(v.Name,
 			fmt.Sprint(v.Inputs), fmt.Sprint(v.Outputs), fmt.Sprint(v.Noisy),
 			fmt.Sprint(v.Requests), fmt.Sprint(v.Batches), fmt.Sprint(v.MaxBatch),
-			fmt.Sprint(v.OpenSessions))
+			fmt.Sprint(v.QueueDepthPeak), fmt.Sprint(v.OpenSessions))
 	}
 	w.Header().Set("Content-Type", "text/csv")
 	if err := tbl.WriteCSV(w); err != nil {

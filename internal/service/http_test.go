@@ -116,7 +116,7 @@ func TestHTTPValidationAndErrors(t *testing.T) {
 	}
 	// Unknown fields rejected, with the envelope carrying the typed code
 	// and the decoder detail.
-	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json",
+	resp, err := http.Post(ts.URL+api.PathPrefix+"/sessions", "application/json",
 		strings.NewReader(`{"victim":"mnist-toy","surprise":1}`))
 	if err != nil {
 		t.Fatal(err)
@@ -207,7 +207,7 @@ func TestHTTPCampaignAndExtract(t *testing.T) {
 	}
 
 	// CSV stats export (raw wire: the SDK is JSON-only).
-	resp, err := http.Get(ts.URL + "/v1/stats?format=csv")
+	resp, err := http.Get(ts.URL + api.PathPrefix + "/stats?format=csv")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,12 +53,31 @@ const (
 	opFailed = "failed"
 )
 
-// journalRecord is the JSON payload of one WAL frame.
+// journalRecord is the JSON payload of one WAL frame. Exactly one of
+// Spec/Campaign/Extract is set on a launch record and identifies the
+// job family; completion marks carry the ID alone. Campaign and extract
+// jobs are synchronous (the requesting client holds the connection), so
+// their journal ID is the artifact-cache key — recovery needs no poll
+// handle for them, only the spec to recompute the artifact into spill.
 type journalRecord struct {
-	Op   string          `json:"op"`
-	ID   string          `json:"id"`
-	Spec *ExperimentSpec `json:"spec,omitempty"` // launch only
-	Err  string          `json:"err,omitempty"`  // failed only
+	Op       string          `json:"op"`
+	ID       string          `json:"id"`
+	Spec     *ExperimentSpec `json:"spec,omitempty"`     // experiment launch only
+	Campaign *CampaignSpec   `json:"campaign,omitempty"` // campaign launch only
+	Extract  *ExtractSpec    `json:"extract,omitempty"`  // extract launch only
+	Err      string          `json:"err,omitempty"`      // failed only
+}
+
+// victimName returns the victim a sync (campaign/extract) launch record
+// targets, or "" for experiment records.
+func (r journalRecord) victimName() string {
+	switch {
+	case r.Campaign != nil:
+		return r.Campaign.Victim
+	case r.Extract != nil:
+		return r.Extract.Victim
+	}
+	return ""
 }
 
 // jobJournal serializes appends to the WAL (launches and completions
@@ -99,6 +118,13 @@ type Recovery struct {
 	// FailedJobs is how many restored jobs had already failed and were
 	// restored directly into the failed state.
 	FailedJobs int
+	// ReplayedCampaigns / ReplayedExtracts count journaled synchronous
+	// jobs (campaign / extraction) found unfinished — launched but never
+	// marked done or failed, the signature of a crash mid-compute. They
+	// re-run automatically once their victim registers, landing their
+	// artifacts in spill so the client's retry is served instantly.
+	ReplayedCampaigns int
+	ReplayedExtracts  int
 	// SpilledArtifacts is the on-disk artifact inventory found at open.
 	SpilledArtifacts int64
 }
@@ -137,6 +163,16 @@ func Open(cfg Config) (*Service, *Recovery, error) {
 	}
 	states := map[string]*jobState{}
 	var order []string
+	// Synchronous (campaign/extract) jobs track separately: their journal
+	// life is the same launch/finish pair, but recovery only cares about
+	// the unfinished ones — a finished sync job's artifact is in spill and
+	// its client connection is long gone.
+	type syncState struct {
+		launch   journalRecord
+		finished bool
+	}
+	syncStates := map[string]*syncState{}
+	var syncOrder []string
 	jpath := filepath.Join(cfg.StateDir, "jobs.wal")
 	st, err := wal.Replay(fsys, jpath, func(b []byte) error {
 		var rec journalRecord
@@ -145,17 +181,31 @@ func Open(cfg Config) (*Service, *Recovery, error) {
 		}
 		switch rec.Op {
 		case opLaunch:
-			if _, ok := states[rec.ID]; !ok && rec.Spec != nil {
-				states[rec.ID] = &jobState{spec: *rec.Spec}
-				order = append(order, rec.ID)
+			switch {
+			case rec.Spec != nil:
+				if _, ok := states[rec.ID]; !ok {
+					states[rec.ID] = &jobState{spec: *rec.Spec}
+					order = append(order, rec.ID)
+				}
+			case rec.Campaign != nil || rec.Extract != nil:
+				if _, ok := syncStates[rec.ID]; !ok {
+					syncStates[rec.ID] = &syncState{launch: rec}
+					syncOrder = append(syncOrder, rec.ID)
+				}
 			}
 		case opDone:
 			if js, ok := states[rec.ID]; ok {
 				js.done = true
+			} else if ss, ok := syncStates[rec.ID]; ok {
+				ss.finished = true
 			}
 		case opFailed:
 			if js, ok := states[rec.ID]; ok {
 				js.failed, js.errMsg = true, rec.Err
+			} else if ss, ok := syncStates[rec.ID]; ok {
+				// A failed sync job's error already reached its client;
+				// nothing to restore.
+				ss.finished = true
 			}
 		}
 		return nil
@@ -216,6 +266,18 @@ func Open(cfg Config) (*Service, *Recovery, error) {
 			return nil, nil, fmt.Errorf("service: compacting journal: %w", err)
 		}
 	}
+	// Unfinished sync launches survive compaction — another crash before
+	// their re-run completes must still replay them. Finished ones are
+	// dropped: the artifact lives in spill under the same key.
+	for _, id := range syncOrder {
+		if ss := syncStates[id]; !ss.finished {
+			if err := writeRec(ss.launch); err != nil {
+				_ = aw.Abort()
+				s.Close()
+				return nil, nil, fmt.Errorf("service: compacting journal: %w", err)
+			}
+		}
+	}
 	if err := aw.Commit(); err != nil {
 		_ = aw.Abort()
 		s.Close()
@@ -229,6 +291,22 @@ func Open(cfg Config) (*Service, *Recovery, error) {
 	rec := &Recovery{
 		TornJournalTail:  st.Torn,
 		SpilledArtifacts: spill.Stats().Artifacts,
+	}
+	// Queue unfinished sync jobs for replay. Their victims register after
+	// Open (campaigns need trained data splits), so the records wait in
+	// pendingSync until Register drains them per victim.
+	for _, id := range syncOrder {
+		ss := syncStates[id]
+		if ss.finished {
+			continue
+		}
+		name := ss.launch.victimName()
+		s.pendingSync[name] = append(s.pendingSync[name], ss.launch)
+		if ss.launch.Campaign != nil {
+			rec.ReplayedCampaigns++
+		} else {
+			rec.ReplayedExtracts++
+		}
 	}
 	for _, id := range order {
 		js := states[id]
@@ -262,14 +340,15 @@ func (c Config) maxJournalBytes() int64 {
 	return defaultMaxJournalBytes
 }
 
-// journalLaunch persists a job acceptance before its goroutine exists.
-// Failure refuses the work: accepting a job the journal cannot record
-// would silently break the restart-safety contract.
-func (s *Service) journalLaunch(job *ExperimentJob) error {
+// journalLaunch persists a job acceptance — an experiment job before
+// its goroutine exists, a campaign/extract job before its compute
+// starts. Failure refuses the work: accepting a job the journal cannot
+// record would silently break the restart-safety contract.
+func (s *Service) journalLaunch(rec journalRecord) error {
 	if s.journal == nil {
 		return nil
 	}
-	err := s.journal.append(journalRecord{Op: opLaunch, ID: job.id, Spec: &job.spec})
+	err := s.journal.append(rec)
 	if err == nil {
 		return nil
 	}

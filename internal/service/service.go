@@ -20,6 +20,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -104,6 +105,11 @@ type Service struct {
 	fsys    wal.FS
 	journal *jobJournal
 	spill   *memo.SpillStore
+	// pendingSync holds journaled campaign/extract launches whose
+	// completion mark never landed (crash mid-compute), keyed by victim
+	// name; Register drains a victim's entries the moment it appears.
+	pendingMu   sync.Mutex
+	pendingSync map[string][]journalRecord
 
 	campaigns    atomic.Int64
 	reaped       atomic.Int64
@@ -141,12 +147,13 @@ func New(cfg Config) *Service {
 		cfg.MaxCachedArtifactBytes = 256 << 20
 	}
 	s := &Service{
-		cfg:       cfg,
-		root:      rng.New(cfg.Seed).Split("service"),
-		cache:     memo.NewWeighted[any](cfg.MaxCachedArtifacts, cfg.MaxCachedArtifactBytes, artifactWeight),
-		gate:      pool.NewGate(cfg.MaxConcurrentJobs),
-		jobs:      newJobTable(cfg.MaxExperimentJobs),
-		janitorCh: make(chan struct{}),
+		cfg:         cfg,
+		root:        rng.New(cfg.Seed).Split("service"),
+		cache:       memo.NewWeighted[any](cfg.MaxCachedArtifacts, cfg.MaxCachedArtifactBytes, artifactWeight),
+		gate:        pool.NewGate(cfg.MaxConcurrentJobs),
+		jobs:        newJobTable(cfg.MaxExperimentJobs),
+		pendingSync: map[string][]journalRecord{},
+		janitorCh:   make(chan struct{}),
 	}
 	if cfg.SessionTTL > 0 {
 		go s.sessionJanitor()
@@ -232,7 +239,36 @@ func (s *Service) Register(v *Victim) error {
 		v.batcher = nil
 		return ErrServiceClosed
 	}
+	s.drainPendingSync(v.name)
 	return nil
+}
+
+// drainPendingSync replays any journaled campaign/extract jobs waiting
+// on this victim, in journal order, on one background goroutine. The
+// jobs re-run through the normal compute paths — re-journaled, cached,
+// written through to spill — so the crashed client's retry of the same
+// spec is served from the artifact store instead of recomputed.
+func (s *Service) drainPendingSync(victim string) {
+	s.pendingMu.Lock()
+	recs := s.pendingSync[victim]
+	delete(s.pendingSync, victim)
+	s.pendingMu.Unlock()
+	if len(recs) == 0 {
+		return
+	}
+	go func() {
+		for _, rec := range recs {
+			// Errors are the job's own (bad spec, closed service) and are
+			// journaled as failures by the run path; recovery has no
+			// client to report them to.
+			switch {
+			case rec.Campaign != nil:
+				_, _ = s.RunCampaign(*rec.Campaign)
+			case rec.Extract != nil:
+				_, _ = s.RunExtract(*rec.Extract)
+			}
+		}
+	}()
 }
 
 // Victim looks up a registered victim.
@@ -270,7 +306,7 @@ func (s *Service) isClosed() bool { return s.closed.Load() }
 // wire, so it is defined by the public protocol package.
 type VictimStats = api.VictimStats
 
-// Stats is a point-in-time service snapshot (the GET /v1/stats wire
+// Stats is a point-in-time service snapshot (the GET /v2/stats wire
 // type).
 type Stats = api.Stats
 
@@ -298,16 +334,24 @@ func (s *Service) Stats() Stats {
 		if !ok {
 			continue
 		}
-		st.Victims = append(st.Victims, VictimStats{
-			Name:         v.name,
-			Inputs:       v.Inputs(),
-			Outputs:      v.Outputs(),
-			Noisy:        v.Noisy(),
-			Requests:     v.batcher.requests.Load(),
-			Batches:      v.batcher.batches.Load(),
-			MaxBatch:     v.batcher.maxBatch.Load(),
-			OpenSessions: v.open.Load(),
-		})
+		vs := VictimStats{
+			Name:           v.name,
+			Inputs:         v.Inputs(),
+			Outputs:        v.Outputs(),
+			Noisy:          v.Noisy(),
+			Requests:       v.batcher.requests.Load(),
+			Batches:        v.batcher.batches.Load(),
+			MaxBatch:       v.batcher.maxBatch.Load(),
+			QueueDepthPeak: v.batcher.queueDepthPeak.Load(),
+			OpenSessions:   v.open.Load(),
+		}
+		st.Victims = append(st.Victims, vs)
+		// Service-wide batcher aggregates: totals for the throughput
+		// counters, maxima for the high-water marks.
+		st.BatchFlushes += vs.Batches
+		st.BatchedQueries += vs.Requests
+		st.MaxBatch = max(st.MaxBatch, vs.MaxBatch)
+		st.QueueDepthPeak = max(st.QueueDepthPeak, vs.QueueDepthPeak)
 	}
 	return st
 }
