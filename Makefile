@@ -1,14 +1,23 @@
 GO ?= go
-BENCH_JSON ?= BENCH_8.json
+BENCH_JSON ?= BENCH_9.json
 COVER_PROFILE ?= cover.out
 
-.PHONY: build test race vet xbarvet lint api-baseline goldens goldens-check fmt fmt-check bench bench-json chaos cover examples ci
+.PHONY: build test race vet xbarvet lint api-baseline goldens goldens-check fmt fmt-check bench bench-json chaos cover examples test-fast ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The fast-backend matrix leg: replays the tensor-consuming suites with
+# the fast GEMM backend active (-tensor.fast, installed by each suite's
+# tensortest TestMain). Equivalence pins and goldens switch to their
+# tolerance mode automatically (tensor.Active().BitExact()); the tensor
+# package's own equivalence/fuzz suite runs both backends in one pass
+# and needs no flag.
+test-fast:
+	$(GO) test ./internal/experiment/ ./internal/nn/ ./internal/surrogate/ -tensor.fast -count=1
 
 # Full suite under the race detector — the honesty check for the
 # concurrent serving layer (internal/service) and the parallel
@@ -85,10 +94,11 @@ bench:
 # intermediate files so a failing benchmark fails the target instead of
 # being swallowed by the conversion pipe.
 bench-json:
-	$(GO) test -run XXX -bench 'GemmTA$$|GemmTB$$|TrainEpoch|CrossbarMVM|CrossbarPower|NormExtraction|FGSM$$' -benchtime 200x . > /tmp/xbarsec-bench-micro.txt
-	$(GO) test -run XXX -bench 'SurrogateTrain|Table1$$' -benchtime 3x . > /tmp/xbarsec-bench-macro.txt
+	$(GO) test -run XXX -bench 'GemmTA$$|GemmTB$$|GemmTAFast$$|GemmTBFast$$|TrainEpoch|CrossbarMVM|CrossbarPower|NormExtraction|FGSM$$' -benchtime 200x . > /tmp/xbarsec-bench-micro.txt
+	$(GO) test -run XXX -bench 'SurrogateTrain|Table1$$|Table1Fast$$|ServeBatchQPS' -benchtime 3x . > /tmp/xbarsec-bench-macro.txt
 	$(GO) test -run XXX -bench 'VictimStoreColdFig3$$|VictimStoreWarmFig3$$|VictimStoreCrossRunnerCold$$|VictimStoreCrossRunnerWarm$$|RegistryReplayWarm$$|ServiceColdRestart$$' -benchtime 3x . > /tmp/xbarsec-bench-store.txt
-	cat /tmp/xbarsec-bench-micro.txt /tmp/xbarsec-bench-macro.txt /tmp/xbarsec-bench-store.txt | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	$(GO) test -run XXX -bench 'GemmSweep' -benchtime 50x . > /tmp/xbarsec-bench-sweep.txt
+	cat /tmp/xbarsec-bench-micro.txt /tmp/xbarsec-bench-macro.txt /tmp/xbarsec-bench-store.txt /tmp/xbarsec-bench-sweep.txt | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@cat $(BENCH_JSON)
 
 # Fault-injection chaos suite under the race detector: the WAL and

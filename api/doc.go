@@ -42,6 +42,12 @@
 // different numbers than a v1 server would return for the same request
 // — an endpoint-meaning change, not a schema change. See version.go.
 //
+// v2.1 adds the tensor-backend surface: VersionInfo.TensorBackend and
+// Stats.TensorBackend report the GEMM backend the server computes with,
+// and ExperimentOptions.TensorBackend lets a spec assert the backend it
+// expects (a mismatch is a bad_request, never silently different
+// numbers). All additive — v2.0 clients are unaffected.
+//
 // # Errors
 //
 // Every non-2xx response carries the Error envelope {code, message,

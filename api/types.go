@@ -37,6 +37,11 @@ type VersionInfo struct {
 	// (sha256, hex). Two servers with equal hashes accept the same
 	// ExperimentSpec.Name values.
 	ExperimentsHash string `json:"experiments_hash"`
+	// TensorBackend is the GEMM backend the server computes with
+	// ("reference" or "fast"; additive in v2.1). Two servers with
+	// different backends agree on every result only within the fast
+	// backend's documented error bound, not bit-for-bit.
+	TensorBackend string `json:"tensor_backend,omitempty"`
 }
 
 // OpenSessionRequest is the POST /v2/sessions body: what one attacker
@@ -224,13 +229,20 @@ type ExperimentSpec struct {
 	Options *ExperimentOptions `json:"options,omitempty"`
 }
 
-// ExperimentOptions is the typed union of per-experiment options. At
-// most one entry may be set, and it must match ExperimentSpec.Name.
-// New experiments grow new fields here (additive, so minor-version
-// compatible).
+// ExperimentOptions carries typed experiment options: per-experiment
+// entries (at most one may be set, and it must match
+// ExperimentSpec.Name; new experiments grow new fields here) plus
+// cross-cutting fields that apply to any experiment. All additive, so
+// minor-version compatible.
 type ExperimentOptions struct {
 	// Fig5 customizes the Figure 5 surrogate-attack sweep grids.
 	Fig5 *Fig5Options `json:"fig5,omitempty"`
+	// TensorBackend asserts the GEMM backend the result must be computed
+	// with ("" accepts whatever the server runs; additive in v2.1). The
+	// backend is a process-wide serving mode, not a per-job switch, so a
+	// server whose active backend differs refuses the spec (bad_request)
+	// instead of returning numbers the client didn't ask for.
+	TensorBackend string `json:"tensor_backend,omitempty"`
 }
 
 // Fig5Options overrides the Figure 5 sweep grids; zero values select
@@ -368,4 +380,7 @@ type Stats struct {
 	BatchedQueries int64 `json:"batched_queries"`
 	MaxBatch       int64 `json:"max_batch"`
 	QueueDepthPeak int64 `json:"queue_depth_peak"`
+	// TensorBackend is the GEMM backend the server computes with
+	// (additive in v2.1; see VersionInfo.TensorBackend).
+	TensorBackend string `json:"tensor_backend,omitempty"`
 }

@@ -18,7 +18,16 @@ const (
 	// Minor 0 additionally carries the additive batcher-observability
 	// counters in Stats (batch_flushes, batched_queries, max_batch,
 	// queue_depth_peak).
-	Minor = 0
+	//
+	// Minor 1 adds the tensor-backend surface: VersionInfo.TensorBackend
+	// and Stats.TensorBackend report which GEMM backend the server
+	// computes with ("reference" is the bit-exact default; "fast" trades
+	// bit-identity for speed within a documented error bound), and the
+	// optional ExperimentOptions.TensorBackend lets a spec assert the
+	// backend it expects — servers refuse (bad_request) rather than
+	// silently serve numbers from a different backend. All additive:
+	// v2.0 clients never set the option and may ignore the new fields.
+	Minor = 1
 )
 
 // VersionString renders the package's protocol version, e.g. "v2.0".

@@ -530,6 +530,152 @@ func BenchmarkGemmTA(b *testing.B) {
 	}
 }
 
+// BenchmarkGemmTAFast measures the fast backend on the BenchmarkGemmTA
+// shape — the reference-vs-fast pair BENCH_9.json tracks.
+func BenchmarkGemmTAFast(b *testing.B) {
+	src := rng.New(2)
+	fast := tensor.NewFast(1)
+	d := tensor.New(32, 10)
+	u := tensor.New(32, 3072)
+	g := tensor.New(10, 3072)
+	for _, m := range []*tensor.Matrix{d, u} {
+		dd := m.Data()
+		for i := range dd {
+			dd[i] = src.Uniform(-1, 1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fast.GemmTA(g, d, u)
+	}
+}
+
+// BenchmarkGemmTBFast measures the fast backend on the BenchmarkGemmTB
+// shape — the reference-vs-fast pair BENCH_9.json tracks.
+func BenchmarkGemmTBFast(b *testing.B) {
+	src := rng.New(1)
+	fast := tensor.NewFast(1)
+	u := tensor.New(32, 3072)
+	w := tensor.New(10, 3072)
+	s := tensor.New(32, 10)
+	for _, m := range []*tensor.Matrix{u, w} {
+		d := m.Data()
+		for i := range d {
+			d[i] = src.Uniform(-1, 1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fast.GemmTB(s, u, w)
+	}
+}
+
+// --- GEMM backend sweep ------------------------------------------------
+
+// sweepBackend pairs a backend with its BENCH label.
+type sweepBackend struct {
+	name string
+	be   tensor.Backend
+}
+
+func sweepBackends() []sweepBackend {
+	return []sweepBackend{
+		{"reference", tensor.Reference()},
+		{"fast", tensor.NewFast(1)},
+	}
+}
+
+// BenchmarkGemmSweep sweeps the three training kernels over weight
+// aspect ratios (tall / wide / square) and batch sizes 1–256 under both
+// backends. Shapes follow the single-layer training loop: weights are
+// out x in, activations batch x in, deltas batch x out; GemmTB is the
+// batched forward, GemmTA the gradient contraction, Gemm the
+// input-gradient product.
+func BenchmarkGemmSweep(b *testing.B) {
+	shapes := []struct {
+		name    string
+		out, in int
+	}{
+		{"tall", 16, 3072},
+		{"wide", 3072, 16},
+		{"square", 256, 256},
+	}
+	fill := func(seed int64, ms ...*tensor.Matrix) {
+		src := rng.New(seed)
+		for _, m := range ms {
+			d := m.Data()
+			for i := range d {
+				d[i] = src.Uniform(-1, 1)
+			}
+		}
+	}
+	for _, bk := range sweepBackends() {
+		for _, sh := range shapes {
+			for _, batch := range []int{1, 32, 256} {
+				u := tensor.New(batch, sh.in)
+				w := tensor.New(sh.out, sh.in)
+				d := tensor.New(batch, sh.out)
+				fill(int64(batch), u, w, d)
+				s := tensor.New(batch, sh.out)
+				g := tensor.New(sh.out, sh.in)
+				x := tensor.New(batch, sh.in)
+				prefix := fmt.Sprintf("%s/batch_%d/%s", sh.name, batch, bk.name)
+				b.Run("TB/"+prefix, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						bk.be.GemmTB(s, u, w)
+					}
+				})
+				b.Run("TA/"+prefix, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						bk.be.GemmTA(g, d, u)
+					}
+				})
+				b.Run("MM/"+prefix, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						bk.be.Gemm(x, d, w)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable1Fast is BenchmarkTable1 with the fast tensor backend
+// active at one worker — the single-core Table I wall-clock the fast
+// backend is accountable for (BENCH_9.json pairs it with Table1).
+func BenchmarkTable1Fast(b *testing.B) {
+	prev := tensor.Use(tensor.NewFast(1))
+	defer tensor.Use(prev)
+	for i := 0; i < b.N; i++ {
+		experiment.ResetVictimStore()
+		if _, err := experiment.RunTable1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeBatchQPS measures the batched oracle serving path (64
+// queries per ForwardBatch call) under each backend and reports
+// queries/s — the serving-throughput figure BENCH_9.json records.
+func BenchmarkServeBatchQPS(b *testing.B) {
+	for _, bk := range sweepBackends() {
+		b.Run(bk.name, func(b *testing.B) {
+			prev := tensor.Use(bk.be)
+			defer tensor.Use(prev)
+			_, hw, ds := benchVictim(b)
+			us := benchBatch(b, ds)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := hw.ForwardBatch(us); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(us)*b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
 // BenchmarkTrainEpoch measures one epoch of batched single-layer SGD on
 // 200 MNIST-like samples — the inner loop of every victim build.
 func BenchmarkTrainEpoch(b *testing.B) {

@@ -18,12 +18,16 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark measurement.
+// Entry is one benchmark measurement. Metrics holds any custom
+// b.ReportMetric values the benchmark emitted beyond ns/op (e.g.
+// "queries/s" from the batched-serving benchmark) — additive, so the
+// schema tag is unchanged.
 type Entry struct {
-	Name    string  `json:"name"`
-	Iters   int64   `json:"iterations"`
-	NsPerOp float64 `json:"ns_per_op"`
-	MsPerOp float64 `json:"ms_per_op"`
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op"`
+	MsPerOp float64            `json:"ms_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the BENCH_*.json schema.
@@ -60,9 +64,20 @@ func main() {
 				break
 			}
 			iters, _ := strconv.ParseInt(fields[1], 10, 64)
-			rep.Benchmarks = append(rep.Benchmarks, Entry{
-				Name: name, Iters: iters, NsPerOp: ns, MsPerOp: ns / 1e6,
-			})
+			e := Entry{Name: name, Iters: iters, NsPerOp: ns, MsPerOp: ns / 1e6}
+			// Remaining fields come in (value, unit) pairs — custom
+			// b.ReportMetric output (B/op and allocs/op too, when -benchmem).
+			for j := i + 2; j < len(fields); j += 2 {
+				v, err := strconv.ParseFloat(fields[j-1], 64)
+				if err != nil {
+					continue
+				}
+				if e.Metrics == nil {
+					e.Metrics = make(map[string]float64)
+				}
+				e.Metrics[fields[j]] = v
+			}
+			rep.Benchmarks = append(rep.Benchmarks, e)
 			break
 		}
 	}

@@ -44,6 +44,12 @@
 //	-format   string  output format: table (human tables/plots, the
 //	                  default), csv (every result table as CSV), or
 //	                  json (the full structured result)
+//	-fast             compute with the fast tensor backend (SIMD +
+//	                  unrolled GEMM kernels). Numbers agree with the
+//	                  default bit-exact reference backend only within
+//	                  the documented tolerance (see internal/tensor),
+//	                  so paper artifacts regenerate byte-identically
+//	                  only without -fast
 //	-server   string  xbarserve base URL; when set, experiments, list
 //	                  and campaign run remotely through the client SDK
 //	                  (xbarsec/client) instead of in-process. The server
@@ -74,6 +80,7 @@ import (
 	"xbarsec/internal/oracle"
 	"xbarsec/internal/report"
 	"xbarsec/internal/service"
+	"xbarsec/internal/tensor"
 )
 
 func main() {
@@ -93,8 +100,14 @@ func run(args []string) error {
 	outDir := fs.String("out", "", "directory for CSV/PGM exports")
 	format := fs.String("format", "table", "output format: table|csv|json")
 	server := fs.String("server", "", "xbarserve base URL: run remotely through the client SDK")
+	fast := fs.Bool("fast", false, "use the fast tensor backend (tolerance-equal to the bit-exact default; see internal/tensor)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fast {
+		// Selected once, before any work launches — the backend is part of
+		// the run's configuration (never ambient state; see tensor.Use).
+		tensor.Use(tensor.NewFast(*workers))
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()

@@ -22,6 +22,15 @@
 //	-budget   int     default session query budget (default 10000)
 //	-workers  int     per-job fan-out (0 = all CPUs)
 //	-jobs     int     max concurrent campaign/experiment jobs (0 = all CPUs)
+//	-fast             serve with the fast tensor backend (SIMD +
+//	                  unrolled GEMM kernels). A process-wide serving
+//	                  mode, selected before any victim trains: results
+//	                  agree with a reference server only within the
+//	                  documented tolerance (see internal/tensor), the
+//	                  mode is surfaced in /v2/version and /v2/stats as
+//	                  tensor_backend, and artifacts cache under
+//	                  backend-suffixed keys so a -data-dir shared
+//	                  across modes never aliases their numbers
 //	-data     string  directory with real MNIST/CIFAR files (optional)
 //	-data-dir string  durable state directory (job journal + artifact
 //	                  spill); when set the server journals every
@@ -92,6 +101,7 @@ import (
 	"xbarsec/internal/dataset"
 	"xbarsec/internal/experiment"
 	"xbarsec/internal/service"
+	"xbarsec/internal/tensor"
 )
 
 func main() {
@@ -121,8 +131,15 @@ func run(args []string) error {
 	artifactMB := fs.Int("artifact-cache-mb", 0, "artifact-cache byte budget in MiB (0 = 256)")
 	victimMB := fs.Int("victim-cache-mb", 0, "experiment victim-store byte budget in MiB (0 = 1024)")
 	smoke := fs.Bool("smoke", false, "boot, self-check through the client SDK, and exit")
+	fast := fs.Bool("fast", false, "serve with the fast tensor backend (tolerance-equal to the bit-exact default; see internal/tensor)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fast {
+		// Selected once, before victims train or the service opens — the
+		// backend is part of the deployment's configuration, surfaced to
+		// clients via /v2/version, never swapped while serving.
+		tensor.Use(tensor.NewFast(*workers))
 	}
 
 	if *victimMB > 0 {
@@ -258,7 +275,8 @@ func runSmoke(ctx context.Context, svc *service.Service, url string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("smoke: protocol %s, %d experiments (registry %.12s)\n", v.Version, v.Experiments, v.ExperimentsHash)
+	fmt.Printf("smoke: protocol %s, %s tensor backend, %d experiments (registry %.12s)\n",
+		v.Version, v.TensorBackend, v.Experiments, v.ExperimentsHash)
 
 	victims, err := c.Victims(ctx)
 	if err != nil {

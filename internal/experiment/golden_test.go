@@ -3,11 +3,17 @@ package experiment
 import (
 	"bytes"
 	"flag"
+	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
 	"testing"
 
 	"xbarsec/internal/experiment/engine"
+	"xbarsec/internal/tensor"
 )
 
 // updateGoldens regenerates testdata/golden/*.txt instead of comparing
@@ -20,18 +26,82 @@ func goldenOpts() Options {
 	return Options{Seed: 7, Scale: 0.01, Runs: 1}
 }
 
+// goldenTol is the abs+rel tolerance for numeric tokens when the goldens
+// are replayed under a non-bit-exact backend. Reordered-summation ulps
+// amplified through SGD reach the second decimal place of the published
+// numbers at golden scale; anything larger than this is a real
+// divergence, not rounding.
+const goldenTol = 2e-2
+
+// goldenNoiseBand exempts near-zero statistics from the pointwise
+// tolerance: a rank correlation of a deliberately decorrelated channel
+// (e.g. the masked array in ablate-masking) is noise around zero, and a
+// single ulp-induced rank swap moves it by ~0.1. Two values that are
+// both inside the band count as equal — the statistic stayed
+// indistinguishable from zero, which is all the golden asserts about it.
+const goldenNoiseBand = 0.2
+
+// goldenNum matches the numeric tokens of a rendered table for the
+// tolerance-mode comparison below.
+var goldenNum = regexp.MustCompile(`-?[0-9]+(?:\.[0-9]+)?(?:[eE][-+]?[0-9]+)?`)
+
+// goldenSkeleton replaces every numeric token with "#" and collapses
+// whitespace runs, so a sign flip or width change in a column-padded
+// number doesn't break the structural comparison.
+func goldenSkeleton(s string) string {
+	return strings.Join(strings.Fields(goldenNum.ReplaceAllString(s, "#")), " ")
+}
+
+// compareGoldenTolerant checks a rendered output against a golden with
+// numeric tokens allowed to drift within abs+rel tolerance and all
+// surrounding text required to match. This is the comparison mode for
+// non-bit-exact tensor backends: their kernels reorder floating-point
+// accumulations, and a few epochs of SGD amplify the ulps into the low
+// decimal places of the published numbers.
+func compareGoldenTolerant(got, want string, tol float64) error {
+	if gs, ws := goldenSkeleton(got), goldenSkeleton(want); gs != ws {
+		return fmt.Errorf("non-numeric structure diverged\n--- got skeleton ---\n%s\n--- want skeleton ---\n%s", gs, ws)
+	}
+	gn := goldenNum.FindAllString(got, -1)
+	wn := goldenNum.FindAllString(want, -1)
+	for i := range gn {
+		g, gerr := strconv.ParseFloat(gn[i], 64)
+		w, werr := strconv.ParseFloat(wn[i], 64)
+		if gerr != nil || werr != nil {
+			return fmt.Errorf("numeric token %d unparseable: %q vs %q", i, gn[i], wn[i])
+		}
+		d := math.Abs(g - w)
+		if d <= tol+tol*math.Abs(w) {
+			continue
+		}
+		if math.Abs(g) < goldenNoiseBand && math.Abs(w) < goldenNoiseBand {
+			continue
+		}
+		return fmt.Errorf("numeric token %d off by %g (tol %g): got %q want %q",
+			i, d, tol+tol*math.Abs(w), gn[i], wn[i])
+	}
+	return nil
+}
+
 // TestGoldenBitIdentity pins every registered experiment's Render()
 // output byte-for-byte at goldenOpts. The files under testdata/golden
 // were last retrained for protocol v2, when victim streams were unified
 // onto the canonical config-rooted derivation (see victimstore.go);
 // they change only when an experiment's published numbers deliberately
-// change, via `make goldens`.
+// change, via `make goldens`. Under a non-bit-exact tensor backend
+// (-tensor.fast) the byte pin relaxes to the tolerant numeric comparison
+// above, and regenerating goldens is refused — committed goldens are
+// defined by the reference backend only.
 func TestGoldenBitIdentity(t *testing.T) {
 	if testing.Short() && !*updateGoldens {
 		// Deterministic replay of every experiment — no concurrency
 		// value beyond what the store/pool race tests cover, and ~10x
 		// slower under the race detector, which runs with -short.
 		t.Skip("skipping full-registry golden replay in -short mode")
+	}
+	exact := tensor.Active().BitExact()
+	if *updateGoldens && !exact {
+		t.Fatalf("refusing -update-goldens under the %s tensor backend: goldens are defined by the bit-exact reference backend", tensor.ActiveName())
 	}
 	for _, name := range PaperOrder() {
 		name := name
@@ -55,6 +125,13 @@ func TestGoldenBitIdentity(t *testing.T) {
 			want, err := os.ReadFile(path)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if !exact {
+				if err := compareGoldenTolerant(string(got), string(want), goldenTol); err != nil {
+					t.Fatalf("%s under %s backend: %v\n--- got ---\n%s\n--- want ---\n%s",
+						name, tensor.ActiveName(), err, got, want)
+				}
+				return
 			}
 			if !bytes.Equal(got, want) {
 				t.Fatalf("%s: output diverged from golden\n--- got (%d bytes) ---\n%s\n--- want (%d bytes) ---\n%s",

@@ -1,0 +1,11 @@
+package experiment
+
+import (
+	"testing"
+
+	"xbarsec/internal/tensor/tensortest"
+)
+
+// TestMain routes through tensortest so the suite can run under the fast
+// tensor backend (-tensor.fast, the `make test-fast` CI leg).
+func TestMain(m *testing.M) { tensortest.Main(m) }

@@ -10,10 +10,15 @@ import (
 )
 
 // This file pins the batched-GEMM trainers to the pre-refactor per-sample
-// loops, which are preserved below as reference implementations. The
-// contract is bit-identity: same final weights and same epoch losses, to
-// the last ulp, at the same seed — the training-side analogue of the
-// crossbar batch/scalar twin tests.
+// loops, which are preserved below as reference implementations. Under
+// the default (bit-exact) tensor backend the contract is bit-identity:
+// same final weights and same epoch losses, to the last ulp, at the same
+// seed — the training-side analogue of the crossbar batch/scalar twin
+// tests. Under a tolerance backend (-tensor.fast) the batched trainer's
+// GemmTA/GemmTB reorder their accumulations while the frozen per-sample
+// loops do not, so the pin relaxes to a tight relative tolerance — a few
+// epochs of SGD on these tiny victims amplify the per-kernel ulps only
+// modestly.
 
 // referenceOutputDelta is the per-sample δ = ∂L/∂s computation exactly as
 // shipped before the batched rewrite (network.go @ PR 1), kept frozen so
@@ -210,28 +215,35 @@ func equivDataset(t *testing.T, n int) *dataset.Dataset {
 	return ds
 }
 
-func requireBitsEqualMatrix(t *testing.T, name string, got, want *tensor.Matrix) {
+// equivRelTol is the per-element relative tolerance the trainer pins
+// relax to under a non-bit-exact tensor backend.
+const equivRelTol = 1e-8
+
+func requireEquivMatrix(t *testing.T, name string, got, want *tensor.Matrix) {
 	t.Helper()
 	if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
 		t.Fatalf("%s: shape %dx%d vs %dx%d", name, got.Rows(), got.Cols(), want.Rows(), want.Cols())
 	}
-	g, w := got.Data(), want.Data()
-	for i := range g {
-		if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
-			t.Fatalf("%s: element %d: %v vs %v (bits %x vs %x)", name, i, g[i], w[i],
-				math.Float64bits(g[i]), math.Float64bits(w[i]))
-		}
-	}
+	requireEquivVec(t, name, got.Data(), want.Data())
 }
 
-func requireBitsEqualVec(t *testing.T, name string, got, want []float64) {
+func requireEquivVec(t *testing.T, name string, got, want []float64) {
 	t.Helper()
 	if len(got) != len(want) {
 		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
 	}
+	exact := tensor.Active().BitExact()
 	for i := range got {
-		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
-			t.Fatalf("%s: element %d: %v vs %v", name, i, got[i], want[i])
+		if exact {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s: element %d: %v vs %v (bits %x vs %x)", name, i, got[i], want[i],
+					math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+			continue
+		}
+		if d := math.Abs(got[i] - want[i]); d > equivRelTol*math.Abs(want[i])+equivRelTol*equivRelTol {
+			t.Fatalf("%s: element %d off by %g under %s backend: %v vs %v",
+				name, i, d, tensor.ActiveName(), got[i], want[i])
 		}
 	}
 }
@@ -264,8 +276,8 @@ func TestTrainMatchesPerSampleReference(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			requireBitsEqualMatrix(t, "weights", gotNet.W, refNet.W)
-			requireBitsEqualVec(t, "epoch losses", gotRes.EpochLosses, refRes.EpochLosses)
+			requireEquivMatrix(t, "weights", gotNet.W, refNet.W)
+			requireEquivVec(t, "epoch losses", gotRes.EpochLosses, refRes.EpochLosses)
 		})
 	}
 }
@@ -305,9 +317,9 @@ func TestTrainMLPMatchesPerSampleReference(t *testing.T) {
 				t.Fatal(err)
 			}
 			for l := range ref.Layers {
-				requireBitsEqualMatrix(t, "layer weights", got.Layers[l], ref.Layers[l])
+				requireEquivMatrix(t, "layer weights", got.Layers[l], ref.Layers[l])
 			}
-			requireBitsEqualVec(t, "epoch losses", gotRes.EpochLosses, refRes.EpochLosses)
+			requireEquivVec(t, "epoch losses", gotRes.EpochLosses, refRes.EpochLosses)
 		})
 	}
 }
@@ -328,8 +340,8 @@ func TestTrainAdamMatchesPerSampleReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	requireBitsEqualMatrix(t, "weights", gotNet.W, refNet.W)
-	requireBitsEqualVec(t, "epoch losses", gotRes.EpochLosses, refRes.EpochLosses)
+	requireEquivMatrix(t, "weights", gotNet.W, refNet.W)
+	requireEquivVec(t, "epoch losses", gotRes.EpochLosses, refRes.EpochLosses)
 }
 
 // TestBatchStepAllocationFree pins the allocation contract of the batched

@@ -52,10 +52,13 @@ func (c CampaignSpec) withDefaults() CampaignSpec {
 
 // key is the artifact-cache identity: every field that influences the
 // result, nothing that doesn't (worker count deliberately excluded — the
-// result is bit-identical at any).
+// result is bit-identical at any). A non-reference tensor backend
+// shifts the numbers within its tolerance bound, so it suffixes the
+// key rather than aliasing the reference artifact.
 func (c CampaignSpec) key() string {
 	return fmt.Sprintf("campaign|%s|%s|%d|%d|%g|%d|%g",
-		c.Victim, c.Mode, c.Seed, c.Queries, c.Lambda, c.SurrogateEpochs, c.AttackEps)
+		c.Victim, c.Mode, c.Seed, c.Queries, c.Lambda, c.SurrogateEpochs, c.AttackEps) +
+		backendKeySuffix()
 }
 
 // CampaignResult is the deliverable of one campaign job — served
@@ -246,9 +249,10 @@ func extractDefaults(e ExtractSpec) ExtractSpec {
 }
 
 // extractKey is the artifact-cache identity: (victim, probe config,
-// seed).
+// seed), backend-suffixed like campaign keys.
 func extractKey(e ExtractSpec) string {
-	return fmt.Sprintf("extract|%s|%d|%g|%d", e.Victim, e.Repeats, e.NoiseStd, e.Seed)
+	return fmt.Sprintf("extract|%s|%d|%g|%d", e.Victim, e.Repeats, e.NoiseStd, e.Seed) +
+		backendKeySuffix()
 }
 
 // ExtractResult carries the recovered power-channel signals (the wire

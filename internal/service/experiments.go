@@ -14,6 +14,7 @@ import (
 	// RunFig5 serves specs carrying typed fig5 options.
 	"xbarsec/internal/experiment"
 	"xbarsec/internal/experiment/engine"
+	"xbarsec/internal/tensor"
 )
 
 // The experiment-job layer turns every experiment in the engine
@@ -41,19 +42,60 @@ type ExperimentSpec = api.ExperimentSpec
 
 // specDefaults normalizes the spec so equivalent requests share one
 // cache key: Scale 0 means full scale (the engine's Normalized
-// contract), so {"scale":0} and {"scale":1} must not recompute; and an
-// options envelope with nothing in it means no options.
+// contract), so {"scale":0} and {"scale":1} must not recompute; an
+// all-default fig5 envelope means no fig5 options; a tensor-backend
+// assertion this server satisfies is rewritten to its canonical
+// spelling, so {"tensor_backend":""} and {"tensor_backend":"fast"} on
+// a fast server are one spec (and the echoed result records which
+// backend computed it); and an options envelope with nothing left in
+// it means no options. The copy of *e.Options keeps the caller's
+// envelope unmutated.
 func specDefaults(e ExperimentSpec) ExperimentSpec {
 	if e.Scale == 0 {
 		e.Scale = 1
 	}
+	if e.Options != nil {
+		o := *e.Options
+		if f := o.Fig5; f != nil && len(f.Queries) == 0 && len(f.Lambdas) == 0 && f.SurrogateEpochs == 0 {
+			o.Fig5 = nil
+		}
+		e.Options = &o
+	}
+	if canon := canonicalBackend(); e.Options == nil {
+		if canon != "" {
+			e.Options = &api.ExperimentOptions{TensorBackend: canon}
+		}
+	} else if tb := e.Options.TensorBackend; (tb == "" || tb == tensor.ActiveName()) && tb != canon {
+		e.Options.TensorBackend = canon
+	}
 	if e.Options != nil && *e.Options == (api.ExperimentOptions{}) {
 		e.Options = nil
 	}
-	if f := fig5OptionsOf(e); f != nil && len(f.Queries) == 0 && len(f.Lambdas) == 0 && f.SurrogateEpochs == 0 {
-		e.Options = nil
-	}
 	return e
+}
+
+// canonicalBackend is the canonical ExperimentOptions.TensorBackend
+// spelling for specs this server satisfies: "" under the bit-exact
+// reference default — so pre-v2.1 specs, their journal records and
+// their spilled artifacts keep their historical identity — and the
+// backend name otherwise.
+func canonicalBackend() string {
+	if n := tensor.ActiveName(); n != tensor.RefName {
+		return n
+	}
+	return ""
+}
+
+// backendKeySuffix distinguishes artifacts computed under a
+// non-reference tensor backend in every cache/spill key. Reference
+// keys keep their historical (unsuffixed) form, so artifacts spilled
+// by pre-v2.1 servers stay servable; non-bit-exact artifacts never
+// collide with them across restarts that change the serving mode.
+func backendKeySuffix() string {
+	if canon := canonicalBackend(); canon != "" {
+		return "|tb:" + canon
+	}
+	return ""
 }
 
 // fig5OptionsOf extracts the typed fig5 options, nil when absent.
@@ -96,6 +138,20 @@ func validateSpec(e ExperimentSpec) (engine.Experiment, error) {
 	if e.Options == nil {
 		return exp, nil
 	}
+	// A backend assertion must name a backend this binary knows and the
+	// one this process actually computes with: the backend is selected
+	// once at startup (xbarserve -fast), not per job, so a mismatched
+	// spec is refused rather than silently served from the wrong one.
+	if tb := e.Options.TensorBackend; tb != "" {
+		if _, err := tensor.ByName(tb); err != nil {
+			return engine.Experiment{}, badRequestf("unknown tensor backend %q (want %q or %q)",
+				tb, tensor.RefName, tensor.FastName)
+		}
+		if tb != tensor.ActiveName() {
+			return engine.Experiment{}, badRequestf("tensor backend %q not active (server runs %q)",
+				tb, tensor.ActiveName())
+		}
+	}
 	f := e.Options.Fig5
 	if f != nil && e.Name != "fig5" {
 		return engine.Experiment{}, badRequestf("options.fig5 requires experiment fig5, not %q", e.Name)
@@ -125,11 +181,16 @@ func validateSpec(e ExperimentSpec) (engine.Experiment, error) {
 
 // specKey is the artifact-cache identity of the normalized spec,
 // including any option grids (two specs with different grids are
-// different experiments).
+// different experiments) and any non-reference tensor backend (its
+// numbers differ from the reference artifact's within the tolerance
+// bound, so they must never alias it in the spill store).
 func specKey(e ExperimentSpec) string {
 	key := fmt.Sprintf("experiment|%s|%d|%g|%d", e.Name, e.Seed, e.Scale, e.Runs)
 	if f := fig5OptionsOf(e); f != nil {
 		key += fmt.Sprintf("|fig5|%v|%v|%d", f.Queries, f.Lambdas, f.SurrogateEpochs)
+	}
+	if e.Options != nil && e.Options.TensorBackend != "" {
+		key += "|tb:" + e.Options.TensorBackend
 	}
 	return key
 }

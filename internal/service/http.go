@@ -15,6 +15,7 @@ import (
 	"xbarsec/internal/memo"
 	"xbarsec/internal/oracle"
 	"xbarsec/internal/report"
+	"xbarsec/internal/tensor"
 )
 
 // Handler returns the service's HTTP JSON API — protocol v2, with every
@@ -184,6 +185,7 @@ func (s *Service) handleVersion(w http.ResponseWriter, r *http.Request) {
 		Minor:           api.Minor,
 		Experiments:     len(names),
 		ExperimentsHash: RegistryHash(),
+		TensorBackend:   tensor.ActiveName(),
 	})
 }
 

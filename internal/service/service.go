@@ -28,6 +28,7 @@ import (
 	"xbarsec/internal/memo"
 	"xbarsec/internal/pool"
 	"xbarsec/internal/rng"
+	"xbarsec/internal/tensor"
 	"xbarsec/internal/wal"
 )
 
@@ -319,6 +320,7 @@ func (s *Service) Stats() Stats {
 		ExperimentJobs:      s.jobs.size(),
 		CachedArtifacts:     s.cache.Size(),
 		CachedArtifactBytes: s.cache.Weight(),
+		TensorBackend:       tensor.ActiveName(),
 	}
 	st.CacheHits, st.CacheMisses = s.cache.Stats()
 	st.FailedJobs = s.failedJobs.Load()

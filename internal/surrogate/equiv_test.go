@@ -118,8 +118,12 @@ func equivQuerySet(t *testing.T, queries int) *oracle.QuerySet {
 // TestTrainMatchesPerSampleReference pins the batched surrogate trainer —
 // including the restructured branch-free power term — to the old
 // per-sample loop, bit for bit, with and without the power loss, and with
-// a remainder mini-batch (50 queries, batch 32 -> 32 + 18).
+// a remainder mini-batch (50 queries, batch 32 -> 32 + 18). Under a
+// non-bit-exact tensor backend (-tensor.fast) the pin relaxes to a tight
+// relative tolerance, as in the nn equivalence suite.
 func TestTrainMatchesPerSampleReference(t *testing.T) {
+	const relTol = 1e-8
+	exact := tensor.Active().BitExact()
 	qs := equivQuerySet(t, 50)
 	for _, lambda := range []float64{0, 0.004} {
 		cfg := Config{Lambda: lambda, Epochs: 4, BatchSize: 32, LearningRate: 0.05, Momentum: 0.9}
@@ -130,8 +134,15 @@ func TestTrainMatchesPerSampleReference(t *testing.T) {
 		}
 		gd, wd := got.Net.W.Data(), want.Net.W.Data()
 		for i := range gd {
-			if math.Float64bits(gd[i]) != math.Float64bits(wd[i]) {
-				t.Fatalf("lambda=%v: weight %d: %v vs %v", lambda, i, gd[i], wd[i])
+			if exact {
+				if math.Float64bits(gd[i]) != math.Float64bits(wd[i]) {
+					t.Fatalf("lambda=%v: weight %d: %v vs %v", lambda, i, gd[i], wd[i])
+				}
+				continue
+			}
+			if d := math.Abs(gd[i] - wd[i]); d > relTol*math.Abs(wd[i])+relTol*relTol {
+				t.Fatalf("lambda=%v: weight %d off by %g under %s backend: %v vs %v",
+					lambda, i, d, tensor.ActiveName(), gd[i], wd[i])
 			}
 		}
 	}

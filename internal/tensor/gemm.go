@@ -24,6 +24,13 @@ import "fmt"
 // x + (±0·y) == x for every partial sum x that can arise. The kernels
 // exploit this to skip zero input elements (sparse image rows) exactly
 // like MatMul and VecMat do.
+//
+// Since the backend split (see backend.go), the exported functions below
+// validate shapes and dispatch to the active Backend; the loop bodies live
+// in range-parameterized helpers (gemmRows, gemmTACols, ...) shared by the
+// reference backend (full range, this file's contract verbatim) and the
+// fast backend's partitioned parallel paths (each partition owns a disjoint
+// destination range, so the per-element chains are untouched).
 
 // gemmBlock is the contracted-dimension block size: 256 columns of float64
 // per operand row is 2 KiB, so a block of the streamed operand stays
@@ -31,8 +38,8 @@ import "fmt"
 const gemmBlock = 256
 
 // Gemm computes dst = a·b, overwriting dst. It panics on shape mismatch
-// (dst must be a.Rows() x b.Cols() and a.Cols() == b.Rows()). The result
-// is bit-identical to a.MatMul(b).
+// (dst must be a.Rows() x b.Cols() and a.Cols() == b.Rows()). With the
+// default backend the result is bit-identical to a.MatMul(b).
 //
 //xbar:hotpath
 func Gemm(dst, a, b *Matrix) {
@@ -40,8 +47,16 @@ func Gemm(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: Gemm shape %dx%d by %dx%d into %dx%d",
 			a.rows, a.cols, b.rows, b.cols, dst.rows, dst.cols))
 	}
+	Active().Gemm(dst, a, b)
+}
+
+// gemmRows runs the Gemm axpy kernel for destination rows [i0, i1).
+// Partitioning by destination row leaves every element's accumulator chain
+// intact, so any union of disjoint row ranges reproduces the full-range
+// result bit-for-bit.
+func gemmRows(dst, a, b *Matrix, i0, i1 int) {
 	n := b.cols
-	for i := 0; i < a.rows; i++ {
+	for i := i0; i < i1; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		drow := dst.data[i*n : (i+1)*n]
 		for j := range drow {
@@ -78,27 +93,73 @@ func GemmTA(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: GemmTA shape %dx%d by %dx%d into %dx%d",
 			a.rows, a.cols, b.rows, b.cols, dst.rows, dst.cols))
 	}
+	Active().GemmTA(dst, a, b)
+}
+
+// gemmTACols runs the GemmTA kernel for destination columns [c0, c1).
+// Partitioning by destination column keeps each element's chain intact
+// (every (i, j) is owned by exactly one column range), so partitions
+// compose bit-identically.
+//
+// Access pattern (this is why GemmTA trailed GemmTB at the same shape —
+// 0.38 vs 0.29 ms in BENCH_8): the kernel is a streaming axpy. The
+// contracted (sample) index k is the outer loop, so each sample row of b
+// is read once and stays L1-resident while the column of a for that k
+// scatters it across all m destination rows; column blocks (jBlock) keep
+// the destination slab cache-resident across the whole batch. The cost is
+// that the m·n destination slab is re-swept — loaded and stored — once
+// per group of samples, and that read-modify-write traffic, not the
+// multiplies, bounds the kernel. GemmTB by contrast holds its accumulators
+// in registers and touches each destination element exactly once. The fix
+// that preserves accumulation order is to widen the sample group: grouping
+// g samples per sweep divides the destination load/store traffic by g
+// while still adding each element's terms in increasing k on one chain.
+// The pairing below is 4-wide (it was 2-wide when BENCH_8 was recorded);
+// wider pairing was measured slower — register pressure starts evicting
+// the b-row pointers. (A register-tiled dot orientation was measured
+// slower still: it re-streams b once per destination row.)
+func gemmTACols(dst, a, b *Matrix, c0, c1 int) {
 	m, n := a.cols, b.cols
-	for i := range dst.data {
-		dst.data[i] = 0
+	for i := 0; i < dst.rows; i++ {
+		drow := dst.data[i*n+c0 : i*n+c1]
+		for j := range drow {
+			drow[j] = 0
+		}
 	}
-	// Streaming axpy orientation: the contracted (sample) index is the
-	// outer loop, so each sample row of b is read once and stays
-	// L1-resident across the m destination rows it updates; column
-	// blocks keep the destination slab hot across the whole batch.
-	// Samples are paired so each sweep adds two consecutive terms with a
-	// single destination load/store — per element the k term is still
-	// added before the k+1 term, so per-element accumulation order
-	// matches the per-sample outer-product loop exactly. (A register-
-	// tiled dot orientation was measured slower here: it re-streams b
-	// once per destination row.)
 	const jBlock = 512
-	for j0 := 0; j0 < n; j0 += jBlock {
+	for j0 := c0; j0 < c1; j0 += jBlock {
 		j1 := j0 + jBlock
-		if j1 > n {
-			j1 = n
+		if j1 > c1 {
+			j1 = c1
 		}
 		k := 0
+		for ; k+4 <= a.rows; k += 4 {
+			a0 := a.data[k*m : (k+1)*m]
+			a1 := a.data[(k+1)*m : (k+2)*m]
+			a2 := a.data[(k+2)*m : (k+3)*m]
+			a3 := a.data[(k+3)*m : (k+4)*m]
+			b0 := b.data[k*n+j0 : k*n+j1]
+			b1 := b.data[(k+1)*n+j0 : (k+1)*n+j1]
+			b2 := b.data[(k+2)*n+j0 : (k+2)*n+j1]
+			b3 := b.data[(k+3)*n+j0 : (k+3)*n+j1]
+			for i := range a0 {
+				x0, x1, x2, x3 := a0[i], a1[i], a2[i], a3[i]
+				if x0 == 0 && x1 == 0 && x2 == 0 && x3 == 0 {
+					continue
+				}
+				drow := dst.data[i*n+j0 : i*n+j1]
+				drow = drow[:len(b0)]
+				b1v := b1[:len(b0)]
+				b2v := b2[:len(b0)]
+				b3v := b3[:len(b0)]
+				for j, bv := range b0 {
+					t := drow[j] + x0*bv
+					t += x1 * b1v[j]
+					t += x2 * b2v[j]
+					drow[j] = t + x3*b3v[j]
+				}
+			}
+		}
 		for ; k+2 <= a.rows; k += 2 {
 			a0 := a.data[k*m : (k+1)*m]
 			a1 := a.data[(k+1)*m : (k+2)*m]
@@ -142,7 +203,8 @@ func GemmTA(dst, a, b *Matrix) {
 // elements advance together through four contiguous streams of b, giving
 // four independent accumulator chains instead of MatVec's single
 // latency-bound chain (a single element's chain cannot be split without
-// changing the result).
+// changing the result; the fast backend does exactly that, under the
+// tolerance contract).
 //
 //xbar:hotpath
 func GemmTB(dst, a, b *Matrix) {
@@ -150,9 +212,15 @@ func GemmTB(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: GemmTB shape %dx%d by %dx%d into %dx%d",
 			a.rows, a.cols, b.rows, b.cols, dst.rows, dst.cols))
 	}
+	Active().GemmTB(dst, a, b)
+}
+
+// gemmTBRows runs the GemmTB dot kernel for destination rows [i0, i1);
+// row partitions compose bit-identically.
+func gemmTBRows(dst, a, b *Matrix, i0, i1 int) {
 	kdim := a.cols
 	n := b.rows
-	for i := 0; i < a.rows; i++ {
+	for i := i0; i < i1; i++ {
 		arow := a.data[i*kdim : (i+1)*kdim]
 		drow := dst.data[i*n : (i+1)*n]
 		j := 0
@@ -195,15 +263,21 @@ func GemmTB(dst, a, b *Matrix) {
 	}
 }
 
-// MatVecInto computes dst = m·x without allocating; bit-identical to
-// MatVec. dst and x must not alias. It panics on length mismatch.
+// MatVecInto computes dst = m·x without allocating; with the default
+// backend it is bit-identical to MatVec. dst and x must not alias. It
+// panics on length mismatch.
 //
 //xbar:hotpath
 func MatVecInto(dst []float64, m *Matrix, x []float64) {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic(fmt.Sprintf("tensor: MatVecInto %dx%d by %d into %d", m.rows, m.cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.rows; i++ {
+	Active().MatVecInto(dst, m, x)
+}
+
+// matVecRows runs the MatVec dot kernel for destination rows [i0, i1).
+func matVecRows(dst []float64, m *Matrix, x []float64, i0, i1 int) {
+	for i := i0; i < i1; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, v := range row {
@@ -221,7 +295,14 @@ func VecMatInto(dst []float64, x []float64, m *Matrix) {
 	if len(x) != m.rows || len(dst) != m.cols {
 		panic(fmt.Sprintf("tensor: VecMatInto %d by %dx%d into %d", len(x), m.rows, m.cols, len(dst)))
 	}
-	for j := range dst {
+	Active().VecMatInto(dst, x, m)
+}
+
+// vecMatCols runs the VecMat axpy kernel for destination columns [j0, j1);
+// column partitions compose bit-identically (the contracted dimension is
+// the row index, swept in increasing order for every column).
+func vecMatCols(dst []float64, x []float64, m *Matrix, j0, j1 int) {
+	for j := j0; j < j1; j++ {
 		dst[j] = 0
 	}
 	for i := 0; i < m.rows; i++ {
@@ -229,9 +310,11 @@ func VecMatInto(dst []float64, x []float64, m *Matrix) {
 		if xi == 0 {
 			continue
 		}
-		row := m.data[i*m.cols : (i+1)*m.cols]
+		row := m.data[i*m.cols+j0 : i*m.cols+j1]
+		dcol := dst[j0:j1]
+		dcol = dcol[:len(row)]
 		for j, v := range row {
-			dst[j] += xi * v
+			dcol[j] += xi * v
 		}
 	}
 }
@@ -244,7 +327,14 @@ func AddOuterInto(dst *Matrix, x, y []float64) {
 	if dst.rows != len(x) || dst.cols != len(y) {
 		panic(fmt.Sprintf("tensor: AddOuterInto %dx%d by %d outer %d", dst.rows, dst.cols, len(x), len(y)))
 	}
-	for i, xi := range x {
+	Active().AddOuterInto(dst, x, y)
+}
+
+// addOuterRows runs the outer-product update for destination rows
+// [i0, i1); each row is touched by exactly one partition.
+func addOuterRows(dst *Matrix, x, y []float64, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		xi := x[i]
 		if xi == 0 {
 			continue
 		}
@@ -265,7 +355,14 @@ func AddOuterInto(dst *Matrix, x, y []float64) {
 func SGDMomentumStep(w, v, g *Matrix, mu, gs float64, decay bool, ws float64) {
 	w.sameShape(v, "SGDMomentumStep")
 	w.sameShape(g, "SGDMomentumStep")
-	wd, vd, gd := w.data, v.data, g.data
+	Active().SGDMomentumStep(w, v, g, mu, gs, decay, ws)
+}
+
+// sgdSpan runs the fused momentum update for flat elements [k0, k1); the
+// update is purely element-wise, so any partition of the flat range
+// composes bit-identically.
+func sgdSpan(w, v, g *Matrix, mu, gs float64, decay bool, ws float64, k0, k1 int) {
+	wd, vd, gd := w.data[k0:k1], v.data[k0:k1], g.data[k0:k1]
 	vd = vd[:len(wd)]
 	gd = gd[:len(wd)]
 	if decay {

@@ -1,0 +1,28 @@
+//go:build amd64
+
+package tensor
+
+// dotAVX2 computes the dot product of x and y (y at least as long as x)
+// with AVX2+FMA: four vector lanes times four accumulator chains, reduced
+// (s0+s1)+(s2+s3) then left-to-right across lanes. Callers must check
+// cpuHasAVX2FMA first.
+//
+//go:noescape
+func dotAVX2(x, y []float64) float64
+
+// gemmTAQuadAVX2 applies one four-sample GemmTA axpy sweep: for each i in
+// [0, len(a0)), dst[i*stride : i*stride+len(b0)] accumulates
+// a0[i]*b0 + a1[i]*b1 + a2[i]*b2 + a3[i]*b3 with FMA, terms in increasing
+// sample order. a1..a3 must have len(a0) elements and b1..b3 len(b0);
+// dst must cover (len(a0)-1)*stride + len(b0) elements.
+//
+//go:noescape
+func gemmTAQuadAVX2(dst []float64, stride int, a0, a1, a2, a3, b0, b1, b2, b3 []float64)
+
+// cpuHasAVX2FMA reports whether the CPU and OS support AVX2 and FMA.
+// The probe is stable for the life of the machine — same class of
+// environment fact as GOMAXPROCS, not ambient nondeterminism.
+func cpuHasAVX2FMA() bool
+
+// archSIMD reports whether the SIMD kernel set is usable on this machine.
+func archSIMD() bool { return cpuHasAVX2FMA() }

@@ -1,0 +1,151 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// SIMD kernels for the fast backend (see fast.go for the contract). Both
+// use FMA, so each accumulation fuses multiply and add with a single
+// rounding — results are tolerance-equal, not bit-equal, to the scalar
+// reference chains.
+
+// func dotAVX2(x, y []float64) float64
+//
+// Four-lane-by-four-chain dot product: 16 elements per iteration on four
+// ymm accumulators, horizontally reduced at the end, scalar tail.
+TEXT ·dotAVX2(SB), NOSPLIT, $0-56
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	MOVQ y_base+24(FP), DI
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	MOVQ CX, DX
+	ANDQ $-16, DX
+	XORQ AX, AX
+	CMPQ DX, $0
+	JE   reduce
+loop16:
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMOVUPD 64(SI)(AX*8), Y6
+	VMOVUPD 96(SI)(AX*8), Y7
+	VFMADD231PD (DI)(AX*8), Y4, Y0
+	VFMADD231PD 32(DI)(AX*8), Y5, Y1
+	VFMADD231PD 64(DI)(AX*8), Y6, Y2
+	VFMADD231PD 96(DI)(AX*8), Y7, Y3
+	ADDQ $16, AX
+	CMPQ AX, DX
+	JL   loop16
+reduce:
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VSHUFPD $1, X0, X0, X1
+	VADDSD X1, X0, X0
+scalar:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (SI)(AX*8), X1
+	VMULSD (DI)(AX*8), X1, X1
+	VADDSD X1, X0, X0
+	INCQ AX
+	JMP  scalar
+done:
+	VZEROUPPER
+	MOVSD X0, ret+48(FP)
+	RET
+
+// func gemmTAQuadAVX2(dst []float64, stride int, a0, a1, a2, a3, b0, b1, b2, b3 []float64)
+//
+// Fused four-sample axpy sweep for GemmTA: for every destination row i
+// (i < len(a0)), dst[i*stride : i*stride+len(b0)] += a0[i]*b0 + a1[i]*b1
+// + a2[i]*b2 + a3[i]*b3, vectorized over the row with the four terms
+// applied in increasing sample order (same order as the scalar pairing,
+// FMA rounding).
+TEXT ·gemmTAQuadAVX2(SB), NOSPLIT, $0-224
+	MOVQ dst_base+0(FP), SI
+	MOVQ a0_base+32(FP), R8
+	MOVQ a1_base+56(FP), R9
+	MOVQ a2_base+80(FP), R10
+	MOVQ a3_base+104(FP), R11
+	MOVQ b0_base+128(FP), R12
+	MOVQ b1_base+152(FP), R13
+	MOVQ b2_base+176(FP), DX
+	MOVQ b3_base+200(FP), DI
+	MOVQ b0_len+136(FP), AX
+	ANDQ $-4, AX
+	XORQ BX, BX
+rowloop:
+	CMPQ BX, a0_len+40(FP)
+	JGE  alldone
+	VBROADCASTSD (R8)(BX*8), Y8
+	VBROADCASTSD (R9)(BX*8), Y9
+	VBROADCASTSD (R10)(BX*8), Y10
+	VBROADCASTSD (R11)(BX*8), Y11
+	XORQ CX, CX
+	CMPQ CX, AX
+	JGE  vtail
+vecloop:
+	VMOVUPD (SI)(CX*8), Y0
+	VFMADD231PD (R12)(CX*8), Y8, Y0
+	VFMADD231PD (R13)(CX*8), Y9, Y0
+	VFMADD231PD (DX)(CX*8), Y10, Y0
+	VFMADD231PD (DI)(CX*8), Y11, Y0
+	VMOVUPD Y0, (SI)(CX*8)
+	ADDQ $4, CX
+	CMPQ CX, AX
+	JL   vecloop
+vtail:
+	CMPQ CX, b0_len+136(FP)
+	JGE  rownext
+	VMOVSD (SI)(CX*8), X0
+	VFMADD231SD (R12)(CX*8), X8, X0
+	VFMADD231SD (R13)(CX*8), X9, X0
+	VFMADD231SD (DX)(CX*8), X10, X0
+	VFMADD231SD (DI)(CX*8), X11, X0
+	VMOVSD X0, (SI)(CX*8)
+	INCQ CX
+	JMP  vtail
+rownext:
+	MOVQ stride+24(FP), CX
+	LEAQ (SI)(CX*8), SI
+	INCQ BX
+	JMP  rowloop
+alldone:
+	VZEROUPPER
+	RET
+
+// func cpuHasAVX2FMA() bool
+//
+// CPUID feature probe: FMA + AVX + OSXSAVE (leaf 1 ECX), OS ymm state
+// support (XGETBV), AVX2 (leaf 7 EBX). BX is callee-save in the Go ABI,
+// preserved around CPUID.
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVQ BX, R8
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, DX
+	ANDL $0x18001000, DX
+	CMPL DX, $0x18001000
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x20, BX
+	CMPL BX, $0x20
+	JNE  no
+	MOVQ R8, BX
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVQ R8, BX
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package tensor
+
+// Portable stubs: archSIMD reports false, so the fast backend routes every
+// kernel to the pure-Go paths and these bodies are unreachable.
+
+func dotAVX2(x, y []float64) float64 {
+	panic("tensor: dotAVX2 without SIMD support")
+}
+
+func gemmTAQuadAVX2(dst []float64, stride int, a0, a1, a2, a3, b0, b1, b2, b3 []float64) {
+	panic("tensor: gemmTAQuadAVX2 without SIMD support")
+}
+
+func archSIMD() bool { return false }

@@ -1,0 +1,36 @@
+// Package tensortest wires the tensor backend matrix into test binaries.
+// Suites that are expected to hold under every backend (nn, surrogate,
+// experiment) route their TestMain through Main, which installs the fast
+// backend when the binary runs with -tensor.fast:
+//
+//	go test ./internal/nn/ -tensor.fast
+//
+// Backend selection stays explicit (a flag on the test binary, never an
+// environment read — see the detrand contract), and the default remains
+// the bit-exact reference backend, so `go test ./...` is unchanged.
+// Equivalence tests that pin bit-identity switch to tolerance mode by
+// consulting tensor.Active().BitExact().
+package tensortest
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"xbarsec/internal/tensor"
+)
+
+var fast = flag.Bool("tensor.fast", false,
+	"run the test binary with the fast tensor backend active")
+
+// Main is the shared TestMain body: parse flags, install the requested
+// backend, run the suite.
+func Main(m *testing.M) {
+	flag.Parse()
+	if *fast {
+		tensor.Use(tensor.NewFast(0))
+		fmt.Printf("tensortest: %s tensor backend active\n", tensor.ActiveName())
+	}
+	os.Exit(m.Run())
+}
