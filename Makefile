@@ -2,7 +2,7 @@ GO ?= go
 BENCH_JSON ?= BENCH_9.json
 COVER_PROFILE ?= cover.out
 
-.PHONY: build test race vet xbarvet lint api-baseline goldens goldens-check fmt fmt-check bench bench-json chaos cover examples test-fast ci
+.PHONY: build test race vet xbarvet lint api-baseline goldens goldens-check fmt fmt-check bench bench-json chaos cluster cover examples test-fast ci
 
 build:
 	$(GO) build ./...
@@ -112,6 +112,17 @@ chaos:
 	$(GO) test -race -timeout 10m ./internal/wal/ ./internal/faultinject/ ./internal/memo/
 	$(GO) test -race -timeout 10m -run 'TestChaos' ./internal/service/
 	$(GO) test -race -timeout 10m -run 'TestRetry|TestWaitJob|TestBackoff' ./client/
+
+# Multi-node suite under the race detector: the ring and provenance
+# packages in full, the two-in-process-node service tests (redirect
+# end-to-end bit-identity, session pinning, peer fetch with Merkle
+# verification, metrics) including the chaos variant that kills the
+# owning node mid-job, and the SDK redirect-following tests. CI runs it
+# as its own job.
+cluster:
+	$(GO) test -race -timeout 10m ./internal/cluster/ ./internal/provenance/
+	$(GO) test -race -timeout 10m -run 'TestCluster|TestChaosCluster|TestMetrics|TestArtifact' ./internal/service/
+	$(GO) test -race -timeout 10m -run 'TestRedirect' ./client/
 
 # Builds and RUNS every example end to end (each takes a second or two;
 # the campaign example boots the HTTP service and drives it through the

@@ -24,6 +24,10 @@
 //	                                   (?wait=1 blocks for the result)
 //	GET    /v2/experiments/jobs/{id}   Job
 //	GET    /v2/stats                   Stats (?format=csv for CSV)
+//	GET    /v2/cluster                 ClusterInfo
+//	GET    /v2/artifacts/{id}          Artifact
+//	GET    /v2/artifacts/{id}/proof    ArtifactProof
+//	GET    /v2/metrics                 Prometheus text exposition
 //
 // # Versioning policy
 //
@@ -47,6 +51,15 @@
 // and ExperimentOptions.TensorBackend lets a spec assert the backend it
 // expects (a mismatch is a bad_request, never silently different
 // numbers). All additive — v2.0 clients are unaffected.
+//
+// v2.2 adds the cluster + provenance surface: GET /v2/cluster exposes a
+// node's static membership, GET /v2/artifacts/{id} (+ /proof) serves
+// spilled artifacts by content address with their Merkle provenance
+// chains (see provenance.go), GET /v2/metrics exposes cache gauges in
+// the Prometheus text format, and the node_redirect error (HTTP 421,
+// Error.RedirectTo) tells a client which node owns the key it asked the
+// wrong node for. All additive — a single-node server never redirects,
+// and v2.1 clients may ignore every new endpoint.
 //
 // # Errors
 //

@@ -51,18 +51,37 @@ const (
 	CodeInternal ErrorCode = "internal"
 )
 
+// The v2.2 additive error codes (cluster routing + artifact store).
+const (
+	// CodeNodeRedirect: this node is part of a cluster and does not own
+	// the requested key; Error.RedirectTo carries the owner's base URL.
+	// Not a failure — the SDK re-issues the identical request at the
+	// owner (bounded hops) and surfaces only the owner's answer. Never
+	// retried in place: the same node keeps not owning the key.
+	CodeNodeRedirect ErrorCode = "node_redirect"
+	// CodeUnknownArtifact: no spilled artifact (or no provenance record)
+	// exists at the requested content address on this node.
+	CodeUnknownArtifact ErrorCode = "unknown_artifact"
+)
+
 // HTTPStatus returns the HTTP status a server sends with the code —
 // the mapping is part of the protocol, shared by server and clients.
 func (c ErrorCode) HTTPStatus() int {
 	switch c {
 	case CodeBadRequest:
 		return http.StatusBadRequest
-	case CodeUnknownVictim, CodeUnknownSession, CodeUnknownExperiment, CodeUnknownJob:
+	case CodeUnknownVictim, CodeUnknownSession, CodeUnknownExperiment, CodeUnknownJob, CodeUnknownArtifact:
 		return http.StatusNotFound
 	case CodeBudgetExhausted, CodeSessionLimit, CodeJobLimit:
 		return http.StatusTooManyRequests
 	case CodeServiceClosed, CodeVictimClosed, CodeUnavailable:
 		return http.StatusServiceUnavailable
+	case CodeNodeRedirect:
+		// 421: the request reached a server unable to produce an
+		// authoritative response for it — exactly a non-owning cluster
+		// node. Below 500, so the SDK's bare-status retry heuristics
+		// never replay it in place.
+		return http.StatusMisdirectedRequest
 	default:
 		return http.StatusInternalServerError
 	}
@@ -84,6 +103,10 @@ type Error struct {
 	// the Retry-After response header; the SDK's retry policy honors it
 	// over its own exponential schedule.
 	RetryAfter int `json:"retry_after,omitempty"`
+	// RedirectTo, set with CodeNodeRedirect, is the base URL of the
+	// cluster node that owns the requested key. Clients re-issue the
+	// identical request there (v2.2, additive).
+	RedirectTo string `json:"redirect_to,omitempty"`
 }
 
 // Error renders the envelope as a conventional error string.

@@ -383,4 +383,48 @@ type Stats struct {
 	// TensorBackend is the GEMM backend the server computes with
 	// (additive in v2.1; see VersionInfo.TensorBackend).
 	TensorBackend string `json:"tensor_backend,omitempty"`
+	// NodeID and RingHash identify this node and its cluster membership
+	// version when the server runs as part of a cluster (additive in
+	// v2.2; empty on single-node servers). Two nodes route consistently
+	// iff their RingHash values match.
+	NodeID   string `json:"node_id,omitempty"`
+	RingHash string `json:"ring_hash,omitempty"`
+	// Cluster routing and peer-artifact counters (additive in v2.2).
+	// RedirectsIssued counts requests refused with node_redirect;
+	// PeerFetches counts artifact fetch attempts against peers, of which
+	// PeerFetchVerified passed provenance verification and were served
+	// without recomputing and PeerFetchRejected failed verification and
+	// fell back to local compute.
+	RedirectsIssued   int64 `json:"redirects_issued,omitempty"`
+	PeerFetches       int64 `json:"peer_fetches,omitempty"`
+	PeerFetchVerified int64 `json:"peer_fetch_verified,omitempty"`
+	PeerFetchRejected int64 `json:"peer_fetch_rejected,omitempty"`
+	// ProvenanceRecords counts Merkle provenance records stored alongside
+	// spilled artifacts (additive in v2.2; 0 without a data directory).
+	ProvenanceRecords int64 `json:"provenance_records,omitempty"`
+}
+
+// NodeInfo is one cluster member as exposed by GET /v2/cluster.
+type NodeInfo struct {
+	// ID is the node's stable identifier (`xbarserve -node-id`).
+	ID string `json:"id"`
+	// URL is the base URL peers and redirected clients reach it at.
+	URL string `json:"url"`
+	// Self marks the node that served this response.
+	Self bool `json:"self,omitempty"`
+}
+
+// ClusterInfo is the GET /v2/cluster body: the static membership this
+// node routes by (additive in v2.2). Single-node servers report
+// Enabled false with no members.
+type ClusterInfo struct {
+	Enabled bool `json:"enabled"`
+	// Members is the full static membership, sorted by ID.
+	Members []NodeInfo `json:"members,omitempty"`
+	// VNodes and RingSeed are the ring parameters; with Members they
+	// fully determine placement.
+	VNodes   int   `json:"vnodes,omitempty"`
+	RingSeed int64 `json:"ring_seed,omitempty"`
+	// RingHash is the membership version (see Stats.RingHash).
+	RingHash string `json:"ring_hash,omitempty"`
 }

@@ -27,7 +27,16 @@ const (
 	// backend it expects — servers refuse (bad_request) rather than
 	// silently serve numbers from a different backend. All additive:
 	// v2.0 clients never set the option and may ignore the new fields.
-	Minor = 1
+	//
+	// Minor 2 adds the cluster + provenance surface: the node_redirect
+	// and unknown_artifact error codes with Error.RedirectTo, the
+	// GET /v2/cluster membership endpoint (ClusterInfo), the
+	// GET /v2/artifacts/{id} + /proof endpoint pair (Artifact,
+	// ArtifactProof, and the provenance-chain helpers in provenance.go),
+	// the GET /v2/metrics text endpoint, and the cluster/provenance
+	// gauges in Stats. All additive: single-node servers never emit a
+	// redirect, and v2.1 clients may ignore every new field.
+	Minor = 2
 )
 
 // VersionString renders the package's protocol version, e.g. "v2.0".

@@ -1,0 +1,56 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"xbarsec/api"
+)
+
+// Cluster fetches the server's static cluster membership. A single-node
+// server answers with Enabled false.
+func (c *Client) Cluster(ctx context.Context) (api.ClusterInfo, error) {
+	var out api.ClusterInfo
+	err := c.call(ctx, http.MethodGet, api.PathPrefix+"/cluster", nil, &out)
+	return out, err
+}
+
+// Artifact fetches one spilled artifact by content address. The server
+// only serves artifacts whose provenance chain verifies server-side;
+// use VerifiedArtifact to also check the chain locally.
+func (c *Client) Artifact(ctx context.Context, id string) (*api.Artifact, error) {
+	var out api.Artifact
+	if err := c.call(ctx, http.MethodGet, api.PathPrefix+"/artifacts/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ArtifactProof fetches one artifact's Merkle provenance chain.
+func (c *Client) ArtifactProof(ctx context.Context, id string) (*api.ArtifactProof, error) {
+	var out api.ArtifactProof
+	if err := c.call(ctx, http.MethodGet, api.PathPrefix+"/artifacts/"+id+"/proof", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// VerifiedArtifact fetches an artifact together with its provenance
+// chain and verifies the chain against the payload client-side before
+// returning either — the trust-but-verify read: the caller holds bytes
+// it has itself proven were derived from the proof's spec key and code
+// identity, not merely bytes the server vouched for.
+func (c *Client) VerifiedArtifact(ctx context.Context, id string) (*api.Artifact, *api.ArtifactProof, error) {
+	art, err := c.Artifact(ctx, id)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, err := c.ArtifactProof(ctx, id)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := proof.Verify(art.Payload); err != nil {
+		return nil, nil, err
+	}
+	return art, proof, nil
+}

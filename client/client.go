@@ -105,7 +105,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 // sense against any server version.
 func (c *Client) Version(ctx context.Context) (api.VersionInfo, error) {
 	var v api.VersionInfo
-	err := c.doRetry(ctx, http.MethodGet, api.PathPrefix+"/version", nil, &v)
+	err := c.doRetry(ctx, c.base, http.MethodGet, api.PathPrefix+"/version", nil, &v)
 	return v, err
 }
 
@@ -126,7 +126,7 @@ func (c *Client) ensureCompatible(ctx context.Context) error {
 	// like any other GET — a transport blip on the very first call must
 	// not fail what a later poll would have survived.
 	var v api.VersionInfo
-	err := c.doRetry(ctx, http.MethodGet, api.PathPrefix+"/version", nil, &v)
+	err := c.doRetry(ctx, c.base, http.MethodGet, api.PathPrefix+"/version", nil, &v)
 	if err != nil {
 		var se *statusError
 		if errors.As(err, &se) && se.status == http.StatusNotFound {
@@ -157,19 +157,62 @@ func (c *Client) ensureCompatible(ctx context.Context) error {
 
 // call is the checked request path every endpoint method uses: version
 // handshake, then one JSON round trip — retried under the client's
-// retry policy when one is configured (WithRetry).
+// retry policy when one is configured (WithRetry), with cluster
+// redirects followed transparently.
 func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	_, err := c.callBase(ctx, c.base, method, path, in, out)
+	return err
+}
+
+// maxRedirectHops bounds how many node_redirect answers one call will
+// follow. Ownership in a static ring resolves in one hop; a second
+// tolerates a membership disagreement mid-rollout; beyond that the
+// cluster is misconfigured (a redirect loop) and the typed error
+// surfaces to the caller.
+const maxRedirectHops = 3
+
+// callBase is call starting from an explicit base URL, returning the
+// base that finally answered — the handle-pinning primitive: a session
+// opened via redirect must keep talking to the node that owns it.
+func (c *Client) callBase(ctx context.Context, base, method, path string, in, out any) (string, error) {
 	if err := c.ensureCompatible(ctx); err != nil {
-		return err
+		return base, err
 	}
-	return c.doRetry(ctx, method, path, in, out)
+	var err error
+	for hop := 0; ; hop++ {
+		err = c.doRetry(ctx, base, method, path, in, out)
+		if err == nil {
+			return base, nil
+		}
+		target := redirectTarget(err)
+		if target == "" || hop >= maxRedirectHops {
+			return base, err
+		}
+		base = target
+	}
+}
+
+// redirectTarget extracts the owner base URL from a node_redirect
+// envelope, "" when err is anything else (or the target is not a
+// well-formed http(s) URL — a malformed redirect is surfaced, never
+// followed).
+func redirectTarget(err error) string {
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeNodeRedirect || ae.RedirectTo == "" {
+		return ""
+	}
+	u, perr := url.Parse(ae.RedirectTo)
+	if perr != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return ""
+	}
+	return strings.TrimRight(ae.RedirectTo, "/")
 }
 
 // do performs one JSON round trip. Non-2xx responses decode into the
 // protocol's *api.Error envelope (synthesizing one with code "internal"
 // when the body is not an envelope, e.g. a plain-text 404 from the
 // mux), so every error this package returns carries a code.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+func (c *Client) do(ctx context.Context, base, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -178,7 +221,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 	if err != nil {
 		return fmt.Errorf("client: building %s %s: %w", method, path, err)
 	}
@@ -251,7 +294,7 @@ func truncate(s string, n int) string {
 // Health probes the server's liveness endpoint.
 func (c *Client) Health(ctx context.Context) error {
 	var h api.Health
-	return c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return c.do(ctx, c.base, http.MethodGet, "/healthz", nil, &h)
 }
 
 // Victims lists the server's registered victims with serving stats.

@@ -136,11 +136,13 @@ func retryDecision(err error, method string) (retryable bool, retryAfterSeconds 
 }
 
 // doRetry is do under the client's retry policy (a plain single attempt
-// when none is configured).
-func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) error {
+// when none is configured). All attempts go to one base; a redirect is
+// not retryable here (421 with a sub-500 typed code) — the hop loop in
+// callBase handles it.
+func (c *Client) doRetry(ctx context.Context, base, method, path string, in, out any) error {
 	r := c.retry
 	if r == nil {
-		return c.do(ctx, method, path, in, out)
+		return c.do(ctx, base, method, path, in, out)
 	}
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -148,7 +150,7 @@ func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) 
 		if r.p.PerTryTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, r.p.PerTryTimeout)
 		}
-		err = c.do(actx, method, path, in, out)
+		err = c.do(actx, base, method, path, in, out)
 		if cancel != nil {
 			cancel()
 		}

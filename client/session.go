@@ -8,28 +8,36 @@ import (
 )
 
 // Session is a client-side handle on one attacker session. Methods are
-// safe for concurrent use (the handle holds only the immutable id plus
-// the open-time snapshot); per-call accounting comes back on each
-// response.
+// safe for concurrent use (the handle holds only the immutable id, the
+// node base URL that owns the session, and the open-time snapshot);
+// per-call accounting comes back on each response.
 type Session struct {
 	c    *Client
+	base string // the node that opened (and therefore hosts) the session
 	info api.Session
 }
 
 // OpenSession opens an attacker session against a registered victim.
+// Against a cluster, the open follows the victim's ownership redirect
+// and the returned handle stays pinned to the owning node — session
+// state (budget, noise stream) is node-local, so its queries must not
+// wander.
 func (c *Client) OpenSession(ctx context.Context, req api.OpenSessionRequest) (*Session, error) {
 	var info api.Session
-	if err := c.call(ctx, http.MethodPost, api.PathPrefix+"/sessions", req, &info); err != nil {
+	base, err := c.callBase(ctx, c.base, http.MethodPost, api.PathPrefix+"/sessions", req, &info)
+	if err != nil {
 		return nil, err
 	}
-	return &Session{c: c, info: info}, nil
+	return &Session{c: c, base: base, info: info}, nil
 }
 
 // SessionByID wraps an existing session id (e.g. one persisted across
 // process restarts) without a server round trip; the Info snapshot is
-// then zero until Refresh.
+// then zero until Refresh. The handle starts at the client's own base —
+// callers resuming a session on another cluster node construct their
+// client against that node.
 func (c *Client) SessionByID(id string) *Session {
-	return &Session{c: c, info: api.Session{ID: id}}
+	return &Session{c: c, base: c.base, info: api.Session{ID: id}}
 }
 
 // ID returns the session identifier — the only credential needed to
@@ -44,7 +52,7 @@ func (s *Session) Info() api.Session { return s.info }
 // Refresh fetches the session's current accounting.
 func (s *Session) Refresh(ctx context.Context) (api.Session, error) {
 	var info api.Session
-	if err := s.c.call(ctx, http.MethodGet, api.PathPrefix+"/sessions/"+s.info.ID, nil, &info); err != nil {
+	if _, err := s.c.callBase(ctx, s.base, http.MethodGet, api.PathPrefix+"/sessions/"+s.info.ID, nil, &info); err != nil {
 		return api.Session{}, err
 	}
 	return info, nil
@@ -54,7 +62,7 @@ func (s *Session) Refresh(ctx context.Context) (api.Session, error) {
 // iff a response is delivered.
 func (s *Session) Query(ctx context.Context, input []float64) (api.QueryResponse, error) {
 	var out api.QueryResponse
-	err := s.c.call(ctx, http.MethodPost, api.PathPrefix+"/sessions/"+s.info.ID+"/query", api.QueryRequest{Input: input}, &out)
+	_, err := s.c.callBase(ctx, s.base, http.MethodPost, api.PathPrefix+"/sessions/"+s.info.ID+"/query", api.QueryRequest{Input: input}, &out)
 	return out, err
 }
 
@@ -68,12 +76,13 @@ func (s *Session) Query(ctx context.Context, input []float64) (api.QueryResponse
 // latency.
 func (s *Session) QueryBatch(ctx context.Context, inputs [][]float64) (api.QueryBatchResponse, error) {
 	var out api.QueryBatchResponse
-	err := s.c.call(ctx, http.MethodPost, api.PathPrefix+"/sessions/"+s.info.ID+"/queries", api.QueryBatchRequest{Inputs: inputs}, &out)
+	_, err := s.c.callBase(ctx, s.base, http.MethodPost, api.PathPrefix+"/sessions/"+s.info.ID+"/queries", api.QueryBatchRequest{Inputs: inputs}, &out)
 	return out, err
 }
 
 // Close closes the session; its remaining budget is forfeited.
 func (s *Session) Close(ctx context.Context) error {
 	var out api.SessionClosed
-	return s.c.call(ctx, http.MethodDelete, api.PathPrefix+"/sessions/"+s.info.ID, nil, &out)
+	_, err := s.c.callBase(ctx, s.base, http.MethodDelete, api.PathPrefix+"/sessions/"+s.info.ID, nil, &out)
+	return err
 }

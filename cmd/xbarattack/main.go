@@ -24,6 +24,8 @@
 //	ablations          all six ablations/extensions, in order
 //	campaign           query-budget x lambda campaign sweep through the
 //	                   attack-campaign service layer (internal/service)
+//	cluster            print a server's cluster membership and routing
+//	                   counters (remote only: requires -server)
 //	list               registered experiments with their grid axes
 //	all                every paper artifact, in paper order ("all"
 //	                   excludes campaign, which is a service-layer demo
@@ -143,6 +145,8 @@ func run(args []string) error {
 		return runNames(experiment.AblationNames())
 	case "campaign":
 		return runCampaign(opts, *outDir, nil)
+	case "cluster":
+		return fmt.Errorf("the cluster command is remote-only: pass -server")
 	case "list":
 		return runList(opts)
 	}
@@ -170,6 +174,8 @@ func runRemote(server, cmd string, opts experiment.Options, format, outDir strin
 		return runNamesRemote(ctx, c, experiment.AblationNames(), opts, format, outDir)
 	case "campaign":
 		return runCampaign(opts, outDir, c)
+	case "cluster":
+		return runClusterRemote(ctx, c)
 	case "list":
 		return runListRemote(ctx, c)
 	}
@@ -240,6 +246,35 @@ func runListRemote(ctx context.Context, c *client.Client) error {
 		tbl.AddRow(info.Name, info.Title, strings.Join(dims, " x "))
 	}
 	fmt.Println(tbl.String())
+	return nil
+}
+
+// runClusterRemote prints a server's cluster membership plus the
+// routing/provenance counters from its stats snapshot — the operator's
+// one-look answer to "which node owns what, and is peer fetch working".
+func runClusterRemote(ctx context.Context, c *client.Client) error {
+	info, err := c.Cluster(ctx)
+	if err != nil {
+		return err
+	}
+	if !info.Enabled {
+		fmt.Println("single-node server (no cluster configured)")
+		return nil
+	}
+	tbl := &report.Table{
+		Title:  fmt.Sprintf("Cluster ring %.12s (%d vnodes, seed %d)", info.RingHash, info.VNodes, info.RingSeed),
+		Header: []string{"node", "url", "self"},
+	}
+	for _, m := range info.Members {
+		tbl.AddRow(m.ID, m.URL, fmt.Sprint(m.Self))
+	}
+	fmt.Println(tbl.String())
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node %s: %d redirects issued, %d peer fetches (%d verified, %d rejected), %d provenance records\n",
+		st.NodeID, st.RedirectsIssued, st.PeerFetches, st.PeerFetchVerified, st.PeerFetchRejected, st.ProvenanceRecords)
 	return nil
 }
 

@@ -51,6 +51,19 @@
 //	                             (0 = 256)
 //	-victim-cache-mb   int       byte budget of the experiment victim
 //	                             store in MiB (0 = 1024)
+//	-node-id     string  this node's id within -peers; setting both makes
+//	                     the server one node of a static cluster
+//	-peers       string  full cluster membership as "id=url,..." —
+//	                     including this node — identical on every node.
+//	                     Each key's requests are served by its
+//	                     consistent-hash owner; other nodes answer with a
+//	                     node_redirect (HTTP 421) the SDK follows, and
+//	                     owners fetch-and-verify artifacts their peers
+//	                     already computed instead of recomputing. All
+//	                     nodes must share -seed (victims must be
+//	                     bit-identical) and should share -fast
+//	-ring-vnodes int     virtual nodes per member on the placement ring
+//	                     (0 = 64); must match across the cluster
 //	-smoke                       after boot, drive the server through the
 //	                             client SDK (version handshake, session,
 //	                             batched queries, stats), print the
@@ -98,6 +111,7 @@ import (
 
 	"xbarsec/api"
 	"xbarsec/client"
+	"xbarsec/internal/cluster"
 	"xbarsec/internal/dataset"
 	"xbarsec/internal/experiment"
 	"xbarsec/internal/service"
@@ -132,6 +146,9 @@ func run(args []string) error {
 	victimMB := fs.Int("victim-cache-mb", 0, "experiment victim-store byte budget in MiB (0 = 1024)")
 	smoke := fs.Bool("smoke", false, "boot, self-check through the client SDK, and exit")
 	fast := fs.Bool("fast", false, "serve with the fast tensor backend (tolerance-equal to the bit-exact default; see internal/tensor)")
+	nodeID := fs.String("node-id", "", "this node's id within -peers (cluster mode)")
+	peers := fs.String("peers", "", `full cluster membership as "id=url,..." including this node`)
+	ringVNodes := fs.Int("ring-vnodes", 0, "virtual nodes per member on the placement ring (0 = 64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -157,6 +174,28 @@ func run(args []string) error {
 		StateDir:               *stateDir,
 		JournalFsync:           *journalFsync,
 		MaxJournalBytes:        int64(*journalMB) << 20,
+	}
+	if (*nodeID == "") != (*peers == "") {
+		return errors.New("cluster mode needs both -node-id and -peers")
+	}
+	if *peers != "" {
+		members, err := cluster.ParseMembers(*peers)
+		if err != nil {
+			return err
+		}
+		// The ring seed is the service seed: peers must already share it
+		// (victims are derived from it), so it doubles as the placement
+		// seed without another flag to keep in sync.
+		ring, err := cluster.New(members, *ringVNodes, *seed)
+		if err != nil {
+			return err
+		}
+		if _, ok := ring.Lookup(*nodeID); !ok {
+			return fmt.Errorf("-node-id %q is not in -peers", *nodeID)
+		}
+		cfg.Cluster = &service.ClusterConfig{NodeID: *nodeID, Ring: ring}
+		fmt.Fprintf(os.Stderr, "xbarserve: cluster node %q of %d (ring %.12s, %d vnodes)\n",
+			*nodeID, ring.Len(), ring.Hash(), ring.VNodes())
 	}
 	var svc *service.Service
 	if *stateDir != "" {

@@ -107,8 +107,45 @@ func OpenSpill(fsys wal.FS, dir string) (*SpillStore, error) {
 
 // path maps a cache key to its content-addressed file.
 func (s *SpillStore) path(key string) string {
+	return filepath.Join(s.dir, Addr(key))
+}
+
+// Addr returns the content address a key spills under: hex(sha256 of
+// the raw key), the file's basename. It is the artifact id of the
+// GET /v2/artifacts/{id} endpoints (api.ArtifactID computes the same
+// address from the wire side).
+func Addr(key string) string {
 	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(s.dir, hex.EncodeToString(sum[:]))
+	return hex.EncodeToString(sum[:])
+}
+
+// ValidAddr reports whether s is a well-formed content address: exactly
+// the 64 lowercase hex characters Addr produces. Callers serving
+// artifacts by client-supplied address must check it first — anything
+// else (path separators, "..", uppercase aliases) is rejected rather
+// than mapped to a file.
+func ValidAddr(s string) bool {
+	if len(s) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// GetAddr reloads one artifact by content address instead of by key,
+// with the same verification and quarantine behavior as Get. It backs
+// the artifact-serving endpoints, where the requester knows only the
+// address. An invalid address is an error, never a path lookup.
+func (s *SpillStore) GetAddr(addr string) ([]byte, bool, error) {
+	if !ValidAddr(addr) {
+		return nil, false, fmt.Errorf("memo: invalid artifact address %q", addr)
+	}
+	return s.getPath(filepath.Join(s.dir, addr))
 }
 
 // Put spills one artifact, atomically. A key already on disk is left
@@ -160,7 +197,12 @@ func (s *SpillStore) Put(key string, payload []byte) error {
 // for inspection) and reported as a miss: the store never serves bytes
 // it cannot prove are the artifact that was written.
 func (s *SpillStore) Get(key string) ([]byte, bool, error) {
-	path := s.path(key)
+	return s.getPath(s.path(key))
+}
+
+// getPath is the shared read/verify/quarantine path behind Get and
+// GetAddr.
+func (s *SpillStore) getPath(path string) ([]byte, bool, error) {
 	f, err := s.fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {

@@ -1,0 +1,181 @@
+// Package provenance stores and checks the Merkle provenance chains
+// that accompany spilled artifacts.
+//
+// The chain itself — spec hash → code hash → result hash → root — is
+// defined in the wire package (api/provenance.go) so third-party
+// clients can verify with the standard library alone; this package
+// adds what only the server needs: a durable record store alongside
+// the spill directory, and the Verify entry point a node uses before
+// accepting a peer's artifact in place of recomputing.
+//
+// Records are one JSON file per artifact, named <content-address>.json
+// under their own directory, written tmp+rename atomic through the
+// same wal.FS abstraction as the journal and spill store — so the
+// fault-injection harness crashes them the same way, and a record can
+// never exist half-written at its live name.
+package provenance
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"xbarsec/api"
+	"xbarsec/internal/memo"
+	"xbarsec/internal/wal"
+)
+
+// Record is one artifact's stored provenance chain — exactly the wire
+// proof, persisted next to the artifact it describes.
+type Record = api.ArtifactProof
+
+// New derives the full chain for an artifact about to be spilled.
+func New(specKey, code string, payload []byte) Record {
+	return api.BuildProof(specKey, code, payload)
+}
+
+// Verify checks a record against the spec key and code identity the
+// verifier would itself have used, and the payload it was handed. It
+// accepts iff the chain is internally consistent (every link
+// re-derives, the payload hashes to the result link) AND the leaf
+// preimages are the expected ones — a proof that is valid for some
+// other spec or some other build of the code is rejected, which is
+// what makes peer fetch safe: a node only serves bytes it can prove
+// are what it would have computed.
+func Verify(rec Record, specKey, code string, payload []byte) error {
+	if rec.SpecKey != specKey {
+		return fmt.Errorf("provenance: record is for spec key %q, want %q", rec.SpecKey, specKey)
+	}
+	if rec.Code != code {
+		return fmt.Errorf("provenance: record computed by %q, want %q", rec.Code, code)
+	}
+	return rec.Verify(payload)
+}
+
+const (
+	recSuffix = ".json"
+	tmpSuffix = ".tmp"
+)
+
+// Store persists records under one directory, one JSON file per
+// artifact named by content address. Safe for concurrent use.
+type Store struct {
+	fsys wal.FS
+	dir  string
+
+	putMu   sync.Mutex
+	records atomic.Int64
+}
+
+// OpenStore opens (creating if needed) a record store rooted at dir,
+// seeding the record counter with what earlier runs left behind and
+// sweeping temporaries from crashed writes.
+func OpenStore(fsys wal.FS, dir string) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("provenance: creating record dir %s: %w", dir, err)
+	}
+	st := &Store{fsys: fsys, dir: dir}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("provenance: scanning record dir %s: %w", dir, err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, tmpSuffix) {
+			_ = fsys.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if strings.HasSuffix(name, recSuffix) {
+			st.records.Add(1)
+		}
+	}
+	return st, nil
+}
+
+// Put persists one record, atomically, keyed by its content address.
+// An address already on disk is left alone: records are pure functions
+// of (spec key, code, payload), so the bytes would be identical.
+func (st *Store) Put(rec Record) error {
+	if !memo.ValidAddr(rec.ID) {
+		return fmt.Errorf("provenance: record id %q is not a content address", rec.ID)
+	}
+	st.putMu.Lock()
+	defer st.putMu.Unlock()
+	path := filepath.Join(st.dir, rec.ID+recSuffix)
+	if _, err := st.fsys.Stat(path); err == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("provenance: encoding record: %w", err)
+	}
+	tmp := path + tmpSuffix
+	f, err := st.fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("provenance: record create: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		_ = st.fsys.Remove(tmp)
+		return fmt.Errorf("provenance: record write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = st.fsys.Remove(tmp)
+		return fmt.Errorf("provenance: record sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = st.fsys.Remove(tmp)
+		return fmt.Errorf("provenance: record close: %w", err)
+	}
+	if err := st.fsys.Rename(tmp, path); err != nil {
+		_ = st.fsys.Remove(tmp)
+		return fmt.Errorf("provenance: record rename: %w", err)
+	}
+	st.records.Add(1)
+	return nil
+}
+
+// Get loads the record at a content address. A missing or invalid
+// address is (Record{}, false, nil); a record that fails to decode or
+// whose stored id disagrees with its filename is removed and reported
+// missing — the store never returns a record it cannot trust, the
+// chain gets re-derived at the next spill instead.
+func (st *Store) Get(addr string) (Record, bool, error) {
+	if !memo.ValidAddr(addr) {
+		return Record{}, false, nil
+	}
+	path := filepath.Join(st.dir, addr+recSuffix)
+	f, err := st.fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return Record{}, false, nil
+		}
+		return Record{}, false, fmt.Errorf("provenance: record open: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return Record{}, false, fmt.Errorf("provenance: record read: %w", err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil || rec.ID != addr {
+		st.records.Add(-1)
+		_ = st.fsys.Remove(path)
+		return Record{}, false, nil
+	}
+	return rec, true, nil
+}
+
+// Count returns the number of live records.
+func (st *Store) Count() int64 { return st.records.Load() }

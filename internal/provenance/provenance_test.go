@@ -1,0 +1,164 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+
+	"xbarsec/api"
+	"xbarsec/internal/faultinject"
+	"xbarsec/internal/wal"
+)
+
+const (
+	testKey  = "experiment|fig4|7|0.01|1|tb:fast"
+	testCode = "registry:deadbeef|tensor:fast"
+)
+
+var testPayload = []byte(`{"name":"fig4","seed":7,"render":"ok"}`)
+
+// The chain accepts exactly what was built and nothing else.
+func TestVerifyAcceptsOwnChain(t *testing.T) {
+	rec := New(testKey, testCode, testPayload)
+	if err := Verify(rec, testKey, testCode, testPayload); err != nil {
+		t.Fatalf("fresh chain rejected: %v", err)
+	}
+	if rec.ID != api.ArtifactID(testKey) || len(rec.Root) != 64 {
+		t.Fatalf("chain shape = %+v", rec)
+	}
+	// The four hashes are pairwise distinct — domain separation works.
+	seen := map[string]bool{rec.SpecHash: true}
+	for _, h := range []string{rec.CodeHash, rec.ResultHash, rec.Root} {
+		if seen[h] {
+			t.Fatalf("hash collision across chain links: %+v", rec)
+		}
+		seen[h] = true
+	}
+}
+
+// A tampered payload fails at the result link.
+func TestVerifyRejectsTamperedPayload(t *testing.T) {
+	rec := New(testKey, testCode, testPayload)
+	bad := append([]byte(nil), testPayload...)
+	bad[len(bad)-2] ^= 0x01
+	err := Verify(rec, testKey, testCode, bad)
+	if err == nil {
+		t.Fatal("tampered payload accepted")
+	}
+	if !strings.Contains(err.Error(), "result hash") {
+		t.Fatalf("tampered payload failed at the wrong link: %v", err)
+	}
+}
+
+// A proof transplanted onto a different spec fails — both when the
+// verifier expects a different key and when the chain's own spec link
+// was forged.
+func TestVerifyRejectsWrongSpecHash(t *testing.T) {
+	rec := New(testKey, testCode, testPayload)
+	if err := Verify(rec, "experiment|fig5|7|0.01|1", testCode, testPayload); err == nil {
+		t.Fatal("proof for another spec key accepted")
+	}
+	forged := rec
+	forged.SpecHash = strings.Repeat("ab", 32)
+	err := Verify(forged, testKey, testCode, testPayload)
+	if err == nil {
+		t.Fatal("forged spec hash accepted")
+	}
+	if !strings.Contains(err.Error(), "spec hash") {
+		t.Fatalf("forged spec hash failed at the wrong link: %v", err)
+	}
+	// Forging the preimage instead of the hash trips the id/address check.
+	forged = rec
+	forged.SpecKey = "experiment|fig5|7|0.01|1"
+	if err := Verify(forged, "experiment|fig5|7|0.01|1", testCode, testPayload); err == nil {
+		t.Fatal("re-keyed proof accepted under its forged key")
+	}
+}
+
+// A result computed by different code — other registry digest, other
+// tensor backend — fails at the code link.
+func TestVerifyRejectsWrongCodeHash(t *testing.T) {
+	rec := New(testKey, testCode, testPayload)
+	if err := Verify(rec, testKey, "registry:deadbeef|tensor:reference", testPayload); err == nil {
+		t.Fatal("proof from another code identity accepted")
+	}
+	forged := rec
+	forged.CodeHash = strings.Repeat("cd", 32)
+	err := Verify(forged, testKey, testCode, testPayload)
+	if err == nil {
+		t.Fatal("forged code hash accepted")
+	}
+	if !strings.Contains(err.Error(), "code hash") {
+		t.Fatalf("forged code hash failed at the wrong link: %v", err)
+	}
+}
+
+// Forging the root itself is caught by the final binding check.
+func TestVerifyRejectsForgedRoot(t *testing.T) {
+	rec := New(testKey, testCode, testPayload)
+	rec.Root = strings.Repeat("00", 32)
+	err := Verify(rec, testKey, testCode, testPayload)
+	if err == nil {
+		t.Fatal("forged root accepted")
+	}
+	if !strings.Contains(err.Error(), "root") {
+		t.Fatalf("forged root failed at the wrong link: %v", err)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(wal.OSFS{}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := New(testKey, testCode, testPayload)
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate puts are no-ops.
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count() != 1 {
+		t.Fatalf("count = %d, want 1", st.Count())
+	}
+	got, ok, err := st.Get(rec.ID)
+	if err != nil || !ok || got != rec {
+		t.Fatalf("Get = %+v, %v, %v", got, ok, err)
+	}
+	if _, ok, err := st.Get(api.ArtifactID("other")); ok || err != nil {
+		t.Fatalf("absent record = %v, %v", ok, err)
+	}
+	// Invalid addresses are a miss, never a path lookup.
+	for _, addr := range []string{"", "..", "../../etc/passwd", strings.Repeat("Z", 64)} {
+		if _, ok, err := st.Get(addr); ok || err != nil {
+			t.Fatalf("Get(%q) = %v, %v", addr, ok, err)
+		}
+	}
+	if err := st.Put(Record{ID: "../evil"}); err == nil {
+		t.Fatal("Put accepted a non-address id")
+	}
+}
+
+// Restart inventory: a second open counts the records the first wrote
+// and sweeps crashed temporaries.
+func TestStoreRestartInventory(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faultinject.NewFS(wal.OSFS{}, faultinject.FSConfig{Seed: 1})
+	st1, err := OpenStore(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Put(New(testKey, testCode, testPayload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Put(New("other-key", testCode, testPayload)); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(wal.OSFS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Count() != 2 {
+		t.Fatalf("restart inventory = %d, want 2", st2.Count())
+	}
+}

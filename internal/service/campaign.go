@@ -69,8 +69,20 @@ type CampaignResult = api.CampaignResult
 // RunCampaign executes (or serves from cache) one campaign job. Jobs are
 // admitted through the service gate, so at most Config.MaxConcurrentJobs
 // run at once; within a job the per-sample attack evaluation fans out
-// across Config.Workers via the deterministic pool.
+// across Config.Workers via the deterministic pool. In a cluster the
+// victim's ring owner serves all of its campaigns; other nodes redirect.
 func (s *Service) RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
+	if err := s.routeVictim(spec.Victim); err != nil {
+		return nil, err
+	}
+	return s.runCampaignJob(spec)
+}
+
+// runCampaignJob is RunCampaign minus ring admission — the journal
+// replay path (drainPendingSync) takes it, because a journaled job is
+// this node's to finish regardless of membership changes across the
+// restart.
+func (s *Service) runCampaignJob(spec CampaignSpec) (*CampaignResult, error) {
 	if s.isClosed() {
 		return nil, ErrServiceClosed
 	}
@@ -267,8 +279,17 @@ type probeMeter struct{ c coalescedHW }
 func (m probeMeter) Power(u []float64) (float64, error) { return m.c.Power(u) }
 func (m probeMeter) Inputs() int                        { return m.c.Inputs() }
 
-// RunExtract executes (or serves from cache) one extraction job.
+// RunExtract executes (or serves from cache) one extraction job. In a
+// cluster the victim's ring owner serves it; other nodes redirect.
 func (s *Service) RunExtract(spec ExtractSpec) (*ExtractResult, error) {
+	if err := s.routeVictim(spec.Victim); err != nil {
+		return nil, err
+	}
+	return s.runExtractJob(spec)
+}
+
+// runExtractJob is RunExtract minus ring admission (see runCampaignJob).
+func (s *Service) runExtractJob(spec ExtractSpec) (*ExtractResult, error) {
 	if s.isClosed() {
 		return nil, ErrServiceClosed
 	}

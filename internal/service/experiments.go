@@ -252,7 +252,8 @@ type ExperimentResult = api.ExperimentResult
 
 // RunExperiment executes (or serves from cache) one experiment job
 // synchronously. Jobs are admitted through the service gate, so at most
-// Config.MaxConcurrentJobs run at once.
+// Config.MaxConcurrentJobs run at once. In a cluster, the spec's ring
+// owner computes (and serves) it; other nodes answer with a redirect.
 func (s *Service) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) {
 	if s.isClosed() {
 		return nil, ErrServiceClosed
@@ -262,6 +263,33 @@ func (s *Service) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) 
 	if err != nil {
 		return nil, err
 	}
+	// Ring admission after validation: a malformed spec is a 400 on
+	// every node, never a redirect to the owner's 400.
+	if err := s.routeKey(specKey(spec)); err != nil {
+		return nil, err
+	}
+	return s.runExperimentLocal(spec, exp)
+}
+
+// runExperimentReplay is RunExperiment minus ring admission — the path
+// journal replay (runJob at recovery) takes, because a journaled job is
+// this node's to finish regardless of how the membership looked when it
+// was accepted.
+func (s *Service) runExperimentReplay(spec ExperimentSpec) (*ExperimentResult, error) {
+	if s.isClosed() {
+		return nil, ErrServiceClosed
+	}
+	spec = specDefaults(spec)
+	exp, err := validateSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.runExperimentLocal(spec, exp)
+}
+
+// runExperimentLocal computes (or serves) a validated spec on this
+// node, unconditionally.
+func (s *Service) runExperimentLocal(spec ExperimentSpec, exp engine.Experiment) (*ExperimentResult, error) {
 	run := runnerFor(exp, spec)
 	key := specKey(spec)
 	// fromSpill is only written by the one computing flight (cache.Do is
@@ -271,6 +299,13 @@ func (s *Service) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) 
 		// Read-through: a previous process may have finished this exact
 		// spec — serve its verified artifact instead of recomputing.
 		if res := spillLoad[ExperimentResult](s, key); res != nil {
+			fromSpill = true
+			return res, nil
+		}
+		// A peer may already hold this artifact (it owned the key before a
+		// membership change, or served it pre-cluster): fetch-and-verify
+		// beats recomputing, and a failed fetch just falls through.
+		if res := s.peerFetchExperiment(key); res != nil {
 			fromSpill = true
 			return res, nil
 		}
@@ -377,6 +412,9 @@ func (s *Service) LaunchExperiment(spec ExperimentSpec) (*ExperimentJob, error) 
 	if _, err := validateSpec(spec); err != nil {
 		return nil, err
 	}
+	if err := s.routeKey(specKey(spec)); err != nil {
+		return nil, err
+	}
 	job := &ExperimentJob{spec: spec, done: make(chan struct{})}
 	// add assigns job.id under the table lock before publishing the job;
 	// concurrent pollers may read ID() the moment add returns.
@@ -408,7 +446,7 @@ func (s *Service) runJob(job *ExperimentJob) {
 					err = fmt.Errorf("service: job runner panicked: %v", r)
 				}
 			}()
-			res, err = s.RunExperiment(job.spec)
+			res, err = s.runExperimentReplay(job.spec)
 		}()
 		job.mu.Lock()
 		job.result, job.err = res, err
@@ -421,10 +459,15 @@ func (s *Service) runJob(job *ExperimentJob) {
 	}()
 }
 
-// ExperimentJobByID returns a tracked job.
+// ExperimentJobByID returns a tracked job. In a cluster, an id minted
+// by another node (its "@node" suffix names a ring member) redirects
+// the poll there instead of 404ing.
 func (s *Service) ExperimentJobByID(id string) (*ExperimentJob, error) {
 	j, ok := s.jobs.get(id)
 	if !ok {
+		if err := s.jobRedirect(id); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("service: job %q: %w", id, ErrJobUnknown)
 	}
 	return j, nil
@@ -443,6 +486,10 @@ type jobTable struct {
 	jobs  map[string]*ExperimentJob
 	order []string
 	bound int
+	// suffix ("@<node-id>" in a cluster, "" otherwise) marks every
+	// minted id with the node that owns the job, so any node can route a
+	// poll for an id it does not track.
+	suffix string
 }
 
 // ErrJobLimit indicates the experiment-job table is full of running
@@ -488,7 +535,7 @@ func (t *jobTable) add(j *ExperimentJob) error {
 		}
 	}
 	t.seq++
-	j.id = fmt.Sprintf("job-%d", t.seq)
+	j.id = fmt.Sprintf("job-%d%s", t.seq, t.suffix)
 	t.jobs[j.id] = j
 	t.order = append(t.order, j.id)
 	return nil

@@ -39,6 +39,10 @@ import (
 //	                                   ?wait=1 blocks for the result)
 //	GET    /v2/experiments/jobs/{id}   poll an experiment job
 //	GET    /v2/stats                   service snapshot (?format=csv for CSV)
+//	GET    /v2/cluster                 static cluster membership + ring hash
+//	GET    /v2/artifacts/{id}          spilled artifact by content address
+//	GET    /v2/artifacts/{id}/proof    its Merkle provenance chain
+//	GET    /v2/metrics                 Prometheus text exposition
 //
 // Every handler is safe for concurrent use — the service layer does the
 // synchronization, the handlers only translate between api types and
@@ -62,6 +66,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST "+p+"/experiments", s.handleExperimentLaunch)
 	mux.HandleFunc("GET "+p+"/experiments/jobs/{id}", s.handleExperimentJob)
 	mux.HandleFunc("GET "+p+"/stats", s.handleStats)
+	mux.HandleFunc("GET "+p+"/cluster", s.handleCluster)
+	mux.HandleFunc("GET "+p+"/artifacts/{id}", s.handleArtifact)
+	mux.HandleFunc("GET "+p+"/artifacts/{id}/proof", s.handleArtifactProof)
+	mux.HandleFunc("GET "+p+"/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -84,6 +92,8 @@ func errorCode(err error) api.ErrorCode {
 		return api.CodeUnknownExperiment
 	case errors.Is(err, ErrJobUnknown):
 		return api.CodeUnknownJob
+	case errors.Is(err, ErrArtifactUnknown):
+		return api.CodeUnknownArtifact
 	case errors.Is(err, oracle.ErrBudgetExhausted):
 		return api.CodeBudgetExhausted
 	case errors.Is(err, ErrSessionLimit):
@@ -119,6 +129,17 @@ func apiError(err error) *api.Error {
 			Code:    api.CodeInternal,
 			Message: "experiment job panicked",
 			Detail:  fmt.Sprint(pe.Value),
+		}
+	}
+	var re *RedirectError
+	if errors.As(err, &re) {
+		// A ring miss: the envelope names the owner so the SDK (or any
+		// client) can re-issue the request there instead of retrying here.
+		return &api.Error{
+			Code:       api.CodeNodeRedirect,
+			Message:    fmt.Sprintf("key owned by node %s", re.NodeID),
+			Detail:     re.Key,
+			RedirectTo: re.URL,
 		}
 	}
 	out := &api.Error{Code: errorCode(err), Message: err.Error()}

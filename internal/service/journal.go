@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"xbarsec/internal/memo"
+	"xbarsec/internal/provenance"
 	"xbarsec/internal/wal"
 )
 
@@ -151,6 +152,12 @@ func Open(cfg Config) (*Service, *Recovery, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Provenance records live next to the artifacts they describe; the
+	// same durable-mode switch governs both.
+	prov, err := provenance.OpenStore(fsys, filepath.Join(cfg.StateDir, "prov"))
+	if err != nil {
+		return nil, nil, err
+	}
 
 	// Replay the previous generation. Completion marks fold into their
 	// launch records; unparseable payloads (a future schema) are skipped,
@@ -217,6 +224,7 @@ func Open(cfg Config) (*Service, *Recovery, error) {
 	s := New(cfg)
 	s.fsys = fsys
 	s.spill = spill
+	s.prov = prov
 	// Evicted artifacts leave memory but stay servable from disk; write-
 	// through at compute time already persisted most, so this mainly
 	// catches artifacts computed before the spill dir had space.
@@ -389,7 +397,15 @@ func (s *Service) spillArtifact(key string, val any) {
 	if err != nil {
 		return
 	}
-	_ = s.spill.Put(key, payload)
+	if s.spill.Put(key, payload) != nil {
+		return
+	}
+	if s.prov != nil {
+		// The record is a pure function of (key, code identity, payload):
+		// losing it (full disk, crash) only disables serving this artifact
+		// to peers until the next spill re-derives it, never correctness.
+		_ = s.prov.Put(provenance.New(key, codeIdentity(), payload))
+	}
 }
 
 // spillLoad reloads a typed artifact from the spill store; nil on any

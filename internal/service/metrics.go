@@ -1,0 +1,77 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"xbarsec/internal/experiment"
+)
+
+// handleMetrics serves GET /v2/metrics: the service counters in the
+// Prometheus text exposition format, for scraping a deployment that
+// GET /v2/stats (JSON, human-shaped) does not fit. The metric set and
+// its order are fixed — two scrapes of an idle server are byte-equal —
+// and every value is a plain float gauge or monotone counter; no
+// labels, no timestamps.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	vs := experiment.StoreStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := metricsWriter{w: w}
+
+	// Artifact cache: the in-memory singleflight tier.
+	m.counter("xbarsec_artifact_cache_hits_total", "Artifact cache hits.", float64(st.CacheHits))
+	m.counter("xbarsec_artifact_cache_misses_total", "Artifact cache misses (computations).", float64(st.CacheMisses))
+	m.gauge("xbarsec_artifact_cache_hit_ratio", "Hits over lookups, 0 before the first lookup.", hitRatio(st.CacheHits, st.CacheMisses))
+	m.gauge("xbarsec_artifact_cache_entries", "Artifacts resident in memory.", float64(st.CachedArtifacts))
+	m.gauge("xbarsec_artifact_cache_bytes", "Approximate resident bytes of cached artifacts.", float64(st.CachedArtifactBytes))
+
+	// Victim store: process-wide trained-victim memoization.
+	m.counter("xbarsec_victim_store_hits_total", "Victim store hits (trainings avoided).", float64(vs.Hits))
+	m.counter("xbarsec_victim_store_misses_total", "Victim store misses.", float64(vs.Misses))
+	m.gauge("xbarsec_victim_store_hit_ratio", "Hits over lookups, 0 before the first lookup.", hitRatio(vs.Hits, vs.Misses))
+	m.counter("xbarsec_victim_store_trainings_total", "Victim trainings performed.", float64(vs.Trainings))
+	m.gauge("xbarsec_victim_store_victims", "Trained victims resident in memory.", float64(vs.Cached))
+	m.gauge("xbarsec_victim_store_bytes", "Approximate resident bytes of stored victims.", float64(vs.Bytes))
+
+	// Spill store: the on-disk artifact tier (zero when memory-only).
+	m.gauge("xbarsec_spill_artifacts", "Artifacts on disk.", float64(st.SpilledArtifacts))
+	m.gauge("xbarsec_spill_bytes", "Payload bytes on disk.", float64(st.SpilledArtifactBytes))
+	m.counter("xbarsec_spill_hits_total", "Artifacts served from disk.", float64(st.SpillHits))
+	m.gauge("xbarsec_provenance_records", "Provenance records on disk.", float64(st.ProvenanceRecords))
+
+	// Serving.
+	m.gauge("xbarsec_sessions", "Open attacker sessions.", float64(st.Sessions))
+	m.counter("xbarsec_batched_queries_total", "Oracle queries served through coalescers.", float64(st.BatchedQueries))
+	m.counter("xbarsec_batch_flushes_total", "Coalescer batch flushes.", float64(st.BatchFlushes))
+	m.counter("xbarsec_campaigns_total", "Campaign jobs served.", float64(st.Campaigns))
+	m.counter("xbarsec_failed_jobs_total", "Experiment jobs that failed.", float64(st.FailedJobs))
+
+	// Cluster (zero on a single-node server).
+	m.counter("xbarsec_cluster_redirects_total", "Requests redirected to their owning node.", float64(st.RedirectsIssued))
+	m.counter("xbarsec_cluster_peer_fetches_total", "Artifact fetch attempts against peers.", float64(st.PeerFetches))
+	m.counter("xbarsec_cluster_peer_fetch_verified_total", "Peer artifacts accepted after provenance verification.", float64(st.PeerFetchVerified))
+	m.counter("xbarsec_cluster_peer_fetch_rejected_total", "Peer artifacts rejected by provenance verification.", float64(st.PeerFetchRejected))
+}
+
+// metricsWriter emits one metric family at a time. Write errors are
+// ignored — the scraper hung up, nothing to recover.
+type metricsWriter struct{ w io.Writer }
+
+func (m metricsWriter) counter(name, help string, v float64) { m.emit(name, "counter", help, v) }
+func (m metricsWriter) gauge(name, help string, v float64)   { m.emit(name, "gauge", help, v) }
+
+func (m metricsWriter) emit(name, typ, help string, v float64) {
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, typ, name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// hitRatio is hits/(hits+misses), 0 before the first lookup.
+func hitRatio(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

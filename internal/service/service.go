@@ -27,6 +27,7 @@ import (
 	"xbarsec/api"
 	"xbarsec/internal/memo"
 	"xbarsec/internal/pool"
+	"xbarsec/internal/provenance"
 	"xbarsec/internal/rng"
 	"xbarsec/internal/tensor"
 	"xbarsec/internal/wal"
@@ -90,6 +91,12 @@ type Config struct {
 	// (nil = the real one). The fault-injection harness uses it to
 	// drive recovery paths with deterministic torn writes and crashes.
 	FS wal.FS
+	// Cluster, when set, makes this service one node of a static
+	// multi-node deployment: requests for keys another node owns are
+	// refused with a node_redirect the SDK follows, and missing
+	// artifacts are fetched (and provenance-verified) from peers before
+	// being recomputed. Nil = single-node, no routing.
+	Cluster *ClusterConfig
 }
 
 // Service hosts victims, sessions, campaign jobs and experiment jobs.
@@ -106,6 +113,10 @@ type Service struct {
 	fsys    wal.FS
 	journal *jobJournal
 	spill   *memo.SpillStore
+	prov    *provenance.Store
+
+	// Cluster state, nil when Config.Cluster is unset. See cluster.go.
+	cluster *clusterNode
 	// pendingSync holds journaled campaign/extract launches whose
 	// completion mark never landed (crash mid-compute), keyed by victim
 	// name; Register drains a victim's entries the moment it appears.
@@ -156,6 +167,7 @@ func New(cfg Config) *Service {
 		pendingSync: map[string][]journalRecord{},
 		janitorCh:   make(chan struct{}),
 	}
+	s.initCluster(cfg.Cluster)
 	if cfg.SessionTTL > 0 {
 		go s.sessionJanitor()
 	}
@@ -261,12 +273,14 @@ func (s *Service) drainPendingSync(victim string) {
 		for _, rec := range recs {
 			// Errors are the job's own (bad spec, closed service) and are
 			// journaled as failures by the run path; recovery has no
-			// client to report them to.
+			// client to report them to. The local variants skip ring
+			// admission: a journaled job is this node's to finish even if
+			// the membership changed across the restart.
 			switch {
 			case rec.Campaign != nil:
-				_, _ = s.RunCampaign(*rec.Campaign)
+				_, _ = s.runCampaignJob(*rec.Campaign)
 			case rec.Extract != nil:
-				_, _ = s.RunExtract(*rec.Extract)
+				_, _ = s.runExtractJob(*rec.Extract)
 			}
 		}
 	}()
@@ -330,6 +344,17 @@ func (s *Service) Stats() Stats {
 		st.SpilledArtifacts = sp.Artifacts
 		st.SpilledArtifactBytes = sp.Bytes
 		st.SpillHits = sp.Hits
+	}
+	if s.prov != nil {
+		st.ProvenanceRecords = s.prov.Count()
+	}
+	if c := s.cluster; c != nil {
+		st.NodeID = c.self.ID
+		st.RingHash = c.ring.Hash()
+		st.RedirectsIssued = c.redirects.Load()
+		st.PeerFetches = c.peerFetches.Load()
+		st.PeerFetchVerified = c.peerVerified.Load()
+		st.PeerFetchRejected = c.peerRejected.Load()
 	}
 	for _, name := range s.victims.keys() {
 		v, ok := s.victims.get(name)

@@ -140,9 +140,15 @@ type Session struct {
 }
 
 // OpenSession admits a new attacker session against a registered victim.
+// In a cluster the victim's ring owner hosts all of its sessions (their
+// state — budgets, noise streams — is node-local); other nodes redirect,
+// and the SDK pins the session handle to the node that opened it.
 func (s *Service) OpenSession(victim string, cfg SessionConfig) (*Session, error) {
 	if s.isClosed() {
 		return nil, ErrServiceClosed
+	}
+	if err := s.routeVictim(victim); err != nil {
+		return nil, err
 	}
 	v, err := s.Victim(victim)
 	if err != nil {

@@ -5,16 +5,16 @@ import (
 	"testing"
 )
 
-// Equivalence harness for the fast backend (ISSUE 9). Two contracts are
-// pinned here:
+// Equivalence harness for the fast backend (ISSUE 9; Gemm joined the
+// unrolled group in ISSUE 10). Two contracts are pinned here:
 //
-//   - Gemm, VecMatInto, AddOuterInto, SGDMomentumStep must be
-//     byte-for-byte identical to the reference at every worker count
-//     (partition-only kernels).
-//   - GemmTB, MatVecInto, GemmTA reorder their accumulations (chain
-//     splits, FMA) and are held to the standard reordered-summation
-//     bound |fast−ref| ≤ c·k·eps·Σ|aᵢ·bᵢ| + floor per destination
-//     element.
+//   - VecMatInto, AddOuterInto, SGDMomentumStep must be byte-for-byte
+//     identical to the reference at every worker count (partition-only
+//     kernels).
+//   - Gemm, GemmTB, MatVecInto, GemmTA run unrolled/fused accumulations
+//     (chain splits, FMA) and are held to the standard
+//     reordered-summation bound |fast−ref| ≤ c·k·eps·Σ|aᵢ·bᵢ| + floor
+//     per destination element.
 //
 // Plus a cross-cutting determinism property: for a fixed input the fast
 // backend's bits must not depend on the worker count.
@@ -67,6 +67,21 @@ func checkWithin(t *testing.T, kernel string, got, want, mag []float64, k int) {
 	}
 }
 
+// absDotsMM returns Σ_k |a[i,k]·b[k,j]| per destination element of a·b.
+func absDotsMM(a, b *Matrix) []float64 {
+	mag := make([]float64, a.rows*b.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < b.cols; j++ {
+			var s float64
+			for k := 0; k < a.cols; k++ {
+				s += math.Abs(a.data[i*a.cols+k] * b.data[k*b.cols+j])
+			}
+			mag[i*b.cols+j] = s
+		}
+	}
+	return mag
+}
+
 // absDotsTB returns Σ_k |a[i,k]·b[j,k]| per destination element of a·bᵀ.
 func absDotsTB(a, b *Matrix) []float64 {
 	mag := make([]float64, a.rows*b.rows)
@@ -116,16 +131,8 @@ func TestFastBitExactKernels(t *testing.T) {
 		fast := NewFast(workers)
 		r := newTestRand(101)
 		for _, sh := range equivShapes {
-			a := randomMatrix(r, sh.m, sh.k)
-			b := randomMatrix(r, sh.k, sh.n)
 			x := randomVec(r, sh.m)
 			y := randomVec(r, sh.k)
-
-			want := New(sh.m, sh.n)
-			got := New(sh.m, sh.n)
-			ref.Gemm(want, a, b)
-			fast.Gemm(got, a, b)
-			checkBitEqual(t, "Gemm", got.data, want.data)
 
 			wantV := make([]float64, sh.k)
 			gotV := make([]float64, sh.k)
@@ -162,6 +169,13 @@ func TestFastToleranceKernels(t *testing.T) {
 		r := newTestRand(202)
 		for _, sh := range equivShapes {
 			a := randomMatrix(r, sh.m, sh.k)
+			bMM := randomMatrix(r, sh.k, sh.n)
+			wantMM := New(sh.m, sh.n)
+			gotMM := New(sh.m, sh.n)
+			ref.Gemm(wantMM, a, bMM)
+			fast.Gemm(gotMM, a, bMM)
+			checkWithin(t, "Gemm", gotMM.data, wantMM.data, absDotsMM(a, bMM), sh.k)
+
 			bT := randomMatrix(r, sh.n, sh.k) // b for GemmTB: n rows of length k
 			want := New(sh.m, sh.n)
 			got := New(sh.m, sh.n)
@@ -188,6 +202,30 @@ func TestFastToleranceKernels(t *testing.T) {
 	}
 }
 
+// TestGemmRowsQuadBitExact pins the pure-Go unrolled Gemm row kernel's
+// documented claim directly (it is the fallback on machines without
+// AVX2+FMA, so the backend-level sweeps may never reach it here): the
+// four-wide pairing keeps each element's chain in increasing k and Go
+// does not fuse, so the kernel is bitwise identical to the reference.
+func TestGemmRowsQuadBitExact(t *testing.T) {
+	r := newTestRand(606)
+	for _, sh := range equivShapes {
+		a := randomMatrix(r, sh.m, sh.k)
+		b := randomMatrix(r, sh.k, sh.n)
+		// Sparsify a so the group-level zero skip fires.
+		for i := range a.data {
+			if i%3 == 0 {
+				a.data[i] = 0
+			}
+		}
+		want := New(sh.m, sh.n)
+		got := New(sh.m, sh.n)
+		gemmRows(want, a, b, 0, sh.m)
+		gemmRowsQuad(got, a, b, 0, sh.m)
+		checkBitEqual(t, "gemmRowsQuad", got.data, want.data)
+	}
+}
+
 // TestFastWorkerCountBitStable pins the cross-cutting determinism
 // property: the partition scheme assigns every destination element to
 // exactly one range, so changing the worker count must not change a
@@ -199,6 +237,7 @@ func TestFastWorkerCountBitStable(t *testing.T) {
 		fast := NewFast(workers)
 		for _, sh := range equivShapes {
 			a := randomMatrix(r, sh.m, sh.k)
+			bMM := randomMatrix(r, sh.k, sh.n)
 			bT := randomMatrix(r, sh.n, sh.k)
 			aTA := randomMatrix(r, sh.k, sh.m)
 			bTA := randomMatrix(r, sh.k, sh.n)
@@ -206,6 +245,10 @@ func TestFastWorkerCountBitStable(t *testing.T) {
 
 			one := New(sh.m, sh.n)
 			many := New(sh.m, sh.n)
+			base.Gemm(one, a, bMM)
+			fast.Gemm(many, a, bMM)
+			checkBitEqual(t, "Gemm workers", many.data, one.data)
+
 			base.GemmTB(one, a, bT)
 			fast.GemmTB(many, a, bT)
 			checkBitEqual(t, "GemmTB workers", many.data, one.data)

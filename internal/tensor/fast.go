@@ -11,21 +11,26 @@ import "xbarsec/internal/pool"
 //     fixed input the fast backend returns identical bits at every worker
 //     count.
 //
-//  2. Bit-exact kernels (Gemm, VecMatInto, AddOuterInto, SGDMomentumStep):
-//     each range runs the same reference kernel, so these four are
+//  2. Bit-exact kernels (VecMatInto, AddOuterInto, SGDMomentumStep):
+//     each range runs the same reference kernel, so these three are
 //     byte-for-byte identical to Reference().
 //
-//  3. Reordered dot kernels (GemmTB, MatVecInto, GemmTA): the
+//  3. Unrolled/fused kernels (Gemm, GemmTB, MatVecInto, GemmTA): the
 //     latency-bound single-chain accumulations are replaced by
 //     multi-accumulator versions — AVX2+FMA assembly where the CPU
-//     supports it (simd_amd64.s), a four-chain pure-Go dot otherwise.
-//     Splitting a sum across chains (and fusing multiply-add) reorders
-//     the additions, so these three are NOT bit-identical to the
-//     reference; backend_equiv_test.go pins them to the standard
+//     supports it (simd_amd64.s), four-wide pure-Go unrolls otherwise.
+//     Splitting a sum across chains (and fusing multiply-add) can change
+//     rounding, so these four are NOT bit-identical to the reference;
+//     backend_equiv_test.go pins them to the standard
 //     reordered-summation bound |fast−ref| ≤ c·k·eps·Σ|aᵢ·bᵢ|, which
-//     covers both chain splits and FMA's single rounding. GemmTB also
-//     swaps its loop order by shape (stream the smaller operand) — a
-//     pure traversal change, per-element dots are unaffected.
+//     covers both chain splits and FMA's single rounding. (Gemm's
+//     accumulation ORDER is actually preserved — four-wide sample
+//     grouping on one chain — so only the FMA path deviates, and only
+//     by fused roundings; it still lives under the tolerance contract
+//     because BitExact() describes the whole backend on any machine.)
+//     GemmTB also swaps its loop order by shape (stream the smaller
+//     operand) — a pure traversal change, per-element dots are
+//     unaffected.
 //
 // Whether the SIMD kernels are used is fixed when the backend is
 // constructed (CPUID probe), not per call; a fastBackend value fully
@@ -95,12 +100,26 @@ func (f *fastBackend) Gemm(dst, a, b *Matrix) {
 	rows := a.rows
 	w := f.split(rows, rows*a.cols*b.cols)
 	if w == 1 {
-		gemmRows(dst, a, b, 0, rows)
+		f.gemmRowSpan(dst, a, b, 0, rows)
 		return
 	}
 	pool.Do(w, w, func(p int) {
-		gemmRows(dst, a, b, p*rows/w, (p+1)*rows/w)
+		f.gemmRowSpan(dst, a, b, p*rows/w, (p+1)*rows/w)
 	})
+}
+
+// gemmRowSpan computes destination rows [i0, i1) of dst = a·b with the
+// unrolled axpy kernel: AVX2+FMA when available, the four-wide pure-Go
+// pairing otherwise. Row partitions compose bit-identically (each row is
+// owned by exactly one range).
+//
+//xbar:hotpath
+func (f *fastBackend) gemmRowSpan(dst, a, b *Matrix, i0, i1 int) {
+	if !f.simd {
+		gemmRowsQuad(dst, a, b, i0, i1)
+		return
+	}
+	gemmRowsSIMD(dst, a, b, i0, i1)
 }
 
 //xbar:hotpath
@@ -254,6 +273,104 @@ func gemmTAColsSIMD(dst, a, b *Matrix, c0, c1 int) {
 			row := dbase[i*n : i*n+len(brow)]
 			for t, bv := range brow {
 				row[t] += x * bv
+			}
+		}
+	}
+}
+
+// gemmRowsSIMD computes destination rows [i0, i1) of dst = a·b with the
+// AVX2+FMA quad-axpy sweep: for each destination row, the contracted
+// terms are consumed four at a time — one assembly call applies
+// drow += arow[k]·bₖ + arow[k+1]·bₖ₊₁ + arow[k+2]·bₖ₊₂ + arow[k+3]·bₖ₊₃
+// (reusing the GemmTA quad kernel with one-element coefficient slices, so
+// the sweep covers exactly this row). Terms apply in increasing k on one
+// chain, matching the reference order; each term fuses multiply and add
+// (single rounding) — tolerance contract. The destination row stays
+// register/L1-resident across all of k, so no gemmBlock re-sweep of the
+// streamed operand is needed.
+//
+//xbar:hotpath
+func gemmRowsSIMD(dst, a, b *Matrix, i0, i1 int) {
+	kdim := a.cols
+	n := b.cols
+	for i := i0; i < i1; i++ {
+		arow := a.data[i*kdim : (i+1)*kdim]
+		drow := dst.data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		k := 0
+		for ; k+4 <= kdim; k += 4 {
+			gemmTAQuadAVX2(drow, n,
+				arow[k:k+1], arow[k+1:k+2], arow[k+2:k+3], arow[k+3:k+4],
+				b.data[k*n:(k+1)*n],
+				b.data[(k+1)*n:(k+2)*n],
+				b.data[(k+2)*n:(k+3)*n],
+				b.data[(k+3)*n:(k+4)*n])
+		}
+		for ; k < kdim; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.data[k*n : (k+1)*n]
+			d := drow[:len(brow)]
+			for j, bv := range brow {
+				d[j] += aik * bv
+			}
+		}
+	}
+}
+
+// gemmRowsQuad is the pure-Go unrolled Gemm row kernel: contracted terms
+// grouped four at a time on one accumulator chain in increasing k (the
+// same pairing gemmTACols uses), quartering the destination-row
+// load/store traffic versus the reference one-k-at-a-time axpy. The
+// chain order matches the reference exactly and Go does not fuse, so
+// this path is bitwise identical to gemmRows; the group-level zero skip
+// is bitwise neutral for the same reason the reference's per-k skip is
+// (partial sums starting at +0 are never -0).
+//
+//xbar:hotpath
+func gemmRowsQuad(dst, a, b *Matrix, i0, i1 int) {
+	kdim := a.cols
+	n := b.cols
+	for i := i0; i < i1; i++ {
+		arow := a.data[i*kdim : (i+1)*kdim]
+		drow := dst.data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		k := 0
+		for ; k+4 <= kdim; k += 4 {
+			x0, x1, x2, x3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			if x0 == 0 && x1 == 0 && x2 == 0 && x3 == 0 {
+				continue
+			}
+			b0 := b.data[k*n : (k+1)*n]
+			b1 := b.data[(k+1)*n : (k+2)*n]
+			b2 := b.data[(k+2)*n : (k+3)*n]
+			b3 := b.data[(k+3)*n : (k+4)*n]
+			d := drow[:len(b0)]
+			b1v := b1[:len(b0)]
+			b2v := b2[:len(b0)]
+			b3v := b3[:len(b0)]
+			for j, bv := range b0 {
+				t := d[j] + x0*bv
+				t += x1 * b1v[j]
+				t += x2 * b2v[j]
+				d[j] = t + x3*b3v[j]
+			}
+		}
+		for ; k < kdim; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.data[k*n : (k+1)*n]
+			d := drow[:len(brow)]
+			for j, bv := range brow {
+				d[j] += aik * bv
 			}
 		}
 	}
